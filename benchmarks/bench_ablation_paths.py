@@ -1,0 +1,50 @@
+"""Ablation E10: stored tag-list paths vs recomputed branch positions.
+
+The tag-list stores each segment's full ER-tree path so that Lazy-Join can
+find ``P_T^S`` (the stack frame's child toward the descendant segment) in
+O(log N).  Without stored paths an implementation must climb parent
+pointers — O(chain depth) per stack frame.  Deep nested chains make the
+difference measurable.
+
+Run standalone for the table:  python benchmarks/bench_ablation_paths.py
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import ablation_branch_strategy
+from repro.core.database import LazyXMLDatabase
+from repro.workloads.join_mix import build_join_mix, sweep_configs
+
+
+@pytest.fixture(scope="module")
+def deep_db():
+    config = sweep_configs(120, "nested", [1.0])[0]
+    database = LazyXMLDatabase(keep_text=False)
+    build_join_mix(database, config)
+    return database
+
+
+@pytest.mark.parametrize("strategy", ["path", "bisect", "walk"])
+def test_join_with_strategy(benchmark, deep_db, strategy):
+    pairs = benchmark(
+        deep_db.structural_join, "a", "d", branch_strategy=strategy
+    )
+    assert pairs
+
+
+def test_strategies_agree(deep_db):
+    results = {
+        strategy: sorted(deep_db.structural_join("a", "d", branch_strategy=strategy))
+        for strategy in ("path", "bisect", "walk")
+    }
+    assert results["path"] == results["bisect"] == results["walk"]
+
+
+def main() -> None:
+    ablation_branch_strategy().print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Ablation E9: the two Lazy-Join stack optimizations (Section 4.2).
+
+Optimization (i) pushes only A-elements containing at least one child
+segment's insertion point; (ii) trims top-frame elements that ended before
+the new segment's branch point.  Both are pure prunings — results are
+identical either way (the test suite proves it) — so this benchmark
+quantifies their time/work effect.
+
+Run standalone for the table:  python benchmarks/bench_ablation_pushopt.py
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import ablation_push_optimizations
+from repro.core.database import LazyXMLDatabase
+from repro.core.join import JoinStatistics
+from repro.workloads.join_mix import build_join_mix, sweep_configs
+
+
+@pytest.fixture(scope="module")
+def db():
+    config = sweep_configs(50, "nested", [0.8])[0]
+    database = LazyXMLDatabase(keep_text=False)
+    build_join_mix(database, config)
+    return database
+
+
+@pytest.mark.parametrize("optimize_push", [True, False], ids=["push-opt", "push-all"])
+@pytest.mark.parametrize("trim_top", [True, False], ids=["trim", "no-trim"])
+def test_join_with_toggles(benchmark, db, optimize_push, trim_top):
+    pairs = benchmark(
+        db.structural_join,
+        "a",
+        "d",
+        optimize_push=optimize_push,
+        trim_top=trim_top,
+    )
+    assert pairs
+
+
+def test_optimization_reduces_pushed_elements(db):
+    on, off = JoinStatistics(), JoinStatistics()
+    db.structural_join("a", "d", optimize_push=True, stats=on)
+    db.structural_join("a", "d", optimize_push=False, stats=off)
+    assert on.elements_pushed < off.elements_pushed
+
+
+def main() -> None:
+    ablation_push_optimizations().print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Ablation E11: segment packing (Section 5.3 / future work).
+
+The paper suggests collapsing nested segments "to reduce the overall number
+of segments, increase their size, and improve query performance" when
+fragmentation hurts.  This benchmark measures a fragmented database (deep
+nested chain) before and after :meth:`LazyXMLDatabase.compact`: join time
+should drop toward the single-segment cost, and the update log should
+shrink.
+
+Run standalone for the table:  python benchmarks/bench_ablation_repack.py
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import Table, measure
+from repro.core.database import LazyXMLDatabase
+from repro.workloads.join_mix import JoinMixConfig, build_join_mix
+
+N_SEGMENTS = 80
+
+
+def fragmented_db() -> LazyXMLDatabase:
+    db = LazyXMLDatabase(keep_text=False)
+    build_join_mix(
+        db,
+        JoinMixConfig(
+            n_segments=N_SEGMENTS, shape="nested", in_blocks_per_segment=2
+        ),
+    )
+    return db
+
+
+@pytest.fixture(scope="module")
+def before_db():
+    return fragmented_db()
+
+
+@pytest.fixture(scope="module")
+def after_db():
+    db = fragmented_db()
+    db.compact()
+    return db
+
+
+def test_join_fragmented(benchmark, before_db):
+    assert benchmark(before_db.structural_join, "a", "d")
+
+
+def test_join_compacted(benchmark, after_db):
+    assert benchmark(after_db.structural_join, "a", "d")
+
+
+def test_compaction_preserves_results(before_db, after_db):
+    assert len(before_db.structural_join("a", "d")) == len(
+        after_db.structural_join("a", "d")
+    )
+
+
+def test_compaction_shrinks_log(before_db, after_db):
+    assert after_db.stats().total_bytes < before_db.stats().total_bytes
+    assert after_db.segment_count < before_db.segment_count
+
+
+def main() -> None:
+    table = Table(
+        "Ablation — segment packing (compact)",
+        ["state", "segments", "log_kb", "join_ms"],
+    )
+    db = fragmented_db()
+    table.add_row(
+        [
+            "fragmented",
+            db.segment_count,
+            db.stats().total_bytes / 1024,
+            measure(lambda: db.structural_join("a", "d"), repeat=3) * 1e3,
+        ]
+    )
+    db.compact()
+    table.add_row(
+        [
+            "compacted",
+            db.segment_count,
+            db.stats().total_bytes / 1024,
+            measure(lambda: db.structural_join("a", "d"), repeat=3) * 1e3,
+        ]
+    )
+    table.print()
+
+
+if __name__ == "__main__":
+    main()

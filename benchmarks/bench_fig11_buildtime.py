@@ -1,0 +1,63 @@
+"""Fig. 11(b): time to build the update log vs number of segments.
+
+Benchmarks replaying a recorded (position, length, tag-counts) op script
+into a fresh :class:`~repro.core.update_log.UpdateLog` — the pure
+update-log build cost, without parsing or element-index work.
+
+Run standalone for the full series:  python benchmarks/bench_fig11_buildtime.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.bench.builders import parent_plan
+from repro.bench.experiments import fig11_update_log
+from repro.core.database import LazyXMLDatabase
+from repro.core.update_log import UpdateLog
+from repro.workloads.generator import generate_uniform_fragment, tag_pool
+from repro.xml.parser import parse_fragment
+
+
+def record_ops(n_segments: int, shape: str):
+    """Build once through the database, recording the raw log ops."""
+    db = LazyXMLDatabase(keep_text=False)
+    tags = tag_pool(8)
+    fragment = generate_uniform_fragment(24, tags)
+    tag_counts = dict(Counter(e.tag for e in parse_fragment(fragment).elements))
+    parents = parent_plan(n_segments, shape)
+    ops, sids = [], []
+    for i in range(n_segments):
+        if parents[i] < 0:
+            position = db.document_length
+        else:
+            position = db.log.node(sids[parents[i]]).end - (len(tags[0]) + 3)
+        ops.append((position, len(fragment), tag_counts))
+        sids.append(db.insert(fragment, position).sid)
+    return ops
+
+
+def replay(ops) -> UpdateLog:
+    log = UpdateLog()
+    for position, length, counts in ops:
+        log.insert_segment(position, length, counts)
+    return log
+
+
+@pytest.mark.parametrize("shape", ["balanced", "nested"])
+@pytest.mark.parametrize("n_segments", [60, 120])
+def test_build_update_log(benchmark, shape, n_segments):
+    ops = record_ops(n_segments, shape)
+    log = benchmark(replay, ops)
+    assert log.segment_count == n_segments
+
+
+def main() -> None:
+    for shape, table in fig11_update_log().items():
+        table.print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Fig. 11(a): update-log size vs number of inserted segments.
+
+Size is not a timing quantity, so the pytest-benchmark entry times the
+status-quo operation (a stats snapshot) while the assertions pin the
+*shape* the paper reports: the tag-list dominates, and the nested ER-tree
+grows much faster than the balanced one.
+
+Run standalone for the full series:  python benchmarks/bench_fig11_logsize.py
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.builders import build_uniform_segments
+from repro.bench.experiments import fig11_update_log
+from repro.core.database import LazyXMLDatabase
+
+SEGMENTS = 120
+
+
+@pytest.fixture(scope="module", params=["balanced", "nested"])
+def loaded_db(request):
+    db = LazyXMLDatabase(keep_text=False)
+    build_uniform_segments(db, SEGMENTS, request.param, n_tags=8)
+    return request.param, db
+
+
+def test_log_stats_snapshot(benchmark, loaded_db):
+    shape, db = loaded_db
+    stats = benchmark(db.stats)
+    assert stats.segments == SEGMENTS
+    # Fig. 11(a) headline: the tag-list dominates the update log.
+    assert stats.taglist_bytes > stats.sbtree_bytes
+
+
+def test_nested_taglist_outgrows_balanced():
+    sizes = {}
+    for shape in ("balanced", "nested"):
+        db = LazyXMLDatabase(keep_text=False)
+        build_uniform_segments(db, SEGMENTS, shape, n_tags=8)
+        sizes[shape] = db.stats().taglist_bytes
+    assert sizes["nested"] > 2 * sizes["balanced"]
+
+
+def test_growth_is_superlinear_nested():
+    points = {}
+    for count in (40, 80):
+        db = LazyXMLDatabase(keep_text=False)
+        build_uniform_segments(db, count, "nested", n_tags=8)
+        points[count] = db.stats().taglist_bytes
+    # O(T N^2): doubling N should much more than double the tag-list.
+    assert points[80] > 3 * points[40]
+
+
+def main() -> None:
+    for shape, table in fig11_update_log().items():
+        table.print()
+
+
+if __name__ == "__main__":
+    main()

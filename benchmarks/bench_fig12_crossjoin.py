@@ -1,0 +1,85 @@
+"""Fig. 12: structural join time vs percentage of cross-segment joins.
+
+Workloads hold the segment count, |A| and |D| fixed while the cross-join
+percentage sweeps; LD (Lazy-Join on a maintained log), LS (Lazy-Join
+including the deferred prepare step) and STD (Stack-Tree-Desc on derived
+global labels) are timed on the same data.
+
+Expected shape (paper Fig. 12): LD below STD everywhere and improving with
+the cross percentage; LS beats STD only above a threshold percentage.
+
+Run standalone for the full series:  python benchmarks/bench_fig12_crossjoin.py
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.experiments import fig12_cross_join
+from repro.core.database import LazyXMLDatabase
+from repro.workloads.join_mix import build_join_mix, sweep_configs
+
+N_SEGMENTS = 50
+FRACTIONS = [0.0, 0.5, 1.0]
+
+
+def build(fraction: float, shape: str, mode: str) -> LazyXMLDatabase:
+    config = sweep_configs(N_SEGMENTS, shape, [fraction])[0]
+    db = LazyXMLDatabase(mode=mode, keep_text=False)
+    build_join_mix(db, config)
+    if mode == "static":
+        db.prepare_for_query()
+    return db
+
+
+@pytest.mark.parametrize("shape", ["nested", "balanced"])
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_ld_join(benchmark, shape, fraction):
+    db = build(fraction, shape, "dynamic")
+    pairs = benchmark(db.structural_join, "a", "d")
+    assert pairs
+
+
+@pytest.mark.parametrize("shape", ["nested", "balanced"])
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_std_join(benchmark, shape, fraction):
+    db = build(fraction, shape, "dynamic")
+    pairs = benchmark(db.structural_join, "a", "d", algorithm="std")
+    assert pairs
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_ls_join_including_prepare(benchmark, fraction):
+    db = build(fraction, "nested", "static")
+    rng = random.Random(0)
+
+    def ls_query():
+        db.log.mark_stale(rng)
+        db.prepare_for_query()
+        return db.structural_join("a", "d")
+
+    pairs = benchmark(ls_query)
+    assert pairs
+
+
+def test_ld_beats_std_shape():
+    """Pin the figure's qualitative claim at the 100% cross point."""
+    from repro.bench.harness import measure
+
+    db = build(1.0, "nested", "dynamic")
+    t_ld = measure(lambda: db.structural_join("a", "d"), repeat=3)
+    t_std = measure(lambda: db.structural_join("a", "d", algorithm="std"), repeat=3)
+    assert t_ld < t_std
+
+
+def main() -> None:
+    for n_segments in (50, 100):
+        for shape in ("nested", "balanced"):
+            sweep = fig12_cross_join(n_segments=n_segments, shape=shape)
+            sweep.to_table(f"Fig 12 — {shape}, {n_segments} segments").print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Fig. 13: join time vs number of segments over one fixed document.
+
+The same spine document is chopped into increasing segment counts; LD's
+segment-list overhead grows while STD (which sees the same elements however
+they are chopped) stays roughly flat — reproducing the crossover the paper
+reports for large balanced segment counts.
+
+Run standalone for the full series:  python benchmarks/bench_fig13_segments.py
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import fig13_segments, spine_document
+from repro.workloads.chopper import chop_text
+
+DEPTH = 200
+
+
+@pytest.fixture(scope="module")
+def document_text():
+    return spine_document(DEPTH, bushiness=3)
+
+
+@pytest.mark.parametrize("shape", ["balanced", "nested"])
+@pytest.mark.parametrize("n_segments", [10, 40, 160])
+def test_ld_join(benchmark, document_text, shape, n_segments):
+    db, _ = chop_text(document_text, n_segments, shape)
+    pairs = benchmark(db.structural_join, "t0", "t1")
+    assert pairs
+
+
+@pytest.mark.parametrize("n_segments", [10, 160])
+def test_std_join(benchmark, document_text, n_segments):
+    db, _ = chop_text(document_text, n_segments, "balanced")
+    pairs = benchmark(db.structural_join, "t0", "t1", algorithm="std")
+    assert pairs
+
+
+def test_ld_time_grows_with_segments(document_text):
+    from repro.bench.harness import measure
+
+    times = {}
+    for count in (10, 160):
+        db, _ = chop_text(document_text, count, "nested")
+        times[count] = measure(lambda: db.structural_join("t0", "t1"), repeat=3)
+    assert times[160] > times[10]
+
+
+def main() -> None:
+    for shape, sweep in fig13_segments().items():
+        sweep.to_table(f"Fig 13 — {shape} ER-tree").print()
+
+
+if __name__ == "__main__":
+    main()

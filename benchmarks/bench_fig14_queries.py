@@ -1,0 +1,59 @@
+"""Fig. 14: the XMark query set and its result cardinalities.
+
+Cardinalities are generator-dependent (we substitute a scaled XMark-like
+generator for the 100 MB XMark dataset), so the reproduced quantity is the
+*relative* ordering the paper's table shows: Q4 >= Q3 (every watches//watch
+pair is also a person//watch pair) and Q5 >= Q2 likewise.
+
+Run standalone for the table:  python benchmarks/bench_fig14_queries.py
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import _xmark_chop_ops, fig14_15_xmark
+from repro.core.database import LazyXMLDatabase
+from repro.workloads.chopper import apply_chop
+from repro.workloads.xmark import XMARK_QUERIES, XMarkConfig, generate_site
+
+
+@pytest.fixture(scope="module")
+def xmark_db():
+    text = generate_site(XMarkConfig(scale=0.03, seed=7)).to_xml()
+    db = LazyXMLDatabase(keep_text=False)
+    apply_chop(db, _xmark_chop_ops(text, 60))
+    return db
+
+
+@pytest.mark.parametrize("query", XMARK_QUERIES, ids=[q[0] for q in XMARK_QUERIES])
+def test_query_cardinality(benchmark, xmark_db, query):
+    _, tag_a, tag_d = query
+    pairs = benchmark(xmark_db.structural_join, tag_a, tag_d)
+    assert pairs
+
+
+def test_cardinality_ordering(xmark_db):
+    counts = {
+        qid: len(xmark_db.structural_join(tag_a, tag_d))
+        for qid, tag_a, tag_d in XMARK_QUERIES
+    }
+    # person//watch ⊇ watches//watch and person//interest ⊇ profile//interest
+    assert counts["Q4"] >= counts["Q3"]
+    assert counts["Q5"] >= counts["Q2"]
+
+
+def test_all_algorithms_agree_on_cardinalities(xmark_db):
+    for _, tag_a, tag_d in XMARK_QUERIES:
+        lazy = len(xmark_db.structural_join(tag_a, tag_d))
+        std = len(xmark_db.structural_join(tag_a, tag_d, algorithm="std"))
+        assert lazy == std
+
+
+def main() -> None:
+    cards, _ = fig14_15_xmark()
+    cards.print()
+
+
+if __name__ == "__main__":
+    main()

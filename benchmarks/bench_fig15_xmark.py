@@ -1,0 +1,90 @@
+"""Fig. 15: LS / LD / STD join times on the XMark query set.
+
+Dataset chopped into 100 segments with person-child splits (the paper's
+"slightly modified" XMark raising cross-segment joins to 20–30%).
+Expected shape: LD outperforms STD on all five queries.
+
+Run standalone for the full table:  python benchmarks/bench_fig15_xmark.py
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.experiments import _xmark_chop_ops, fig14_15_xmark
+from repro.core.database import LazyXMLDatabase
+from repro.workloads.chopper import apply_chop
+from repro.workloads.xmark import XMARK_QUERIES, XMarkConfig, generate_site
+
+SCALE = 0.03
+SEGMENTS = 100
+QUERY_IDS = [q[0] for q in XMARK_QUERIES]
+
+
+@pytest.fixture(scope="module")
+def ops():
+    text = generate_site(XMarkConfig(scale=SCALE, seed=7)).to_xml()
+    return _xmark_chop_ops(text, SEGMENTS)
+
+
+@pytest.fixture(scope="module")
+def ld_db(ops):
+    db = LazyXMLDatabase(keep_text=False)
+    apply_chop(db, ops)
+    return db
+
+
+@pytest.fixture(scope="module")
+def ls_db(ops):
+    db = LazyXMLDatabase(mode="static", keep_text=False)
+    apply_chop(db, ops)
+    db.prepare_for_query()
+    return db
+
+
+@pytest.mark.parametrize("query", XMARK_QUERIES, ids=QUERY_IDS)
+def test_ld(benchmark, ld_db, query):
+    _, tag_a, tag_d = query
+    assert benchmark(ld_db.structural_join, tag_a, tag_d)
+
+
+@pytest.mark.parametrize("query", XMARK_QUERIES, ids=QUERY_IDS)
+def test_std(benchmark, ld_db, query):
+    _, tag_a, tag_d = query
+    assert benchmark(ld_db.structural_join, tag_a, tag_d, algorithm="std")
+
+
+@pytest.mark.parametrize("query", XMARK_QUERIES, ids=QUERY_IDS)
+def test_ls_including_prepare(benchmark, ls_db, query):
+    _, tag_a, tag_d = query
+    rng = random.Random(0)
+
+    def ls_query():
+        ls_db.log.mark_stale(rng)
+        ls_db.prepare_for_query()
+        return ls_db.structural_join(tag_a, tag_d)
+
+    assert benchmark(ls_query)
+
+
+def test_ld_beats_std_on_every_query(ld_db):
+    from repro.bench.harness import measure
+
+    for _, tag_a, tag_d in XMARK_QUERIES:
+        t_ld = measure(lambda: ld_db.structural_join(tag_a, tag_d), repeat=3)
+        t_std = measure(
+            lambda: ld_db.structural_join(tag_a, tag_d, algorithm="std"), repeat=3
+        )
+        assert t_ld < t_std, (tag_a, tag_d, t_ld, t_std)
+
+
+def main() -> None:
+    cards, times = fig14_15_xmark()
+    cards.print()
+    times.print()
+
+
+if __name__ == "__main__":
+    main()

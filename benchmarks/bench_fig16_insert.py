@@ -1,0 +1,81 @@
+"""Fig. 16: inserting one mid-document segment — LD vs relabeling.
+
+The traditional index rewrites (delete + reinsert) every global label at or
+after the edit point; the lazy database only touches the in-memory update
+log and appends the new segment's records.  Expected shape: the traditional
+cost grows with document size, LD stays roughly flat — the paper's log-scale
+gap.
+
+Run standalone for the full series:  python benchmarks/bench_fig16_insert.py
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.builders import build_uniform_segments, insert_under
+from repro.bench.experiments import fig16_insert
+from repro.bench.harness import measure
+from repro.core.database import LazyXMLDatabase
+from repro.labeling.interval import IntervalLabelingIndex
+from repro.workloads.generator import generate_uniform_fragment, tag_pool
+
+TAGS = tag_pool(8)
+PROBE = generate_uniform_fragment(25, TAGS)
+
+
+def lazy_db(n_segments: int):
+    db = LazyXMLDatabase(keep_text=False)
+    sids = build_uniform_segments(db, n_segments, "flat", elements_per_segment=25)
+    return db, sids[len(sids) // 2]
+
+
+def traditional_index(n_segments: int):
+    idx = IntervalLabelingIndex()
+    fragment = generate_uniform_fragment(25, TAGS)
+    idx.insert_fragment("<root>" + fragment * n_segments + "</root>", 0)
+    position = len("<root>") + (n_segments // 2) * len(fragment) + len(TAGS[0]) + 2
+    return idx, position
+
+
+@pytest.mark.parametrize("n_segments", [20, 80])
+def test_lazy_insert(benchmark, n_segments):
+    db, mid_sid = lazy_db(n_segments)
+    benchmark(insert_under, db, mid_sid, PROBE, TAGS[0])
+
+
+@pytest.mark.parametrize("n_segments", [20, 80])
+def test_traditional_insert(benchmark, n_segments):
+    idx, position = traditional_index(n_segments)
+    benchmark(idx.insert_fragment, PROBE, position)
+
+
+def test_lazy_flat_traditional_grows():
+    """Pin the figure's shape: relabeling scales with N, lazy does not."""
+    lazy_times, trad_times = {}, {}
+    for count in (20, 80):
+        db, mid = lazy_db(count)
+        lazy_times[count] = measure(
+            lambda: insert_under(db, mid, PROBE, TAGS[0]), repeat=3
+        )
+        idx, pos = traditional_index(count)
+        trad_times[count] = measure(
+            lambda: idx.insert_fragment(PROBE, pos), repeat=3
+        )
+    assert trad_times[80] > 2 * trad_times[20]
+    assert trad_times[80] > 5 * lazy_times[80]
+
+
+def test_traditional_relabels_about_half():
+    idx, position = traditional_index(40)
+    total = len(idx)
+    idx.insert_fragment(PROBE, position)
+    assert 0.3 * total < idx.relabelled_last_update < 0.8 * total
+
+
+def main() -> None:
+    fig16_insert().to_table("Fig 16 — insert one segment (ms)").print()
+
+
+if __name__ == "__main__":
+    main()

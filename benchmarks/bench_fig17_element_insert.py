@@ -1,0 +1,103 @@
+"""Fig. 17: per-element insertion time — LD / LS vs the PRIME scheme.
+
+PRIME keeps labels immutable but pays for order maintenance: inserting in
+the middle forces a CRT recomputation of every simultaneous-congruence
+group from the insertion point on.  The lazy approach just appends a log
+node and index records.  Expected shape: PRIME orders of magnitude slower;
+lazy per-element time falls as the segment grows, rises with tag count and
+with segment count.
+
+Run standalone for all three sweeps:
+python benchmarks/bench_fig17_element_insert.py
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.builders import build_uniform_segments, insert_under
+from repro.bench.experiments import fig17_element_insert
+from repro.core.database import LazyXMLDatabase
+from repro.labeling.prime import PrimeLabeling
+from repro.workloads.generator import generate_uniform_fragment, tag_pool
+
+TAGS = tag_pool(8)
+
+
+def lazy_db(mode: str, n_segments: int = 60):
+    db = LazyXMLDatabase(mode=mode, keep_text=False)
+    sids = build_uniform_segments(db, n_segments, "balanced", n_tags=8)
+    return db, sids[len(sids) // 2]
+
+
+def prime_labeling(group_size: int, base: int = 600):
+    labeling = PrimeLabeling(group_size=group_size, capacity=base * 8)
+    root = labeling.insert(None)
+    for _ in range(base - 1):
+        labeling.insert(root)
+    return labeling, root
+
+
+@pytest.mark.parametrize("n_elements", [10, 80])
+@pytest.mark.parametrize("mode", ["dynamic", "static"])
+def test_lazy_segment_insert(benchmark, mode, n_elements):
+    db, mid = lazy_db(mode)
+    fragment = generate_uniform_fragment(n_elements, TAGS)
+    benchmark(insert_under, db, mid, fragment, TAGS[0])
+
+
+@pytest.mark.parametrize("group_size", [10, 50])
+def test_prime_mid_insert(benchmark, group_size):
+    labeling, root = prime_labeling(group_size)
+
+    def insert_mid():
+        # Insert then delete so the document size (and thus per-round cost)
+        # stays constant across however many rounds the harness runs —
+        # both operations pay the SC-recompute cost being measured.
+        nid = labeling.insert(root, order_index=len(labeling) // 2)
+        labeling.delete(nid)
+
+    benchmark(insert_mid)
+
+
+def test_prime_much_slower_than_lazy():
+    from repro.bench.harness import measure
+
+    db, mid = lazy_db("dynamic")
+    fragment = generate_uniform_fragment(40, TAGS)
+    t_lazy = measure(
+        lambda: insert_under(db, mid, fragment, TAGS[0]), repeat=3
+    ) / 40
+    labeling, root = prime_labeling(10)
+    mid_order = len(labeling) // 2
+
+    def prime_40():
+        for _ in range(40):
+            labeling.insert(root, order_index=mid_order)
+
+    t_prime = measure(prime_40, repeat=3) / 40
+    assert t_prime > 3 * t_lazy
+
+
+def test_larger_segments_amortize_better():
+    from repro.bench.harness import measure
+
+    db, mid = lazy_db("dynamic")
+    per_element = {}
+    for n in (10, 160):
+        fragment = generate_uniform_fragment(n, TAGS)
+        per_element[n] = (
+            measure(lambda: insert_under(db, mid, fragment, TAGS[0]), repeat=3) / n
+        )
+    assert per_element[160] < per_element[10]
+
+
+def main() -> None:
+    sweeps = fig17_element_insert()
+    sweeps["elements"].to_table("Fig 17(a) — µs/element vs elements/segment").print()
+    sweeps["tags"].to_table("Fig 17(b) — µs/element vs distinct tags").print()
+    sweeps["segments"].to_table("Fig 17(c) — µs/element vs segments").print()
+
+
+if __name__ == "__main__":
+    main()

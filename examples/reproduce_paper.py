@@ -1,0 +1,105 @@
+"""Reproduce every figure of the paper's evaluation (Section 5).
+
+Runs the full experiment suite at a configurable scale and prints each
+figure's series/tables.  EXPERIMENTS.md records a run of this script next
+to the paper's reported shapes.
+
+Run:  python examples/reproduce_paper.py [--quick]
+
+``--quick`` uses reduced sizes (about a minute); the default takes several
+minutes on a laptop-class machine.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench import (
+    ablation_branch_strategy,
+    ablation_push_optimizations,
+    fig11_update_log,
+    fig12_cross_join,
+    fig13_segments,
+    fig14_15_xmark,
+    fig16_insert,
+    fig17_element_insert,
+)
+
+
+def main(quick: bool = False) -> None:
+    started = time.perf_counter()
+    repeat = 2 if quick else 3
+
+    print("#" * 70)
+    print("# Figure 11 — update log size and build time")
+    print("#" * 70)
+    counts = (25, 50, 100, 150) if quick else (50, 100, 150, 200, 250, 300)
+    for shape, table in fig11_update_log(segment_counts=counts, repeat=repeat).items():
+        table.print()
+
+    print("#" * 70)
+    print("# Figure 12 — join time vs % cross-segment joins (LS / LD / STD)")
+    print("#" * 70)
+    for n_segments in (50, 100):
+        for shape in ("nested", "balanced"):
+            sweep = fig12_cross_join(
+                n_segments=n_segments if not quick else n_segments // 2,
+                shape=shape,
+                repeat=repeat,
+            )
+            sweep.to_table(
+                f"Fig 12 — {shape} ER-tree, {n_segments} segments"
+            ).print()
+
+    print("#" * 70)
+    print("# Figure 13 — join time vs number of segments (LD / STD)")
+    print("#" * 70)
+    counts = (10, 20, 40, 80) if quick else (10, 20, 40, 80, 160)
+    for shape, sweep in fig13_segments(segment_counts=counts, repeat=repeat).items():
+        sweep.to_table(f"Fig 13 — {shape} ER-tree").print()
+
+    print("#" * 70)
+    print("# Figures 14 + 15 — XMark queries")
+    print("#" * 70)
+    cards, times = fig14_15_xmark(
+        scale=0.02 if quick else 0.08,
+        n_segments=50 if quick else 100,
+        repeat=repeat,
+    )
+    cards.print()
+    times.print()
+
+    print("#" * 70)
+    print("# Figure 16 — inserting one segment: LD vs traditional relabeling")
+    print("#" * 70)
+    counts = (10, 20, 40) if quick else (20, 40, 80, 160, 320)
+    fig16_insert(doc_segment_counts=counts, repeat=repeat).to_table(
+        "Fig 16 — insert one segment (times in ms)"
+    ).print()
+
+    print("#" * 70)
+    print("# Figure 17 — per-element insertion: LD / LS vs PRIME")
+    print("#" * 70)
+    sweeps = fig17_element_insert(
+        element_counts=(10, 20, 40) if quick else (10, 20, 40, 80, 160),
+        tag_counts=(2, 4, 8) if quick else (2, 4, 8, 16, 32),
+        segment_counts=(25, 50, 100) if quick else (25, 50, 100, 200),
+        prime_base_nodes=300 if quick else 1000,
+        repeat=repeat,
+    )
+    sweeps["elements"].to_table("Fig 17(a) — per-element µs vs elements/segment").print()
+    sweeps["tags"].to_table("Fig 17(b) — per-element µs vs distinct tags").print()
+    sweeps["segments"].to_table("Fig 17(c) — per-element µs vs segments").print()
+
+    print("#" * 70)
+    print("# Ablations (beyond the paper)")
+    print("#" * 70)
+    ablation_push_optimizations(repeat=repeat).print()
+    ablation_branch_strategy(repeat=repeat).print()
+
+    print(f"total wall time: {time.perf_counter() - started:.1f} s")
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

@@ -1,0 +1,6 @@
+"""Legacy setup shim: allows editable installs on environments whose
+setuptools lacks PEP 517 wheel support. All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+A thin operational layer over :class:`~repro.core.database.LazyXMLDatabase`
+and :mod:`repro.storage` snapshots:
+
+    python -m repro load doc.xml --db db.json --segments 20 --shape balanced
+    python -m repro insert db.json fragment.xml --position 120
+    python -m repro remove db.json --position 120 --length 34
+    python -m repro query db.json "person//profile/interest" [--count]
+    python -m repro join db.json person interest --algorithm std
+    python -m repro stats db.json
+    python -m repro compact db.json
+    python -m repro dump db.json            # print the document text
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import LazyXMLDatabase, __version__
+from repro.core.join import JoinStatistics
+from repro.errors import ReproError
+from repro.storage import load, save
+from repro.workloads.chopper import chop_text
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Lazy XML Updates database (SIGMOD 2005 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    cmd = commands.add_parser("load", help="build a database from an XML file")
+    cmd.add_argument("xml_file", type=Path)
+    cmd.add_argument("--db", type=Path, required=True, help="snapshot to write")
+    cmd.add_argument("--segments", type=int, default=1)
+    cmd.add_argument("--shape", choices=["balanced", "nested"], default="balanced")
+    cmd.add_argument("--mode", choices=["dynamic", "static"], default="dynamic")
+
+    cmd = commands.add_parser("insert", help="insert a fragment file")
+    cmd.add_argument("db", type=Path)
+    cmd.add_argument("fragment_file", type=Path)
+    cmd.add_argument("--position", type=int, default=None)
+
+    cmd = commands.add_parser("remove", help="remove a character span")
+    cmd.add_argument("db", type=Path)
+    cmd.add_argument("--position", type=int, required=True)
+    cmd.add_argument("--length", type=int, required=True)
+
+    cmd = commands.add_parser("query", help="evaluate a path expression")
+    cmd.add_argument("db", type=Path)
+    cmd.add_argument("expression")
+    cmd.add_argument("--count", action="store_true", help="print only the count")
+
+    cmd = commands.add_parser("join", help="run one structural join")
+    cmd.add_argument("db", type=Path)
+    cmd.add_argument("ancestor_tag")
+    cmd.add_argument("descendant_tag")
+    cmd.add_argument("--axis", choices=["descendant", "child"], default="descendant")
+    cmd.add_argument(
+        "--algorithm", choices=["lazy", "std", "merge"], default="lazy"
+    )
+
+    cmd = commands.add_parser("stats", help="print database statistics")
+    cmd.add_argument("db", type=Path)
+
+    cmd = commands.add_parser("compact", help="rebuild the index (pack segments)")
+    cmd.add_argument("db", type=Path)
+
+    cmd = commands.add_parser("dump", help="print the document text")
+    cmd.add_argument("db", type=Path)
+    return parser
+
+
+def _open(path: Path) -> LazyXMLDatabase:
+    db = load(path)
+    db.prepare_for_query()
+    return db
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "load":
+        text = args.xml_file.read_text(encoding="utf-8")
+        db = LazyXMLDatabase(mode=args.mode)
+        if args.segments <= 1:
+            db.insert(text)
+        else:
+            chop_text(text, args.segments, args.shape, db=db)
+        save(db, args.db)
+        print(
+            f"loaded {db.element_count} elements into {db.segment_count} "
+            f"segment(s); snapshot: {args.db}"
+        )
+        return 0
+
+    if args.command == "insert":
+        db = _open(args.db)
+        fragment = args.fragment_file.read_text(encoding="utf-8")
+        receipt = db.insert(fragment, args.position)
+        save(db, args.db)
+        print(f"inserted segment {receipt.sid} at {receipt.gp} (path {receipt.path})")
+        return 0
+
+    if args.command == "remove":
+        db = _open(args.db)
+        outcome = db.remove(args.position, args.length)
+        save(db, args.db)
+        print(
+            f"removed {args.length} chars: {len(outcome.report.removed_sids)} "
+            f"segment(s) and {outcome.elements_removed} element record(s) gone"
+        )
+        return 0
+
+    if args.command == "query":
+        db = _open(args.db)
+        records = db.path_query(args.expression)
+        if args.count:
+            print(len(records))
+        else:
+            for record in records:
+                start, end = db.global_span(record)
+                print(f"{start}\t{end}\tsid={record.sid} level={record.level}")
+        return 0
+
+    if args.command == "join":
+        db = _open(args.db)
+        stats = JoinStatistics()
+        kwargs = {"stats": stats} if args.algorithm == "lazy" else {}
+        pairs = db.structural_join(
+            args.ancestor_tag,
+            args.descendant_tag,
+            axis=args.axis,
+            algorithm=args.algorithm,
+            **kwargs,
+        )
+        print(f"{len(pairs)} pairs")
+        if args.algorithm == "lazy":
+            print(
+                f"cross-segment: {stats.cross_pairs}, "
+                f"in-segment: {stats.in_segment_pairs}"
+            )
+        return 0
+
+    if args.command == "stats":
+        db = _open(args.db)
+        log_stats = db.stats()
+        print(f"mode:       {db.mode}")
+        print(f"characters: {db.document_length}")
+        print(f"segments:   {db.segment_count}")
+        print(f"elements:   {db.element_count}")
+        print(f"tags:       {len(db.log.tags)}")
+        print(f"SB-tree:    {log_stats.sbtree_bytes / 1024:.1f} KB")
+        print(f"tag-list:   {log_stats.taglist_bytes / 1024:.1f} KB")
+        return 0
+
+    if args.command == "compact":
+        db = _open(args.db)
+        result = db.compact()
+        save(db, args.db)
+        print(
+            f"compacted {result.segments_before} -> {result.segments_after} "
+            f"segments ({result.elements_relabelled} elements relabelled)"
+        )
+        return 0
+
+    if args.command == "dump":
+        db = _open(args.db)
+        print(db.text)
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,566 @@
+"""Experiment implementations — one function per paper figure/table.
+
+Each function builds its workload, measures, and returns
+:class:`~repro.bench.harness.Table`/:class:`~repro.bench.harness.Sweep`
+objects ready to print.  Sizes default to laptop-friendly scales (the
+reproduced quantity is the *shape* of each figure, not the 2005 testbed's
+absolute numbers); every knob is a parameter so the ``benchmarks/`` scripts
+can raise scale.
+
+Index (see DESIGN.md §3):
+
+- :func:`fig11_update_log` — log size and build time vs #segments;
+- :func:`fig12_cross_join` — LS/LD/STD join time vs % cross-segment joins;
+- :func:`fig13_segments` — LD/STD join time vs #segments, fixed document;
+- :func:`fig14_15_xmark` — XMark query cardinalities and join times;
+- :func:`fig16_insert` — insert-one-segment time, LD vs relabeling;
+- :func:`fig17_element_insert` — per-element insert time, LD/LS vs PRIME;
+- :func:`ablation_push_optimizations`, :func:`ablation_branch_strategy` —
+  design-choice ablations (DESIGN.md E9/E10).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.builders import build_uniform_segments, insert_under, parent_plan
+from repro.bench.harness import Sweep, Table, measure
+from repro.core.database import LazyXMLDatabase
+from repro.core.join import JoinStatistics
+from repro.core.update_log import UpdateLog
+from repro.labeling.interval import IntervalLabelingIndex
+from repro.labeling.prime import PrimeLabeling
+from repro.workloads.chopper import apply_chop, chop_text
+from repro.workloads.generator import generate_uniform_fragment, tag_pool
+from repro.workloads.join_mix import sweep_configs, build_join_mix
+from repro.workloads.xmark import XMARK_QUERIES, XMarkConfig, generate_site
+from repro.xml.serializer import Node
+
+__all__ = [
+    "fig11_update_log",
+    "fig12_cross_join",
+    "fig13_segments",
+    "fig14_15_xmark",
+    "fig16_insert",
+    "fig17_element_insert",
+    "ablation_push_optimizations",
+    "ablation_branch_strategy",
+    "spine_document",
+]
+
+_MS = 1e3
+
+
+# ----------------------------------------------------------------------
+# Fig. 11 — update log size and build time
+
+
+def fig11_update_log(
+    segment_counts: tuple[int, ...] = (50, 100, 150, 200, 250, 300),
+    shapes: tuple[str, ...] = ("balanced", "nested"),
+    *,
+    elements_per_segment: int = 24,
+    n_tags: int = 8,
+    repeat: int = 3,
+) -> dict[str, Table]:
+    """Fig. 11(a)+(b): update-log size (KB) and build time vs #segments.
+
+    Worst-case workload per the paper: every segment contains every tag.
+    Returns one table per shape with columns
+    ``(segments, sbtree_kb, taglist_kb, total_kb, build_ms)``.
+    """
+    tables: dict[str, Table] = {}
+    for shape in shapes:
+        table = Table(
+            f"Fig 11 — update log, {shape} ER-tree",
+            ["segments", "sbtree_kb", "taglist_kb", "total_kb", "build_ms"],
+        )
+        max_count = max(segment_counts)
+        db = LazyXMLDatabase(keep_text=False)
+        ops: list[tuple[int, int, dict[str, int]]] = []  # replay script
+        snapshots: dict[int, tuple[float, float, float]] = {}
+
+        # Build once, recording each op and snapshotting sizes.
+        tags = tag_pool(n_tags)
+        fragment = generate_uniform_fragment(elements_per_segment, tags)
+        from collections import Counter
+
+        from repro.xml.parser import parse_fragment
+
+        tag_counts = dict(Counter(e.tag for e in parse_fragment(fragment).elements))
+        parents = parent_plan(max_count, shape)
+        sids: list[int] = []
+        for i in range(max_count):
+            if parents[i] < 0:
+                position = db.document_length
+            else:
+                node = db.log.node(sids[parents[i]])
+                position = node.end - (len(tags[0]) + 3)
+            ops.append((position, len(fragment), tag_counts))
+            sids.append(db.insert(fragment, position).sid)
+            if i + 1 in segment_counts:
+                stats = db.stats()
+                snapshots[i + 1] = (
+                    stats.sbtree_bytes / 1024,
+                    stats.taglist_bytes / 1024,
+                    stats.total_bytes / 1024,
+                )
+
+        # Build-time measurement: replay the raw ops into a bare update log.
+        def replay(count: int) -> None:
+            log = UpdateLog()
+            for position, length, counts in ops[:count]:
+                log.insert_segment(position, length, counts)
+
+        for count in segment_counts:
+            build_s = measure(lambda c=count: replay(c), repeat=repeat)
+            sb_kb, tl_kb, total_kb = snapshots[count]
+            table.add_row([count, sb_kb, tl_kb, total_kb, build_s * _MS])
+        tables[shape] = table
+    return tables
+
+
+# ----------------------------------------------------------------------
+# Fig. 12 — join time vs cross-segment-join percentage
+
+
+def fig12_cross_join(
+    n_segments: int = 50,
+    shape: str = "nested",
+    fractions: tuple[float, ...] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+    *,
+    repeat: int = 3,
+) -> Sweep:
+    """Fig. 12: LS/LD/STD elapsed join time vs % of cross-segment joins.
+
+    Segment count, |A| and |D| held (approximately) fixed while the
+    cross-join percentage sweeps.  Times in ms; ``actual_cross_pct`` reports
+    the realized percentage for honesty about the approximation.
+    """
+    sweep = Sweep("target_cross_pct")
+    for fraction, config in zip(
+        fractions, sweep_configs(n_segments, shape, list(fractions))
+    ):
+        ld = LazyXMLDatabase(keep_text=False)
+        build_join_mix(ld, config)
+        stats = JoinStatistics()
+        ld.structural_join("a", "d", stats=stats)
+        t_ld = measure(lambda: ld.structural_join("a", "d"), repeat=repeat)
+        t_std = measure(
+            lambda: ld.structural_join("a", "d", algorithm="std"), repeat=repeat
+        )
+
+        ls = LazyXMLDatabase(mode="static", keep_text=False)
+        build_join_mix(ls, config)
+        rng = random.Random(0)
+
+        def ls_query() -> None:
+            ls.log.mark_stale(rng)
+            ls.prepare_for_query()
+            ls.structural_join("a", "d")
+
+        ls.prepare_for_query()  # first finalize so mark_stale has sorted input
+        t_ls = measure(ls_query, repeat=repeat)
+        sweep.add(
+            round(fraction * 100),
+            ls_ms=t_ls * _MS,
+            ld_ms=t_ld * _MS,
+            std_ms=t_std * _MS,
+            actual_cross_pct=round(stats.cross_fraction * 100, 1),
+            pairs=stats.pairs,
+        )
+    return sweep
+
+
+# ----------------------------------------------------------------------
+# Fig. 13 — join time vs number of segments over a fixed document
+
+
+def spine_document(
+    depth: int, bushiness: int = 3, *, tags: tuple[str, str, str] = ("t0", "t1", "t2")
+) -> str:
+    """A document with a ``depth``-long spine of ``tags[0]`` elements.
+
+    Each spine node carries ``bushiness`` leaf children alternating the
+    other two tags.  Deep enough for nested chopping at any segment count
+    up to ``depth``; the query ``tags[0] // tags[1]`` yields a quadratic
+    pair set concentrated on the spine.
+    """
+    root = Node(tags[0])
+    node = root
+    for level in range(depth - 1):
+        for b in range(bushiness):
+            node.child(tags[1 + (b % 2)])
+        node = node.child(tags[0])
+    for b in range(bushiness):
+        node.child(tags[1 + (b % 2)])
+    return root.to_xml()
+
+
+def fig13_segments(
+    segment_counts: tuple[int, ...] = (10, 20, 40, 80, 160),
+    shapes: tuple[str, ...] = ("balanced", "nested"),
+    *,
+    depth: int = 200,
+    bushiness: int = 3,
+    repeat: int = 3,
+) -> dict[str, Sweep]:
+    """Fig. 13: LD vs STD join time over one document, varying #segments.
+
+    The same spine document is chopped into each segment count; STD over the
+    unchopped labels is flat, LD grows with the segment count — reproducing
+    the crossover the paper reports for high segment counts.
+    """
+    text = spine_document(depth, bushiness)
+    sweeps: dict[str, Sweep] = {}
+    for shape in shapes:
+        sweep = Sweep("segments")
+        for count in segment_counts:
+            db, _ = chop_text(text, count, shape)
+            stats = JoinStatistics()
+            db.structural_join("t0", "t1", stats=stats)
+            t_ld = measure(lambda: db.structural_join("t0", "t1"), repeat=repeat)
+            t_std = measure(
+                lambda: db.structural_join("t0", "t1", algorithm="std"),
+                repeat=repeat,
+            )
+            sweep.add(
+                count,
+                ld_ms=t_ld * _MS,
+                std_ms=t_std * _MS,
+                cross_pct=round(stats.cross_fraction * 100, 1),
+            )
+        sweeps[shape] = sweep
+    return sweeps
+
+
+# ----------------------------------------------------------------------
+# Fig. 14 + 15 — XMark queries
+
+
+
+def _xmark_chop_ops(text: str, n_segments: int):
+    """Chop an XMark document at person-*child* subtree boundaries.
+
+    The paper modified its XMark dataset to raise the cross-segment join
+    percentage to 20–30%; splitting below ``person`` (profile / watches /
+    address subtrees become their own segments) does the same: Q4/Q5
+    (person//watch, person//interest) become cross-segment while Q2/Q3 stay
+    in-segment.
+    """
+    from repro.workloads.chopper import chop
+    from repro.xml.parser import parse
+
+    document = parse(text)
+    candidates = [
+        e
+        for e in document.elements
+        if e.tag in ("profile", "watches", "address") and e.children
+    ]
+    take = min(n_segments - 1, len(candidates))
+    step = max(1, len(candidates) // take) if take else 1
+    roots = [document.root] + candidates[::step][:take]
+    return chop(document, roots)
+
+
+def fig14_15_xmark(
+    scale: float = 0.05,
+    n_segments: int = 100,
+    *,
+    seed: int = 7,
+    repeat: int = 3,
+) -> tuple[Table, Table]:
+    """Fig. 14 (query cardinalities) and Fig. 15 (LS/LD/STD query times).
+
+    XMark-like dataset chopped into ``n_segments`` balanced segments, the
+    paper's setup.  Returns ``(cardinality_table, time_table)``.
+    """
+    text = generate_site(XMarkConfig(scale=scale, seed=seed)).to_xml()
+    ops = _xmark_chop_ops(text, n_segments)
+    ld = LazyXMLDatabase(keep_text=False)
+    apply_chop(ld, ops)
+    ls = LazyXMLDatabase(mode="static", keep_text=False)
+    apply_chop(ls, ops)
+    ls.prepare_for_query()
+
+    cardinalities = Table(
+        "Fig 14 — XMark queries", ["query", "xpath", "cardinality", "cross_pct"]
+    )
+    times = Table(
+        "Fig 15 — XMark join times", ["query", "ls_ms", "ld_ms", "std_ms"]
+    )
+    rng = random.Random(0)
+    for qid, tag_a, tag_d in XMARK_QUERIES:
+        stats = JoinStatistics()
+        pairs = ld.structural_join(tag_a, tag_d, stats=stats)
+        cardinalities.add_row(
+            [qid, f"{tag_a}//{tag_d}", len(pairs), round(stats.cross_fraction * 100, 1)]
+        )
+        t_ld = measure(lambda: ld.structural_join(tag_a, tag_d), repeat=repeat)
+        t_std = measure(
+            lambda: ld.structural_join(tag_a, tag_d, algorithm="std"), repeat=repeat
+        )
+
+        def ls_query() -> None:
+            ls.log.mark_stale(rng)
+            ls.prepare_for_query()
+            ls.structural_join(tag_a, tag_d)
+
+        t_ls = measure(ls_query, repeat=repeat)
+        times.add_row([qid, t_ls * _MS, t_ld * _MS, t_std * _MS])
+    return cardinalities, times
+
+
+# ----------------------------------------------------------------------
+# Fig. 16 — segment insertion: lazy vs traditional relabeling
+
+
+def fig16_insert(
+    doc_segment_counts: tuple[int, ...] = (20, 40, 80, 160),
+    *,
+    elements_per_segment: int = 25,
+    n_tags: int = 8,
+    repeat: int = 3,
+) -> Sweep:
+    """Fig. 16: time to insert one mid-document segment vs document size.
+
+    Documents grow by segment count (so total elements = count × per-seg);
+    the insertion point sits mid-document, making roughly half the elements
+    shift — the paper's average case.  Compares LD against the traditional
+    interval-relabeling index.
+    """
+    sweep = Sweep("doc_elements")
+    tags = tag_pool(n_tags)
+    probe = generate_uniform_fragment(elements_per_segment, tags)
+    for count in doc_segment_counts:
+        db = LazyXMLDatabase(keep_text=False)
+        sids = build_uniform_segments(
+            db,
+            count,
+            "flat",
+            elements_per_segment=elements_per_segment,
+            n_tags=n_tags,
+        )
+        mid_sid = sids[len(sids) // 2]
+
+        def lazy_insert() -> None:
+            insert_under(db, mid_sid, probe, tags[0])
+
+        t_lazy = measure(lazy_insert, repeat=repeat)
+
+        trad = IntervalLabelingIndex()
+        fragment = generate_uniform_fragment(elements_per_segment, tags)
+        whole = (
+            "<root>" + fragment * count + "</root>"
+        )
+        trad.insert_fragment(whole, 0)
+        mid_position = len("<root>") + (count // 2) * len(fragment) + len(tags[0]) + 2
+
+        def traditional_insert() -> None:
+            trad.insert_fragment(probe, mid_position)
+
+        t_trad = measure(traditional_insert, repeat=repeat)
+        sweep.add(
+            count * elements_per_segment,
+            lazy_ms=t_lazy * _MS,
+            traditional_ms=t_trad * _MS,
+        )
+    return sweep
+
+
+# ----------------------------------------------------------------------
+# Fig. 17 — per-element insertion time: LD/LS vs PRIME
+
+
+def _prime_per_element(
+    n_elements: int, *, group_size: int, base_nodes: int, repeat: int
+) -> float:
+    """Seconds per element for PRIME insertion mid-document."""
+    labeling = PrimeLabeling(group_size=group_size, capacity=base_nodes * 4)
+    root = labeling.insert(None)
+    for _ in range(base_nodes - 1):
+        labeling.insert(root)
+    mid = len(labeling) // 2
+
+    def run() -> None:
+        for _ in range(n_elements):
+            labeling.insert(root, order_index=mid)
+
+    return measure(run, repeat=repeat) / n_elements
+
+
+def _lazy_per_element(
+    db: LazyXMLDatabase,
+    mid_sid: int,
+    fragment: str,
+    root_tag: str,
+    n_elements: int,
+    repeat: int,
+) -> float:
+    """Seconds per element for inserting one segment into a lazy database."""
+
+    def run() -> None:
+        insert_under(db, mid_sid, fragment, root_tag)
+
+    return measure(run, repeat=repeat) / n_elements
+
+
+def fig17_element_insert(
+    *,
+    element_counts: tuple[int, ...] = (10, 20, 40, 80, 160),
+    tag_counts: tuple[int, ...] = (2, 4, 8, 16, 32),
+    segment_counts: tuple[int, ...] = (25, 50, 100, 200),
+    shape: str = "balanced",
+    n_segments: int = 100,
+    prime_groups: tuple[int, ...] = (10, 50),
+    prime_base_nodes: int = 1000,
+    repeat: int = 3,
+) -> dict[str, Sweep]:
+    """Fig. 17(a–c): per-element insertion time for LD, LS and PRIME.
+
+    Returns sweeps keyed ``"elements"``, ``"tags"``, ``"segments"``.
+    LD/LS insert one segment and divide by its element count; PRIME inserts
+    elements one by one into a pre-populated labeling (its per-element cost
+    is what the scheme defines).
+    """
+    tags = tag_pool(8)
+    results: dict[str, Sweep] = {}
+
+    def fresh_pair() -> tuple[LazyXMLDatabase, int, LazyXMLDatabase, int]:
+        ld = LazyXMLDatabase(keep_text=False)
+        ld_sids = build_uniform_segments(ld, n_segments, shape, n_tags=8)
+        ls = LazyXMLDatabase(mode="static", keep_text=False)
+        ls_sids = build_uniform_segments(ls, n_segments, shape, n_tags=8)
+        return ld, ld_sids[len(ld_sids) // 2], ls, ls_sids[len(ls_sids) // 2]
+
+    # (a) sweep elements per inserted segment
+    sweep_a = Sweep("elements_per_segment")
+    ld, ld_mid, ls, ls_mid = fresh_pair()
+    for n in element_counts:
+        fragment = generate_uniform_fragment(n, tags)
+        values = {
+            "ld_us": _lazy_per_element(ld, ld_mid, fragment, tags[0], n, repeat) * 1e6,
+            "ls_us": _lazy_per_element(ls, ls_mid, fragment, tags[0], n, repeat) * 1e6,
+        }
+        for k in prime_groups:
+            values[f"prime_k{k}_us"] = (
+                _prime_per_element(
+                    n, group_size=k, base_nodes=prime_base_nodes, repeat=repeat
+                )
+                * 1e6
+            )
+        sweep_a.add(n, **values)
+    results["elements"] = sweep_a
+
+    # (b) sweep distinct tag names per inserted segment (element count fixed)
+    sweep_b = Sweep("distinct_tags")
+    fixed_elements = max(tag_counts) * 2
+    ld, ld_mid, ls, ls_mid = fresh_pair()
+    prime_values = {
+        f"prime_k{k}_us": _prime_per_element(
+            fixed_elements, group_size=k, base_nodes=prime_base_nodes, repeat=repeat
+        )
+        * 1e6
+        for k in prime_groups
+    }
+    for m in tag_counts:
+        fragment = generate_uniform_fragment(fixed_elements, tag_pool(m, prefix="u"))
+        values = {
+            "ld_us": _lazy_per_element(
+                ld, ld_mid, fragment, f"u0", fixed_elements, repeat
+            )
+            * 1e6,
+            "ls_us": _lazy_per_element(
+                ls, ls_mid, fragment, f"u0", fixed_elements, repeat
+            )
+            * 1e6,
+        }
+        values.update(prime_values)  # PRIME is tag-agnostic: flat line
+        sweep_b.add(m, **values)
+    results["tags"] = sweep_b
+
+    # (c) sweep the number of segments already in the database
+    sweep_c = Sweep("segments")
+    probe_elements = 40
+    probe = generate_uniform_fragment(probe_elements, tags)
+    for count in segment_counts:
+        ld = LazyXMLDatabase(keep_text=False)
+        ld_sids = build_uniform_segments(ld, count, shape, n_tags=8)
+        ls = LazyXMLDatabase(mode="static", keep_text=False)
+        ls_sids = build_uniform_segments(ls, count, shape, n_tags=8)
+        sweep_c.add(
+            count,
+            ld_us=_lazy_per_element(
+                ld, ld_sids[len(ld_sids) // 2], probe, tags[0], probe_elements, repeat
+            )
+            * 1e6,
+            ls_us=_lazy_per_element(
+                ls, ls_sids[len(ls_sids) // 2], probe, tags[0], probe_elements, repeat
+            )
+            * 1e6,
+        )
+    results["segments"] = sweep_c
+    return results
+
+
+# ----------------------------------------------------------------------
+# Ablations (DESIGN.md E9/E10)
+
+
+def ablation_push_optimizations(
+    n_segments: int = 50,
+    shape: str = "nested",
+    *,
+    fraction: float = 0.8,
+    repeat: int = 3,
+) -> Table:
+    """E9: effect of the two Fig. 9 stack optimizations on join time."""
+    config = sweep_configs(n_segments, shape, [fraction])[0]
+    db = LazyXMLDatabase(keep_text=False)
+    build_join_mix(db, config)
+    table = Table(
+        "Ablation — Lazy-Join stack optimizations",
+        ["optimize_push", "trim_top", "join_ms", "elements_pushed"],
+    )
+    for optimize_push in (True, False):
+        for trim_top in (True, False):
+            stats = JoinStatistics()
+            db.structural_join(
+                "a", "d", optimize_push=optimize_push, trim_top=trim_top, stats=stats
+            )
+            elapsed = measure(
+                lambda: db.structural_join(
+                    "a", "d", optimize_push=optimize_push, trim_top=trim_top
+                ),
+                repeat=repeat,
+            )
+            table.add_row(
+                [optimize_push, trim_top, elapsed * _MS, stats.elements_pushed]
+            )
+    return table
+
+
+def ablation_branch_strategy(
+    n_segments: int = 120,
+    *,
+    fraction: float = 1.0,
+    repeat: int = 3,
+) -> Table:
+    """E10: stored tag-list paths vs recomputing branch positions.
+
+    Deep nested chains make the difference visible: ``walk`` pays O(depth)
+    per stack frame, the stored-path strategy O(log N).
+    """
+    config = sweep_configs(n_segments, "nested", [fraction])[0]
+    db = LazyXMLDatabase(keep_text=False)
+    build_join_mix(db, config)
+    table = Table(
+        "Ablation — branch position strategy", ["strategy", "join_ms"]
+    )
+    for strategy in ("path", "bisect", "walk"):
+        elapsed = measure(
+            lambda: db.structural_join("a", "d", branch_strategy=strategy),
+            repeat=repeat,
+        )
+        table.add_row([strategy, elapsed * _MS])
+    return table

@@ -1,0 +1,9 @@
+"""In-memory B+-tree substrate.
+
+Provides :class:`~repro.btree.bptree.BPlusTree`, the ordered-map structure
+backing both the SB-tree of the update log and the element index.
+"""
+
+from repro.btree.bptree import BPlusTree
+
+__all__ = ["BPlusTree"]

@@ -1,0 +1,399 @@
+"""`LazyXMLDatabase` — the user-facing facade over the whole system.
+
+Ties together the paper's pieces end to end:
+
+- text-level updates: :meth:`LazyXMLDatabase.insert` / :meth:`remove` take an
+  XML fragment / a ``(position, length)`` span, exactly the interface Section
+  3.3 assumes ("only the start location ... and the length ... are available
+  to us"), and keep the update log and element index consistent;
+- queries: :meth:`structural_join` runs Lazy-Join (``algorithm="lazy"``),
+  Stack-Tree-Desc over derived global labels (``"std"``), or the merge
+  baseline (``"merge"``);
+- global-position reconstruction: element labels are local and immutable, but
+  global spans are always derivable from the ER-tree (:meth:`global_span`) —
+  the core invariant of the lazy approach.
+
+The database optionally mirrors the super document *text* (``keep_text``),
+which the benchmarks disable (the paper measures index maintenance, not file
+I/O) and the test suite uses as ground truth: reparsing the mirrored text
+must agree with every index-derived answer.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from repro.core.element_index import ElementIndex, ElementRecord
+from repro.core.ertree import ERNode, RemovalReport
+from repro.core.join import JoinPair, JoinStatistics, LazyJoiner
+from repro.core.segment import DUMMY_ROOT_SID
+from repro.core.update_log import InsertReceipt, LogStats, UpdateLog
+from repro.errors import InvalidSegmentError, QueryError, XMLSyntaxError
+from repro.joins.merge_join import merge_containment_join
+from repro.joins.stack_tree import AXIS_DESCENDANT, stack_tree_desc
+from repro.xml.parser import parse_fragment
+
+__all__ = ["LazyXMLDatabase", "GlobalElement", "RemovalOutcome"]
+
+_ALGORITHMS = ("lazy", "std", "merge")
+
+
+class GlobalElement(NamedTuple):
+    """An element with derived global span, as the STD baseline consumes it.
+
+    ``record`` preserves the element's identity ``(sid, start)`` so results
+    can be compared across algorithms.
+    """
+
+    start: int
+    end: int
+    level: int
+    record: ElementRecord
+
+
+@dataclass
+class RemovalOutcome:
+    """What a text-span removal did to the database."""
+
+    report: RemovalReport
+    elements_removed: int
+
+
+class LazyXMLDatabase:
+    """An updatable XML database with lazy (segment-local) element labels.
+
+    Parameters
+    ----------
+    mode:
+        ``"dynamic"`` (LD — update log fully maintained per update) or
+        ``"static"`` (LS — tag-list sorting and SB-tree build deferred to
+        :meth:`prepare_for_query`).
+    keep_text:
+        Mirror the super-document text in memory.  Needed for
+        ``validate="full"`` and for the test-suite ground truth; benchmarks
+        switch it off.
+    """
+
+    def __init__(self, mode: str = "dynamic", *, keep_text: bool = True):
+        self.log = UpdateLog(mode=mode)
+        self.index = ElementIndex()
+        self._joiner = LazyJoiner(self.log, self.index)
+        self._keep_text = keep_text
+        self._text: str = ""
+        # Per-segment parsed element records (tid, start, end, abs level),
+        # sorted by start — the database's cached parse of each segment,
+        # used for insertion-depth computation and removal maintenance.
+        self._segment_elements: dict[int, list[tuple[int, int, int, int]]] = {}
+
+    # ------------------------------------------------------------------
+    # properties
+
+    @property
+    def mode(self) -> str:
+        """``"dynamic"`` (LD) or ``"static"`` (LS)."""
+        return self.log.mode
+
+    @property
+    def text(self) -> str:
+        """The mirrored super-document text (requires ``keep_text``)."""
+        if not self._keep_text:
+            raise QueryError("database was created with keep_text=False")
+        return self._text
+
+    @property
+    def document_length(self) -> int:
+        """Super-document length in characters."""
+        return self.log.document_length
+
+    @property
+    def segment_count(self) -> int:
+        """Number of live segments (dummy root excluded)."""
+        return self.log.segment_count
+
+    @property
+    def element_count(self) -> int:
+        """Number of element records in the element index."""
+        return len(self.index)
+
+    def stats(self) -> LogStats:
+        """Update-log size snapshot (Fig. 11(a) series)."""
+        return self.log.stats()
+
+    # ------------------------------------------------------------------
+    # updates
+
+    def insert(
+        self, fragment: str, position: int | None = None, *, validate: str = "fragment"
+    ) -> InsertReceipt:
+        """Insert a well-formed XML ``fragment`` at character ``position``.
+
+        ``position`` defaults to the end of the super document (appending a
+        new top-level document, the DBLP-style batch-update case).
+
+        ``validate`` is ``"fragment"`` (parse the fragment only — the
+        paper's assumption that segments are valid) or ``"full"`` (also
+        re-parse the whole mirrored text afterwards; requires ``keep_text``).
+
+        Returns the :class:`~repro.core.update_log.InsertReceipt` with the
+        new segment's sid, path and local position.
+        """
+        if position is None:
+            position = self.log.document_length
+        document = parse_fragment(fragment)
+        if validate == "full":
+            if not self._keep_text:
+                raise QueryError('validate="full" requires keep_text=True')
+            self._validate_splice(fragment, position)
+        parent = self.log.ertree.innermost_segment(position)
+        base_level = self._depth_at(parent, position)
+
+        tag_counts: Counter = Counter(e.tag for e in document.elements)
+        receipt = self.log.insert_segment(position, len(fragment), tag_counts)
+        records = [
+            (self.log.tags.intern(e.tag), e.start, e.end, e.level)
+            for e in document.elements
+        ]
+        self.index.insert_segment(receipt.sid, records, base_level)
+        self._segment_elements[receipt.sid] = [
+            (tid, start, end, base_level + level)
+            for tid, start, end, level in records
+        ]
+        if self._keep_text:
+            self._text = self._text[:position] + fragment + self._text[position:]
+        return receipt
+
+    def _validate_splice(self, fragment: str, position: int) -> None:
+        """Reject an insertion that would leave the super document malformed.
+
+        Parses the would-be text before any structure is touched, so a
+        failed full validation leaves the database unchanged.
+        """
+        candidate = self._text[:position] + fragment + self._text[position:]
+        try:
+            parse_fragment(f"<__dummy_root__>{candidate}</__dummy_root__>")
+        except XMLSyntaxError as exc:
+            raise InvalidSegmentError(
+                f"insertion at {position} would produce malformed XML: {exc}"
+            ) from exc
+
+    def _depth_at(self, parent: ERNode, position: int) -> int:
+        """Absolute depth of the innermost element containing ``position``.
+
+        ``parent`` is the deepest segment whose span contains the position.
+        The innermost containing element usually belongs to it; when the
+        position falls in a region of the parent outside its root element
+        (prolog/trailing material), the walk continues up the ancestor
+        chain.  Returns 0 when no element contains the position (top-level
+        insertion under the dummy root).
+        """
+        node: ERNode | None = parent
+        while node is not None and node.sid != DUMMY_ROOT_SID:
+            local = node.to_local(position)
+            best = 0
+            for _tid, start, end, level in self._segment_elements[node.sid]:
+                if start >= local:
+                    break
+                if local < end and level > best:
+                    best = level
+            if best:
+                return best
+            node = node.parent
+        return 0
+
+    def remove(self, position: int, length: int) -> RemovalOutcome:
+        """Remove ``length`` characters starting at ``position``.
+
+        Runs Fig. 7 on the update log, deletes the affected element records
+        (whole segments and partially-removed local ranges), and folds the
+        per-(tid, sid) removal counts back into the tag-list — the exact
+        maintenance ordering Section 3.3 prescribes.
+        """
+        report = self.log.remove_span(position, length)
+        per_segment_counts: dict[int, Counter] = {}
+        removed_elements = 0
+        for sid in report.removed_sids:
+            if sid == DUMMY_ROOT_SID:
+                continue
+            tids = {tid for tid, *_ in self._segment_elements.get(sid, ())}
+            counts = self.index.remove_segment(sid, tids)
+            per_segment_counts[sid] = counts
+            removed_elements += sum(counts.values())
+            self._segment_elements.pop(sid, None)
+        for partial in report.partials:
+            if partial.sid == DUMMY_ROOT_SID:
+                continue
+            records = self._segment_elements.get(partial.sid, [])
+            tids = {tid for tid, *_ in records}
+            counts = self.index.remove_local_range(
+                partial.sid, partial.local_start, partial.local_end, tids
+            )
+            per_segment_counts[partial.sid] = counts
+            removed_elements += sum(counts.values())
+            self._segment_elements[partial.sid] = [
+                rec
+                for rec in records
+                if not (
+                    rec[1] >= partial.local_start and rec[2] <= partial.local_end
+                )
+            ]
+        self.log.apply_removal_counts(per_segment_counts, report)
+        if self._keep_text:
+            self._text = self._text[:position] + self._text[position + length :]
+        return RemovalOutcome(report=report, elements_removed=removed_elements)
+
+    def remove_segment(self, sid: int) -> RemovalOutcome:
+        """Remove exactly the span segment ``sid`` currently occupies."""
+        node = self.log.node(sid)
+        return self.remove(node.gp, node.length)
+
+    def prepare_for_query(self) -> None:
+        """Finalize deferred LS-mode maintenance; no-op beyond that in LD."""
+        self.log.prepare_for_query()
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def structural_join(
+        self,
+        tag_a: str,
+        tag_d: str,
+        axis: str = AXIS_DESCENDANT,
+        *,
+        algorithm: str = "lazy",
+        stats: JoinStatistics | None = None,
+        **lazy_options,
+    ) -> list[JoinPair]:
+        """Answer ``tag_a // tag_d`` (or ``/`` with ``axis="child"``).
+
+        ``algorithm`` selects Lazy-Join (``"lazy"``), Stack-Tree-Desc over
+        derived global labels (``"std"``), or the merge baseline
+        (``"merge"``).  All three return the same pairs of
+        :class:`~repro.core.element_index.ElementRecord`; ordering differs
+        (lazy: by descendant segment; std: by global descendant position;
+        merge: by global ancestor position).
+        """
+        if algorithm == "lazy":
+            return self._joiner.join(tag_a, tag_d, axis, stats=stats, **lazy_options)
+        if algorithm not in _ALGORITHMS:
+            raise QueryError(
+                f"algorithm must be one of {_ALGORITHMS}, got {algorithm!r}"
+            )
+        if not self.log.query_ready:
+            raise QueryError(
+                "update log is not query-ready; call prepare_for_query()"
+            )
+        a_globals = self.global_elements(tag_a)
+        d_globals = self.global_elements(tag_d)
+        if algorithm == "std":
+            pairs = stack_tree_desc(a_globals, d_globals, axis=axis)
+        else:
+            pairs = merge_containment_join(a_globals, d_globals, axis=axis)
+        return [(a.record, d.record) for a, d in pairs]
+
+    def global_elements(self, tag: str) -> list[GlobalElement]:
+        """All elements of ``tag`` with derived global spans, sorted by start.
+
+        This is the materialization step the paper describes for running
+        traditional join algorithms on top of the lazy store: fetch each
+        element's segment from the SB-tree and shift its local span by the
+        segment's global position and child-segment lengths.
+        """
+        tid = self.log.tags.tid_of(tag)
+        if tid is None:
+            return []
+        out: list[GlobalElement] = []
+        node_cache: dict[int, ERNode] = {}
+        for record in self.index.all_elements(tid):
+            node = node_cache.get(record.sid)
+            if node is None:
+                node = self.log.sbtree.lookup(record.sid)
+                node_cache[record.sid] = node
+            gstart = node.to_global(record.start)
+            gend = node.to_global(record.end, count_ties=False)
+            out.append(GlobalElement(gstart, gend, record.level, record))
+        out.sort(key=lambda e: e.start)
+        return out
+
+    def global_span(self, record: ElementRecord) -> tuple[int, int]:
+        """Derive the current global ``(start, end)`` of one element."""
+        node = self.log.sbtree.lookup(record.sid)
+        return (
+            node.to_global(record.start),
+            node.to_global(record.end, count_ties=False),
+        )
+
+    def path_query(self, expression: str, *, bindings: bool = False):
+        """Evaluate a path expression (``"person//profile/interest"``).
+
+        See :func:`repro.core.query.evaluate_path`; one Lazy-Join per step.
+        """
+        from repro.core.query import evaluate_path
+
+        return evaluate_path(self, expression, bindings=bindings)
+
+    # ------------------------------------------------------------------
+    # maintenance
+
+    def repack(self, sid: int):
+        """Collapse segment ``sid``'s subtree into one fresh segment.
+
+        See :func:`repro.core.maintenance.repack_segment`.  Re-labels the
+        affected elements; previously obtained records for them are invalid.
+        """
+        from repro.core.maintenance import repack_segment
+
+        return repack_segment(self, sid)
+
+    def compact(self):
+        """Rebuild the index: one segment per top-level document.
+
+        See :func:`repro.core.maintenance.compact_database` — the paper's
+        "maintenance hours" update-log reset.
+        """
+        from repro.core.maintenance import compact_database
+
+        return compact_database(self)
+
+    # ------------------------------------------------------------------
+    # verification helpers (used heavily by the test suite)
+
+    def check_invariants(self) -> None:
+        """Cross-structure consistency, including the text mirror if kept."""
+        self.log.check_invariants()
+        self.index.check_invariants()
+        if self._keep_text:
+            assert len(self._text) == self.log.document_length, (
+                "text mirror and ER-tree disagree on document length"
+            )
+
+    def oracle_join(
+        self, tag_a: str, tag_d: str, axis: str = AXIS_DESCENDANT
+    ) -> list[tuple[tuple[int, int], tuple[int, int]]]:
+        """Ground-truth join computed by re-parsing the mirrored text.
+
+        Returns global-span pairs; compare against
+        ``[(global_span(a), global_span(d)) for a, d in structural_join(...)]``.
+        Requires ``keep_text``.
+        """
+        text = self.text
+        if not text.strip():
+            return []
+        wrapper = f"<__dummy_root__>{text}</__dummy_root__>"
+        document = parse_fragment(wrapper)
+        shift = len("<__dummy_root__>")
+        pairs: list[tuple[tuple[int, int], tuple[int, int]]] = []
+        for anc in document.elements:
+            if anc.tag != tag_a:
+                continue
+            targets = anc.descendants() if axis == AXIS_DESCENDANT else anc.children
+            for desc in targets:
+                if desc.tag == tag_d:
+                    pairs.append(
+                        (
+                            (anc.start - shift, anc.end - shift),
+                            (desc.start - shift, desc.end - shift),
+                        )
+                    )
+        return pairs

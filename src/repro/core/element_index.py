@@ -1,0 +1,161 @@
+"""The element index of Section 3.4.
+
+A B+-tree whose keys are ``(tid, sid, start, end, level)``:
+
+- ``tid`` — tag id;
+- ``sid`` — the segment the element arrived in;
+- ``start``/``end`` — the element's *local* span inside that segment's
+  original text (end-exclusive here; the containment tests are unaffected);
+- ``level`` — the element's absolute depth in the super document.
+
+``(sid, start)`` uniquely identifies an element, and — the whole point of
+the lazy scheme — no existing key is ever rewritten by an update: insertions
+only add keys, removals only delete keys.
+
+The key order makes "all elements of tag *t* in segment *s*" one contiguous
+leaf scan, which is the access pattern Lazy-Join's cost model charges as
+``log(NE) + p_A``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator
+from typing import NamedTuple
+
+from repro.btree import BPlusTree
+
+__all__ = ["ElementRecord", "ElementIndex"]
+
+_ORDER = 64
+
+
+class ElementRecord(NamedTuple):
+    """An element as the index sees it: local span plus absolute level."""
+
+    sid: int
+    start: int
+    end: int
+    level: int
+
+
+class ElementIndex:
+    """B+-tree element index with per-removal occurrence accounting."""
+
+    def __init__(self, order: int = _ORDER):
+        self._tree = BPlusTree(order=order)
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    # ------------------------------------------------------------------
+    # insertion
+
+    def insert_segment(
+        self,
+        sid: int,
+        records: Iterable[tuple[int, int, int, int]],
+        base_level: int = 0,
+    ) -> Counter:
+        """Add a freshly inserted segment's elements.
+
+        ``records`` are ``(tid, start, end, level)`` tuples with segment-local
+        spans and 1-based in-segment levels; ``base_level`` is the absolute
+        depth of the insertion point, so stored levels are absolute.
+
+        Returns the per-tid occurrence counts, which the caller feeds into
+        the tag-list.
+        """
+        counts: Counter = Counter()
+        for tid, start, end, level in records:
+            self._tree.insert((tid, sid, start, end, base_level + level), None)
+            counts[tid] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # lookups
+
+    def elements(self, tid: int, sid: int) -> Iterator[ElementRecord]:
+        """Elements of tag ``tid`` in segment ``sid``, ascending by start."""
+        for key, _ in self._tree.range((tid, sid), (tid, sid + 1)):
+            _, _, start, end, level = key
+            yield ElementRecord(sid, start, end, level)
+
+    def elements_list(self, tid: int, sid: int) -> list[ElementRecord]:
+        """:meth:`elements`, materialized."""
+        return list(self.elements(tid, sid))
+
+    def all_elements(self, tid: int) -> Iterator[ElementRecord]:
+        """Every element of tag ``tid`` across all segments.
+
+        Ordered by ``(sid, start)`` — the STD baseline re-sorts these by
+        derived global position before joining.
+        """
+        for key, _ in self._tree.range((tid,), (tid + 1,)):
+            _, sid, start, end, level = key
+            yield ElementRecord(sid, start, end, level)
+
+    def count(self, tid: int, sid: int) -> int:
+        """Number of ``tid`` elements recorded for segment ``sid``."""
+        return self._tree.count_range((tid, sid), (tid, sid + 1))
+
+    def has_segment_tag(self, tid: int, sid: int) -> bool:
+        """True when segment ``sid`` holds at least one ``tid`` element."""
+        return next(iter(self._tree.range((tid, sid), (tid, sid + 1))), None) is not None
+
+    # ------------------------------------------------------------------
+    # removal
+
+    def remove_segment(self, sid: int, tids: Iterable[int]) -> Counter:
+        """Delete every record of segment ``sid`` for the given tag ids.
+
+        Returns per-tid removal counts — the bookkeeping Section 3.4 calls
+        out as needed to decide tag-list path removal.  ``tids`` comes from
+        the tag-list (the segment's recorded tags); tags not actually present
+        contribute zero and are harmless.
+        """
+        counts: Counter = Counter()
+        for tid in tids:
+            keys = [key for key, _ in self._tree.range((tid, sid), (tid, sid + 1))]
+            for key in keys:
+                self._tree.delete(key)
+            if keys:
+                counts[tid] = len(keys)
+        return counts
+
+    def remove_local_range(
+        self, sid: int, local_start: int, local_end: int, tids: Iterable[int]
+    ) -> Counter:
+        """Delete records of ``sid`` lying entirely inside a local interval.
+
+        Used for partially affected segments in a removal: an element whose
+        ``[start, end)`` span falls within ``[local_start, local_end)`` was
+        textually removed.  Elements that merely *contain* the removed
+        interval survive (their labels stay order-consistent).  Returns
+        per-tid removal counts.
+        """
+        counts: Counter = Counter()
+        for tid in tids:
+            doomed = []
+            for key, _ in self._tree.range(
+                (tid, sid, local_start), (tid, sid, local_end)
+            ):
+                _, _, _, end, _ = key
+                if end <= local_end:
+                    doomed.append(key)
+            for key in doomed:
+                self._tree.delete(key)
+            if doomed:
+                counts[tid] = len(doomed)
+        return counts
+
+    # ------------------------------------------------------------------
+    # accounting
+
+    def approximate_bytes(self) -> int:
+        """Estimated in-memory size of the index."""
+        return self._tree.approximate_bytes()
+
+    def check_invariants(self) -> None:
+        """Delegate structural checking to the underlying B+-tree."""
+        self._tree.check_invariants()

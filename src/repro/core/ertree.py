@@ -1,0 +1,555 @@
+"""The ER-tree (sEgment-Relationship tree) and the Fig. 5/7 update algorithms.
+
+The ER-tree is the leaf level of the SB-tree: one node per segment, children
+ordered by global position, the dummy root (sid 0) spanning the whole super
+document.  All updates are expressed on it in the paper's terms — an
+insertion or removal is just a ``(global position, length)`` pair.
+
+Two deliberate deviations from the paper's pseudocode, both forced by text
+editing semantics (discussed in DESIGN.md):
+
+1. **Shift conditions are inclusive.**  Fig. 5 shifts nodes with
+   ``m.gp > new.gp``; inserting *at* an existing segment's first character
+   must shift that segment too, so we shift ``m.gp >= new.gp``.  Symmetrically
+   for removal (``m.gp >= seg.gp + seg.l``).
+2. **Removal recursion runs before the global shift.**  Fig. 7 shifts global
+   positions first and then classifies children against the removed span; a
+   segment that started *after* the removed span would, post-shift, appear to
+   overlap it and be misclassified.  Running the case analysis on pre-shift
+   coordinates and shifting afterwards preserves the intended semantics.
+
+Removal also produces a :class:`RemovalReport` — the bookkeeping Section 3.3
+requires so the element index and tag-list can be fixed up afterwards: every
+fully deleted segment, and for every partially affected segment the removed
+interval in that segment's *local* coordinate space.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.core.segment import DUMMY_ROOT_SID, SpanRelation, relate
+from repro.errors import InvalidSegmentError, SegmentNotFoundError
+
+__all__ = ["ERNode", "ERTree", "RemovalReport", "PartialRemoval"]
+
+
+class ERNode:
+    """One segment in the ER-tree.
+
+    Attributes mirror the SB-tree leaf record of Fig. 2: global position
+    ``gp``, current ``length``, immutable local position ``lp``, parent
+    pointer and children sorted ascending by ``gp``.  ``path`` is the tuple
+    of sids from the dummy root down to this node (inclusive) — exactly what
+    the tag-list stores; it is immutable because insertion always adds a leaf
+    and deletion never re-parents survivors.
+    """
+
+    __slots__ = ("sid", "gp", "length", "lp", "parent", "children", "path", "_tombstones")
+
+    def __init__(
+        self,
+        sid: int,
+        gp: int,
+        length: int,
+        lp: int,
+        parent: "ERNode | None",
+    ):
+        self.sid = sid
+        self.gp = gp
+        self.length = length
+        self.lp = lp
+        self.parent = parent
+        self.children: list[ERNode] = []
+        self._tombstones: list[tuple[int, int]] = []
+        if parent is None:
+            self.path: tuple[int, ...] = (sid,)
+        else:
+            self.path = parent.path + (sid,)
+
+    @property
+    def end(self) -> int:
+        """One past the segment's last character: ``gp + length``."""
+        return self.gp + self.length
+
+    @property
+    def depth(self) -> int:
+        """Number of ancestor segments (0 for the dummy root)."""
+        return len(self.path) - 1
+
+    def contains_span(self, gp: int, length: int) -> bool:
+        """True when ``[gp, gp+length)`` lies inside this segment's span.
+
+        Non-strict (sharing endpoints allowed): used for descending during
+        removal, where the removed span may coincide with the segment.
+        """
+        return self.gp <= gp and gp + length <= self.end
+
+    def child_local_positions(self) -> list[int]:
+        """The ``lp`` of each child, in child order."""
+        return [child.lp for child in self.children]
+
+    def iter_subtree(self) -> Iterator["ERNode"]:
+        """Pre-order iteration over this node and all descendants."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    # ------------------------------------------------------------------
+    # virtual ↔ actual coordinate mapping
+    #
+    # Element labels (and child ``lp`` values) live in the segment's
+    # *virtual* local space: offsets into its original text, never rewritten
+    # by updates — the paper's immutability guarantee.  Partial removals
+    # punch holes into that text; the holes are remembered as *tombstones*
+    # (disjoint, sorted virtual intervals), which is what keeps the mapping
+    # between immutable labels and actual text offsets exact.  The paper
+    # leaves this reconstruction unspecified; DESIGN.md discusses it.
+
+    def tombstones(self) -> list[tuple[int, int]]:
+        """Removed virtual intervals of this segment's own text (sorted)."""
+        return list(self._tombstones)
+
+    def _removed_before(self, virtual: int) -> int:
+        """Virtual characters removed strictly before offset ``virtual``."""
+        removed = 0
+        for t_start, t_end in self._tombstones:
+            if t_start >= virtual:
+                break
+            removed += min(t_end, virtual) - t_start
+        return removed
+
+    def _add_tombstone(self, start: int, end: int) -> None:
+        """Record the virtual interval [start, end) as removed (merging)."""
+        if start >= end:
+            return
+        merged: list[tuple[int, int]] = []
+        placed = False
+        for t_start, t_end in self._tombstones:
+            if t_end < start or t_start > end:
+                if not placed and t_start > end:
+                    merged.append((start, end))
+                    placed = True
+                merged.append((t_start, t_end))
+            else:
+                start = min(start, t_start)
+                end = max(end, t_end)
+        if not placed:
+            merged.append((start, end))
+            merged.sort()
+        self._tombstones = merged
+
+    def to_local(self, gp: int) -> int:
+        """Map an actual global offset inside this segment to virtual local.
+
+        Virtual local coordinates index the segment's *original* text:
+        characters contributed by descendant segments do not count, and
+        characters deleted by partial removals still do.  An offset that
+        falls strictly inside a child segment maps to that child's insertion
+        point (``child.lp``); an offset at a removed hole maps to the hole's
+        virtual start (the minimal preimage).
+        """
+        if not (self.gp <= gp <= self.end):
+            raise InvalidSegmentError(
+                f"offset {gp} outside segment {self.sid} span "
+                f"[{self.gp}, {self.end})"
+            )
+        actual = self.gp  # actual offset reached so far
+        virtual = 0
+        events = self._events()
+        for position, kind, size in events:
+            # Own characters between `virtual` and this event.
+            available = position - virtual
+            if actual + available >= gp:
+                return virtual + (gp - actual)
+            actual += available
+            virtual = position
+            if kind == "child":
+                if actual + size > gp:
+                    # Strictly inside the child: collapse to its lp.
+                    return virtual
+                actual += size
+            else:  # tombstone: consumes virtual space, no actual characters
+                virtual += size
+        return virtual + (gp - actual)
+
+    def to_global(self, local: int, *, count_ties: bool = True) -> int:
+        """Map a virtual local coordinate back to an actual global offset.
+
+        Shifts the virtual offset right by the length of every child
+        segment inserted before it and left by every tombstone before it.
+
+        ``count_ties`` decides children inserted exactly *at* ``local``:
+        with ``True`` (the default) their text precedes the position — the
+        right reading when ``local`` addresses the character at that offset
+        (element starts).  With ``False`` they follow it — the right reading
+        for end-exclusive element *end* offsets, where a child inserted at
+        the element's one-past-the-end position lies outside the element.
+
+        Child lps are ascending in child order but not strictly (several
+        children may share an insertion point), so the scan cannot break
+        early on equality when ties are excluded.
+        """
+        if not (0 <= local <= self.virtual_own_length()):
+            raise InvalidSegmentError(
+                f"local offset {local} outside segment {self.sid} "
+                f"(virtual own length {self.virtual_own_length()})"
+            )
+        offset = local - self._removed_before(local)
+        for child in self.children:
+            if child.lp < local or (count_ties and child.lp == local):
+                offset += child.length
+            elif child.lp > local:
+                break
+        return self.gp + offset
+
+    def _events(self) -> list[tuple[int, str, int]]:
+        """Children and tombstones merged by virtual position.
+
+        Children sort before a tombstone starting at the same virtual
+        offset, mirroring ``to_global``'s reading that a child inserted at
+        ``v`` precedes the (removed) character at ``v``.
+        """
+        events = [(child.lp, "child", child.length) for child in self.children]
+        events += [(t_start, "tomb", t_end - t_start) for t_start, t_end in self._tombstones]
+        events.sort(key=lambda e: (e[0], e[1]))  # "child" < "tomb"
+        return events
+
+    def _own_length(self) -> int:
+        """Actual length of this segment's own text (children excluded)."""
+        return self.length - sum(child.length for child in self.children)
+
+    def virtual_own_length(self) -> int:
+        """Own length in virtual coordinates (tombstoned characters count)."""
+        return self._own_length() + sum(
+            t_end - t_start for t_start, t_end in self._tombstones
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ERNode(sid={self.sid}, gp={self.gp}, length={self.length}, "
+            f"lp={self.lp}, children={len(self.children)})"
+        )
+
+
+@dataclass
+class PartialRemoval:
+    """A segment that survived a removal but lost some of its own characters.
+
+    ``local_start``/``local_end`` bound the removed interval in the segment's
+    local coordinate space (end-exclusive); element records of this segment
+    falling entirely inside the interval must leave the element index.
+    """
+
+    sid: int
+    local_start: int
+    local_end: int
+
+
+@dataclass
+class RemovalReport:
+    """Outcome of a span removal, for element-index/tag-list maintenance."""
+
+    removed_sids: list[int] = field(default_factory=list)
+    partials: list[PartialRemoval] = field(default_factory=list)
+
+    def affected_sids(self) -> list[int]:
+        """Every segment that needs element-index attention."""
+        return self.removed_sids + [p.sid for p in self.partials]
+
+
+class ERTree:
+    """The segment-relationship tree plus the paper's update algorithms.
+
+    Node lifecycle events are reported through two optional callbacks
+    (``on_add``, ``on_remove``) so the owning :class:`~repro.core.update_log.
+    UpdateLog` can keep the SB-tree's B+-tree level in sync without this
+    class knowing about it.
+    """
+
+    def __init__(self, on_add=None, on_remove=None):
+        self.root = ERNode(DUMMY_ROOT_SID, gp=0, length=0, lp=0, parent=None)
+        self._nodes: dict[int, ERNode] = {DUMMY_ROOT_SID: self.root}
+        self._next_sid = DUMMY_ROOT_SID + 1
+        self._on_add = on_add
+        self._on_remove = on_remove
+
+    # ------------------------------------------------------------------
+    # accessors
+
+    def __len__(self) -> int:
+        """Number of segments, dummy root included."""
+        return len(self._nodes)
+
+    def __contains__(self, sid: int) -> bool:
+        return sid in self._nodes
+
+    @property
+    def total_length(self) -> int:
+        """Current length of the super document in characters."""
+        return self.root.length
+
+    def node(self, sid: int) -> ERNode:
+        """Return the node for ``sid``; raise when unknown."""
+        try:
+            return self._nodes[sid]
+        except KeyError:
+            raise SegmentNotFoundError(sid) from None
+
+    def nodes(self) -> Iterator[ERNode]:
+        """Pre-order iteration over all nodes, dummy root first."""
+        return self.root.iter_subtree()
+
+    def innermost_segment(self, gp: int) -> ERNode:
+        """The deepest segment whose span contains offset ``gp``.
+
+        This identifies the would-be parent of a segment inserted at ``gp``:
+        descend while some child's span *strictly* contains the offset
+        (inserting at a segment's first or one-past-last character lands
+        outside it, in its parent).
+        """
+        if not (0 <= gp <= self.root.length):
+            raise InvalidSegmentError(
+                f"offset {gp} outside super document [0, {self.root.length}]"
+            )
+        node = self.root
+        while True:
+            child = self._child_strictly_containing(node, gp)
+            if child is None:
+                return node
+            node = child
+
+    @staticmethod
+    def _child_strictly_containing(node: ERNode, gp: int) -> ERNode | None:
+        children = node.children
+        idx = bisect_right([c.gp for c in children], gp) - 1
+        if idx >= 0:
+            child = children[idx]
+            if child.gp < gp < child.end:
+                return child
+        return None
+
+    # ------------------------------------------------------------------
+    # insertion (Fig. 5)
+
+    def add_segment(self, gp: int, length: int, sid: int | None = None) -> ERNode:
+        """Insert a segment of ``length`` characters at global offset ``gp``.
+
+        Implements ``AddNewSegment_Start``/``AddNewSegment`` of Fig. 5:
+        shift the global position of every segment at or after ``gp``, walk
+        down to the parent segment, grow every ancestor by ``length``,
+        splice the new leaf into the parent's child list, and derive its
+        immutable local position per Definition 2.
+
+        Returns the new node.  ``sid`` defaults to the next system-generated
+        id.
+        """
+        if length <= 0:
+            raise InvalidSegmentError(f"segment length must be positive, got {length}")
+        if not (0 <= gp <= self.root.length):
+            raise InvalidSegmentError(
+                f"insert position {gp} outside super document "
+                f"[0, {self.root.length}]"
+            )
+        if sid is None:
+            sid = self._next_sid
+        elif sid in self._nodes:
+            raise InvalidSegmentError(f"segment id {sid} already in use")
+        self._next_sid = max(self._next_sid, sid + 1)
+
+        # Step 1: global position shift (inclusive — see module docstring).
+        for node in self.root.iter_subtree():
+            if node.gp >= gp and node is not self.root:
+                node.gp += length
+
+        # Step 2: descend to the parent, growing ancestors on the way.
+        parent = self.root
+        parent.length += length
+        while True:
+            child = self._child_strictly_containing(parent, gp)
+            if child is None:
+                break
+            parent = child
+            parent.length += length
+
+        # Step 3: splice the new leaf in, keeping children sorted by gp,
+        # and compute its local position.  ``to_local`` implements
+        # Definition 2 (subtract left-sibling lengths) generalized to
+        # parents that lost characters to partial removals.
+        new = ERNode(sid, gp=gp, length=length, lp=0, parent=parent)
+        new.lp = parent.to_local(gp)
+        gps = [c.gp for c in parent.children]
+        idx = bisect_right(gps, gp)
+        parent.children.insert(idx, new)
+        self._nodes[sid] = new
+        if self._on_add is not None:
+            self._on_add(new)
+        return new
+
+    # ------------------------------------------------------------------
+    # removal (Fig. 7)
+
+    def remove_span(self, gp: int, length: int) -> RemovalReport:
+        """Remove ``length`` characters starting at global offset ``gp``.
+
+        Implements ``RemoveSegment_Start``/``RemoveSegment`` of Fig. 7 with
+        the ordering fix described in the module docstring: classify children
+        against pre-shift coordinates, then shift survivors.  Handles all of
+        the paper's cases — removed span contained in a segment, containing
+        whole segments, and left/right intersections — and returns the
+        :class:`RemovalReport` driving element-index maintenance.
+        """
+        if length <= 0:
+            raise InvalidSegmentError(f"removal length must be positive, got {length}")
+        end = gp + length
+        if gp < 0 or end > self.root.length:
+            raise InvalidSegmentError(
+                f"removal span [{gp}, {end}) outside super document "
+                f"[0, {self.root.length})"
+            )
+        report = RemovalReport()
+        self._remove_from(self.root, gp, length, report)
+        # One global position pass over the survivors (the recursion only
+        # adjusts lengths).  A node starting before the hole keeps its gp; a
+        # node whose start fell inside the hole has its surviving content
+        # begin where the hole begins (this covers arbitrarily nested
+        # right-intersections, which Fig. 7's per-level `k.gp` update gets
+        # wrong); a node starting at or after the hole's end shifts left.
+        for node in self.root.iter_subtree():
+            if node is self.root:
+                continue
+            if node.gp >= end:
+                node.gp -= length
+            elif node.gp > gp:
+                node.gp = gp
+        return report
+
+    def _remove_from(
+        self, node: ERNode, rm_gp: int, rm_len: int, report: RemovalReport
+    ) -> None:
+        """Remove ``[rm_gp, rm_gp+rm_len)``, known to lie within ``node``."""
+        rm_end = rm_gp + rm_len
+        # Record what this node itself loses, in virtual local coordinates.
+        # When the removed span lies entirely inside one child, both bounds
+        # collapse to the same insertion point and the interval is empty.
+        # The interval also becomes a tombstone so immutable labels keep
+        # mapping to actual text offsets (see the coordinate-mapping notes
+        # on ERNode).
+        local_start = node.to_local(rm_gp)
+        local_end = node.to_local(rm_end)
+        if local_start < local_end:
+            report.partials.append(PartialRemoval(node.sid, local_start, local_end))
+            node._add_tombstone(local_start, local_end)
+        node.length -= rm_len
+
+        surviving: list[ERNode] = []
+        for child in node.children:
+            rel = relate(rm_gp, rm_len, child.gp, child.length)
+            if rel in (SpanRelation.BEFORE, SpanRelation.AFTER):
+                surviving.append(child)
+            elif rel is SpanRelation.CONTAINED:
+                # Removed span strictly inside this child: recurse whole span.
+                self._remove_from(child, rm_gp, rm_len, report)
+                surviving.append(child)
+            elif rel is SpanRelation.CONTAINS:
+                self._delete_subtree(child, report)
+            elif rel is SpanRelation.LEFT_INTERSECT:
+                # Removal starts inside the child, runs past its end: clip to
+                # the child's tail (Fig. 7 lines 12–14).
+                self._remove_from(child, rm_gp, child.end - rm_gp, report)
+                surviving.append(child)
+            else:  # RIGHT_INTERSECT
+                # Removal covers the child's head (Fig. 7 lines 17–20): clip.
+                # Its new global position comes from the final global pass.
+                self._remove_from(child, child.gp, rm_end - child.gp, report)
+                surviving.append(child)
+        if len(surviving) != len(node.children):
+            node.children = surviving
+
+    def _delete_subtree(self, node: ERNode, report: RemovalReport) -> None:
+        for sub in node.iter_subtree():
+            report.removed_sids.append(sub.sid)
+            del self._nodes[sub.sid]
+            if self._on_remove is not None:
+                self._on_remove(sub)
+
+    # ------------------------------------------------------------------
+    # maintenance surgery (segment packing, Section 5.3 / future work)
+
+    def collapse_subtree(self, sid: int) -> ERNode:
+        """Replace segment ``sid`` and all its descendants by one fresh node.
+
+        The new node occupies exactly the old subtree's span (same gp,
+        length, lp, parent) under a fresh sid, with no children and no
+        tombstones — the "collapse nested segments together" maintenance
+        operation Section 5.3 suggests for reducing segment counts.  The
+        caller is responsible for re-registering element records under the
+        new sid (see :meth:`repro.core.database.LazyXMLDatabase.repack`).
+
+        Returns the new node.  Collapsing the dummy root is not allowed.
+        """
+        old = self.node(sid)
+        if old is self.root:
+            raise InvalidSegmentError("cannot collapse the dummy root")
+        parent = old.parent
+        assert parent is not None
+        for sub in old.iter_subtree():
+            del self._nodes[sub.sid]
+            if self._on_remove is not None:
+                self._on_remove(sub)
+        new_sid = self._next_sid
+        self._next_sid += 1
+        new = ERNode(new_sid, gp=old.gp, length=old.length, lp=old.lp, parent=parent)
+        parent.children[parent.children.index(old)] = new
+        self._nodes[new_sid] = new
+        if self._on_add is not None:
+            self._on_add(new)
+        return new
+
+    # ------------------------------------------------------------------
+    # verification (used by tests)
+
+    def check_invariants(self) -> None:
+        """Verify structural invariants; ``AssertionError`` on breakage.
+
+        Checked: children sorted by gp and pairwise disjoint, children inside
+        parents, lengths at least the sum of child lengths, the registry
+        matching the tree, paths consistent, and (on insert-only histories)
+        Definition 2 linking lp to gp.
+        """
+        seen: set[int] = set()
+        for node in self.root.iter_subtree():
+            assert node.sid not in seen, f"duplicate sid {node.sid}"
+            seen.add(node.sid)
+            assert self._nodes.get(node.sid) is node, "registry out of sync"
+            assert node.length >= 0, f"negative length on sid {node.sid}"
+            child_sum = 0
+            prev_end = None
+            for child in node.children:
+                assert child.parent is node, "broken parent pointer"
+                assert child.path == node.path + (child.sid,), "stale path"
+                assert node.gp <= child.gp and child.end <= node.end, (
+                    f"child {child.sid} escapes parent {node.sid}"
+                )
+                if prev_end is not None:
+                    assert child.gp >= prev_end, (
+                        f"children of {node.sid} overlap or out of order"
+                    )
+                prev_end = child.end
+                child_sum += child.length
+            assert child_sum <= node.length, (
+                f"children longer than parent {node.sid}"
+            )
+            prev_t_end = None
+            for t_start, t_end in node._tombstones:
+                assert 0 <= t_start < t_end, "degenerate tombstone"
+                if prev_t_end is not None:
+                    assert t_start > prev_t_end, (
+                        f"tombstones of {node.sid} overlap or touch unmerged"
+                    )
+                prev_t_end = t_end
+        assert seen == set(self._nodes), "registry contains orphans"

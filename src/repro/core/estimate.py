@@ -1,0 +1,75 @@
+"""Join cardinality estimation from the update log alone.
+
+The paper's closing section proposes using the lazy structures "for
+improving other XML data management techniques, such as query
+optimization".  This module delivers the first such statistic: bounds on a
+structural join's result size computed purely from the tag-list's
+per-segment occurrence counts and the ER-tree — no element-index access, no
+join execution.
+
+- :func:`join_upper_bound` — a sound upper bound: every result pair
+  ``(a in S, d in T)`` has ``T`` inside ``S``'s segment subtree (or ``T ==
+  S``), so ``Σ_S count_A(S) · count_D(subtree(S))`` dominates the true
+  cardinality.  Cost: one ER-tree walk, O(N + list sizes).
+- :func:`join_selectivity_hint` — the bound normalized by |A|·|D|, a
+  planner-friendly selectivity figure in [0, 1].
+
+Bounds are exact when every A-element spans its whole segment (e.g. segment
+roots) and loose when A-elements are small; they never under-estimate,
+which is the side that matters for memory budgeting.
+"""
+
+from __future__ import annotations
+
+from repro.core.segment import DUMMY_ROOT_SID
+
+__all__ = ["join_upper_bound", "join_selectivity_hint"]
+
+
+def join_upper_bound(db, tag_a: str, tag_d: str) -> int:
+    """Upper bound on ``|tag_a // tag_d|`` from tag-list counts only.
+
+    Never smaller than the true result size; 0 guarantees an empty result
+    (letting a planner prune the join without touching the element index).
+    """
+    tid_a = db.log.tags.tid_of(tag_a)
+    tid_d = db.log.tags.tid_of(tag_d)
+    if tid_a is None or tid_d is None:
+        return 0
+    if not db.log.query_ready:
+        db.log.prepare_for_query()
+    a_counts = {entry.sid: entry.count for entry in db.log.taglist.segments_for(tid_a)}
+    d_counts = {entry.sid: entry.count for entry in db.log.taglist.segments_for(tid_d)}
+    if not a_counts or not d_counts:
+        return 0
+    # Subtree D totals by one bottom-up pass over the ER-tree.
+    d_subtree: dict[int, int] = {}
+
+    def accumulate(node) -> int:
+        total = d_counts.get(node.sid, 0)
+        for child in node.children:
+            total += accumulate(child)
+        d_subtree[node.sid] = total
+        return total
+
+    accumulate(db.log.ertree.root)
+    return sum(
+        count * d_subtree.get(sid, 0)
+        for sid, count in a_counts.items()
+        if sid != DUMMY_ROOT_SID
+    )
+
+
+def join_selectivity_hint(db, tag_a: str, tag_d: str) -> float:
+    """The upper bound normalized by |A|·|D| (0.0 means provably empty)."""
+    tid_a = db.log.tags.tid_of(tag_a)
+    tid_d = db.log.tags.tid_of(tag_d)
+    if tid_a is None or tid_d is None:
+        return 0.0
+    if not db.log.query_ready:
+        db.log.prepare_for_query()
+    total_a = sum(e.count for e in db.log.taglist.segments_for(tid_a))
+    total_d = sum(e.count for e in db.log.taglist.segments_for(tid_d))
+    if not total_a or not total_d:
+        return 0.0
+    return min(1.0, join_upper_bound(db, tag_a, tag_d) / (total_a * total_d))

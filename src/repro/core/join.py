@@ -1,0 +1,354 @@
+"""The Lazy-Join structural join algorithm (Section 4, Fig. 9).
+
+Lazy-Join answers ``A//D`` (and ``A/D``) directly over the update log and
+the element index — no global labels are ever materialized.  It merges the
+two *segment* lists from the tag-list by global position, keeping a stack of
+candidate ancestor segments, and splits the work per Proposition 3:
+
+- **cross-segment joins**: an A-element ``a`` in a stack segment ``S`` joins
+  *every* D-element of the current descendant segment ``T`` iff
+  ``a.start < P_T^S < a.end``, where ``P_T^S`` is the local position of
+  ``S``'s child segment on the path toward ``T`` — a single integer test
+  instead of per-pair work;
+- **in-segment joins**: when the same segment appears in both lists, its
+  local element lists are joined with Stack-Tree-Desc (local labels are
+  immutable, so this is always sound).
+
+Both optimizations of Section 4.2 are implemented and individually
+switchable (for the ablation benchmarks):
+
+1. only A-elements that contain at least one child-segment insertion point
+   are pushed (no other element can ever satisfy Proposition 3(2));
+2. when pushing a new segment, the top frame drops elements whose span ends
+   at or before the new segment's branch point — they cannot join anything
+   later.
+
+The parent/child variant restricts cross joins to (parent segment of ``T``,
+``T``) per Proposition 3(1) and filters on ``LevelNum``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.core.element_index import ElementIndex, ElementRecord
+from repro.core.ertree import ERNode
+from repro.core.update_log import UpdateLog
+from repro.errors import QueryError
+from repro.joins.stack_tree import AXIS_CHILD, AXIS_DESCENDANT, stack_tree_desc
+
+_BRANCH_STRATEGIES = ("path", "bisect", "walk")
+
+__all__ = ["LazyJoiner", "JoinPair", "JoinStatistics"]
+
+_AXES = (AXIS_DESCENDANT, AXIS_CHILD)
+
+
+#: A join result: (ancestor element, descendant element), each an
+#: :class:`~repro.core.element_index.ElementRecord` carrying (sid, local
+#: start, local end, absolute level).
+JoinPair = tuple[ElementRecord, ElementRecord]
+
+
+@dataclass
+class JoinStatistics:
+    """Counters describing one Lazy-Join execution (used by benchmarks)."""
+
+    segments_pushed: int = 0
+    segments_skipped: int = 0
+    elements_pushed: int = 0
+    elements_trimmed: int = 0
+    cross_pairs: int = 0
+    in_segment_pairs: int = 0
+
+    @property
+    def pairs(self) -> int:
+        return self.cross_pairs + self.in_segment_pairs
+
+    @property
+    def cross_fraction(self) -> float:
+        """Fraction of results that were cross-segment joins."""
+        total = self.pairs
+        return self.cross_pairs / total if total else 0.0
+
+
+class _Frame:
+    """One stack entry: a candidate ancestor segment and its live A-elements.
+
+    ``cached_branch`` is the paper's auxiliary data structure (Section 4.3):
+    while a frame is covered by a deeper frame, every descendant segment
+    reaches it through the same child, so its branch position is computed
+    once at push time instead of per descendant segment.
+    """
+
+    __slots__ = ("node", "elements", "cached_branch")
+
+    def __init__(self, node: ERNode, elements: list[ElementRecord]):
+        self.node = node
+        self.elements = elements
+        self.cached_branch: int | None = None
+
+
+class LazyJoiner:
+    """Executes Lazy-Join over an update log and element index."""
+
+    def __init__(self, log: UpdateLog, index: ElementIndex):
+        self._log = log
+        self._index = index
+
+    def join(
+        self,
+        tag_a: str,
+        tag_d: str,
+        axis: str = AXIS_DESCENDANT,
+        *,
+        optimize_push: bool = True,
+        trim_top: bool = True,
+        branch_strategy: str = "path",
+        stats: JoinStatistics | None = None,
+    ) -> list[JoinPair]:
+        """Answer ``tag_a // tag_d`` (or ``/`` with ``axis="child"``).
+
+        Results are grouped by descendant segment in ascending global
+        position (cross-segment pairs for a segment first, then its
+        in-segment pairs); use :func:`sorted` with a global-position key for
+        a total document order.  ``optimize_push`` / ``trim_top`` toggle the
+        two Section 4.2 optimizations.  Pass a :class:`JoinStatistics` to
+        collect execution counters.
+
+        ``branch_strategy`` picks how ``P_T^S`` (the branch position of a
+        stack segment toward the descendant segment) is computed — the
+        ablation knob for the tag-list's stored paths:
+
+        - ``"path"`` (default, the paper's design): index the descendant's
+          stored tag-list path with the frame's depth, then one SB-tree
+          lookup — O(log N);
+        - ``"bisect"``: binary-search the frame's child list by gp;
+        - ``"walk"``: climb parent pointers from the descendant segment —
+          what an implementation *without* stored paths must do, O(depth)
+          per frame.
+
+        Requires a query-ready log (LD always is; LS must have had
+        ``prepare_for_query()`` run).
+        """
+        if axis not in _AXES:
+            raise QueryError(f"axis must be one of {_AXES}, got {axis!r}")
+        if branch_strategy not in _BRANCH_STRATEGIES:
+            raise QueryError(
+                f"branch_strategy must be one of {_BRANCH_STRATEGIES}, "
+                f"got {branch_strategy!r}"
+            )
+        self._branch = getattr(self, f"_branch_{branch_strategy}")
+        if not self._log.query_ready:
+            raise QueryError(
+                "update log is not query-ready; call prepare_for_query() "
+                "(required in LS mode)"
+            )
+        if stats is None:
+            stats = JoinStatistics()
+        tid_a = self._log.tags.tid_of(tag_a)
+        tid_d = self._log.tags.tid_of(tag_d)
+        if tid_a is None or tid_d is None:
+            return []
+        sl_a = self._log.taglist.segments_for(tid_a)
+        sl_d = self._log.taglist.segments_for(tid_d)
+        if not sl_a or not sl_d:
+            return []
+
+        child_only = axis == AXIS_CHILD
+        sbtree = self._log.sbtree
+        results: list[JoinPair] = []
+        stack: list[_Frame] = []
+        ai = 0
+        a_count = len(sl_a)
+
+        for d_entry in sl_d:
+            sd = d_entry.node
+            # Step 1 — pop stack segments that end before sd starts: sorted
+            # gps mean they cannot contain sd nor any later D-segment.
+            while stack and sd.gp >= stack[-1].node.end:
+                stack.pop()
+
+            # Step 2 — push A-segments preceding sd that (strictly) contain
+            # it; skip the rest.  Loops because several A-segments may lie
+            # between consecutive D-segments.
+            while ai < a_count and sl_a[ai].node.gp < sd.gp:
+                sa = sl_a[ai].node
+                ai += 1
+                if not (sa.gp < sd.gp and sa.end > sd.end):
+                    stats.segments_skipped += 1
+                    continue
+                elements = self._index.elements_list(tid_a, sa.sid)
+                if optimize_push:
+                    elements = _elements_containing_a_child(sa, elements)
+                if trim_top and stack:
+                    self._trim_frame(stack[-1], sa, stats)
+                if elements:
+                    if stack:
+                        # The covered frame's branch toward everything below
+                        # the new top goes through the new top's chain.
+                        stack[-1].cached_branch = self._branch_position(
+                            stack[-1].node, sa
+                        )
+                    stack.append(_Frame(sa, elements))
+                    stats.segments_pushed += 1
+                    stats.elements_pushed += len(elements)
+                else:
+                    stats.segments_skipped += 1
+
+            # Step 3 — generate joins for sd.  Fetch sd's D-elements only
+            # when some join can actually involve them — this is the
+            # "segments that do not satisfy Proposition 3(1) are skipped"
+            # effect (Section 5.3): a D-segment with an empty stack and no
+            # A-elements of its own costs no element-index access at all.
+            in_segment = ai < a_count and sl_a[ai].node.gp == sd.gp
+            if not stack and not in_segment:
+                stats.segments_skipped += 1
+                continue
+            d_elements = self._index.elements_list(tid_d, sd.sid)
+            if child_only:
+                self._cross_joins_child(stack, sd, d_elements, results, stats)
+            else:
+                self._cross_joins_descendant(
+                    sbtree, stack, sd, d_elements, results, stats
+                )
+            if in_segment:
+                # Same segment in both lists: in-segment join on local
+                # positions (computed before the segment is ever pushed,
+                # so no pairs are lost — Section 4.2).
+                a_elements = self._index.elements_list(tid_a, sd.sid)
+                in_pairs = stack_tree_desc(a_elements, d_elements, axis=axis)
+                results.extend(in_pairs)
+                stats.in_segment_pairs += len(in_pairs)
+        return results
+
+    # ------------------------------------------------------------------
+    # helpers
+
+    def _branch_position(self, frame_node: ERNode, target: ERNode) -> int:
+        """``P_target^frame``: the lp of frame's child toward ``target``.
+
+        ``frame_node`` is a strict ancestor segment of ``target``; the
+        branch position is the local position of frame's child segment on
+        the containment chain down to ``target`` (Section 4.1).  Dispatches
+        to the strategy selected by :meth:`join`.
+        """
+        return self._branch(frame_node, target)
+
+    def _branch_path(self, frame_node: ERNode, target: ERNode) -> int:
+        """Stored-path strategy: one path index plus one SB-tree lookup.
+
+        This is what the tag-list stores paths *for*: the frame's sid sits
+        at ``target.path[frame_node.depth]``, so the child on the branch is
+        the next path component.
+        """
+        child_sid = target.path[frame_node.depth + 1]
+        return self._log.sbtree.lookup(child_sid).lp
+
+    @staticmethod
+    def _branch_bisect(frame_node: ERNode, target: ERNode) -> int:
+        """Child-list strategy: the branch child is the unique child whose
+        span contains ``target`` — the rightmost child with gp <= target.gp.
+        """
+        children = frame_node.children
+        idx = bisect_right([c.gp for c in children], target.gp) - 1
+        return children[idx].lp
+
+    @staticmethod
+    def _branch_walk(frame_node: ERNode, target: ERNode) -> int:
+        """No-paths strategy: climb parent pointers from ``target``."""
+        node = target
+        while node.parent is not frame_node:
+            node = node.parent
+            assert node is not None, "frame is not an ancestor of target"
+        return node.lp
+
+    def _trim_frame(self, frame: _Frame, sa: ERNode, stats: JoinStatistics) -> None:
+        """Optimization (ii): drop top-frame elements ending before ``sa``.
+
+        ``sa`` (and every future segment from either list) branches off the
+        frame at a local position >= ``P_sa``, so elements with
+        ``end <= P_sa`` can never satisfy Proposition 3(2) again.
+        """
+        if frame.node.end <= sa.gp or not (frame.node.gp < sa.gp):
+            return
+        if not (sa.end <= frame.node.end):
+            return
+        branch = self._branch_position(frame.node, sa)
+        kept = [e for e in frame.elements if e.end > branch]
+        stats.elements_trimmed += len(frame.elements) - len(kept)
+        frame.elements = kept
+
+    def _cross_joins_descendant(
+        self,
+        sbtree,
+        stack: list[_Frame],
+        sd: ERNode,
+        d_elements: list[ElementRecord],
+        results: list[JoinPair],
+        stats: JoinStatistics,
+    ) -> None:
+        """Step 3 cross joins: every stack frame against segment ``sd``."""
+        if not d_elements:
+            return
+        top_index = len(stack) - 1
+        for index, frame in enumerate(stack):
+            if index == top_index or frame.cached_branch is None:
+                branch = self._branch_position(frame.node, sd)
+            else:
+                branch = frame.cached_branch
+            for a_elem in frame.elements:
+                if a_elem.start < branch < a_elem.end:
+                    results.extend((a_elem, d_elem) for d_elem in d_elements)
+                    stats.cross_pairs += len(d_elements)
+
+    def _cross_joins_child(
+        self,
+        stack: list[_Frame],
+        sd: ERNode,
+        d_elements: list[ElementRecord],
+        results: list[JoinPair],
+        stats: JoinStatistics,
+    ) -> None:
+        """Parent/child cross joins: only ``sd``'s parent segment qualifies.
+
+        Proposition 3(1): a parent element lives in the segment *directly*
+        containing ``sd``; if that segment is on the stack it is the top
+        frame.  The element-level filter is ``d.level == a.level + 1`` with
+        the branch-position containment test.
+        """
+        if not d_elements or not stack:
+            return
+        top = stack[-1]
+        assert sd.parent is not None
+        if top.node.sid != sd.parent.sid:
+            return
+        branch = sd.lp
+        for a_elem in top.elements:
+            if a_elem.start < branch < a_elem.end:
+                for d_elem in d_elements:
+                    if d_elem.level == a_elem.level + 1:
+                        results.append((a_elem, d_elem))
+                        stats.cross_pairs += 1
+
+
+def _elements_containing_a_child(
+    node: ERNode, elements: list[ElementRecord]
+) -> list[ElementRecord]:
+    """Optimization (i): keep elements containing >= 1 child insertion point.
+
+    Only such elements can ever satisfy ``start < P < end`` for any branch
+    position P, because P is always some child's lp.  Child lps are sorted
+    (children are gp-ordered and lp is monotone in gp), so one bisect per
+    element decides it.
+    """
+    lps = [child.lp for child in node.children]
+    if not lps:
+        return []
+    kept = []
+    for elem in elements:
+        idx = bisect_right(lps, elem.start)
+        if idx < len(lps) and lps[idx] < elem.end:
+            kept.append(elem)
+    return kept

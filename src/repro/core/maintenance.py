@@ -1,0 +1,117 @@
+"""Maintenance operations: segment packing and index rebuild.
+
+Two operations the paper sketches but does not implement:
+
+- Section 5.3: "nested segments can be collapsed together in order to
+  reduce the overall number of segments, increase their size, and improve
+  query performance" (also listed as future-work "packing techniques") —
+  :func:`repack_segment`;
+- Section 1: "the database administrator can rebuild the index for the
+  whole XML database during maintenance hours, and therefore the update log
+  can be periodically cleared" — :func:`compact_database`.
+
+Both are label *re-assignments*: the affected elements get fresh local
+labels in a fresh segment's coordinate space.  Anyone holding old
+:class:`~repro.core.element_index.ElementRecord` handles for the affected
+region must re-query — the same contract an index rebuild has in any
+database.  Tombstones vanish in the process (the new virtual space has no
+holes), so packing also reclaims the bookkeeping left by partial removals.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.segment import DUMMY_ROOT_SID
+from repro.errors import InvalidSegmentError
+
+__all__ = ["RepackResult", "repack_segment", "compact_database"]
+
+
+@dataclass
+class RepackResult:
+    """What a packing operation changed."""
+
+    new_sids: list[int]
+    segments_before: int
+    segments_after: int
+    elements_relabelled: int
+
+
+def repack_segment(db, sid: int) -> RepackResult:
+    """Collapse segment ``sid``'s subtree into a single fresh segment.
+
+    Every element of the subtree gets a fresh local label in the new
+    segment's coordinate space (derived from its current global span, so
+    partial-removal tombstones are flattened away).  The ER-tree, SB-tree,
+    tag-list, element index and the database's cached parses are all kept
+    consistent.
+    """
+    node = db.log.node(sid)
+    if node.sid == DUMMY_ROOT_SID:
+        raise InvalidSegmentError("cannot repack the dummy root")
+    base_gp = node.gp
+
+    # Gather the subtree's element records with global-derived fresh labels.
+    old_sids = [sub.sid for sub in node.iter_subtree()]
+    fresh_records: list[tuple[int, int, int, int]] = []
+    removal_counts: dict[int, Counter] = {}
+    for sub in node.iter_subtree():
+        records = db._segment_elements.get(sub.sid, [])
+        counts: Counter = Counter()
+        for tid, start, end, level in records:
+            gstart = sub.to_global(start)
+            gend = sub.to_global(end, count_ties=False)
+            fresh_records.append((tid, gstart - base_gp, gend - base_gp, level))
+            counts[tid] += 1
+        removal_counts[sub.sid] = counts
+    fresh_records.sort(key=lambda record: (record[1], -record[2]))
+
+    # Drop the old segments from every structure.
+    for old_sid in old_sids:
+        counts = removal_counts[old_sid]
+        db.index.remove_segment(old_sid, counts.keys())
+        old_node = db.log.node(old_sid)
+        for tid, count in counts.items():
+            db.log.taglist.remove_occurrences_for_node(tid, old_node, count)
+        db._segment_elements.pop(old_sid, None)
+
+    # One fresh segment over the same span; re-register everything.
+    segments_before = db.segment_count
+    new_node = db.log.ertree.collapse_subtree(sid)
+    db.index.insert_segment(new_node.sid, fresh_records, base_level=0)
+    for tid, count in Counter(r[0] for r in fresh_records).items():
+        db.log.taglist.add_segment(tid, new_node, count)
+    db._segment_elements[new_node.sid] = sorted(
+        fresh_records, key=lambda record: record[1]
+    )
+    return RepackResult(
+        new_sids=[new_node.sid],
+        segments_before=segments_before,
+        segments_after=db.segment_count,
+        elements_relabelled=len(fresh_records),
+    )
+
+
+def compact_database(db) -> RepackResult:
+    """Rebuild the whole database: one segment per top-level document.
+
+    The administrator's "maintenance hours" operation — afterwards the
+    update log is as small as it can get (one ER-tree node per top-level
+    segment, single-entry tag-list paths) and all tombstones are gone.
+    """
+    top_level = [child.sid for child in db.log.ertree.root.children]
+    segments_before = db.segment_count
+    new_sids: list[int] = []
+    relabelled = 0
+    for sid in top_level:
+        result = repack_segment(db, sid)
+        new_sids.extend(result.new_sids)
+        relabelled += result.elements_relabelled
+    return RepackResult(
+        new_sids=new_sids,
+        segments_before=segments_before,
+        segments_after=db.segment_count,
+        elements_relabelled=relabelled,
+    )

@@ -1,0 +1,100 @@
+"""The SB-tree (Segment B+-tree) of Section 3.2.
+
+A B+-tree keyed by segment id whose values are the ER-tree nodes — the leaf
+level *is* the ER-tree, accessed either by sid (point lookups during query
+processing) or through parent/child pointers (update processing).
+
+Two maintenance modes mirror the paper's LD/LS split:
+
+- *dynamic* (LD): every segment insertion/removal immediately updates the
+  B+-tree;
+- *static* (LS): updates only touch the ER-tree; :meth:`rebuild` bulk-loads
+  the B+-tree from scratch just before querying (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.btree import BPlusTree
+from repro.core.ertree import ERNode, ERTree
+from repro.errors import SegmentNotFoundError
+
+__all__ = ["SBTree"]
+
+_ORDER = 64
+
+
+class SBTree:
+    """B+-tree over segment ids, wrapping an :class:`ERTree`."""
+
+    def __init__(self, ertree: ERTree, *, dynamic: bool = True):
+        self._ertree = ertree
+        self._dynamic = dynamic
+        self._tree = BPlusTree(order=_ORDER)
+        self._stale = not dynamic
+
+    # ------------------------------------------------------------------
+    # maintenance hooks (wired to ERTree callbacks by the update log)
+
+    def on_add(self, node: ERNode) -> None:
+        """Register a freshly inserted segment."""
+        if self._dynamic:
+            self._tree.insert(node.sid, node)
+        else:
+            self._stale = True
+
+    def on_remove(self, node: ERNode) -> None:
+        """Unregister a deleted segment."""
+        if self._dynamic:
+            self._tree.discard(node.sid)
+        else:
+            self._stale = True
+
+    def rebuild(self) -> None:
+        """Bulk-load the B+-tree from the current ER-tree (LS query prep)."""
+        pairs = sorted(
+            ((node.sid, node) for node in self._ertree.nodes()),
+            key=lambda pair: pair[0],
+        )
+        self._tree = BPlusTree.bulk_load(pairs, order=_ORDER)
+        self._stale = False
+
+    # ------------------------------------------------------------------
+    # lookups
+
+    @property
+    def is_stale(self) -> bool:
+        """True when LS-mode updates have outrun the B+-tree."""
+        return self._stale
+
+    def lookup(self, sid: int) -> ERNode:
+        """Return the ER-tree node for ``sid`` via the B+-tree."""
+        node = self._tree.get(sid)
+        if node is None:
+            raise SegmentNotFoundError(sid)
+        return node
+
+    def __contains__(self, sid: int) -> bool:
+        return sid in self._tree
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def sids(self) -> Iterator[int]:
+        """All registered segment ids in ascending order."""
+        return iter(self._tree)
+
+    # ------------------------------------------------------------------
+    # size accounting (Fig. 11(a))
+
+    def approximate_bytes(self) -> int:
+        """Estimated in-memory size of the SB-tree.
+
+        B+-tree structure plus, per segment, the fixed-width leaf record of
+        Fig. 2 — gp, length, lp, parent pointer — and one pointer per child.
+        """
+        record_bytes = 0
+        for node in self._ertree.nodes():
+            record_bytes += 8 * (4 + len(node.children))
+        return self._tree.approximate_bytes() + record_bytes

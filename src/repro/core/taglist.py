@@ -1,0 +1,252 @@
+"""The tag-list: inverted map from tag ids to segment paths (Section 3.2).
+
+For every tag id the tag-list keeps the list of segments containing at least
+one element with that tag.  Each entry stores the segment's ER-tree *path*
+(the sid chain from the dummy root, Fig. 4) — paths let the Lazy-Join
+algorithm compute `P_T^S` (the local position of the stack segment's child
+leading toward the descendant segment) without walking the ER-tree — plus the
+number of element occurrences, which decides when a deletion may drop the
+entry.
+
+Entries are ordered by the ascending *global position* of their segments.
+Relative gp order between surviving segments is never changed by an update
+(shifts are order-preserving), so in LD mode sortedness is maintained by a
+single binary insertion per update.  In LS mode entries are appended
+unsorted and :meth:`TagList.finalize` sorts every touched list just before
+querying.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.core.ertree import ERNode
+from repro.errors import UpdateError
+
+__all__ = ["TagRegistry", "TagEntry", "TagList"]
+
+
+class TagRegistry:
+    """Bidirectional tag name ↔ tag id map.
+
+    Tag ids are dense integers assigned in first-seen order, mirroring the
+    system-generated ``tid`` of Section 3.4.
+    """
+
+    def __init__(self):
+        self._by_name: dict[str, int] = {}
+        self._by_id: list[str] = []
+
+    def intern(self, name: str) -> int:
+        """Return the tag id for ``name``, assigning one on first use."""
+        tid = self._by_name.get(name)
+        if tid is None:
+            tid = len(self._by_id)
+            self._by_name[name] = tid
+            self._by_id.append(name)
+        return tid
+
+    def tid_of(self, name: str) -> int | None:
+        """The tag id for ``name``, or ``None`` when never seen."""
+        return self._by_name.get(name)
+
+    def name_of(self, tid: int) -> str:
+        """The tag name for ``tid``."""
+        return self._by_id[tid]
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+
+@dataclass
+class TagEntry:
+    """One tag-list record: a segment holding ``count`` elements of a tag."""
+
+    node: ERNode
+    count: int
+
+    @property
+    def sid(self) -> int:
+        return self.node.sid
+
+    @property
+    def path(self) -> tuple[int, ...]:
+        return self.node.path
+
+
+class TagList:
+    """The inverted tag → segment-path lists, with LD/LS maintenance."""
+
+    def __init__(self, *, dynamic: bool = True):
+        self._dynamic = dynamic
+        self._lists: dict[int, list[TagEntry]] = {}
+        self._unsorted: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # updates
+
+    def add_segment(self, tid: int, node: ERNode, count: int) -> None:
+        """Record that segment ``node`` holds ``count`` elements of ``tid``.
+
+        LD keeps the list sorted by segment gp (binary insertion); LS appends
+        and defers sorting to :meth:`finalize`.
+        """
+        if count <= 0:
+            raise UpdateError(f"tag count must be positive, got {count}")
+        entries = self._lists.setdefault(tid, [])
+        entry = TagEntry(node, count)
+        if self._dynamic:
+            idx = bisect_left([e.node.gp for e in entries], node.gp)
+            entries.insert(idx, entry)
+        else:
+            entries.append(entry)
+            self._unsorted.add(tid)
+
+    def remove_occurrences(self, tid: int, sid: int, removed: int) -> None:
+        """Subtract ``removed`` occurrences of ``tid`` from segment ``sid``.
+
+        Drops the entry once its count reaches zero — the rule of Section
+        3.3: "a path has to be deleted only if no more elements with that tag
+        are contained in the segment after the deletion".
+        """
+        if removed <= 0:
+            return
+        entries = self._lists.get(tid)
+        if not entries:
+            raise UpdateError(f"no tag-list for tid {tid}")
+        idx = self._locate(tid, sid)
+        entry = entries[idx]
+        if entry.count < removed:
+            raise UpdateError(
+                f"removing {removed} occurrences of tid {tid} from segment "
+                f"{sid}, only {entry.count} recorded"
+            )
+        entry.count -= removed
+        if entry.count == 0:
+            del entries[idx]
+            if not entries:
+                del self._lists[tid]
+
+    def _locate(self, tid: int, sid: int) -> int:
+        """Index of the entry for ``sid`` in ``tid``'s list (linear scan).
+
+        Callers holding the live :class:`ERNode` should prefer
+        :meth:`remove_occurrences_for_node`, which binary-searches on the
+        segment's (unique) global position instead.
+        """
+        for idx, entry in enumerate(self._lists[tid]):
+            if entry.sid == sid:
+                return idx
+        raise UpdateError(f"segment {sid} not in tag-list of tid {tid}")
+
+    def remove_occurrences_for_node(
+        self, tid: int, node: ERNode, removed: int
+    ) -> None:
+        """Like :meth:`remove_occurrences` but O(log N): locates by gp."""
+        if removed <= 0:
+            return
+        entries = self._lists.get(tid)
+        if not entries:
+            raise UpdateError(f"no tag-list for tid {tid}")
+        if tid in self._unsorted:
+            self.remove_occurrences(tid, node.sid, removed)
+            return
+        gps = [e.node.gp for e in entries]
+        idx = bisect_left(gps, node.gp)
+        if idx >= len(entries) or entries[idx].sid != node.sid:
+            raise UpdateError(
+                f"segment {node.sid} not in tag-list of tid {tid}"
+            )
+        entry = entries[idx]
+        if entry.count < removed:
+            raise UpdateError(
+                f"removing {removed} occurrences of tid {tid} from segment "
+                f"{node.sid}, only {entry.count} recorded"
+            )
+        entry.count -= removed
+        if entry.count == 0:
+            del entries[idx]
+            if not entries:
+                del self._lists[tid]
+
+    def finalize(self) -> None:
+        """Sort any LS-mode lists left unsorted by appends."""
+        for tid in self._unsorted:
+            if tid in self._lists:
+                self._lists[tid].sort(key=lambda e: e.node.gp)
+        self._unsorted.clear()
+
+    def unsort(self, rng=None) -> None:
+        """Shuffle every list and mark it unsorted (benchmark support).
+
+        Re-creates the LS "tag-list kept unsorted" state so the cost of
+        :meth:`finalize` can be measured repeatedly without rebuilding the
+        whole database.  ``rng`` is a ``random.Random``; when omitted the
+        lists are reversed instead of shuffled (deterministic).
+        """
+        for tid, entries in self._lists.items():
+            if rng is None:
+                entries.reverse()
+            else:
+                rng.shuffle(entries)
+            self._unsorted.add(tid)
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def segments_for(self, tid: int) -> list[TagEntry]:
+        """Entries for ``tid`` in ascending segment-gp order.
+
+        This is the segment list (``SL_A`` / ``SL_D``) the Lazy-Join
+        algorithm merges.  Raises if called on an unfinalized LS list.
+        """
+        if tid in self._unsorted:
+            raise UpdateError(
+                f"tag-list for tid {tid} is unsorted; call finalize() "
+                "(LS mode requires prepare_for_query before joining)"
+            )
+        return self._lists.get(tid, [])
+
+    def count_for(self, tid: int, sid: int) -> int:
+        """Occurrences of ``tid`` recorded for segment ``sid`` (0 if none)."""
+        for entry in self._lists.get(tid, []):
+            if entry.sid == sid:
+                return entry.count
+        return 0
+
+    def tids(self) -> Iterator[int]:
+        """Tag ids that currently have at least one entry."""
+        return iter(self._lists)
+
+    def tids_for_segment(self, sid: int) -> list[int]:
+        """Every tag id recorded for segment ``sid`` (linear scan helper)."""
+        return [
+            tid
+            for tid, entries in self._lists.items()
+            if any(entry.sid == sid for entry in entries)
+        ]
+
+    # ------------------------------------------------------------------
+    # size accounting (Fig. 11(a))
+
+    def entry_count(self) -> int:
+        """Total number of (tag, segment) entries across all lists."""
+        return sum(len(entries) for entries in self._lists.values())
+
+    def approximate_bytes(self) -> int:
+        """Estimated in-memory size: 8 bytes per stored id/count.
+
+        Each entry stores its full path plus the occurrence count; each list
+        head stores its tag id — the layout of Fig. 4 and the source of the
+        O(T·N²) worst case of Proposition 1.
+        """
+        total = 8 * len(self._lists)
+        for entries in self._lists.values():
+            for entry in entries:
+                total += 8 * (len(entry.path) + 1)
+        return total

@@ -1,0 +1,212 @@
+"""The in-memory update log: SB-tree + tag-list (Section 3.2–3.3).
+
+:class:`UpdateLog` composes the three structures the paper defines —
+ER-tree, SB-tree and tag-list — behind the two update entry points the
+paper's model allows: *insert a segment* and *remove a span*, both given
+only ``(global position, length)`` plus the inserted segment's tag counts.
+
+Two maintenance modes (Section 5.1):
+
+- ``"dynamic"`` (LD): everything is maintained on every update; the log is
+  always query-ready.
+- ``"static"`` (LS): updates touch only the ER-tree (plus unsorted tag-list
+  appends); :meth:`prepare_for_query` sorts the path lists and bulk-builds
+  the SB-tree's B+-tree just before querying.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.core.ertree import ERNode, ERTree, RemovalReport
+from repro.core.sbtree import SBTree
+from repro.core.taglist import TagList, TagRegistry
+from repro.errors import UpdateError
+
+__all__ = ["UpdateLog", "InsertReceipt", "LogStats"]
+
+_MODES = ("dynamic", "static")
+
+
+@dataclass
+class InsertReceipt:
+    """What a segment insertion produced.
+
+    ``sid`` identifies the new segment; ``path`` is its immutable ER-tree
+    path; ``parent_sid`` and ``lp`` record where it landed (Definition 2).
+    """
+
+    sid: int
+    path: tuple[int, ...]
+    parent_sid: int
+    gp: int
+    length: int
+    lp: int
+
+
+@dataclass
+class LogStats:
+    """Size snapshot of the update log (the Fig. 11(a) series)."""
+
+    segments: int
+    tag_entries: int
+    sbtree_bytes: int
+    taglist_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.sbtree_bytes + self.taglist_bytes
+
+
+class UpdateLog:
+    """SB-tree + tag-list with the paper's update algorithms."""
+
+    def __init__(self, mode: str = "dynamic"):
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        self._mode = mode
+        dynamic = mode == "dynamic"
+        self.ertree = ERTree()
+        self.sbtree = SBTree(self.ertree, dynamic=dynamic)
+        self.ertree._on_add = self.sbtree.on_add
+        self.ertree._on_remove = self.sbtree.on_remove
+        # The dummy root predates the callback wiring; register it directly.
+        self.sbtree.on_add(self.ertree.root)
+        self.taglist = TagList(dynamic=dynamic)
+        self.tags = TagRegistry()
+
+    # ------------------------------------------------------------------
+    # properties
+
+    @property
+    def mode(self) -> str:
+        """``"dynamic"`` (LD) or ``"static"`` (LS)."""
+        return self._mode
+
+    @property
+    def segment_count(self) -> int:
+        """Number of live segments, dummy root excluded."""
+        return len(self.ertree) - 1
+
+    @property
+    def document_length(self) -> int:
+        """Current super-document length in characters."""
+        return self.ertree.total_length
+
+    # ------------------------------------------------------------------
+    # updates
+
+    def insert_segment(
+        self, gp: int, length: int, tag_counts: Mapping[str, int]
+    ) -> InsertReceipt:
+        """Insert a segment of ``length`` characters at offset ``gp``.
+
+        ``tag_counts`` maps tag names to element occurrence counts inside the
+        segment — the information the tag-list stores.  Runs Fig. 5 on the
+        ER-tree, registers the new node with the SB-tree, and updates (LD) or
+        appends to (LS) the per-tag path lists.
+        """
+        node = self.ertree.add_segment(gp, length)
+        for name, count in tag_counts.items():
+            tid = self.tags.intern(name)
+            self.taglist.add_segment(tid, node, count)
+        assert node.parent is not None  # only the dummy root lacks a parent
+        return InsertReceipt(
+            sid=node.sid,
+            path=node.path,
+            parent_sid=node.parent.sid,
+            gp=node.gp,
+            length=node.length,
+            lp=node.lp,
+        )
+
+    def remove_span(self, gp: int, length: int) -> RemovalReport:
+        """Remove ``length`` characters at offset ``gp`` (Fig. 7).
+
+        Updates the ER-tree/SB-tree and returns the removal report.  The
+        tag-list is *not* touched here: per Section 3.3 it is updated only
+        after the element index deletion has counted what actually left —
+        feed those counts to :meth:`apply_removal_counts`.
+        """
+        return self.ertree.remove_span(gp, length)
+
+    def apply_removal_counts(
+        self, per_segment_counts: Mapping[int, Counter], report: RemovalReport
+    ) -> None:
+        """Fold element-index removal counts back into the tag-list.
+
+        ``per_segment_counts`` maps sid → Counter(tid → removed occurrences)
+        as returned by the element index.  Fully removed segments no longer
+        have ER-tree nodes, so their entries are located by sid scan; partial
+        segments use the O(log N) gp-based locate.
+        """
+        removed = set(report.removed_sids)
+        for sid, counts in per_segment_counts.items():
+            if sid in removed:
+                for tid, count in counts.items():
+                    self.taglist.remove_occurrences(tid, sid, count)
+            else:
+                node = self.ertree.node(sid)
+                for tid, count in counts.items():
+                    self.taglist.remove_occurrences_for_node(tid, node, count)
+
+    # ------------------------------------------------------------------
+    # LS-mode finalization
+
+    def prepare_for_query(self) -> None:
+        """Make the log query-ready (no-op for LD beyond staleness checks).
+
+        LS mode: sorts unsorted tag-list paths and bulk-builds the SB-tree's
+        B+-tree from the ER-tree — the work Section 5.1 says LS defers to
+        "just before querying".
+        """
+        self.taglist.finalize()
+        if self.sbtree.is_stale:
+            self.sbtree.rebuild()
+
+    @property
+    def query_ready(self) -> bool:
+        """True when joins may run without :meth:`prepare_for_query`."""
+        return not self.sbtree.is_stale
+
+    def mark_stale(self, rng=None) -> None:
+        """Return the log to the not-yet-prepared LS state (bench support).
+
+        Unsorts the tag-list and flags the SB-tree for rebuild so the cost
+        of :meth:`prepare_for_query` can be measured repeatedly.  Only
+        meaningful in ``"static"`` mode.
+        """
+        if self._mode != "static":
+            raise UpdateError("mark_stale applies to static (LS) mode only")
+        self.taglist.unsort(rng)
+        self.sbtree._stale = True
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    def node(self, sid: int) -> ERNode:
+        """ER-tree node lookup by sid (via the live registry)."""
+        return self.ertree.node(sid)
+
+    def stats(self) -> LogStats:
+        """Current size snapshot (Fig. 11(a))."""
+        return LogStats(
+            segments=self.segment_count,
+            tag_entries=self.taglist.entry_count(),
+            sbtree_bytes=self.sbtree.approximate_bytes(),
+            taglist_bytes=self.taglist.approximate_bytes(),
+        )
+
+    def check_invariants(self) -> None:
+        """Cross-structure consistency check used by the test suite."""
+        self.ertree.check_invariants()
+        if self._mode == "dynamic":
+            assert len(self.sbtree) == len(self.ertree), (
+                "SB-tree and ER-tree disagree on segment count"
+            )
+            for node in self.ertree.nodes():
+                assert self.sbtree.lookup(node.sid) is node, (
+                    f"SB-tree stale for sid {node.sid}"
+                )

@@ -1,0 +1,84 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch a single class to handle any library failure.  More specific
+subclasses separate the three broad failure domains: malformed XML input,
+invalid update requests against the super document, and misuse of the index
+structures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "XMLSyntaxError",
+    "UpdateError",
+    "SegmentNotFoundError",
+    "InvalidSegmentError",
+    "IndexError_",
+    "KeyNotFoundError",
+    "QueryError",
+    "LabelingError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class XMLSyntaxError(ReproError):
+    """Raised when XML text cannot be tokenized or parsed.
+
+    Carries the character ``offset`` at which the problem was detected so
+    callers working with the text-editing model of the paper can point at the
+    offending location in the super document.
+    """
+
+    def __init__(self, message: str, offset: int | None = None):
+        if offset is not None:
+            message = f"{message} (at offset {offset})"
+        super().__init__(message)
+        self.offset = offset
+
+
+class UpdateError(ReproError):
+    """Raised when an insert/remove request against the super document is invalid."""
+
+
+class SegmentNotFoundError(UpdateError):
+    """Raised when a segment id is not present in the SB-tree."""
+
+    def __init__(self, sid: int):
+        super().__init__(f"segment {sid} not found in the update log")
+        self.sid = sid
+
+
+class InvalidSegmentError(UpdateError):
+    """Raised when a segment's (global position, length) pair is inconsistent.
+
+    Examples: negative length, a position outside the super document, or an
+    insertion that would split an existing segment's boundary tags.
+    """
+
+
+class IndexError_(ReproError):
+    """Base class for element-index and B+-tree misuse errors.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class KeyNotFoundError(IndexError_):
+    """Raised when a key expected to be present in a B+-tree is missing."""
+
+    def __init__(self, key: object):
+        super().__init__(f"key not found: {key!r}")
+        self.key = key
+
+
+class QueryError(ReproError):
+    """Raised when a structural-join query is malformed or unsupported."""
+
+
+class LabelingError(ReproError):
+    """Raised by labeling schemes (interval, prime) on invalid operations."""

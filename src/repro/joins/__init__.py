@@ -1,0 +1,27 @@
+"""Structural join algorithms on interval labels.
+
+- :func:`~repro.joins.stack_tree.stack_tree_desc` — Stack-Tree-Desc, the STD
+  baseline and Lazy-Join's in-segment subroutine;
+- :func:`~repro.joins.merge_join.merge_containment_join` — the older
+  merge-style baseline;
+- :func:`~repro.joins.merge_join.naive_containment_join` — all-pairs oracle.
+"""
+
+from repro.joins.merge_join import merge_containment_join, naive_containment_join
+from repro.joins.path_stack import path_stack
+from repro.joins.stack_tree import (
+    AXIS_CHILD,
+    AXIS_DESCENDANT,
+    stack_tree_anc,
+    stack_tree_desc,
+)
+
+__all__ = [
+    "stack_tree_desc",
+    "stack_tree_anc",
+    "merge_containment_join",
+    "path_stack",
+    "naive_containment_join",
+    "AXIS_DESCENDANT",
+    "AXIS_CHILD",
+]

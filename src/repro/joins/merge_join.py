@@ -1,0 +1,65 @@
+"""Containment merge join — the pre-stack baseline (references [7, 14]).
+
+A relational-style merge over two start-sorted element lists, in the spirit
+of Zhang et al.'s MPMGJN / Li & Moon's EE-join: for every ancestor
+candidate, scan forward over descendants inside its span.  Nested ancestors
+re-scan the same descendants, so the worst case is O(|A|·|D|) — exactly the
+weakness the stack-based algorithms fixed, which makes this a useful second
+baseline and, being simple, a correctness oracle for the others.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections.abc import Sequence
+
+from repro.errors import QueryError
+from repro.joins.stack_tree import AXIS_CHILD, AXIS_DESCENDANT, _AXES
+
+__all__ = ["merge_containment_join", "naive_containment_join"]
+
+
+def merge_containment_join(
+    ancestors: Sequence,
+    descendants: Sequence,
+    axis: str = AXIS_DESCENDANT,
+) -> list[tuple]:
+    """Join start-sorted lists on strict containment, ordered by ancestor.
+
+    For each ancestor, binary-search the first descendant starting inside
+    its span and scan until the span ends.  ``axis="child"`` keeps only
+    pairs with ``descendant.level == ancestor.level + 1``.
+    """
+    if axis not in _AXES:
+        raise QueryError(f"axis must be one of {_AXES}, got {axis!r}")
+    child_only = axis == AXIS_CHILD
+    starts = [d.start for d in descendants]
+    results: list[tuple] = []
+    for anc in ancestors:
+        idx = bisect_right(starts, anc.start)
+        while idx < len(descendants) and descendants[idx].start < anc.end:
+            desc = descendants[idx]
+            if desc.end <= anc.end and (
+                not child_only or desc.level == anc.level + 1
+            ):
+                results.append((anc, desc))
+            idx += 1
+    return results
+
+
+def naive_containment_join(
+    ancestors: Sequence,
+    descendants: Sequence,
+    axis: str = AXIS_DESCENDANT,
+) -> list[tuple]:
+    """All-pairs reference implementation (test oracle, O(|A|·|D|) always)."""
+    if axis not in _AXES:
+        raise QueryError(f"axis must be one of {_AXES}, got {axis!r}")
+    child_only = axis == AXIS_CHILD
+    results: list[tuple] = []
+    for anc in ancestors:
+        for desc in descendants:
+            if anc.start < desc.start and desc.end <= anc.end:
+                if not child_only or desc.level == anc.level + 1:
+                    results.append((anc, desc))
+    return results

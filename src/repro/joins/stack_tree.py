@@ -1,0 +1,128 @@
+"""Stack-Tree-Desc — the Al-Khalifa et al. structural join (reference [1]).
+
+This is both the paper's STD comparator and the subroutine Lazy-Join uses
+for in-segment joins (on local positions, which is sound because local
+labels are immutable).
+
+The algorithm merges two element lists sorted by start position, keeping a
+stack of nested candidate ancestors.  Intervals come from a tree, so two
+intervals never partially overlap: once ancestors whose span ended before
+the current descendant are popped, *every* remaining stack entry contains
+the descendant — results stream out sorted by descendant position, matching
+the variant the paper extends.
+
+Works over any objects exposing ``start``, ``end`` (end-exclusive) and
+``level`` attributes, e.g. :class:`~repro.core.element_index.ElementRecord`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import QueryError
+
+__all__ = ["stack_tree_desc", "stack_tree_anc", "AXIS_DESCENDANT", "AXIS_CHILD"]
+
+AXIS_DESCENDANT = "descendant"
+AXIS_CHILD = "child"
+_AXES = (AXIS_DESCENDANT, AXIS_CHILD)
+
+
+def stack_tree_desc(
+    ancestors: Sequence,
+    descendants: Sequence,
+    axis: str = AXIS_DESCENDANT,
+) -> list[tuple]:
+    """Join two start-sorted element lists on containment.
+
+    Returns ``(ancestor, descendant)`` pairs where the ancestor's span
+    strictly contains the descendant's, ordered by descendant position
+    (ties/nesting: inner ancestors after outer, i.e. ascending ancestor
+    start).  ``axis="child"`` additionally requires
+    ``descendant.level == ancestor.level + 1``.
+
+    Self-joins are safe: an element never pairs with itself because
+    containment is strict.
+    """
+    if axis not in _AXES:
+        raise QueryError(f"axis must be one of {_AXES}, got {axis!r}")
+    child_only = axis == AXIS_CHILD
+    results: list[tuple] = []
+    stack: list = []
+    a_index = 0
+    a_count = len(ancestors)
+    for desc in descendants:
+        # Push every ancestor starting before this descendant.
+        while a_index < a_count and ancestors[a_index].start < desc.start:
+            candidate = ancestors[a_index]
+            while stack and stack[-1].end <= candidate.start:
+                stack.pop()
+            stack.append(candidate)
+            a_index += 1
+        # Drop ancestors that ended before this descendant starts.
+        while stack and stack[-1].end <= desc.start:
+            stack.pop()
+        # Everything left on the stack contains desc (no partial overlap in
+        # tree-shaped interval sets).
+        if child_only:
+            # Only the innermost ancestor can be the parent.
+            if stack and stack[-1].level + 1 == desc.level:
+                results.append((stack[-1], desc))
+        else:
+            for anc in stack:
+                results.append((anc, desc))
+    return results
+
+
+def stack_tree_anc(
+    ancestors: Sequence,
+    descendants: Sequence,
+    axis: str = AXIS_DESCENDANT,
+) -> list[tuple]:
+    """Join two start-sorted element lists, output sorted by *ancestor*.
+
+    The companion algorithm of reference [1]: the same single merge pass as
+    :func:`stack_tree_desc`, but pairs cannot be emitted as soon as they are
+    found (an outer ancestor precedes its nested descendants in the output
+    while its pairs keep accruing), so every stack entry buffers a
+    *self-list* of its own pairs and an *inherit-list* of pairs from popped
+    inner entries; lists drain to the output when the bottom entry pops.
+
+    Output order: ancestors by document position, each ancestor's pairs by
+    descendant position.
+    """
+    if axis not in _AXES:
+        raise QueryError(f"axis must be one of {_AXES}, got {axis!r}")
+    child_only = axis == AXIS_CHILD
+    results: list[tuple] = []
+    # Stack entries: [element, self_list, inherit_list]
+    stack: list[list] = []
+
+    def pop() -> None:
+        element, self_list, inherit_list = stack.pop()
+        merged = self_list + inherit_list
+        if stack:
+            stack[-1][2].extend(merged)
+        else:
+            results.extend(merged)
+
+    a_index = 0
+    a_count = len(ancestors)
+    for desc in descendants:
+        while a_index < a_count and ancestors[a_index].start < desc.start:
+            candidate = ancestors[a_index]
+            while stack and stack[-1][0].end <= candidate.start:
+                pop()
+            stack.append([candidate, [], []])
+            a_index += 1
+        while stack and stack[-1][0].end <= desc.start:
+            pop()
+        if child_only:
+            if stack and stack[-1][0].level + 1 == desc.level:
+                stack[-1][1].append((stack[-1][0], desc))
+        else:
+            for entry in stack:
+                entry[1].append((entry[0], desc))
+    while stack:
+        pop()
+    return results

@@ -1,0 +1,22 @@
+"""Labeling-scheme comparators.
+
+- :class:`~repro.labeling.interval.IntervalLabelingIndex` — traditional
+  global interval labels with relabel-on-update (the Fig. 16 baseline);
+- :class:`~repro.labeling.prime.PrimeLabeling` — the PRIME immutable scheme
+  with simultaneous-congruence order maintenance (the Fig. 17 baseline).
+"""
+
+from repro.labeling.interval import IntervalElement, IntervalLabelingIndex
+from repro.labeling.prime import InsertCost, PrimeLabeling, PrimeNode
+from repro.labeling.primes import PrimeSource, crt, is_prime
+
+__all__ = [
+    "IntervalLabelingIndex",
+    "IntervalElement",
+    "PrimeLabeling",
+    "PrimeNode",
+    "InsertCost",
+    "PrimeSource",
+    "crt",
+    "is_prime",
+]

@@ -1,0 +1,205 @@
+"""The PRIME labeling scheme — Wu, Lee & Hsu, ICDE 2004 (reference [12]).
+
+The immutable-labeling comparator of the paper's Fig. 17 experiment.
+
+Scheme recap:
+
+- every node gets a distinct prime as its *self label*;
+- a node's *label* is the product of its self label and its parent's label —
+  i.e. the product of the self labels on its root path — so ``X`` is an
+  ancestor of ``Y`` iff ``label(Y) mod label(X) == 0``.  Labels never change
+  on insertion: that is the scheme's selling point;
+- *document order* is kept outside the labels, in a table of **simultaneous
+  congruence (SC) values**: nodes are grouped K at a time and each group
+  stores the CRT solution of ``x ≡ order(v) (mod self(v))`` over its members.
+  A node's order is recovered as ``sc(group) mod self(v)``.
+
+The cost the paper measures: inserting a node in the middle shifts the order
+of every following node, so every group from the insertion point on must
+recompute its SC value — a CRT over K large primes each — which is exactly
+why PRIME loses to the lazy scheme by orders of magnitude.
+
+Self-label primes are drawn above a ``capacity`` floor so that recovered
+orders (which must stay below every modulus) are exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LabelingError
+from repro.labeling.primes import PrimeSource, crt
+
+__all__ = ["PrimeLabeling", "PrimeNode", "InsertCost"]
+
+_DEFAULT_GROUP = 10
+_DEFAULT_CAPACITY = 1 << 16
+
+
+@dataclass
+class PrimeNode:
+    """One labeled node: its self-label prime and full (product) label."""
+
+    nid: int
+    self_label: int
+    label: int
+    parent: "PrimeNode | None" = field(default=None, repr=False)
+
+
+@dataclass
+class InsertCost:
+    """Work accounting for one insertion (benchmarked in Fig. 17)."""
+
+    groups_recomputed: int = 0
+    crt_congruences: int = 0
+
+
+class PrimeLabeling:
+    """PRIME-labeled document with SC-table order maintenance.
+
+    Parameters
+    ----------
+    group_size:
+        K — nodes per simultaneous-congruence group (the Fig. 17 knob).
+    capacity:
+        Upper bound on the number of nodes; self-label primes exceed it so
+        order recovery is exact.
+    """
+
+    def __init__(
+        self, group_size: int = _DEFAULT_GROUP, capacity: int = _DEFAULT_CAPACITY
+    ):
+        if group_size < 1:
+            raise LabelingError(f"group_size must be >= 1, got {group_size}")
+        self._group_size = group_size
+        self._capacity = capacity
+        self._primes = PrimeSource(floor=capacity)
+        self._nodes: dict[int, PrimeNode] = {}
+        self._order: list[int] = []  # nids in document order
+        self._sc_values: list[int] = []  # one per group of K order slots
+        self._next_nid = 1
+        self._next_prime_index = 0
+
+    # ------------------------------------------------------------------
+    # properties
+
+    @property
+    def group_size(self) -> int:
+        return self._group_size
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, nid: int) -> PrimeNode:
+        try:
+            return self._nodes[nid]
+        except KeyError:
+            raise LabelingError(f"unknown node id {nid}") from None
+
+    # ------------------------------------------------------------------
+    # labeling
+
+    def _fresh_prime(self) -> int:
+        prime = self._primes.nth(self._next_prime_index)
+        self._next_prime_index += 1
+        return prime
+
+    def insert(
+        self,
+        parent_nid: int | None,
+        order_index: int | None = None,
+        cost: InsertCost | None = None,
+    ) -> int:
+        """Insert a node under ``parent_nid`` at ``order_index`` in doc order.
+
+        ``order_index`` defaults to the end (appending).  Existing labels are
+        untouched (immutability); the SC table is recomputed for every group
+        at or after the insertion point, which is the measured cost —
+        pass an :class:`InsertCost` to collect it.
+
+        Returns the new node id.
+        """
+        if len(self._nodes) >= self._capacity:
+            raise LabelingError(
+                f"capacity {self._capacity} exhausted; orders would no "
+                "longer be recoverable from SC values"
+            )
+        if order_index is None:
+            order_index = len(self._order)
+        if not (0 <= order_index <= len(self._order)):
+            raise LabelingError(
+                f"order_index {order_index} out of range "
+                f"[0, {len(self._order)}]"
+            )
+        parent = self._nodes[parent_nid] if parent_nid is not None else None
+        self_label = self._fresh_prime()
+        label = self_label * (parent.label if parent is not None else 1)
+        nid = self._next_nid
+        self._next_nid += 1
+        self._nodes[nid] = PrimeNode(nid, self_label, label, parent)
+        self._order.insert(order_index, nid)
+        self._recompute_sc_from(order_index // self._group_size, cost)
+        return nid
+
+    def delete(self, nid: int, cost: InsertCost | None = None) -> None:
+        """Remove a (leaf) node; shifts following orders and recomputes SC."""
+        node = self.node(nid)
+        for other in self._nodes.values():
+            if other.parent is node:
+                raise LabelingError(f"node {nid} still has children")
+        order_index = self._order.index(nid)
+        del self._order[order_index]
+        del self._nodes[nid]
+        self._recompute_sc_from(order_index // self._group_size, cost)
+
+    def _recompute_sc_from(self, first_group: int, cost: InsertCost | None) -> None:
+        """Recompute SC values for every group from ``first_group`` on.
+
+        Orders of all nodes from the touched group onward changed, so each
+        of those groups solves a fresh K-congruence CRT — the dominant cost
+        of PRIME updates.
+        """
+        k = self._group_size
+        group_count = (len(self._order) + k - 1) // k
+        del self._sc_values[first_group:]
+        for group in range(first_group, group_count):
+            members = self._order[group * k : (group + 1) * k]
+            moduli = [self._nodes[m].self_label for m in members]
+            residues = [group * k + offset for offset in range(len(members))]
+            self._sc_values.append(crt(residues, moduli))
+            if cost is not None:
+                cost.groups_recomputed += 1
+                cost.crt_congruences += len(members)
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def is_ancestor(self, anc_nid: int, desc_nid: int) -> bool:
+        """Prime-divisibility ancestor test: ``label(Y) mod label(X) == 0``."""
+        anc = self.node(anc_nid)
+        desc = self.node(desc_nid)
+        if anc_nid == desc_nid:
+            return False
+        return desc.label % anc.label == 0
+
+    def document_order(self, nid: int) -> int:
+        """Recover a node's document order from the SC table.
+
+        This goes through ``sc mod self_label`` — *not* through the order
+        list — so tests exercising it validate the CRT bookkeeping.
+        """
+        node = self.node(nid)
+        # The node's group is found via the order list (the scheme stores a
+        # node → group map; the list is our equivalent).
+        order_index = self._order.index(nid)
+        sc = self._sc_values[order_index // self._group_size]
+        return sc % node.self_label
+
+    def check_invariants(self) -> None:
+        """Validate SC-recovered orders against ground truth."""
+        for true_order, nid in enumerate(self._order):
+            recovered = self.document_order(nid)
+            assert recovered == true_order, (
+                f"SC table broken: node {nid} recovered order {recovered}, "
+                f"true {true_order}"
+            )

@@ -1,0 +1,92 @@
+"""Prime number utilities for the PRIME labeling scheme (reference [12]).
+
+Pure-Python prime generation (sieve with on-demand growth) and the Chinese
+Remainder Theorem solver used to compute the scheme's "simultaneous
+congruence" values.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from math import prod
+
+__all__ = ["PrimeSource", "crt", "is_prime"]
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic primality test (trial division; adequate for our sizes)."""
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 2
+    return True
+
+
+class PrimeSource:
+    """A growing, cached supply of primes.
+
+    ``floor`` forces every produced prime to exceed a bound — the PRIME
+    scheme needs self-label primes larger than any document-order number so
+    that ``sc mod p`` recovers orders exactly.
+    """
+
+    def __init__(self, floor: int = 0):
+        self._floor = floor
+        self._primes: list[int] = []
+        self._next_candidate = max(2, floor + 1)
+
+    @property
+    def floor(self) -> int:
+        return self._floor
+
+    def _grow(self) -> None:
+        candidate = self._next_candidate
+        while not is_prime(candidate):
+            candidate += 1
+        self._primes.append(candidate)
+        self._next_candidate = candidate + 1
+
+    def nth(self, index: int) -> int:
+        """The ``index``-th prime above the floor (0-based)."""
+        while len(self._primes) <= index:
+            self._grow()
+        return self._primes[index]
+
+    def take(self, count: int) -> list[int]:
+        """The first ``count`` primes above the floor."""
+        while len(self._primes) < count:
+            self._grow()
+        return self._primes[:count]
+
+    def __iter__(self) -> Iterator[int]:
+        index = 0
+        while True:
+            yield self.nth(index)
+            index += 1
+
+
+def crt(residues: Sequence[int], moduli: Sequence[int]) -> int:
+    """Solve ``x ≡ residues[i] (mod moduli[i])`` for pairwise-coprime moduli.
+
+    Returns the unique solution in ``[0, prod(moduli))``.  This is the
+    "simultaneous congruence" computation whose cost dominates PRIME
+    insertions (Section 5.4): the moduli are the K self-label primes of one
+    group and the residues their document-order numbers.
+    """
+    if len(residues) != len(moduli):
+        raise ValueError("residues and moduli must have equal length")
+    if not moduli:
+        return 0
+    total = prod(moduli)
+    x = 0
+    for residue, modulus in zip(residues, moduli):
+        partial = total // modulus
+        x += residue * partial * pow(partial, -1, modulus)
+    return x % total

@@ -1,0 +1,136 @@
+"""Snapshot persistence for :class:`~repro.core.database.LazyXMLDatabase`.
+
+The update log is an in-memory structure; the paper's deployment story has
+the administrator rebuilding it during maintenance windows.  For a usable
+library we also want to *close and reopen* a database without replaying the
+whole update history, so this module serializes the complete state — tag
+registry, segment tree (including tombstones), element records and the
+optional text mirror — to a single JSON document, and restores it
+losslessly.
+
+The format is versioned and deliberately simple (ints and strings only), so
+snapshots are diffable and future-proof.
+
+    >>> from repro import LazyXMLDatabase
+    >>> from repro.storage import dumps, loads
+    >>> db = LazyXMLDatabase()
+    >>> _ = db.insert("<a><b/></a>")
+    >>> copy = loads(dumps(db))
+    >>> copy.text == db.text
+    True
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.core.database import LazyXMLDatabase
+from repro.core.ertree import ERNode
+from repro.core.segment import DUMMY_ROOT_SID
+from repro.errors import ReproError
+
+__all__ = ["FORMAT_VERSION", "dumps", "loads", "save", "load", "SnapshotError"]
+
+FORMAT_VERSION = 1
+
+
+class SnapshotError(ReproError):
+    """Raised when a snapshot cannot be decoded."""
+
+
+def dumps(db: LazyXMLDatabase) -> str:
+    """Serialize the database to a JSON string."""
+    segments = []
+    for node in db.log.ertree.nodes():
+        entry = {
+            "sid": node.sid,
+            "parent": node.parent.sid if node.parent is not None else None,
+            "gp": node.gp,
+            "length": node.length,
+            "lp": node.lp,
+            "tombstones": [list(t) for t in node.tombstones()],
+            "records": [
+                list(record)
+                for record in db._segment_elements.get(node.sid, [])
+            ],
+        }
+        segments.append(entry)
+    payload = {
+        "format": FORMAT_VERSION,
+        "mode": db.mode,
+        "keep_text": db._keep_text,
+        "text": db._text if db._keep_text else None,
+        "tags": [db.log.tags.name_of(tid) for tid in range(len(db.log.tags))],
+        "next_sid": db.log.ertree._next_sid,
+        "segments": segments,
+    }
+    return json.dumps(payload)
+
+
+def loads(data: str) -> LazyXMLDatabase:
+    """Reconstruct a database from :func:`dumps` output."""
+    try:
+        payload = json.loads(data)
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(f"snapshot is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != FORMAT_VERSION:
+        found = payload.get("format") if isinstance(payload, dict) else type(payload).__name__
+        raise SnapshotError(f"unsupported snapshot format: {found!r}")
+    db = LazyXMLDatabase(
+        mode=payload["mode"], keep_text=bool(payload["keep_text"])
+    )
+    if db._keep_text:
+        db._text = payload["text"] or ""
+    for name in payload["tags"]:
+        db.log.tags.intern(name)
+
+    ertree = db.log.ertree
+    nodes: dict[int, ERNode] = {DUMMY_ROOT_SID: ertree.root}
+    # Segments arrive in pre-order (parents first) from dumps().
+    for entry in payload["segments"]:
+        sid = entry["sid"]
+        if sid == DUMMY_ROOT_SID:
+            ertree.root.length = entry["length"]
+            ertree.root._tombstones = [tuple(t) for t in entry["tombstones"]]
+            continue
+        parent = nodes.get(entry["parent"])
+        if parent is None:
+            raise SnapshotError(
+                f"segment {sid} references unknown parent {entry['parent']}"
+            )
+        node = ERNode(
+            sid,
+            gp=entry["gp"],
+            length=entry["length"],
+            lp=entry["lp"],
+            parent=parent,
+        )
+        node._tombstones = [tuple(t) for t in entry["tombstones"]]
+        parent.children.append(node)
+        ertree._nodes[sid] = node
+        nodes[sid] = node
+        db.log.sbtree.on_add(node)
+        records = [tuple(record) for record in entry["records"]]
+        db._segment_elements[sid] = records
+        counts: Counter = Counter()
+        for tid, start, end, level in records:
+            db.index._tree.insert((tid, sid, start, end, level), None)
+            counts[tid] += 1
+        for tid, count in counts.items():
+            db.log.taglist.add_segment(tid, node, count)
+    for node in nodes.values():
+        node.children.sort(key=lambda child: child.gp)
+    ertree._next_sid = payload.get("next_sid", max(nodes) + 1)
+    return db
+
+
+def save(db: LazyXMLDatabase, path: str | Path) -> None:
+    """Write a snapshot to ``path``."""
+    Path(path).write_text(dumps(db), encoding="utf-8")
+
+
+def load(path: str | Path) -> LazyXMLDatabase:
+    """Read a snapshot from ``path``."""
+    return loads(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,59 @@
+"""Workload generation: documents, segments and update streams.
+
+- :mod:`repro.workloads.generator` — seeded random trees (IBM XML Generator
+  substitute);
+- :mod:`repro.workloads.xmark` — XMark-schema documents (XMark substitute);
+- :mod:`repro.workloads.chopper` — chop a document into N segments with a
+  balanced or nested ER-tree;
+- :mod:`repro.workloads.join_mix` — super documents with a controlled
+  cross-segment-join percentage;
+- :mod:`repro.workloads.scenarios` — registration-form and DBLP-style
+  update streams.
+"""
+
+from repro.workloads.chopper import InsertOp, apply_chop, chop, chop_text, choose_segment_roots
+from repro.workloads.generator import (
+    GeneratorConfig,
+    generate_fragment,
+    generate_tree,
+    generate_uniform_fragment,
+    tag_pool,
+)
+from repro.workloads.join_mix import (
+    JoinMixConfig,
+    JoinMixInfo,
+    build_join_mix,
+    sweep_configs,
+)
+from repro.workloads.scenarios import (
+    dblp_article,
+    dblp_stream,
+    registration_form,
+    registration_stream,
+)
+from repro.workloads.xmark import XMARK_QUERIES, XMarkConfig, generate_person, generate_site
+
+__all__ = [
+    "GeneratorConfig",
+    "generate_tree",
+    "generate_fragment",
+    "generate_uniform_fragment",
+    "tag_pool",
+    "XMarkConfig",
+    "generate_site",
+    "generate_person",
+    "XMARK_QUERIES",
+    "InsertOp",
+    "choose_segment_roots",
+    "chop",
+    "chop_text",
+    "apply_chop",
+    "JoinMixConfig",
+    "JoinMixInfo",
+    "build_join_mix",
+    "sweep_configs",
+    "registration_form",
+    "registration_stream",
+    "dblp_article",
+    "dblp_stream",
+]

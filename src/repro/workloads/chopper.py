@@ -1,0 +1,182 @@
+"""Chopping documents into segments (Section 5.1's setup step).
+
+The paper builds its experimental databases by chopping a document "into
+many small segments and inserting these segments into an initially dummy XML
+document, while maintaining the validity of the super document".  This
+module implements that:
+
+- :func:`choose_segment_roots` picks which elements become segment roots,
+  under a *shape* policy — ``"nested"`` (a containment chain: the worst-case
+  ER-tree) or ``"balanced"`` (segment roots spread breadth-first: a bushy,
+  shallow ER-tree);
+- :func:`chop` turns a document + chosen roots into an ordered list of
+  :class:`InsertOp` (fragment text, insertion position *at execution time*);
+- :func:`apply_chop` replays the ops against a
+  :class:`~repro.core.database.LazyXMLDatabase`, which then contains exactly
+  the original document, split over the requested number of segments.
+
+The position bookkeeping: ops execute in document pre-order of the segment
+roots, so when an op runs, everything already inserted is exactly the
+material that precedes or encloses it; the insertion offset is the count of
+already-inserted characters originally located before the fragment.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.database import LazyXMLDatabase
+from repro.errors import UpdateError
+from repro.xml.model import XMLDocument, XMLElement
+from repro.xml.parser import parse
+
+__all__ = ["InsertOp", "choose_segment_roots", "chop", "apply_chop", "chop_text"]
+
+_SHAPES = ("nested", "balanced")
+
+
+@dataclass
+class InsertOp:
+    """One segment insertion: ``fragment`` goes in at ``position``.
+
+    ``position`` is valid at the moment the op executes, assuming all
+    preceding ops in the list have executed (in order).
+    """
+
+    fragment: str
+    position: int
+
+
+def choose_segment_roots(
+    document: XMLDocument,
+    n_segments: int,
+    shape: str = "balanced",
+    rng: random.Random | None = None,
+) -> list[XMLElement]:
+    """Pick ``n_segments`` elements to serve as segment roots.
+
+    The document root is always the first.  ``"balanced"`` walks the tree
+    breadth-first, spreading roots across subtrees so segment containment
+    stays shallow; ``"nested"`` walks down a deepest path so every segment
+    contains the next (the paper's worst case).  ``rng`` adds tie-breaking
+    shuffling for balanced picks (deterministic when omitted).
+    """
+    if shape not in _SHAPES:
+        raise UpdateError(f"shape must be one of {_SHAPES}, got {shape!r}")
+    if n_segments < 1:
+        raise UpdateError(f"n_segments must be >= 1, got {n_segments}")
+    root = document.root
+    roots = [root]
+    if shape == "nested":
+        # Follow the path to the deepest leaf: segment nesting is bounded by
+        # element nesting, so the longest chain lives on the tallest path.
+        height: dict[XMLElement, int] = {}
+        for element in reversed(document.elements):
+            height[element] = 1 + max(
+                (height[c] for c in element.children), default=0
+            )
+        node = root
+        while len(roots) < n_segments and node.children:
+            node = max(node.children, key=lambda c: height[c])
+            roots.append(node)
+    else:
+        queue = deque(root.children)
+        while queue and len(roots) < n_segments:
+            batch = list(queue)
+            queue.clear()
+            if rng is not None:
+                rng.shuffle(batch)
+            for element in batch:
+                if len(roots) >= n_segments:
+                    break
+                roots.append(element)
+                queue.extend(element.children)
+    if len(roots) < n_segments:
+        raise UpdateError(
+            f"document too small to chop into {n_segments} segments "
+            f"(managed {len(roots)} under shape {shape!r})"
+        )
+    return roots
+
+
+def chop(document: XMLDocument, roots: list[XMLElement]) -> list[InsertOp]:
+    """Compute the insertion ops recreating ``document`` from ``roots``.
+
+    Each segment's fragment is its root element's text minus the spans of
+    segment roots nested inside it.  Ops come out in document pre-order of
+    the roots (ancestors before descendants, left before right), with each
+    op's position computed against the text state its predecessors leave
+    behind.
+    """
+    text = document.text
+    root_set = set(roots)
+    if document.root not in root_set:
+        raise UpdateError("the document root must be a segment root")
+    ordered = [e for e in document.elements if e in root_set]
+
+    # Direct sub-roots of each segment root: nearest descendant roots.
+    sub_roots: dict[XMLElement, list[XMLElement]] = {r: [] for r in ordered}
+    for element in ordered:
+        if element is document.root:
+            continue
+        anc = element.parent
+        while anc is not None and anc not in root_set:
+            anc = anc.parent
+        assert anc is not None  # the document root is always a segment root
+        sub_roots[anc].append(element)
+
+    # Each op's own character intervals (root span minus nested root spans).
+    ops: list[InsertOp] = []
+    inserted_intervals: list[tuple[int, int]] = []
+    for element in ordered:
+        gaps = sorted((s.start, s.end) for s in sub_roots[element])
+        pieces: list[str] = []
+        own_intervals: list[tuple[int, int]] = []
+        cursor = element.start
+        for gap_start, gap_end in gaps:
+            if cursor < gap_start:
+                pieces.append(text[cursor:gap_start])
+                own_intervals.append((cursor, gap_start))
+            cursor = gap_end
+        if cursor < element.end:
+            pieces.append(text[cursor : element.end])
+            own_intervals.append((cursor, element.end))
+        fragment = "".join(pieces)
+        position = sum(
+            min(end, element.start) - start
+            for start, end in inserted_intervals
+            if start < element.start
+        )
+        ops.append(InsertOp(fragment=fragment, position=position))
+        inserted_intervals.extend(own_intervals)
+    return ops
+
+
+def apply_chop(db: LazyXMLDatabase, ops: list[InsertOp]) -> list[int]:
+    """Execute insertion ops in order; return the created sids."""
+    return [db.insert(op.fragment, op.position).sid for op in ops]
+
+
+def chop_text(
+    text: str,
+    n_segments: int,
+    shape: str = "balanced",
+    *,
+    db: LazyXMLDatabase | None = None,
+    seed: int | None = None,
+) -> tuple[LazyXMLDatabase, list[int]]:
+    """Parse, chop and load ``text`` into a (new or given) database.
+
+    Returns ``(db, sids)``.  The resulting database's text equals ``text``
+    exactly, spread over ``n_segments`` segments shaped per ``shape``.
+    """
+    document = parse(text)
+    rng = random.Random(seed) if seed is not None else None
+    roots = choose_segment_roots(document, n_segments, shape, rng)
+    ops = chop(document, roots)
+    if db is None:
+        db = LazyXMLDatabase()
+    sids = apply_chop(db, ops)
+    return db, sids

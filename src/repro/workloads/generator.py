@@ -1,0 +1,148 @@
+"""Synthetic XML generation — the IBM XML Generator substitute.
+
+The paper uses the IBM generator only as a source of documents with
+controllable characteristics (segment size, element counts, tag variety,
+nesting).  This module provides a seeded random-tree generator exposing the
+same knobs, producing :class:`~repro.xml.serializer.Node` trees or XML text
+directly.
+
+Determinism: every function takes either a seed or a ``random.Random``; the
+same seed always yields byte-identical XML.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass, field
+
+from repro.xml.serializer import Node
+
+__all__ = ["GeneratorConfig", "generate_tree", "generate_fragment", "tag_pool"]
+
+
+def tag_pool(count: int, prefix: str = "t") -> list[str]:
+    """A deterministic pool of ``count`` distinct tag names."""
+    return [f"{prefix}{i}" for i in range(count)]
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs for random-tree generation.
+
+    ``fanout`` bounds children per element (inclusive range); depth is
+    bounded by ``max_depth``; ``text_probability`` adds small character-data
+    payloads; ``target_elements`` (when set) stops growth once the tree
+    reaches that size, giving precise control over segment element counts.
+    """
+
+    tags: list[str] = field(default_factory=lambda: tag_pool(8))
+    max_depth: int = 5
+    fanout: tuple[int, int] = (1, 4)
+    text_probability: float = 0.2
+    target_elements: int | None = None
+    seed: int = 0
+
+
+def generate_tree(config: GeneratorConfig, rng: random.Random | None = None) -> Node:
+    """Generate a random element tree honoring ``config``.
+
+    The root tag is ``config.tags[0]``; descendants draw uniformly from the
+    pool.  With ``target_elements`` set, the tree grows breadth-first to
+    exactly that element count (subject to ``max_depth``, which may cap it).
+    """
+    if rng is None:
+        rng = random.Random(config.seed)
+    root = Node(config.tags[0])
+    if config.target_elements is not None:
+        _grow_to_target(root, config, rng)
+    else:
+        _grow_random(root, config, rng, depth=1)
+    return root
+
+
+def _grow_random(node: Node, config: GeneratorConfig, rng: random.Random, depth: int) -> None:
+    if depth >= config.max_depth:
+        return
+    lo, hi = config.fanout
+    for _ in range(rng.randint(lo, hi)):
+        child = node.child(rng.choice(config.tags))
+        if rng.random() < config.text_probability:
+            child.text(_random_text(rng))
+        _grow_random(child, config, rng, depth + 1)
+
+
+def _grow_to_target(root: Node, config: GeneratorConfig, rng: random.Random) -> None:
+    target = config.target_elements
+    assert target is not None
+    count = 1
+    frontier: list[tuple[Node, int]] = [(root, 1)]
+    while count < target and frontier:
+        index = rng.randrange(len(frontier))
+        node, depth = frontier[index]
+        if depth >= config.max_depth:
+            frontier.pop(index)
+            continue
+        child = node.child(rng.choice(config.tags))
+        if rng.random() < config.text_probability:
+            child.text(_random_text(rng))
+        count += 1
+        frontier.append((child, depth + 1))
+    # Note: when max_depth prunes the whole frontier the tree may stay
+    # smaller than the target; callers needing exact counts use a depth
+    # bound large enough for their target.
+
+
+def _random_text(rng: random.Random, length: int = 8) -> str:
+    return "".join(rng.choice(string.ascii_lowercase) for _ in range(length))
+
+
+def generate_fragment(
+    n_elements: int,
+    tags: list[str] | None = None,
+    *,
+    seed: int = 0,
+    max_depth: int = 12,
+    rng: random.Random | None = None,
+) -> str:
+    """A well-formed XML fragment with exactly ``n_elements`` elements.
+
+    Convenience wrapper over :func:`generate_tree` used throughout the
+    benchmarks to make segments of precise sizes.
+    """
+    if n_elements < 1:
+        raise ValueError(f"n_elements must be >= 1, got {n_elements}")
+    config = GeneratorConfig(
+        tags=tags or tag_pool(8),
+        max_depth=max_depth,
+        target_elements=n_elements,
+        text_probability=0.0,
+        seed=seed,
+    )
+    return generate_tree(config, rng).to_xml()
+
+
+def generate_uniform_fragment(
+    n_elements: int, tags: list[str], shape: str = "wide"
+) -> str:
+    """A deterministic fragment with exact element and tag-name counts.
+
+    Guarantees every tag in ``tags`` appears (round-robin assignment) as
+    long as ``n_elements >= len(tags)`` — the control the Fig. 17(b)
+    experiment needs when sweeping "number of distinct tag names per
+    segment".  ``shape`` is ``"wide"`` (root plus a flat run of children) or
+    ``"deep"`` (a single chain).
+    """
+    if n_elements < 1:
+        raise ValueError(f"n_elements must be >= 1, got {n_elements}")
+    if not tags:
+        raise ValueError("tags must be non-empty")
+    if shape not in ("wide", "deep"):
+        raise ValueError(f"shape must be 'wide' or 'deep', got {shape!r}")
+    root = Node(tags[0])
+    node = root
+    for i in range(1, n_elements):
+        child = node.child(tags[i % len(tags)])
+        if shape == "deep":
+            node = child
+    return root.to_xml()

@@ -1,0 +1,87 @@
+"""Realistic update streams — the paper's motivating scenarios (Section 1).
+
+Two generators of *segment streams*, each yielding well-formed fragments the
+way the paper's introduction describes updates arriving in the real world:
+
+- :func:`registration_stream` — an online registration system: each submitted
+  form becomes one 20–30 element XML document appended to the database;
+- :func:`dblp_stream` — a bibliography server: daily batches of new articles
+  and proceedings entries.
+
+Both are seeded and deterministic; the examples and several integration
+tests replay them against a :class:`~repro.core.database.LazyXMLDatabase`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+
+from repro.xml.serializer import Node
+
+__all__ = ["registration_stream", "dblp_stream", "registration_form", "dblp_article"]
+
+_OCCUPATIONS = ["engineer", "teacher", "researcher", "student", "analyst"]
+_COUNTRIES = ["Italy", "Singapore", "China", "USA", "Germany", "Japan"]
+_VENUES = ["SIGMOD", "VLDB", "ICDE", "EDBT", "CIKM"]
+
+
+def registration_form(rng: random.Random, index: int) -> str:
+    """One registration-form segment (~20–30 elements)."""
+    form = Node("registration", {"id": f"reg{index}"})
+    user = form.child("user")
+    user.child("identification").text(f"U{index:06d}")
+    name = user.child("name")
+    name.child("first").text(f"First{index}")
+    name.child("last").text(f"Last{index}")
+    user.child("occupation").text(rng.choice(_OCCUPATIONS))
+    contact = form.child("contact")
+    contact.child("email").text(f"user{index}@example.org")
+    if rng.random() < 0.6:
+        contact.child("phone").text(f"+{rng.randint(1, 99)}-{rng.randint(100, 999)}")
+    address = contact.child("address")
+    address.child("street").text(f"{rng.randint(1, 200)} Example Rd")
+    address.child("city").text(f"City{rng.randint(0, 40)}")
+    address.child("country").text(rng.choice(_COUNTRIES))
+    preferences = form.child("preferences")
+    for i in range(rng.randint(1, 5)):
+        preferences.child("interest", topic=f"topic{rng.randint(0, 20)}")
+    if rng.random() < 0.5:
+        preferences.child("newsletter").text("yes")
+    meta = form.child("metadata")
+    meta.child("submitted").text("2005-06-14")
+    meta.child("source").text("web")
+    return form.to_xml()
+
+
+def registration_stream(count: int, seed: int = 11) -> Iterator[str]:
+    """Yield ``count`` registration-form segments."""
+    rng = random.Random(seed)
+    for index in range(count):
+        yield registration_form(rng, index)
+
+
+def dblp_article(rng: random.Random, index: int) -> str:
+    """One bibliography entry segment in DBLP style."""
+    kind = rng.choice(["article", "inproceedings"])
+    entry = Node(kind, {"key": f"conf/x/{index}"})
+    for i in range(rng.randint(1, 4)):
+        entry.child("author").text(f"Author {index}-{i}")
+    entry.child("title").text(f"On Topic Number {index}")
+    if kind == "article":
+        entry.child("journal").text("Journal of Examples")
+        entry.child("volume").text(str(rng.randint(1, 40)))
+    else:
+        entry.child("booktitle").text(rng.choice(_VENUES))
+    entry.child("year").text(str(rng.randint(1995, 2005)))
+    entry.child("pages").text(f"{rng.randint(1, 400)}-{rng.randint(401, 800)}")
+    if rng.random() < 0.4:
+        entry.child("ee").text(f"db/conf/x/{index}.html")
+    return entry.to_xml()
+
+
+def dblp_stream(count: int, seed: int = 23) -> Iterator[str]:
+    """Yield ``count`` bibliography-entry segments (the DBLP batch case)."""
+    rng = random.Random(seed)
+    for index in range(count):
+        yield dblp_article(rng, index)

@@ -1,0 +1,173 @@
+"""XMark-like document generation — the XMark benchmark substitute.
+
+The paper's third experiment group runs queries Q1–Q5 over an XMark dataset
+(100 MB, ~3M elements).  We cannot ship XMark data, so this module generates
+documents following the XMark auction-site schema at a configurable scale:
+
+    site
+    ├── regions/africa..samerica/item*          (bulk)
+    ├── categories/category*                    (bulk)
+    ├── people/person*
+    │     ├── name, emailaddress, phone?, address(street,city,country,zipcode)
+    │     ├── profile(interest*, education?, gender?, business, age?)
+    │     └── watches(watch*)
+    └── open_auctions/open_auction*(bidder*, ...), closed_auctions/...
+
+All tag containment relations the five queries touch — ``person//phone``,
+``profile//interest``, ``watches//watch``, ``person//watch``,
+``person//interest`` — have the same shape as in real XMark, so result
+cardinalities scale the way the paper's Fig. 14 table does.
+
+Generation is seeded and deterministic.  ``scale=1.0`` approximates real
+XMark's proportions (2 550 persons per scale unit); the benchmarks run at
+reduced scale since absolute dataset size is not the reproduced quantity.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.xml.serializer import Node
+
+__all__ = ["XMarkConfig", "generate_site", "generate_person", "XMARK_QUERIES"]
+
+#: The Fig. 14 query set: (query id, ancestor tag, descendant tag).
+XMARK_QUERIES: list[tuple[str, str, str]] = [
+    ("Q1", "person", "phone"),
+    ("Q2", "profile", "interest"),
+    ("Q3", "watches", "watch"),
+    ("Q4", "person", "watch"),
+    ("Q5", "person", "interest"),
+]
+
+_REGIONS = ["africa", "asia", "australia", "europe", "namerica", "samerica"]
+_PERSONS_PER_SCALE = 2550
+_ITEMS_PER_SCALE = 2175
+_OPEN_AUCTIONS_PER_SCALE = 1200
+_CLOSED_AUCTIONS_PER_SCALE = 975
+_CATEGORIES_PER_SCALE = 100
+
+
+@dataclass
+class XMarkConfig:
+    """Scale and distribution knobs for XMark-like generation.
+
+    ``phone_probability`` etc. control per-person optional content;
+    ``max_interests``/``max_watches`` bound the multi-valued children, whose
+    counts draw uniformly from ``[0, max]``.
+    """
+
+    scale: float = 0.01
+    seed: int = 7
+    phone_probability: float = 0.8
+    max_interests: int = 5
+    max_watches: int = 8
+    include_auctions: bool = True
+
+
+def generate_person(rng: random.Random, index: int, config: XMarkConfig) -> Node:
+    """One ``person`` element following the XMark person schema."""
+    person = Node("person", {"id": f"person{index}"})
+    person.child("name").text(f"Person {index}")
+    person.child("emailaddress").text(f"mailto:person{index}@example.org")
+    if rng.random() < config.phone_probability:
+        person.child("phone").text(f"+{rng.randint(1, 99)} {rng.randint(1000000, 9999999)}")
+    address = person.child("address")
+    address.child("street").text(f"{rng.randint(1, 99)} Main St")
+    address.child("city").text(f"City{rng.randint(0, 50)}")
+    address.child("country").text("United States")
+    address.child("zipcode").text(str(rng.randint(10000, 99999)))
+    profile = person.child("profile", income=str(rng.randint(10000, 200000)))
+    for i in range(rng.randint(0, config.max_interests)):
+        profile.child("interest", category=f"category{rng.randint(0, 99)}")
+    if rng.random() < 0.7:
+        profile.child("education").text("Graduate School")
+    if rng.random() < 0.9:
+        profile.child("gender").text(rng.choice(["male", "female"]))
+    profile.child("business").text(rng.choice(["Yes", "No"]))
+    if rng.random() < 0.5:
+        profile.child("age").text(str(rng.randint(18, 90)))
+    watches = person.child("watches")
+    for i in range(rng.randint(0, config.max_watches)):
+        watches.child(
+            "watch", open_auction=f"open_auction{rng.randint(0, 9999)}"
+        )
+    return person
+
+
+def _generate_item(rng: random.Random, index: int) -> Node:
+    item = Node("item", {"id": f"item{index}"})
+    item.child("location").text(f"City{rng.randint(0, 50)}")
+    item.child("quantity").text(str(rng.randint(1, 5)))
+    item.child("name").text(f"Item {index}")
+    payment = item.child("payment")
+    payment.text(rng.choice(["Creditcard", "Cash", "Money order"]))
+    description = item.child("description")
+    description.child("text").text("great condition")
+    return item
+
+
+def _generate_open_auction(rng: random.Random, index: int) -> Node:
+    auction = Node("open_auction", {"id": f"open_auction{index}"})
+    auction.child("initial").text(f"{rng.uniform(1, 100):.2f}")
+    for _ in range(rng.randint(0, 5)):
+        bidder = auction.child("bidder")
+        bidder.child("date").text("01/01/2005")
+        bidder.child("increase").text(f"{rng.uniform(1, 20):.2f}")
+    auction.child("current").text(f"{rng.uniform(1, 500):.2f}")
+    auction.child("quantity").text("1")
+    auction.child("itemref", item=f"item{rng.randint(0, 9999)}")
+    auction.child("seller", person=f"person{rng.randint(0, 9999)}")
+    return auction
+
+
+def _generate_closed_auction(rng: random.Random, index: int) -> Node:
+    auction = Node("closed_auction")
+    auction.child("seller", person=f"person{rng.randint(0, 9999)}")
+    auction.child("buyer", person=f"person{rng.randint(0, 9999)}")
+    auction.child("itemref", item=f"item{rng.randint(0, 9999)}")
+    auction.child("price").text(f"{rng.uniform(1, 500):.2f}")
+    auction.child("date").text("01/01/2005")
+    auction.child("quantity").text("1")
+    return auction
+
+
+def generate_site(config: XMarkConfig | None = None) -> Node:
+    """Generate a full XMark-like ``site`` document tree."""
+    if config is None:
+        config = XMarkConfig()
+    rng = random.Random(config.seed)
+    n_persons = max(1, round(_PERSONS_PER_SCALE * config.scale))
+    n_items = max(1, round(_ITEMS_PER_SCALE * config.scale))
+    n_open = max(1, round(_OPEN_AUCTIONS_PER_SCALE * config.scale))
+    n_closed = max(1, round(_CLOSED_AUCTIONS_PER_SCALE * config.scale))
+    n_categories = max(1, round(_CATEGORIES_PER_SCALE * config.scale))
+
+    site = Node("site")
+    regions = site.child("regions")
+    for region_index in range(n_items):
+        region = _REGIONS[region_index % len(_REGIONS)]
+        # Group items under region elements lazily: find-or-create.
+        target = next(
+            (c for c in regions.content if isinstance(c, Node) and c.tag == region),
+            None,
+        )
+        if target is None:
+            target = regions.child(region)
+        target.content.append(_generate_item(rng, region_index))
+    categories = site.child("categories")
+    for i in range(n_categories):
+        category = categories.child("category", id=f"category{i}")
+        category.child("name").text(f"Category {i}")
+    people = site.child("people")
+    for i in range(n_persons):
+        people.content.append(generate_person(rng, i, config))
+    if config.include_auctions:
+        open_auctions = site.child("open_auctions")
+        for i in range(n_open):
+            open_auctions.content.append(_generate_open_auction(rng, i))
+        closed_auctions = site.child("closed_auctions")
+        for i in range(n_closed):
+            closed_auctions.content.append(_generate_closed_auction(rng, i))
+    return site

@@ -1,0 +1,101 @@
+"""XML text construction helpers.
+
+The workload generators build documents as lightweight ``Node`` trees and
+serialize them to text; the escape helpers are shared with anything that
+emits XML.  Serialization is deterministic (attribute order is insertion
+order) so generated documents are reproducible byte-for-byte from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from io import StringIO
+
+__all__ = ["Node", "escape_text", "escape_attribute", "serialize"]
+
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {**_TEXT_ESCAPES, '"': "&quot;"}
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for inclusion between tags."""
+    out = value
+    for raw, escaped in _TEXT_ESCAPES.items():
+        out = out.replace(raw, escaped)
+    return out
+
+
+def escape_attribute(value: str) -> str:
+    """Escape a value for inclusion in a double-quoted attribute."""
+    out = value
+    for raw, escaped in _ATTR_ESCAPES.items():
+        out = out.replace(raw, escaped)
+    return out
+
+
+@dataclass
+class Node:
+    """A build-side XML element: tag, attributes, interleaved content.
+
+    ``content`` items are either ``str`` (character data, escaped on
+    serialization) or child :class:`Node` instances.
+    """
+
+    tag: str
+    attributes: dict[str, str] = field(default_factory=dict)
+    content: list["Node | str"] = field(default_factory=list)
+
+    def child(self, tag: str, **attributes: str) -> "Node":
+        """Append and return a new child element."""
+        node = Node(tag, dict(attributes))
+        self.content.append(node)
+        return node
+
+    def text(self, value: str) -> "Node":
+        """Append character data; returns ``self`` for chaining."""
+        self.content.append(value)
+        return self
+
+    def element_count(self) -> int:
+        """Number of elements in this subtree (including ``self``)."""
+        count = 1
+        stack: list[Node | str] = list(self.content)
+        while stack:
+            item = stack.pop()
+            if isinstance(item, Node):
+                count += 1
+                stack.extend(item.content)
+        return count
+
+    def to_xml(self) -> str:
+        """Serialize this subtree to XML text."""
+        return serialize(self)
+
+
+def serialize(node: Node) -> str:
+    """Serialize a :class:`Node` tree to compact XML text.
+
+    Elements with no content become empty-element tags (``<a/>``), matching
+    what the paper's "dummy elements" look like and keeping generated
+    documents small.
+    """
+    buffer = StringIO()
+    _write(node, buffer)
+    return buffer.getvalue()
+
+
+def _write(node: Node, buffer: StringIO) -> None:
+    buffer.write("<")
+    buffer.write(node.tag)
+    for name, value in node.attributes.items():
+        buffer.write(f' {name}="{escape_attribute(value)}"')
+    if not node.content:
+        buffer.write("/>")
+        return
+    buffer.write(">")
+    for item in node.content:
+        if isinstance(item, Node):
+            _write(item, buffer)
+        else:
+            buffer.write(escape_text(item))
+    buffer.write(f"</{node.tag}>")

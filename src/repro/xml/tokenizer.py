@@ -1,0 +1,188 @@
+"""A character-exact XML tokenizer.
+
+Splits XML text into a stream of tokens, each carrying the exact character
+span ``[start, end)`` it occupies in the input.  The tokenizer recognizes the
+constructs the update model needs to step over faithfully:
+
+- start tags (with attributes), end tags, empty-element tags;
+- character data;
+- comments, CDATA sections, processing instructions;
+- the XML declaration and (non-nested) DOCTYPE declarations;
+- entity and character references inside character data (passed through as
+  raw text — offsets, not decoded values, are what matters here).
+
+Offsets must survive round-trips, so nothing is normalized: the concatenation
+of all token source spans reproduces the input exactly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import XMLSyntaxError
+
+__all__ = ["TokenKind", "Token", "tokenize"]
+
+_NAME_START_EXTRA = set("_:")
+_NAME_EXTRA = set("_:.-")
+_WHITESPACE = set(" \t\r\n")
+
+
+class TokenKind(Enum):
+    """Discriminates the token variants produced by :func:`tokenize`."""
+
+    START_TAG = "start_tag"
+    END_TAG = "end_tag"
+    EMPTY_TAG = "empty_tag"
+    TEXT = "text"
+    COMMENT = "comment"
+    CDATA = "cdata"
+    PI = "pi"
+    DECLARATION = "declaration"
+    DOCTYPE = "doctype"
+
+
+@dataclass
+class Token:
+    """One lexical unit with its exact source span.
+
+    ``name`` is the tag/PI target name where applicable, ``attributes`` is
+    populated for start and empty tags.
+    """
+
+    kind: TokenKind
+    start: int
+    end: int
+    name: str = ""
+    attributes: dict[str, str] = field(default_factory=dict)
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch in _NAME_START_EXTRA
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch in _NAME_EXTRA
+
+
+def _scan_name(text: str, pos: int) -> tuple[str, int]:
+    if pos >= len(text) or not _is_name_start(text[pos]):
+        raise XMLSyntaxError("expected a name", offset=pos)
+    end = pos + 1
+    n = len(text)
+    while end < n and _is_name_char(text[end]):
+        end += 1
+    return text[pos:end], end
+
+
+def _skip_whitespace(text: str, pos: int) -> int:
+    n = len(text)
+    while pos < n and text[pos] in _WHITESPACE:
+        pos += 1
+    return pos
+
+
+def _scan_attributes(text: str, pos: int) -> tuple[dict[str, str], int]:
+    """Scan ``name="value"`` pairs until ``>`` or ``/>``; return (attrs, pos)."""
+    attributes: dict[str, str] = {}
+    n = len(text)
+    while True:
+        pos = _skip_whitespace(text, pos)
+        if pos >= n:
+            raise XMLSyntaxError("unterminated tag", offset=pos)
+        if text[pos] in ">/":
+            return attributes, pos
+        name, pos = _scan_name(text, pos)
+        pos = _skip_whitespace(text, pos)
+        if pos >= n or text[pos] != "=":
+            raise XMLSyntaxError(f"attribute {name!r} missing '='", offset=pos)
+        pos = _skip_whitespace(text, pos + 1)
+        if pos >= n or text[pos] not in "\"'":
+            raise XMLSyntaxError(
+                f"attribute {name!r} value must be quoted", offset=pos
+            )
+        quote = text[pos]
+        value_end = text.find(quote, pos + 1)
+        if value_end == -1:
+            raise XMLSyntaxError(
+                f"unterminated value for attribute {name!r}", offset=pos
+            )
+        attributes[name] = text[pos + 1 : value_end]
+        pos = value_end + 1
+
+
+def _scan_until(text: str, pos: int, marker: str, what: str) -> int:
+    """Return the offset one past ``marker``; raise when not found."""
+    found = text.find(marker, pos)
+    if found == -1:
+        raise XMLSyntaxError(f"unterminated {what}", offset=pos)
+    return found + len(marker)
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield :class:`Token` objects covering ``text`` completely and in order.
+
+    Raises :class:`~repro.errors.XMLSyntaxError` on lexical problems; tag
+    *nesting* errors are the parser's job, not the tokenizer's.
+    """
+    pos = 0
+    n = len(text)
+    while pos < n:
+        if text[pos] != "<":
+            # Character data up to the next markup (or end of input).
+            next_lt = text.find("<", pos)
+            end = n if next_lt == -1 else next_lt
+            yield Token(TokenKind.TEXT, pos, end)
+            pos = end
+            continue
+        if text.startswith("<!--", pos):
+            end = _scan_until(text, pos + 4, "-->", "comment")
+            yield Token(TokenKind.COMMENT, pos, end)
+            pos = end
+        elif text.startswith("<![CDATA[", pos):
+            end = _scan_until(text, pos + 9, "]]>", "CDATA section")
+            yield Token(TokenKind.CDATA, pos, end)
+            pos = end
+        elif text.startswith("<!DOCTYPE", pos):
+            end = _scan_until(text, pos + 9, ">", "DOCTYPE declaration")
+            yield Token(TokenKind.DOCTYPE, pos, end)
+            pos = end
+        elif text.startswith("<?xml", pos) and pos == 0:
+            end = _scan_until(text, pos + 5, "?>", "XML declaration")
+            yield Token(TokenKind.DECLARATION, pos, end)
+            pos = end
+        elif text.startswith("<?", pos):
+            name, name_end = _scan_name(text, pos + 2)
+            end = _scan_until(text, name_end, "?>", "processing instruction")
+            yield Token(TokenKind.PI, pos, end, name=name)
+            pos = end
+        elif text.startswith("</", pos):
+            name, name_end = _scan_name(text, pos + 2)
+            close = _skip_whitespace(text, name_end)
+            if close >= n or text[close] != ">":
+                raise XMLSyntaxError(
+                    f"malformed end tag for {name!r}", offset=pos
+                )
+            yield Token(TokenKind.END_TAG, pos, close + 1, name=name)
+            pos = close + 1
+        else:
+            name, name_end = _scan_name(text, pos + 1)
+            attributes, attr_end = _scan_attributes(text, name_end)
+            if text.startswith("/>", attr_end):
+                yield Token(
+                    TokenKind.EMPTY_TAG, pos, attr_end + 2, name=name,
+                    attributes=attributes,
+                )
+                pos = attr_end + 2
+            elif attr_end < n and text[attr_end] == ">":
+                yield Token(
+                    TokenKind.START_TAG, pos, attr_end + 1, name=name,
+                    attributes=attributes,
+                )
+                pos = attr_end + 1
+            else:
+                raise XMLSyntaxError(
+                    f"malformed start tag for {name!r}", offset=pos
+                )

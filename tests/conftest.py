@@ -1,0 +1,13 @@
+"""Shared fixtures for the test suite (helpers live in tests/helpers.py)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A seeded Random shared by randomized (but deterministic) tests."""
+    return random.Random(0xC0FFEE)

@@ -1,0 +1,22 @@
+"""Shared assertion helpers for the test suite."""
+
+from __future__ import annotations
+
+from repro.core.database import LazyXMLDatabase
+
+
+def normalized_join(db: LazyXMLDatabase, pairs) -> list:
+    """Sorted list of ((anc_gstart, anc_gend), (desc_gstart, desc_gend))."""
+    return sorted((db.global_span(a), db.global_span(d)) for a, d in pairs)
+
+
+def assert_join_matches_oracle(db, tag_a, tag_d, axis="descendant", **options):
+    """Run a join and compare it against the text-reparse oracle."""
+    pairs = db.structural_join(tag_a, tag_d, axis=axis, **options)
+    got = normalized_join(db, pairs)
+    want = sorted(db.oracle_join(tag_a, tag_d, axis=axis))
+    assert got == want, (
+        f"{tag_a}//{tag_d} axis={axis} {options}: "
+        f"{len(got)} pairs vs oracle {len(want)}"
+    )
+    return pairs

@@ -1,0 +1,178 @@
+"""Tests for the benchmark harness and tiny-scale experiment runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.builders import build_uniform_segments, insert_under, parent_plan
+from repro.bench.harness import Sweep, Table, measure
+from repro.core.database import LazyXMLDatabase
+from repro.errors import UpdateError
+
+
+class TestMeasure:
+    def test_returns_positive_seconds(self):
+        elapsed = measure(lambda: sum(range(1000)), repeat=2)
+        assert elapsed > 0
+
+    def test_picks_minimum(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+
+        measure(fn, repeat=4)
+        assert len(calls) == 4
+
+
+class TestTable:
+    def test_row_shape_enforced(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_format_contains_data(self):
+        table = Table("demo", ["n", "ms"])
+        table.add_row([10, 1.5])
+        table.add_row([20, 2.25])
+        out = table.format()
+        assert "demo" in out and "1.5" in out and "20" in out
+
+    def test_format_markdown(self):
+        table = Table("demo", ["n", "ms"])
+        table.add_row([10, 1.5])
+        md = table.format_markdown()
+        assert md.startswith("| n | ms |")
+        assert "| 10 | 1.5 |" in md
+
+    def test_float_formatting(self):
+        table = Table("t", ["x"])
+        table.add_row([0.000123456789])
+        assert "0.000123457" in table.format()
+
+
+class TestSweep:
+    def test_add_and_table(self):
+        sweep = Sweep("n")
+        sweep.add(1, a=1.0, b=2.0)
+        sweep.add(2, a=3.0, b=4.0)
+        table = sweep.to_table("t")
+        assert table.headers == ["n", "a", "b"]
+        assert table.rows == [[1, 1.0, 2.0], [2, 3.0, 4.0]]
+
+
+class TestBuilders:
+    def test_parent_plan_shapes(self):
+        assert parent_plan(4, "nested") == [-1, 0, 1, 2]
+        assert parent_plan(4, "flat") == [-1, 0, 0, 0]
+        assert parent_plan(5, "balanced", branching=2) == [-1, 0, 0, 1, 1]
+
+    def test_parent_plan_bad_shape(self):
+        with pytest.raises(UpdateError):
+            parent_plan(3, "möbius")
+
+    def test_build_uniform_segments_counts(self):
+        db = LazyXMLDatabase(keep_text=False)
+        sids = build_uniform_segments(
+            db, 10, "balanced", elements_per_segment=16, n_tags=4
+        )
+        assert len(sids) == 10
+        assert db.segment_count == 10
+        assert db.element_count == 160
+        db.check_invariants()
+
+    def test_build_uniform_segments_nested_depth(self):
+        db = LazyXMLDatabase(keep_text=False)
+        sids = build_uniform_segments(db, 6, "nested", n_tags=4, elements_per_segment=8)
+        node = db.log.node(sids[-1])
+        assert node.depth == 6  # chain under the dummy root
+
+    def test_build_requires_enough_elements(self):
+        db = LazyXMLDatabase(keep_text=False)
+        with pytest.raises(UpdateError):
+            build_uniform_segments(db, 3, "flat", elements_per_segment=2, n_tags=8)
+
+    def test_insert_under_nests(self):
+        db = LazyXMLDatabase()
+        root_sid = db.insert("<t0><x/></t0>").sid
+        receipt = insert_under(db, root_sid, "<t0><y/></t0>", "t0")
+        assert receipt.parent_sid == root_sid
+        assert db.text == "<t0><x/><t0><y/></t0></t0>"
+
+
+class TestExperimentsSmoke:
+    """Each experiment function runs at tiny scale and returns sane shapes."""
+
+    def test_fig11(self):
+        from repro.bench.experiments import fig11_update_log
+
+        tables = fig11_update_log(segment_counts=(5, 10), shapes=("balanced",), repeat=1)
+        table = tables["balanced"]
+        assert [row[0] for row in table.rows] == [5, 10]
+        sizes = [row[3] for row in table.rows]
+        assert sizes[1] > sizes[0]
+
+    def test_fig12(self):
+        from repro.bench.experiments import fig12_cross_join
+
+        sweep = fig12_cross_join(n_segments=8, fractions=(0.0, 1.0), repeat=1)
+        assert sweep.xs == [0, 100]
+        assert sweep.series["actual_cross_pct"] == [0, 100.0]
+        assert all(v > 0 for v in sweep.series["ld_ms"])
+
+    def test_fig13(self):
+        from repro.bench.experiments import fig13_segments
+
+        sweeps = fig13_segments(segment_counts=(4, 8), shapes=("nested",), depth=20, repeat=1)
+        assert list(sweeps) == ["nested"]
+        assert sweeps["nested"].xs == [4, 8]
+
+    def test_fig14_15(self):
+        from repro.bench.experiments import fig14_15_xmark
+
+        cards, times = fig14_15_xmark(scale=0.005, n_segments=8, repeat=1)
+        assert len(cards.rows) == 5
+        assert len(times.rows) == 5
+        assert all(row[2] >= 0 for row in cards.rows)
+
+    def test_fig16(self):
+        from repro.bench.experiments import fig16_insert
+
+        sweep = fig16_insert(doc_segment_counts=(4, 8), repeat=1)
+        assert len(sweep.xs) == 2
+        assert all(v > 0 for v in sweep.series["traditional_ms"])
+
+    def test_fig17(self):
+        from repro.bench.experiments import fig17_element_insert
+
+        sweeps = fig17_element_insert(
+            element_counts=(5,),
+            tag_counts=(2,),
+            segment_counts=(5,),
+            n_segments=5,
+            prime_base_nodes=30,
+            prime_groups=(5,),
+            repeat=1,
+        )
+        assert set(sweeps) == {"elements", "tags", "segments"}
+        assert all(v > 0 for v in sweeps["elements"].series["prime_k5_us"])
+
+    def test_ablation_push(self):
+        from repro.bench.experiments import ablation_push_optimizations
+
+        table = ablation_push_optimizations(n_segments=8, repeat=1)
+        assert len(table.rows) == 4
+
+    def test_ablation_branch(self):
+        from repro.bench.experiments import ablation_branch_strategy
+
+        table = ablation_branch_strategy(n_segments=12, repeat=1)
+        assert [row[0] for row in table.rows] == ["path", "bisect", "walk"]
+
+    def test_spine_document(self):
+        from repro.bench.experiments import spine_document
+        from repro.xml.parser import parse
+
+        doc = parse(spine_document(10, bushiness=2))
+        t0_levels = [e.level for e in doc.elements if e.tag == "t0"]
+        assert max(t0_levels) == 10

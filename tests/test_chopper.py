@@ -1,0 +1,170 @@
+"""Tests for document chopping (Section 5.1 setup machinery)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from tests.helpers import assert_join_matches_oracle
+from repro.core.database import LazyXMLDatabase
+from repro.errors import UpdateError
+from repro.workloads.chopper import (
+    apply_chop,
+    chop,
+    chop_text,
+    choose_segment_roots,
+)
+from repro.workloads.generator import GeneratorConfig, generate_tree
+from repro.workloads.xmark import XMarkConfig, generate_site
+from repro.xml.parser import parse
+
+
+def deep_document(depth=25, seed=2):
+    """A document with a deep spine (linear size — random growth at this
+    depth would be exponential)."""
+    from repro.bench.experiments import spine_document
+
+    return spine_document(depth, bushiness=2)
+
+
+def wide_document(seed=3):
+    return generate_tree(
+        GeneratorConfig(max_depth=4, fanout=(3, 5), seed=seed)
+    ).to_xml()
+
+
+class TestChooseRoots:
+    def test_root_always_first(self):
+        doc = parse(wide_document())
+        roots = choose_segment_roots(doc, 5)
+        assert roots[0] is doc.root
+
+    def test_single_segment(self):
+        doc = parse("<a><b/></a>")
+        assert choose_segment_roots(doc, 1) == [doc.root]
+
+    def test_balanced_spreads(self):
+        doc = parse(wide_document())
+        roots = choose_segment_roots(doc, 6, "balanced")
+        depths = [r.level for r in roots]
+        assert max(depths) <= 3
+
+    def test_nested_forms_chain(self):
+        doc = parse(deep_document())
+        roots = choose_segment_roots(doc, 8, "nested")
+        for outer, inner in zip(roots, roots[1:]):
+            assert outer.contains(inner)
+
+    def test_too_many_segments_raises(self):
+        doc = parse("<a><b/></a>")
+        with pytest.raises(UpdateError):
+            choose_segment_roots(doc, 10, "nested")
+
+    def test_bad_shape(self):
+        doc = parse("<a/>")
+        with pytest.raises(UpdateError):
+            choose_segment_roots(doc, 1, "zigzag")
+
+    def test_bad_count(self):
+        doc = parse("<a/>")
+        with pytest.raises(UpdateError):
+            choose_segment_roots(doc, 0)
+
+    def test_rng_shuffles_balanced(self):
+        doc = parse(wide_document())
+        a = choose_segment_roots(doc, 6, "balanced", random.Random(1))
+        b = choose_segment_roots(doc, 6, "balanced", random.Random(2))
+        # usually different orders; at minimum both valid
+        assert len(a) == len(b) == 6
+
+
+class TestChopRoundTrip:
+    @pytest.mark.parametrize("shape", ["balanced", "nested"])
+    @pytest.mark.parametrize("n", [1, 2, 5, 10])
+    def test_roundtrip_deep_doc(self, shape, n):
+        text = deep_document()
+        db, sids = chop_text(text, n, shape)
+        assert db.text == text
+        assert db.segment_count == n
+        assert len(sids) == n
+        db.check_invariants()
+
+    @pytest.mark.parametrize("n", [1, 4, 12, 25])
+    def test_roundtrip_xmark(self, n):
+        text = generate_site(XMarkConfig(scale=0.004, seed=5)).to_xml()
+        db, _ = chop_text(text, n, "balanced", seed=7)
+        assert db.text == text
+
+    def test_roundtrip_element_count_preserved(self):
+        text = wide_document()
+        total = len(parse(text).elements)
+        db, _ = chop_text(text, 7, "balanced")
+        assert db.element_count == total
+
+    def test_joins_after_chop(self):
+        text = deep_document()
+        db, _ = chop_text(text, 9, "nested")
+        assert_join_matches_oracle(db, "t0", "t1")
+        assert_join_matches_oracle(db, "t0", "t0")
+        assert_join_matches_oracle(db, "t0", "t1", axis="child")
+
+    def test_chop_into_static_db(self):
+        text = wide_document()
+        db = LazyXMLDatabase(mode="static")
+        chop_text(text, 5, "balanced", db=db)
+        db.prepare_for_query()
+        assert db.text == text
+        assert_join_matches_oracle(db, "t0", "t1")
+
+    def test_ops_positions_are_serial(self):
+        doc = parse(deep_document())
+        roots = choose_segment_roots(doc, 6, "nested")
+        ops = chop(doc, roots)
+        # Replaying into a plain string must reproduce the document.
+        text = ""
+        for op in ops:
+            text = text[: op.position] + op.fragment + text[op.position :]
+        assert text == doc.text
+
+    def test_chop_requires_document_root(self):
+        doc = parse("<a><b/><c/></a>")
+        with pytest.raises(UpdateError):
+            chop(doc, [doc.root.children[0]])
+
+    def test_fragments_well_formed(self):
+        doc = parse(deep_document())
+        roots = choose_segment_roots(doc, 8, "balanced")
+        for op in chop(doc, roots):
+            parse(op.fragment)
+
+    def test_apply_chop_returns_sids(self):
+        doc = parse(wide_document())
+        ops = chop(doc, choose_segment_roots(doc, 4))
+        db = LazyXMLDatabase()
+        sids = apply_chop(db, ops)
+        assert len(sids) == 4
+        assert sids == sorted(sids)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_docs_random_counts(self, seed):
+        rnd = random.Random(seed)
+        # Keep depth*fanout bounded: unconstrained random growth is
+        # exponential in max_depth.
+        text = generate_tree(
+            GeneratorConfig(
+                max_depth=rnd.randint(3, 7),
+                fanout=(1, 3),
+                seed=seed * 7 + 1,
+                text_probability=0.3,
+            )
+        ).to_xml()
+        doc = parse(text)
+        max_n = min(10, len(doc.elements))
+        n = rnd.randint(1, max_n)
+        shape = rnd.choice(["balanced", "nested"])
+        try:
+            db, _ = chop_text(text, n, shape, seed=seed)
+        except UpdateError:
+            return  # doc too shallow for the requested nested count
+        assert db.text == text

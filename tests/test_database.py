@@ -1,0 +1,246 @@
+"""End-to-end tests for the LazyXMLDatabase facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.helpers import assert_join_matches_oracle
+from repro.core.database import LazyXMLDatabase
+from repro.errors import (
+    InvalidSegmentError,
+    QueryError,
+    ReproError,
+    XMLSyntaxError,
+)
+from repro.workloads.scenarios import registration_stream
+
+
+class TestInsert:
+    def test_first_insert_sets_text(self):
+        db = LazyXMLDatabase()
+        receipt = db.insert("<a><b/></a>")
+        assert db.text == "<a><b/></a>"
+        assert receipt.sid == 1
+        assert db.segment_count == 1
+        assert db.element_count == 2
+
+    def test_default_position_appends(self):
+        db = LazyXMLDatabase()
+        db.insert("<a/>")
+        db.insert("<b/>")
+        assert db.text == "<a/><b/>"
+
+    def test_nested_insert_updates_text(self):
+        db = LazyXMLDatabase()
+        db.insert("<a><b/></a>")
+        db.insert("<c/>", position=3)
+        assert db.text == "<a><c/><b/></a>"
+        db.check_invariants()
+
+    def test_malformed_fragment_rejected_before_mutation(self):
+        db = LazyXMLDatabase()
+        db.insert("<a/>")
+        with pytest.raises(XMLSyntaxError):
+            db.insert("<oops>", position=0)
+        assert db.text == "<a/>"
+        assert db.segment_count == 1
+
+    def test_receipt_parentage(self):
+        db = LazyXMLDatabase()
+        outer = db.insert("<a><b/></a>")
+        inner = db.insert("<c/>", position=3)
+        assert inner.parent_sid == outer.sid
+        assert inner.lp == 3
+
+    def test_levels_absolute_across_segments(self):
+        db = LazyXMLDatabase()
+        db.insert("<a><b/></a>")
+        db.insert("<c><e/></c>", position=db.text.index("<b/>"))
+        tid_e = db.log.tags.tid_of("e")
+        sid = 2
+        (record,) = db.index.elements_list(tid_e, sid)
+        assert record.level == 3  # a(1) > c(2) > e(3)
+
+    def test_validate_full_accepts_good_insert(self):
+        db = LazyXMLDatabase()
+        db.insert("<a><b/></a>")
+        db.insert("<c/>", position=3, validate="full")
+        assert db.text == "<a><c/><b/></a>"
+
+    def test_validate_full_rejects_tag_splitting(self):
+        db = LazyXMLDatabase()
+        db.insert("<a><b/></a>")
+        with pytest.raises(InvalidSegmentError):
+            db.insert("<c/>", position=1, validate="full")  # inside "<a"
+        assert db.text == "<a><b/></a>"
+        assert db.segment_count == 1
+
+    def test_validate_full_requires_text(self):
+        db = LazyXMLDatabase(keep_text=False)
+        db.insert("<a/>")
+        with pytest.raises(QueryError):
+            db.insert("<b/>", position=0, validate="full")
+
+    def test_keep_text_false_blocks_text_property(self):
+        db = LazyXMLDatabase(keep_text=False)
+        db.insert("<a/>")
+        with pytest.raises(QueryError):
+            _ = db.text
+
+    def test_out_of_bounds_position(self):
+        db = LazyXMLDatabase()
+        db.insert("<a/>")
+        with pytest.raises(InvalidSegmentError):
+            db.insert("<b/>", position=99)
+
+
+class TestRemove:
+    def build(self):
+        db = LazyXMLDatabase()
+        db.insert("<a><b/><c/></a>")
+        db.insert("<x><y/></x>", position=db.text.index("<c/>"))
+        return db
+
+    def test_remove_whole_segment(self):
+        db = self.build()
+        node = db.log.node(2)
+        outcome = db.remove(node.gp, node.length)
+        assert outcome.report.removed_sids == [2]
+        assert outcome.elements_removed == 2
+        assert db.text == "<a><b/><c/></a>"
+        db.check_invariants()
+        assert_join_matches_oracle(db, "a", "c")
+
+    def test_remove_segment_convenience(self):
+        db = self.build()
+        db.remove_segment(2)
+        assert db.text == "<a><b/><c/></a>"
+
+    def test_remove_inner_element_of_segment(self):
+        db = self.build()
+        pos = db.text.index("<y/>")
+        outcome = db.remove(pos, 4)
+        assert outcome.elements_removed == 1
+        assert db.text == "<a><b/><x></x><c/></a>"
+        db.check_invariants()
+        # x survives with its record; joins still correct on remaining tags
+        assert_join_matches_oracle(db, "a", "x")
+
+    def test_remove_updates_taglist_counts(self):
+        db = self.build()
+        tid_y = db.log.tags.tid_of("y")
+        pos = db.text.index("<y/>")
+        db.remove(pos, 4)
+        assert db.log.taglist.count_for(tid_y, 2) == 0
+
+    def test_remove_element_from_first_segment(self):
+        db = self.build()
+        pos = db.text.index("<b/>")
+        db.remove(pos, 4)
+        assert db.text == "<a><x><y/></x><c/></a>"
+        assert_join_matches_oracle(db, "a", "c")
+
+    def test_remove_everything(self):
+        db = self.build()
+        db.remove(0, db.document_length)
+        assert db.text == ""
+        assert db.segment_count == 0
+        assert db.element_count == 0
+
+    def test_element_count_tracks_removals(self):
+        db = self.build()
+        before = db.element_count
+        db.remove_segment(2)
+        assert db.element_count == before - 2
+
+
+class TestGlobalSpans:
+    def test_global_span_matches_text(self):
+        db = LazyXMLDatabase()
+        db.insert("<a><b/></a>")
+        db.insert("<c><e/></c>", position=3)
+        for tag in ("a", "b", "c", "e"):
+            for element in db.global_elements(tag):
+                snippet = db.text[element.start : element.end]
+                assert snippet.startswith(f"<{tag}")
+                assert snippet.endswith(">")
+
+    def test_global_elements_sorted(self):
+        db = LazyXMLDatabase()
+        for frag in registration_stream(5):
+            db.insert(frag)
+        elements = db.global_elements("interest")
+        starts = [e.start for e in elements]
+        assert starts == sorted(starts)
+
+    def test_global_elements_unknown_tag(self):
+        db = LazyXMLDatabase()
+        db.insert("<a/>")
+        assert db.global_elements("nope") == []
+
+    def test_global_span_shifts_with_updates(self):
+        db = LazyXMLDatabase()
+        db.insert("<a><b/></a>")
+        tid_b = db.log.tags.tid_of("b")
+        (b_record,) = db.index.elements_list(tid_b, 1)
+        span_before = db.global_span(b_record)
+        db.insert("<c/>", position=3)  # before <b/>
+        span_after = db.global_span(b_record)
+        assert span_after[0] == span_before[0] + 4
+        # the record itself (local label) never changed
+        assert db.index.elements_list(tid_b, 1) == [b_record]
+
+
+class TestScenarioStreams:
+    def test_registration_stream_end_to_end(self):
+        db = LazyXMLDatabase()
+        for frag in registration_stream(15):
+            db.insert(frag)
+        db.check_invariants()
+        assert db.segment_count == 15
+        assert_join_matches_oracle(db, "registration", "interest")
+        assert_join_matches_oracle(db, "contact", "city")
+        assert_join_matches_oracle(db, "user", "first", axis="child")
+
+    def test_mixed_inserts_and_removals_random(self, rng):
+        db = LazyXMLDatabase()
+        fragments = list(registration_stream(10))
+        sids = []
+        for frag in fragments:
+            sids.append(db.insert(frag).sid)
+        for sid in rng.sample(sids, 4):
+            db.remove_segment(sid)
+        db.check_invariants()
+        assert db.segment_count == 6
+        assert_join_matches_oracle(db, "registration", "interest")
+        # insert more after removals
+        for frag in registration_stream(3, seed=99):
+            db.insert(frag)
+        assert_join_matches_oracle(db, "preferences", "interest")
+
+
+class TestStatsAndErrors:
+    def test_stats_snapshot(self):
+        db = LazyXMLDatabase()
+        db.insert("<a><b/></a>")
+        stats = db.stats()
+        assert stats.segments == 1
+        assert stats.total_bytes > 0
+
+    def test_mode_property(self):
+        assert LazyXMLDatabase().mode == "dynamic"
+        assert LazyXMLDatabase(mode="static").mode == "static"
+
+    def test_errors_share_base_class(self):
+        db = LazyXMLDatabase()
+        with pytest.raises(ReproError):
+            db.insert("<bad", position=0)
+
+    def test_oracle_join_empty_database(self):
+        db = LazyXMLDatabase()
+        assert db.oracle_join("a", "b") == []
+
+    def test_document_length_property(self):
+        db = LazyXMLDatabase()
+        db.insert("<a/>")
+        assert db.document_length == 4

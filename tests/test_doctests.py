@@ -1,0 +1,21 @@
+"""Run the library's embedded doctest examples."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.bench.harness
+import repro.btree.bptree
+import repro.storage
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.btree.bptree, repro.storage, repro.bench.harness],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    result = doctest.testmod(module)
+    assert result.failed == 0

@@ -1,0 +1,138 @@
+"""Tests for the (tid, sid, start, end, level) element index."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core.element_index import ElementIndex, ElementRecord
+
+
+@pytest.fixture
+def index():
+    idx = ElementIndex()
+    # segment 1: tid 0 root spanning [0, 30), two tid-1 children
+    idx.insert_segment(1, [(0, 0, 30, 1), (1, 3, 10, 2), (1, 12, 20, 2)], 0)
+    # segment 2 inserted at depth 2: tid 0 root, one tid-1 child
+    idx.insert_segment(2, [(0, 0, 14, 1), (1, 4, 8, 2)], 2)
+    return idx
+
+
+class TestInsertAndLookup:
+    def test_counts_returned_on_insert(self):
+        idx = ElementIndex()
+        counts = idx.insert_segment(5, [(0, 0, 10, 1), (1, 2, 6, 2), (1, 6, 9, 2)], 0)
+        assert counts == Counter({1: 2, 0: 1})
+
+    def test_len(self, index):
+        assert len(index) == 5
+
+    def test_elements_scoped_by_tid_and_sid(self, index):
+        records = index.elements_list(1, 1)
+        assert records == [
+            ElementRecord(1, 3, 10, 2),
+            ElementRecord(1, 12, 20, 2),
+        ]
+
+    def test_elements_sorted_by_start(self, index):
+        idx = ElementIndex()
+        idx.insert_segment(1, [(0, 20, 25, 2), (0, 0, 30, 1), (0, 5, 9, 2)], 0)
+        starts = [r.start for r in idx.elements(0, 1)]
+        assert starts == sorted(starts)
+
+    def test_base_level_applied(self, index):
+        (root,) = [r for r in index.elements(0, 2)]
+        assert root.level == 3  # base 2 + in-segment level 1
+
+    def test_all_elements_across_segments(self, index):
+        records = list(index.all_elements(1))
+        assert len(records) == 3
+        assert {r.sid for r in records} == {1, 2}
+
+    def test_all_elements_unknown_tid_empty(self, index):
+        assert list(index.all_elements(9)) == []
+
+    def test_count(self, index):
+        assert index.count(1, 1) == 2
+        assert index.count(1, 2) == 1
+        assert index.count(7, 1) == 0
+
+    def test_has_segment_tag(self, index):
+        assert index.has_segment_tag(0, 1)
+        assert not index.has_segment_tag(3, 1)
+
+    def test_records_immutable_identity(self, index):
+        # (sid, start) uniquely identifies an element.
+        seen = set()
+        for tid in (0, 1):
+            for record in index.all_elements(tid):
+                key = (record.sid, record.start)
+                assert key not in seen
+                seen.add(key)
+
+
+class TestRemoveSegment:
+    def test_remove_whole_segment(self, index):
+        counts = index.remove_segment(1, [0, 1])
+        assert counts == Counter({1: 2, 0: 1})
+        assert index.count(0, 1) == 0
+        assert index.count(1, 1) == 0
+        # other segment untouched
+        assert index.count(1, 2) == 1
+
+    def test_remove_with_absent_tids_harmless(self, index):
+        counts = index.remove_segment(1, [0, 1, 7, 8])
+        assert 7 not in counts and 8 not in counts
+
+    def test_remove_unknown_segment_empty(self, index):
+        assert index.remove_segment(99, [0, 1]) == Counter()
+
+
+class TestRemoveLocalRange:
+    def test_elements_fully_inside_removed(self, index):
+        counts = index.remove_local_range(1, 3, 10, [0, 1])
+        assert counts == Counter({1: 1})
+        assert index.count(1, 1) == 1  # [12,20) survives
+
+    def test_containing_elements_survive(self, index):
+        # Range [5, 8) is inside the [3,10) element: nothing fully inside.
+        counts = index.remove_local_range(1, 5, 8, [0, 1])
+        assert counts == Counter()
+        assert index.count(1, 1) == 2
+
+    def test_boundary_exact_span_removed(self, index):
+        counts = index.remove_local_range(1, 12, 20, [1])
+        assert counts == Counter({1: 1})
+
+    def test_partial_overlap_survives(self, index):
+        # Range [15, 25) cuts the [12,20) element: record survives (labels
+        # stay order-consistent even if text was clipped).
+        counts = index.remove_local_range(1, 15, 25, [1])
+        assert counts == Counter()
+
+    def test_multiple_tids(self):
+        idx = ElementIndex()
+        idx.insert_segment(1, [(0, 0, 20, 1), (1, 2, 6, 2), (2, 8, 12, 2)], 0)
+        counts = idx.remove_local_range(1, 0, 20, [0, 1, 2])
+        assert counts == Counter({0: 1, 1: 1, 2: 1})
+        assert len(idx) == 0
+
+
+class TestAccounting:
+    def test_bytes_positive(self, index):
+        assert index.approximate_bytes() > 0
+
+    def test_invariants(self, index):
+        index.check_invariants()
+
+    def test_many_segments_scale(self):
+        idx = ElementIndex()
+        for sid in range(1, 101):
+            idx.insert_segment(sid, [(0, 0, 10, 1), (1, 2, 8, 2)], 0)
+        assert len(idx) == 200
+        idx.check_invariants()
+        for sid in range(1, 101, 2):
+            idx.remove_segment(sid, [0, 1])
+        assert len(idx) == 100
+        idx.check_invariants()

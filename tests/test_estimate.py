@@ -1,0 +1,107 @@
+"""Tests for update-log-only join cardinality estimation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.database import LazyXMLDatabase
+from repro.core.estimate import join_selectivity_hint, join_upper_bound
+from repro.workloads.join_mix import JoinMixConfig, build_join_mix, sweep_configs
+from repro.workloads.scenarios import registration_stream
+
+
+class TestUpperBound:
+    def test_unknown_tags_zero(self):
+        db = LazyXMLDatabase()
+        db.insert("<a/>")
+        assert join_upper_bound(db, "a", "zz") == 0
+        assert join_upper_bound(db, "zz", "a") == 0
+
+    def test_zero_guarantees_empty(self):
+        db = LazyXMLDatabase()
+        db.insert("<r><a/></r>")
+        db.insert("<d/>")  # sibling top-level segment: bound counts it?
+        bound = join_upper_bound(db, "a", "d")
+        actual = len(db.structural_join("a", "d"))
+        assert actual <= bound
+
+    @pytest.mark.parametrize("shape", ["nested", "balanced"])
+    @pytest.mark.parametrize("fraction", [0.0, 0.5, 1.0])
+    def test_bound_dominates_actual_on_mixes(self, shape, fraction):
+        config = sweep_configs(15, shape, [fraction])[0]
+        db = LazyXMLDatabase(keep_text=False)
+        build_join_mix(db, config)
+        bound = join_upper_bound(db, "a", "d")
+        actual = len(db.structural_join("a", "d"))
+        assert actual <= bound
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bound_dominates_on_random_configs(self, seed):
+        rnd = random.Random(seed)
+        db = LazyXMLDatabase(keep_text=False)
+        build_join_mix(
+            db,
+            JoinMixConfig(
+                n_segments=rnd.randint(4, 15),
+                shape=rnd.choice(["nested", "balanced"]),
+                wrappers=rnd.randint(0, 2),
+                in_blocks_per_segment=rnd.randint(0, 2),
+                in_blocks_root=rnd.randint(0, 3),
+            ),
+        )
+        for pair in [("a", "d"), ("d", "a"), ("seg", "d"), ("a", "a")]:
+            bound = join_upper_bound(db, *pair)
+            actual = len(db.structural_join(*pair))
+            assert actual <= bound, pair
+
+    def test_bound_on_real_stream(self):
+        db = LazyXMLDatabase()
+        for fragment in registration_stream(10):
+            db.insert(fragment)
+        for pair in [
+            ("registration", "interest"),
+            ("preferences", "interest"),
+            ("contact", "city"),
+            ("user", "phone"),
+        ]:
+            assert len(db.structural_join(*pair)) <= join_upper_bound(db, *pair)
+
+    def test_exact_when_ancestor_is_segment_root(self):
+        # Segment roots span their whole segment: the bound is tight.
+        db = LazyXMLDatabase()
+        db.insert("<a><d/><d/><h/></a>")
+        db.insert("<x><d/></x>", position=db.text.index("<h/>"))
+        assert join_upper_bound(db, "a", "d") == 3
+        assert len(db.structural_join("a", "d")) == 3
+
+    def test_works_in_static_mode(self):
+        db = LazyXMLDatabase(mode="static")
+        for fragment in registration_stream(4):
+            db.insert(fragment)
+        bound = join_upper_bound(db, "registration", "interest")
+        db.prepare_for_query()
+        assert len(db.structural_join("registration", "interest")) <= bound
+
+
+class TestSelectivityHint:
+    def test_range(self):
+        db = LazyXMLDatabase()
+        for fragment in registration_stream(6):
+            db.insert(fragment)
+        hint = join_selectivity_hint(db, "registration", "interest")
+        assert 0.0 < hint <= 1.0
+
+    def test_zero_for_unknown(self):
+        db = LazyXMLDatabase()
+        db.insert("<a/>")
+        assert join_selectivity_hint(db, "a", "zz") == 0.0
+
+    def test_disjoint_tags_lower_than_nested(self):
+        db = LazyXMLDatabase()
+        db.insert("<r><a><d/></a><b/><b/><b/></r>")
+        db.insert("<d/>")  # top-level, joins nothing with b
+        nested = join_selectivity_hint(db, "a", "d")
+        disjoint = join_selectivity_hint(db, "b", "d")
+        assert disjoint <= nested

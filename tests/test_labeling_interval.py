@@ -1,0 +1,153 @@
+"""Tests for the traditional interval-relabeling index (Fig. 16 baseline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidSegmentError
+from repro.joins import stack_tree_desc
+from repro.labeling.interval import IntervalLabelingIndex
+from repro.xml.parser import parse
+
+
+def oracle_pairs(text: str, tag_a: str, tag_d: str, axis="descendant"):
+    doc = parse(f"<__root__>{text}</__root__>")
+    shift = len("<__root__>")
+    pairs = []
+    for anc in doc.elements:
+        if anc.tag != tag_a:
+            continue
+        targets = anc.descendants() if axis == "descendant" else anc.children
+        for desc in targets:
+            if desc.tag == tag_d:
+                pairs.append(
+                    ((anc.start - shift, anc.end - shift),
+                     (desc.start - shift, desc.end - shift))
+                )
+    return sorted(pairs)
+
+
+def index_pairs(index: IntervalLabelingIndex, tag_a: str, tag_d: str):
+    return sorted(
+        ((a.start, a.end), (d.start, d.end))
+        for a, d in stack_tree_desc(index.elements(tag_a), index.elements(tag_d))
+    )
+
+
+class TestInsert:
+    def test_initial_load(self):
+        idx = IntervalLabelingIndex()
+        added = idx.insert_fragment("<a><b/><c/></a>")
+        assert added == 3
+        assert len(idx) == 3
+        assert idx.document_length == len("<a><b/><c/></a>")
+
+    def test_labels_match_offsets(self):
+        text = "<a><b>x</b><c/></a>"
+        idx = IntervalLabelingIndex()
+        idx.insert_fragment(text)
+        for tag, start, end, level in [
+            r for r in idx.all_records()
+        ]:
+            name = idx.tags.name_of(tag)
+            assert text[start:end].startswith(f"<{name}")
+
+    def test_relabel_on_mid_insert(self):
+        idx = IntervalLabelingIndex()
+        idx.insert_fragment("<a><b/><c/></a>")
+        pos = len("<a>")
+        idx.insert_fragment("<n/>", pos)
+        idx.check_invariants()
+        text = "<a><n/><b/><c/></a>"
+        assert idx.document_length == len(text)
+        assert index_pairs(idx, "a", "b") == oracle_pairs(text, "a", "b")
+        assert index_pairs(idx, "a", "n") == oracle_pairs(text, "a", "n")
+
+    def test_relabel_count_reported(self):
+        idx = IntervalLabelingIndex()
+        idx.insert_fragment("<a><b/><c/></a>")
+        idx.insert_fragment("<n/>", len("<a>"))
+        # a's end shifted, b and c fully shifted => 3 rewrites
+        assert idx.relabelled_last_update == 3
+
+    def test_append_relabels_only_enclosing(self):
+        idx = IntervalLabelingIndex()
+        idx.insert_fragment("<a><b/></a>")
+        idx.insert_fragment("<c/>", idx.document_length - len("</a>"))
+        assert idx.relabelled_last_update == 1  # only <a> extends
+
+    def test_levels_deepen_inside(self):
+        idx = IntervalLabelingIndex()
+        idx.insert_fragment("<a><b/></a>")
+        idx.insert_fragment("<c><d/></c>", len("<a>"))
+        records = {idx.tags.name_of(t): lvl for t, _, _, lvl in idx.all_records()}
+        assert records["c"] == 2 and records["d"] == 3
+
+    def test_bad_position_rejected(self):
+        idx = IntervalLabelingIndex()
+        idx.insert_fragment("<a/>")
+        with pytest.raises(InvalidSegmentError):
+            idx.insert_fragment("<b/>", 99)
+
+    def test_sequence_matches_oracle(self):
+        idx = IntervalLabelingIndex()
+        text = ""
+        inserts = [
+            ("<a><b/><b/></a>", 0),
+            ("<a><c/></a>", 3),
+            ("<b/>", 6),
+        ]
+        for fragment, pos in inserts:
+            idx.insert_fragment(fragment, pos)
+            text = text[:pos] + fragment + text[pos:]
+        idx.check_invariants()
+        for pair in (("a", "b"), ("a", "c"), ("a", "a")):
+            assert index_pairs(idx, *pair) == oracle_pairs(text, *pair)
+
+
+class TestRemove:
+    def test_remove_leaf(self):
+        idx = IntervalLabelingIndex()
+        idx.insert_fragment("<a><b/><c/></a>")
+        pos = "<a><b/><c/></a>".index("<b/>")
+        counts = idx.remove_span(pos, 4)
+        tid_b = idx.tags.tid_of("b")
+        assert counts[tid_b] == 1
+        idx.check_invariants()
+        assert index_pairs(idx, "a", "c") == oracle_pairs("<a><c/></a>", "a", "c")
+
+    def test_remove_subtree(self):
+        text = "<a><x><y/><z/></x><c/></a>"
+        idx = IntervalLabelingIndex()
+        idx.insert_fragment(text)
+        pos = text.index("<x>")
+        counts = idx.remove_span(pos, len("<x><y/><z/></x>"))
+        assert sum(counts.values()) == 3
+        assert index_pairs(idx, "a", "c") == oracle_pairs("<a><c/></a>", "a", "c")
+
+    def test_remove_bounds_checked(self):
+        idx = IntervalLabelingIndex()
+        idx.insert_fragment("<a/>")
+        with pytest.raises(InvalidSegmentError):
+            idx.remove_span(2, 10)
+
+    def test_roundtrip_insert_remove(self):
+        idx = IntervalLabelingIndex()
+        idx.insert_fragment("<a><b/></a>")
+        snapshot = sorted(idx.all_records())
+        idx.insert_fragment("<q><r/></q>", 3)
+        idx.remove_span(3, len("<q><r/></q>"))
+        assert sorted(idx.all_records()) == snapshot
+
+
+class TestQueries:
+    def test_elements_sorted(self):
+        idx = IntervalLabelingIndex()
+        idx.insert_fragment("<a><b/><b/><b/></a>")
+        starts = [e.start for e in idx.elements("b")]
+        assert starts == sorted(starts)
+
+    def test_unknown_tag_empty(self):
+        idx = IntervalLabelingIndex()
+        idx.insert_fragment("<a/>")
+        assert idx.elements("zz") == []

@@ -1,0 +1,181 @@
+"""Tests for prime utilities and the PRIME labeling scheme (Fig. 17 baseline)."""
+
+from __future__ import annotations
+
+import random
+from math import prod
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LabelingError
+from repro.labeling.prime import InsertCost, PrimeLabeling
+from repro.labeling.primes import PrimeSource, crt, is_prime
+
+
+class TestPrimes:
+    def test_is_prime_small(self):
+        primes = [n for n in range(30) if is_prime(n)]
+        assert primes == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29]
+
+    def test_is_prime_larger(self):
+        assert is_prime(7919)
+        assert not is_prime(7917)
+
+    def test_source_sequence(self):
+        src = PrimeSource()
+        assert src.take(5) == [2, 3, 5, 7, 11]
+        assert src.nth(9) == 29
+
+    def test_source_floor(self):
+        src = PrimeSource(floor=100)
+        first = src.nth(0)
+        assert first == 101
+        assert all(p > 100 for p in src.take(10))
+
+    def test_source_iter(self):
+        src = PrimeSource()
+        it = iter(src)
+        assert [next(it) for _ in range(4)] == [2, 3, 5, 7]
+
+
+class TestCRT:
+    def test_empty(self):
+        assert crt([], []) == 0
+
+    def test_single(self):
+        assert crt([2], [7]) == 2
+
+    def test_classic(self):
+        # x ≡ 2 (3), 3 (5), 2 (7) -> 23
+        assert crt([2, 3, 2], [3, 5, 7]) == 23
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            crt([1], [3, 5])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_recovers_residues(self, seed):
+        rnd = random.Random(seed)
+        moduli = PrimeSource(floor=rnd.randint(10, 50)).take(rnd.randint(1, 6))
+        residues = [rnd.randrange(m) for m in moduli]
+        x = crt(residues, moduli)
+        assert 0 <= x < prod(moduli)
+        for residue, modulus in zip(residues, moduli):
+            assert x % modulus == residue
+
+
+class TestPrimeLabeling:
+    def test_labels_are_prime_products(self):
+        pl = PrimeLabeling(group_size=4, capacity=64)
+        root = pl.insert(None)
+        child = pl.insert(root)
+        root_node, child_node = pl.node(root), pl.node(child)
+        assert is_prime(root_node.self_label)
+        assert child_node.label == child_node.self_label * root_node.label
+
+    def test_ancestor_by_divisibility(self):
+        pl = PrimeLabeling(group_size=4, capacity=64)
+        r = pl.insert(None)
+        a = pl.insert(r)
+        b = pl.insert(a)
+        c = pl.insert(r)
+        assert pl.is_ancestor(r, a) and pl.is_ancestor(r, b) and pl.is_ancestor(a, b)
+        assert not pl.is_ancestor(a, c)
+        assert not pl.is_ancestor(b, a)
+        assert not pl.is_ancestor(a, a)
+
+    def test_labels_immutable_on_insert(self):
+        pl = PrimeLabeling(group_size=3, capacity=64)
+        r = pl.insert(None)
+        nodes = [pl.insert(r) for _ in range(5)]
+        labels_before = {n: pl.node(n).label for n in nodes}
+        pl.insert(r, order_index=1)
+        assert {n: pl.node(n).label for n in nodes} == labels_before
+
+    def test_document_order_maintained(self):
+        pl = PrimeLabeling(group_size=3, capacity=128)
+        r = pl.insert(None)
+        nodes = [r] + [pl.insert(r) for _ in range(9)]
+        pl.check_invariants()
+        mid = pl.insert(r, order_index=5)
+        pl.check_invariants()
+        assert pl.document_order(mid) == 5
+        assert pl.document_order(r) == 0
+
+    def test_insert_cost_counts_groups(self):
+        pl = PrimeLabeling(group_size=5, capacity=256)
+        r = pl.insert(None)
+        for _ in range(24):
+            pl.insert(r)
+        cost = InsertCost()
+        pl.insert(r, order_index=0, cost=cost)
+        # 26 nodes, K=5 -> 6 groups, all from group 0 on recomputed.
+        assert cost.groups_recomputed == 6
+        assert cost.crt_congruences == 26
+
+    def test_append_cheaper_than_prepend(self):
+        pl = PrimeLabeling(group_size=5, capacity=256)
+        r = pl.insert(None)
+        for _ in range(24):
+            pl.insert(r)
+        append_cost, prepend_cost = InsertCost(), InsertCost()
+        pl.insert(r, cost=append_cost)
+        pl.insert(r, order_index=0, cost=prepend_cost)
+        assert append_cost.groups_recomputed < prepend_cost.groups_recomputed
+
+    def test_delete_leaf(self):
+        pl = PrimeLabeling(group_size=3, capacity=64)
+        r = pl.insert(None)
+        a = pl.insert(r)
+        b = pl.insert(r)
+        pl.delete(a)
+        pl.check_invariants()
+        assert len(pl) == 2
+        assert pl.document_order(b) == 1
+
+    def test_delete_nonleaf_rejected(self):
+        pl = PrimeLabeling(capacity=64)
+        r = pl.insert(None)
+        pl.insert(r)
+        with pytest.raises(LabelingError):
+            pl.delete(r)
+
+    def test_unknown_node_rejected(self):
+        pl = PrimeLabeling(capacity=64)
+        with pytest.raises(LabelingError):
+            pl.node(7)
+
+    def test_capacity_enforced(self):
+        pl = PrimeLabeling(group_size=2, capacity=3)
+        r = pl.insert(None)
+        pl.insert(r)
+        pl.insert(r)
+        with pytest.raises(LabelingError):
+            pl.insert(r)
+
+    def test_bad_group_size(self):
+        with pytest.raises(LabelingError):
+            PrimeLabeling(group_size=0)
+
+    def test_bad_order_index(self):
+        pl = PrimeLabeling(capacity=16)
+        r = pl.insert(None)
+        with pytest.raises(LabelingError):
+            pl.insert(r, order_index=5)
+
+    @pytest.mark.parametrize("k", [1, 3, 7])
+    def test_random_insertions_keep_order(self, k):
+        rnd = random.Random(k)
+        pl = PrimeLabeling(group_size=k, capacity=256)
+        r = pl.insert(None)
+        expected = [r]
+        for _ in range(30):
+            idx = rnd.randint(0, len(expected))
+            nid = pl.insert(r, order_index=idx)
+            expected.insert(idx, nid)
+        pl.check_invariants()
+        for order, nid in enumerate(expected):
+            assert pl.document_order(nid) == order

@@ -1,0 +1,104 @@
+"""Package-level tests: public exports, error hierarchy, versioning."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestExports:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_top_level_all_resolvable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_core_all_resolvable(self):
+        import repro.core as core
+
+        for name in core.__all__:
+            assert getattr(core, name, None) is not None, name
+
+    def test_subpackage_all_resolvable(self):
+        import repro.bench as bench
+        import repro.btree as btree
+        import repro.joins as joins
+        import repro.labeling as labeling
+        import repro.workloads as workloads
+        import repro.xml as xml
+
+        for module in (btree, xml, joins, labeling, workloads, bench):
+            for name in module.__all__:
+                assert getattr(module, name, None) is not None, (module, name)
+
+    def test_quickstart_docstring_example(self):
+        from repro import LazyXMLDatabase
+
+        db = LazyXMLDatabase()
+        db.insert("<article><title/><author/></article>")
+        db.insert("<author><name/></author>", position=db.text.index("<author/>"))
+        pairs = db.structural_join("article", "author")
+        assert len(pairs) == 2
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "XMLSyntaxError",
+            "UpdateError",
+            "SegmentNotFoundError",
+            "InvalidSegmentError",
+            "IndexError_",
+            "KeyNotFoundError",
+            "QueryError",
+            "LabelingError",
+        ],
+    )
+    def test_all_derive_from_repro_error(self, name):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+    def test_xml_syntax_error_offset(self):
+        exc = errors.XMLSyntaxError("bad", offset=17)
+        assert exc.offset == 17
+        assert "17" in str(exc)
+
+    def test_xml_syntax_error_without_offset(self):
+        exc = errors.XMLSyntaxError("bad")
+        assert exc.offset is None
+
+    def test_segment_not_found_carries_sid(self):
+        exc = errors.SegmentNotFoundError(42)
+        assert exc.sid == 42
+        assert "42" in str(exc)
+
+    def test_key_not_found_carries_key(self):
+        exc = errors.KeyNotFoundError((1, 2))
+        assert exc.key == (1, 2)
+
+    def test_snapshot_error_is_repro_error(self):
+        from repro.storage import SnapshotError
+
+        assert issubclass(SnapshotError, errors.ReproError)
+
+    def test_catching_base_class_covers_library_failures(self):
+        from repro import LazyXMLDatabase
+
+        db = LazyXMLDatabase()
+        failures = 0
+        for action in (
+            lambda: db.insert("<bad"),
+            lambda: db.remove(0, 10),
+            lambda: db.structural_join("a", "b", axis="nope"),
+            lambda: db.log.node(99),
+        ):
+            try:
+                action()
+            except errors.ReproError:
+                failures += 1
+        assert failures == 4

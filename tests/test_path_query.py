@@ -1,0 +1,144 @@
+"""Tests for path-expression parsing and evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import LazyXMLDatabase
+from repro.core.query import PathQuery, PathStep, evaluate_path, parse_path
+from repro.errors import QueryError
+from repro.workloads.scenarios import registration_stream
+from repro.xml.parser import parse
+
+
+class TestParse:
+    def test_single_tag(self):
+        query = parse_path("person")
+        assert query.entry == "person"
+        assert query.steps == ()
+
+    def test_descendant_steps(self):
+        query = parse_path("a//b//c")
+        assert query.entry == "a"
+        assert [s.axis for s in query.steps] == ["descendant", "descendant"]
+        assert [s.tag for s in query.steps] == ["b", "c"]
+
+    def test_child_steps(self):
+        query = parse_path("a/b/c")
+        assert [s.axis for s in query.steps] == ["child", "child"]
+
+    def test_mixed(self):
+        query = parse_path("site//person/profile//interest")
+        assert [(s.axis, s.tag) for s in query.steps] == [
+            ("descendant", "person"),
+            ("child", "profile"),
+            ("descendant", "interest"),
+        ]
+
+    def test_str_roundtrip(self):
+        for expression in ("a", "a//b", "a/b//c", "x//y/z"):
+            assert str(parse_path(expression)) == expression
+
+    def test_whitespace_stripped(self):
+        assert parse_path("  a//b ").entry == "a"
+
+    @pytest.mark.parametrize(
+        "bad", ["", "  ", "/a", "//a", "a//", "a///b", "a//b//", "a b", "1tag", "a//2b"]
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(QueryError):
+            parse_path(bad)
+
+
+def oracle_path(db, expression):
+    """Text-reparse oracle: global spans of the final step's matches."""
+    query = parse_path(expression)
+    doc = parse(f"<w>{db.text}</w>")
+    shift = len("<w>")
+    matches = [e for e in doc.elements if e.tag == query.entry]
+    for step in query.steps:
+        next_matches = []
+        for element in matches:
+            pool = element.descendants() if step.axis == "descendant" else element.children
+            next_matches.extend(x for x in pool if x.tag == step.tag)
+        matches = next_matches
+    return sorted({(e.start - shift, e.end - shift) for e in matches})
+
+
+class TestEvaluate:
+    @pytest.fixture
+    def db(self):
+        database = LazyXMLDatabase()
+        for fragment in registration_stream(8):
+            database.insert(fragment)
+        # nested amendment so some steps cross segments
+        database.insert(
+            "<preferences><interest topic=\"extra\"/></preferences>",
+            database.text.index("</registration>"),
+        )
+        return database
+
+    def spans(self, db, records):
+        return sorted({db.global_span(r) for r in records})
+
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "registration",
+            "registration//interest",
+            "registration/preferences/interest",
+            "registration//preferences//interest",
+            "registration/contact//city",
+            "registration//user/name/first",
+            "contact/address/country",
+        ],
+    )
+    def test_matches_oracle(self, db, expression):
+        got = self.spans(db, evaluate_path(db, expression))
+        assert got == oracle_path(db, expression), expression
+
+    def test_unknown_entry_tag(self, db):
+        assert evaluate_path(db, "nonexistent//interest") == []
+
+    def test_unknown_step_tag(self, db):
+        assert evaluate_path(db, "registration//nonexistent") == []
+
+    def test_bindings_tuple_length(self, db):
+        bindings = evaluate_path(db, "registration//preferences//interest", bindings=True)
+        assert bindings
+        assert all(len(binding) == 3 for binding in bindings)
+
+    def test_bindings_are_nested(self, db):
+        for reg, prefs, interest in evaluate_path(
+            db, "registration//preferences//interest", bindings=True
+        ):
+            reg_span = db.global_span(reg)
+            prefs_span = db.global_span(prefs)
+            interest_span = db.global_span(interest)
+            assert reg_span[0] < prefs_span[0] <= interest_span[0]
+            assert interest_span[1] <= prefs_span[1] < reg_span[1]
+
+    def test_results_deduplicated_and_sorted(self, db):
+        records = evaluate_path(db, "registration//interest")
+        keys = [(r.sid, r.start) for r in records]
+        assert keys == sorted(set(keys))
+
+    def test_accepts_prebuilt_query(self, db):
+        query = PathQuery("registration", (PathStep("descendant", "interest"),))
+        assert evaluate_path(db, query) == evaluate_path(db, "registration//interest")
+
+    def test_cross_segment_steps(self):
+        db = LazyXMLDatabase()
+        db.insert("<a><hook/></a>")
+        db.insert("<b><hook2/></b>", position=db.text.index("<hook/>"))
+        db.insert("<c/>", position=db.text.index("<hook2/>"))
+        records = evaluate_path(db, "a//b//c")
+        assert self_spans(db, records) == oracle_path(db, "a//b//c")
+
+    def test_empty_database(self):
+        db = LazyXMLDatabase()
+        assert evaluate_path(db, "a//b") == []
+
+
+def self_spans(db, records):
+    return sorted({db.global_span(r) for r in records})

@@ -1,0 +1,156 @@
+"""Tests for the holistic PathStack executor."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.database import LazyXMLDatabase
+from repro.core.query import evaluate_path
+from repro.errors import QueryError
+from repro.joins.path_stack import path_stack
+from repro.workloads.generator import GeneratorConfig, generate_tree
+from repro.workloads.scenarios import registration_stream
+from repro.xml.parser import parse
+from typing import NamedTuple
+
+
+class Interval(NamedTuple):
+    start: int
+    end: int
+    level: int
+
+
+def streams_from_xml(text: str, tags: list[str]) -> list[list[Interval]]:
+    doc = parse(text)
+    return [
+        [Interval(e.start, e.end, e.level) for e in doc.elements if e.tag == tag]
+        for tag in tags
+    ]
+
+
+class TestPathStackUnit:
+    def test_two_step_descendant(self):
+        streams = streams_from_xml("<a><x><b/></x><b/></a>", ["a", "b"])
+        chains = path_stack(streams, ["descendant", "descendant"])
+        assert len(chains) == 2
+        for anc, desc in chains:
+            assert anc.start < desc.start and desc.end <= anc.end
+
+    def test_three_step_chain(self):
+        text = "<a><b><c/></b><b><c/><c/></b></a>"
+        streams = streams_from_xml(text, ["a", "b", "c"])
+        chains = path_stack(streams, ["descendant"] * 3)
+        assert len(chains) == 3
+
+    def test_child_axis_enforced(self):
+        text = "<a><x><b/></x><b/></a>"
+        streams = streams_from_xml(text, ["a", "b"])
+        chains = path_stack(streams, ["descendant", "child"])
+        assert len(chains) == 1
+
+    def test_repeated_tag_no_self_chains(self):
+        text = "<a><a><a/></a></a>"
+        streams = streams_from_xml(text, ["a", "a"])
+        chains = path_stack(streams, ["descendant", "descendant"])
+        assert len(chains) == 3
+        assert all(anc.start < desc.start for anc, desc in chains)
+
+    def test_no_match(self):
+        streams = streams_from_xml("<r><a/><b/></r>", ["a", "b"])
+        assert path_stack(streams, ["descendant", "descendant"]) == []
+
+    def test_single_step(self):
+        streams = streams_from_xml("<a><a/></a>", ["a"])
+        assert len(path_stack(streams, ["descendant"])) == 2
+
+    def test_empty(self):
+        assert path_stack([], []) == []
+
+    def test_mismatched_axes_rejected(self):
+        with pytest.raises(QueryError):
+            path_stack([[], []], ["descendant"])
+
+    def test_bad_axis_rejected(self):
+        with pytest.raises(QueryError):
+            path_stack([[]], ["cousin"])
+
+    def test_emitted_in_leaf_order(self):
+        text = "<a><b/><x><b/></x><b/></a>"
+        streams = streams_from_xml(text, ["a", "b"])
+        chains = path_stack(streams, ["descendant", "descendant"])
+        leaf_starts = [chain[-1].start for chain in chains]
+        assert leaf_starts == sorted(leaf_starts)
+
+
+class TestAgainstJoinPipeline:
+    def spans(self, db, records):
+        return sorted({db.global_span(r) for r in records})
+
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "registration//interest",
+            "registration/preferences/interest",
+            "registration//contact//city",
+            "user/name/first",
+            "registration//user//name",
+        ],
+    )
+    def test_registration_paths(self, expression):
+        db = LazyXMLDatabase()
+        for fragment in registration_stream(6):
+            db.insert(fragment)
+        joins = self.spans(db, evaluate_path(db, expression))
+        holistic = self.spans(db, evaluate_path(db, expression, algorithm="pathstack"))
+        assert joins == holistic, expression
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_documents(self, seed):
+        rnd = random.Random(seed)
+        db = LazyXMLDatabase()
+        text = generate_tree(
+            GeneratorConfig(
+                tags=["t0", "t1", "t2"],
+                max_depth=7,
+                fanout=(1, 3),
+                seed=seed,
+            )
+        ).to_xml()
+        db.insert(text)
+        # a couple of nested amendments so chains cross segments
+        for _ in range(3):
+            idx = db.text.find("<t1>")
+            if idx == -1:
+                break
+            db.insert("<t2><t1/></t2>", idx)
+        for expression in ("t0//t1", "t0//t1//t2", "t0/t1", "t1//t2//t1"):
+            joins = self.spans(db, evaluate_path(db, expression))
+            holistic = self.spans(
+                db, evaluate_path(db, expression, algorithm="pathstack")
+            )
+            assert joins == holistic, (seed, expression)
+
+    def test_bindings_agree_as_multisets(self):
+        db = LazyXMLDatabase()
+        for fragment in registration_stream(4):
+            db.insert(fragment)
+        expression = "registration//preferences//interest"
+        joins = sorted(
+            tuple(db.global_span(r) for r in chain)
+            for chain in evaluate_path(db, expression, bindings=True)
+        )
+        holistic = sorted(
+            tuple(db.global_span(r) for r in chain)
+            for chain in evaluate_path(
+                db, expression, bindings=True, algorithm="pathstack"
+            )
+        )
+        assert joins == holistic
+
+    def test_unknown_algorithm_rejected(self):
+        db = LazyXMLDatabase()
+        db.insert("<a/>")
+        with pytest.raises(QueryError):
+            evaluate_path(db, "a", algorithm="teleport")

@@ -1,0 +1,107 @@
+"""Tests for the SB-tree wrapper (dynamic/static maintenance modes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ertree import ERTree
+from repro.core.sbtree import SBTree
+from repro.errors import SegmentNotFoundError
+
+
+def make_pair(dynamic=True):
+    tree = ERTree()
+    sbtree = SBTree(tree, dynamic=dynamic)
+    tree._on_add = sbtree.on_add
+    tree._on_remove = sbtree.on_remove
+    sbtree.on_add(tree.root)
+    return tree, sbtree
+
+
+class TestDynamic:
+    def test_root_registered(self):
+        tree, sbtree = make_pair()
+        assert sbtree.lookup(0) is tree.root
+        assert len(sbtree) == 1
+
+    def test_add_registers(self):
+        tree, sbtree = make_pair()
+        node = tree.add_segment(0, 10)
+        assert sbtree.lookup(node.sid) is node
+        assert node.sid in sbtree
+
+    def test_remove_unregisters(self):
+        tree, sbtree = make_pair()
+        node = tree.add_segment(0, 10)
+        tree.remove_span(0, 10)
+        assert node.sid not in sbtree
+        with pytest.raises(SegmentNotFoundError):
+            sbtree.lookup(node.sid)
+
+    def test_subtree_removal_unregisters_descendants(self):
+        tree, sbtree = make_pair()
+        outer = tree.add_segment(0, 20)
+        inner = tree.add_segment(5, 5)
+        tree.remove_span(0, 25)
+        assert outer.sid not in sbtree and inner.sid not in sbtree
+        assert len(sbtree) == 1
+
+    def test_never_stale(self):
+        tree, sbtree = make_pair()
+        tree.add_segment(0, 5)
+        assert not sbtree.is_stale
+
+    def test_sids_sorted(self):
+        tree, sbtree = make_pair()
+        for _ in range(5):
+            tree.add_segment(0, 3)
+        assert list(sbtree.sids()) == sorted(sbtree.sids())
+
+    def test_lookup_unknown_raises(self):
+        _, sbtree = make_pair()
+        with pytest.raises(SegmentNotFoundError):
+            sbtree.lookup(99)
+
+
+class TestStatic:
+    def test_starts_stale(self):
+        _, sbtree = make_pair(dynamic=False)
+        assert sbtree.is_stale
+
+    def test_updates_keep_stale(self):
+        tree, sbtree = make_pair(dynamic=False)
+        tree.add_segment(0, 10)
+        assert sbtree.is_stale
+
+    def test_rebuild_registers_everything(self):
+        tree, sbtree = make_pair(dynamic=False)
+        nodes = [tree.add_segment(0, 4) for _ in range(10)]
+        sbtree.rebuild()
+        assert not sbtree.is_stale
+        for node in nodes:
+            assert sbtree.lookup(node.sid) is node
+        assert len(sbtree) == 11  # + dummy root
+
+    def test_update_after_rebuild_restales(self):
+        tree, sbtree = make_pair(dynamic=False)
+        tree.add_segment(0, 4)
+        sbtree.rebuild()
+        tree.add_segment(0, 4)
+        assert sbtree.is_stale
+
+    def test_rebuild_drops_removed(self):
+        tree, sbtree = make_pair(dynamic=False)
+        node = tree.add_segment(0, 4)
+        sbtree.rebuild()
+        tree.remove_span(0, 4)
+        sbtree.rebuild()
+        assert node.sid not in sbtree
+
+
+class TestAccounting:
+    def test_bytes_grow_with_segments(self):
+        tree, sbtree = make_pair()
+        before = sbtree.approximate_bytes()
+        for _ in range(20):
+            tree.add_segment(0, 5)
+        assert sbtree.approximate_bytes() > before

@@ -1,0 +1,196 @@
+"""Tests for snapshot persistence and the command-line interface."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from tests.helpers import assert_join_matches_oracle
+from repro.__main__ import main
+from repro.core.database import LazyXMLDatabase
+from repro.storage import SnapshotError, dumps, load, loads, save
+from repro.workloads.scenarios import registration_stream
+
+
+def populated_db(mode="dynamic", keep_text=True):
+    db = LazyXMLDatabase(mode=mode, keep_text=keep_text)
+    for fragment in registration_stream(5):
+        db.insert(fragment)
+    if keep_text:
+        match = re.search("<preferences>", db.text)
+        db.insert('<interest topic="nested"/>', match.end())
+    return db
+
+
+class TestSnapshotRoundTrip:
+    def test_text_preserved(self):
+        db = populated_db()
+        copy = loads(dumps(db))
+        assert copy.text == db.text
+
+    def test_structure_preserved(self):
+        db = populated_db()
+        copy = loads(dumps(db))
+        assert copy.segment_count == db.segment_count
+        assert copy.element_count == db.element_count
+        copy.check_invariants()
+
+    def test_joins_identical(self):
+        db = populated_db()
+        copy = loads(dumps(db))
+        for pair in [("registration", "interest"), ("contact", "city")]:
+            assert sorted(db.structural_join(*pair)) == sorted(
+                copy.structural_join(*pair)
+            )
+        assert_join_matches_oracle(copy, "registration", "interest")
+
+    def test_updates_after_restore(self):
+        db = populated_db()
+        copy = loads(dumps(db))
+        for fragment in registration_stream(2, seed=9):
+            copy.insert(fragment)
+        copy.check_invariants()
+        assert_join_matches_oracle(copy, "registration", "interest")
+
+    def test_sids_do_not_collide_after_restore(self):
+        db = populated_db()
+        copy = loads(dumps(db))
+        receipt = copy.insert("<extra/>")
+        assert receipt.sid not in {n.sid for n in db.log.ertree.nodes()}
+
+    def test_tombstones_preserved(self):
+        db = populated_db()
+        match = re.search(r"<interest [^/]*/>", db.text)
+        db.remove(match.start(), match.end() - match.start())
+        copy = loads(dumps(db))
+        assert copy.text == db.text
+        assert_join_matches_oracle(copy, "preferences", "interest")
+
+    def test_static_mode_roundtrip(self):
+        db = populated_db(mode="static")
+        copy = loads(dumps(db))
+        assert copy.mode == "static"
+        copy.prepare_for_query()
+        assert_join_matches_oracle(copy, "registration", "interest")
+
+    def test_keep_text_false_roundtrip(self):
+        db = populated_db(keep_text=False)
+        copy = loads(dumps(db))
+        assert copy.segment_count == db.segment_count
+        assert sorted(copy.structural_join("user", "occupation")) == sorted(
+            db.structural_join("user", "occupation")
+        )
+
+    def test_save_load_files(self, tmp_path):
+        db = populated_db()
+        path = tmp_path / "db.json"
+        save(db, path)
+        copy = load(path)
+        assert copy.text == db.text
+
+    @pytest.mark.parametrize("bad", ["", "{}", "[1,2]", '{"format": 99}'])
+    def test_bad_snapshots_rejected(self, bad):
+        with pytest.raises(SnapshotError):
+            loads(bad)
+
+
+class TestCLI:
+    @pytest.fixture
+    def doc_file(self, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text(
+            "<site><person><phone/></person><person><phone/><phone/></person></site>"
+        )
+        return path
+
+    def test_load_and_stats(self, doc_file, tmp_path, capsys):
+        db_path = tmp_path / "db.json"
+        assert main(["load", str(doc_file), "--db", str(db_path)]) == 0
+        assert db_path.exists()
+        assert main(["stats", str(db_path)]) == 0
+        out = capsys.readouterr().out
+        assert "segments:   1" in out
+        assert "elements:   6" in out
+
+    def test_load_chopped(self, doc_file, tmp_path, capsys):
+        db_path = tmp_path / "db.json"
+        main(["load", str(doc_file), "--db", str(db_path), "--segments", "3"])
+        out = capsys.readouterr().out
+        assert "3 segment(s)" in out
+
+    def test_query(self, doc_file, tmp_path, capsys):
+        db_path = tmp_path / "db.json"
+        main(["load", str(doc_file), "--db", str(db_path)])
+        capsys.readouterr()
+        assert main(["query", str(db_path), "person//phone", "--count"]) == 0
+        assert capsys.readouterr().out.strip() == "3"
+
+    def test_query_prints_spans(self, doc_file, tmp_path, capsys):
+        db_path = tmp_path / "db.json"
+        main(["load", str(doc_file), "--db", str(db_path)])
+        capsys.readouterr()
+        main(["query", str(db_path), "site//person"])
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+
+    def test_join(self, doc_file, tmp_path, capsys):
+        db_path = tmp_path / "db.json"
+        main(["load", str(doc_file), "--db", str(db_path)])
+        capsys.readouterr()
+        assert main(["join", str(db_path), "person", "phone"]) == 0
+        out = capsys.readouterr().out
+        assert "3 pairs" in out
+
+    def test_insert_and_dump(self, doc_file, tmp_path, capsys):
+        db_path = tmp_path / "db.json"
+        fragment = tmp_path / "frag.xml"
+        fragment.write_text("<person><phone/></person>")
+        main(["load", str(doc_file), "--db", str(db_path)])
+        position = len("<site>")
+        assert (
+            main(
+                [
+                    "insert", str(db_path), str(fragment),
+                    "--position", str(position),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        main(["dump", str(db_path)])
+        out = capsys.readouterr().out
+        assert out.count("<person>") == 3
+
+    def test_remove(self, doc_file, tmp_path, capsys):
+        db_path = tmp_path / "db.json"
+        main(["load", str(doc_file), "--db", str(db_path)])
+        text = doc_file.read_text()
+        start = text.index("<person>")
+        length = text.index("</person>") + len("</person>") - start
+        assert (
+            main(
+                [
+                    "remove", str(db_path),
+                    "--position", str(start), "--length", str(length),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        main(["query", str(db_path), "person//phone", "--count"])
+        assert capsys.readouterr().out.strip() == "2"
+
+    def test_compact(self, doc_file, tmp_path, capsys):
+        db_path = tmp_path / "db.json"
+        main(["load", str(doc_file), "--db", str(db_path), "--segments", "3"])
+        capsys.readouterr()
+        assert main(["compact", str(db_path)]) == 0
+        out = capsys.readouterr().out
+        assert "3 -> 1" in out
+
+    def test_error_reported(self, tmp_path, capsys):
+        db_path = tmp_path / "db.json"
+        db_path.write_text("not json")
+        assert main(["stats", str(db_path)]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,218 @@
+"""Tests for the tag-list and tag registry."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.ertree import ERTree
+from repro.core.taglist import TagList, TagRegistry
+from repro.errors import UpdateError
+
+
+class TestTagRegistry:
+    def test_intern_assigns_dense_ids(self):
+        reg = TagRegistry()
+        assert reg.intern("a") == 0
+        assert reg.intern("b") == 1
+        assert reg.intern("a") == 0
+        assert len(reg) == 2
+
+    def test_tid_of_unknown_is_none(self):
+        assert TagRegistry().tid_of("nope") is None
+
+    def test_name_of(self):
+        reg = TagRegistry()
+        reg.intern("x")
+        assert reg.name_of(0) == "x"
+
+    def test_contains(self):
+        reg = TagRegistry()
+        reg.intern("x")
+        assert "x" in reg and "y" not in reg
+
+
+def make_tree_with_segments(n=5, nested=False):
+    tree = ERTree()
+    nodes = []
+    for i in range(n):
+        if nested and nodes:
+            node = tree.add_segment(nodes[-1].gp + 1, 10)
+        else:
+            node = tree.add_segment(tree.total_length, 10)
+        nodes.append(node)
+    return tree, nodes
+
+
+class TestDynamicMode:
+    def test_add_and_query_sorted_by_gp(self):
+        tree, nodes = make_tree_with_segments(4)
+        taglist = TagList(dynamic=True)
+        # insert in a scrambled order; list must come out gp-sorted
+        for node in [nodes[2], nodes[0], nodes[3], nodes[1]]:
+            taglist.add_segment(7, node, count=2)
+        entries = taglist.segments_for(7)
+        assert [e.node.gp for e in entries] == sorted(e.node.gp for e in entries)
+        assert all(e.count == 2 for e in entries)
+
+    def test_zero_count_rejected(self):
+        tree, nodes = make_tree_with_segments(1)
+        taglist = TagList()
+        with pytest.raises(UpdateError):
+            taglist.add_segment(1, nodes[0], count=0)
+
+    def test_remove_occurrences_decrements(self):
+        tree, nodes = make_tree_with_segments(2)
+        taglist = TagList()
+        taglist.add_segment(1, nodes[0], count=3)
+        taglist.remove_occurrences(1, nodes[0].sid, 2)
+        assert taglist.count_for(1, nodes[0].sid) == 1
+
+    def test_remove_to_zero_drops_entry(self):
+        tree, nodes = make_tree_with_segments(2)
+        taglist = TagList()
+        taglist.add_segment(1, nodes[0], count=2)
+        taglist.add_segment(1, nodes[1], count=1)
+        taglist.remove_occurrences(1, nodes[0].sid, 2)
+        assert taglist.count_for(1, nodes[0].sid) == 0
+        assert len(taglist.segments_for(1)) == 1
+
+    def test_last_entry_removal_drops_list(self):
+        tree, nodes = make_tree_with_segments(1)
+        taglist = TagList()
+        taglist.add_segment(1, nodes[0], count=1)
+        taglist.remove_occurrences(1, nodes[0].sid, 1)
+        assert list(taglist.tids()) == []
+
+    def test_remove_more_than_recorded_raises(self):
+        tree, nodes = make_tree_with_segments(1)
+        taglist = TagList()
+        taglist.add_segment(1, nodes[0], count=1)
+        with pytest.raises(UpdateError):
+            taglist.remove_occurrences(1, nodes[0].sid, 2)
+
+    def test_remove_unknown_tid_raises(self):
+        taglist = TagList()
+        with pytest.raises(UpdateError):
+            taglist.remove_occurrences(9, 1, 1)
+
+    def test_remove_unknown_sid_raises(self):
+        tree, nodes = make_tree_with_segments(1)
+        taglist = TagList()
+        taglist.add_segment(1, nodes[0], count=1)
+        with pytest.raises(UpdateError):
+            taglist.remove_occurrences(1, 999, 1)
+
+    def test_remove_zero_is_noop(self):
+        tree, nodes = make_tree_with_segments(1)
+        taglist = TagList()
+        taglist.add_segment(1, nodes[0], count=1)
+        taglist.remove_occurrences(1, nodes[0].sid, 0)
+        assert taglist.count_for(1, nodes[0].sid) == 1
+
+    def test_remove_for_node_fast_path(self):
+        tree, nodes = make_tree_with_segments(6)
+        taglist = TagList()
+        for node in nodes:
+            taglist.add_segment(3, node, count=2)
+        taglist.remove_occurrences_for_node(3, nodes[3], 2)
+        assert taglist.count_for(3, nodes[3].sid) == 0
+        assert len(taglist.segments_for(3)) == 5
+
+    def test_entry_exposes_path(self):
+        tree, nodes = make_tree_with_segments(3, nested=True)
+        taglist = TagList()
+        taglist.add_segment(1, nodes[2], count=1)
+        (entry,) = taglist.segments_for(1)
+        assert entry.path == nodes[2].path
+        assert entry.sid == nodes[2].sid
+
+    def test_tids_for_segment(self):
+        tree, nodes = make_tree_with_segments(2)
+        taglist = TagList()
+        taglist.add_segment(1, nodes[0], count=1)
+        taglist.add_segment(2, nodes[0], count=1)
+        taglist.add_segment(2, nodes[1], count=1)
+        assert sorted(taglist.tids_for_segment(nodes[0].sid)) == [1, 2]
+        assert taglist.tids_for_segment(nodes[1].sid) == [2]
+
+    def test_sorted_after_interleaved_gp_shifts(self):
+        # Insertions shift gps but preserve relative order; list must stay
+        # sorted without re-sorting.
+        tree = ERTree()
+        taglist = TagList()
+        rnd = random.Random(3)
+        for _ in range(30):
+            gp = rnd.randint(0, tree.total_length)
+            node = tree.add_segment(gp, 5)
+            taglist.add_segment(0, node, count=1)
+            gps = [e.node.gp for e in taglist.segments_for(0)]
+            assert gps == sorted(gps)
+
+
+class TestStaticMode:
+    def test_unsorted_until_finalize(self):
+        tree, nodes = make_tree_with_segments(3)
+        taglist = TagList(dynamic=False)
+        for node in reversed(nodes):
+            taglist.add_segment(1, node, count=1)
+        with pytest.raises(UpdateError):
+            taglist.segments_for(1)
+        taglist.finalize()
+        gps = [e.node.gp for e in taglist.segments_for(1)]
+        assert gps == sorted(gps)
+
+    def test_removals_work_while_unsorted(self):
+        tree, nodes = make_tree_with_segments(3)
+        taglist = TagList(dynamic=False)
+        for node in nodes:
+            taglist.add_segment(1, node, count=1)
+        taglist.remove_occurrences(1, nodes[1].sid, 1)
+        taglist.finalize()
+        assert len(taglist.segments_for(1)) == 2
+
+    def test_unsort_restales(self):
+        tree, nodes = make_tree_with_segments(4)
+        taglist = TagList(dynamic=False)
+        for node in nodes:
+            taglist.add_segment(1, node, count=1)
+        taglist.finalize()
+        taglist.unsort()
+        with pytest.raises(UpdateError):
+            taglist.segments_for(1)
+        taglist.finalize()
+        gps = [e.node.gp for e in taglist.segments_for(1)]
+        assert gps == sorted(gps)
+
+    def test_unsort_with_rng(self):
+        tree, nodes = make_tree_with_segments(5)
+        taglist = TagList(dynamic=False)
+        for node in nodes:
+            taglist.add_segment(1, node, count=1)
+        taglist.finalize()
+        taglist.unsort(random.Random(0))
+        taglist.finalize()
+        assert len(taglist.segments_for(1)) == 5
+
+
+class TestAccounting:
+    def test_entry_count(self):
+        tree, nodes = make_tree_with_segments(3)
+        taglist = TagList()
+        for tid in (1, 2):
+            for node in nodes:
+                taglist.add_segment(tid, node, count=1)
+        assert taglist.entry_count() == 6
+
+    def test_bytes_reflect_path_lengths(self):
+        flat_tree, flat_nodes = make_tree_with_segments(5)
+        nested_tree, nested_nodes = make_tree_with_segments(5, nested=True)
+        flat_list, nested_list = TagList(), TagList()
+        for node in flat_nodes:
+            flat_list.add_segment(0, node, count=1)
+        for node in nested_nodes:
+            nested_list.add_segment(0, node, count=1)
+        # Nested paths are longer, so the nested tag-list is bigger — the
+        # O(T·N²) vs O(T·N·logN-ish) contrast behind Fig. 11(a).
+        assert nested_list.approximate_bytes() > flat_list.approximate_bytes()

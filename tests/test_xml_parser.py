@@ -1,0 +1,213 @@
+"""Tests for the XML parser and document model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import XMLSyntaxError
+from repro.xml.parser import element_records, is_well_formed, parse, parse_fragment
+from repro.xml.serializer import Node
+
+
+class TestStructure:
+    def test_single_empty_root(self):
+        doc = parse("<a/>")
+        assert doc.root.tag == "a"
+        assert len(doc) == 1
+        assert doc.root.span == (0, 4)
+
+    def test_nested_children(self):
+        doc = parse("<a><b/><c><d/></c></a>")
+        assert [e.tag for e in doc.elements] == ["a", "b", "c", "d"]
+        assert [e.level for e in doc.elements] == [1, 2, 2, 3]
+        b, c = doc.root.children
+        assert b.tag == "b" and c.tag == "c"
+        assert c.children[0].tag == "d"
+        assert c.children[0].parent is c
+
+    def test_spans_are_exact(self):
+        text = "<a><b>xy</b><c/></a>"
+        doc = parse(text)
+        for element in doc.elements:
+            fragment = element.text_of(text)
+            assert fragment.startswith(f"<{element.tag}")
+            assert fragment.endswith(">")
+        b = doc.root.children[0]
+        assert text[b.start : b.end] == "<b>xy</b>"
+
+    def test_elements_in_document_order(self):
+        doc = parse("<a><b/><c/><d><e/></d></a>")
+        starts = [e.start for e in doc.elements]
+        assert starts == sorted(starts)
+
+    def test_attributes_parsed(self):
+        doc = parse('<a id="1"><b k="v"/></a>')
+        assert doc.root.attributes == {"id": "1"}
+        assert doc.root.children[0].attributes == {"k": "v"}
+
+    def test_prolog_and_trailing_comment_allowed(self):
+        doc = parse('<?xml version="1.0"?><!-- pre --><a/><!-- post -->')
+        assert doc.root.tag == "a"
+        assert len(doc) == 1
+
+    def test_whitespace_around_root_allowed(self):
+        doc = parse("  <a/>\n")
+        assert doc.root.tag == "a"
+
+    def test_text_and_mixed_content(self):
+        doc = parse("<a>one<b/>two</a>")
+        assert [e.tag for e in doc.elements] == ["a", "b"]
+
+    def test_deep_nesting(self):
+        text = "<a>" * 50 + "</a>" * 50
+        doc = parse(text)
+        assert len(doc) == 50
+        assert doc.elements[-1].level == 50
+
+
+class TestWellFormedness:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "<a>",
+            "</a>",
+            "<a></b>",
+            "<a/><b/>",
+            "<a></a><b></b>",
+            "text<a/>",
+            "<a/>text",
+            "<a><b></a></b>",
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(XMLSyntaxError):
+            parse(bad)
+        assert not is_well_formed(bad)
+
+    @pytest.mark.parametrize(
+        "good",
+        ["<a/>", "<a></a>", "<a><b/></a>", "<a>t</a>", "<a><!--c--></a>"],
+    )
+    def test_accepts_well_formed(self, good):
+        assert is_well_formed(good)
+
+    def test_parse_fragment_is_alias(self):
+        assert parse_fragment("<a/>").root.tag == "a"
+
+
+class TestElementRecords:
+    def test_records_shape(self):
+        records = element_records("<a><b/><c><d/></c></a>")
+        assert records[0] == ("a", 0, len("<a><b/><c><d/></c></a>"), 1)
+        assert records[1] == ("b", 3, 7, 2)
+        assert [r[3] for r in records] == [1, 2, 2, 3]
+
+    def test_records_with_attributes_and_text(self):
+        text = '<r a="1"><x>hi</x></r>'
+        records = element_records(text)
+        assert records[1][0] == "x"
+        assert text[records[1][1] : records[1][2]] == "<x>hi</x>"
+
+
+class TestModelNavigation:
+    @pytest.fixture
+    def doc(self):
+        return parse("<a><b><c/><d/></b><e/></a>")
+
+    def test_iter_preorder(self, doc):
+        assert [e.tag for e in doc.root.iter()] == ["a", "b", "c", "d", "e"]
+
+    def test_descendants_excludes_self(self, doc):
+        assert [e.tag for e in doc.root.descendants()] == ["b", "c", "d", "e"]
+
+    def test_ancestors(self, doc):
+        c = doc.elements[2]
+        assert [e.tag for e in c.ancestors()] == ["b", "a"]
+
+    def test_contains(self, doc):
+        a, b, c = doc.elements[0], doc.elements[1], doc.elements[2]
+        assert a.contains(b) and b.contains(c) and a.contains(c)
+        assert not c.contains(a)
+        assert not a.contains(a)
+
+    def test_length(self, doc):
+        assert doc.root.length == len(doc.text)
+
+    def test_elements_by_tag(self):
+        doc = parse("<a><b/><b/><c/></a>")
+        by_tag = doc.elements_by_tag()
+        assert len(by_tag["b"]) == 2
+        assert len(by_tag["a"]) == 1
+
+    def test_tags(self):
+        assert parse("<a><b/><b/></a>").tags() == {"a", "b"}
+
+    def test_find_innermost_basic(self, doc):
+        b = doc.elements[1]
+        inner = doc.find_innermost(b.start + 4)
+        assert inner.tag in ("b", "c")
+
+    def test_find_innermost_outside_root(self):
+        doc = parse("  <a/> ")
+        assert doc.find_innermost(0) is None
+        assert doc.find_innermost(len(doc.text)) is None
+
+    def test_find_innermost_at_root_edges(self):
+        doc = parse("<a><b/></a>")
+        # Offset 0 is the root's '<': not strictly inside.
+        assert doc.find_innermost(0) is None
+        assert doc.find_innermost(1).tag == "a"
+        b = doc.elements[1]
+        assert doc.find_innermost(b.start + 1).tag == "b"
+
+    def test_document_iter_and_len(self, doc):
+        assert len(list(iter(doc))) == len(doc) == 5
+
+
+def _node_trees(max_depth=4):
+    tags = st.sampled_from(["a", "b", "c", "dd"])
+    texts = st.text(
+        alphabet=st.characters(whitelist_categories=("Ll",), max_codepoint=127),
+        max_size=6,
+    )
+    return st.recursive(
+        st.builds(Node, tags),
+        lambda children: st.builds(
+            lambda tag, kids, txt: Node(tag, {}, ([txt] if txt else []) + kids),
+            tags,
+            st.lists(children, max_size=3),
+            texts,
+        ),
+        max_leaves=12,
+    )
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(_node_trees())
+    def test_serialize_parse_roundtrip(self, tree):
+        text = tree.to_xml()
+        doc = parse(text)
+        assert doc.root.tag == tree.tag
+        assert len(doc) == tree.element_count()
+        assert doc.root.span == (0, len(text))
+
+    @settings(max_examples=60, deadline=None)
+    @given(_node_trees())
+    def test_levels_match_nesting(self, tree):
+        doc = parse(tree.to_xml())
+        for element in doc.elements:
+            assert element.level == len(list(element.ancestors())) + 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(_node_trees())
+    def test_children_nested_within_parents(self, tree):
+        doc = parse(tree.to_xml())
+        for element in doc.elements:
+            for child in element.children:
+                assert element.start < child.start
+                assert child.end < element.end

@@ -1,0 +1,100 @@
+"""Tests for XML text construction (Node trees, escaping, serialization)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xml.parser import parse
+from repro.xml.serializer import Node, escape_attribute, escape_text, serialize
+
+
+class TestEscaping:
+    def test_escape_text_specials(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_escape_text_plain_untouched(self):
+        assert escape_text("hello world") == "hello world"
+
+    def test_escape_attribute_quotes(self):
+        assert escape_attribute('say "hi" & <go>') == "say &quot;hi&quot; &amp; &lt;go&gt;"
+
+    def test_escape_ampersand_first(self):
+        # '&' must escape before the others or double-escaping occurs.
+        assert escape_text("<") == "&lt;"
+        assert escape_text("&lt;") == "&amp;lt;"
+
+
+class TestNodeBuilding:
+    def test_empty_node_serializes_self_closing(self):
+        assert Node("a").to_xml() == "<a/>"
+
+    def test_node_with_text(self):
+        assert Node("a", {}, ["hi"]).to_xml() == "<a>hi</a>"
+
+    def test_child_returns_new_node(self):
+        root = Node("a")
+        child = root.child("b", x="1")
+        assert child.tag == "b"
+        assert root.to_xml() == '<a><b x="1"/></a>'
+
+    def test_text_returns_self_for_chaining(self):
+        root = Node("a")
+        assert root.text("one").text("two") is root
+        assert root.to_xml() == "<a>onetwo</a>"
+
+    def test_mixed_content_order_preserved(self):
+        root = Node("a")
+        root.text("x")
+        root.child("b")
+        root.text("y")
+        assert root.to_xml() == "<a>x<b/>y</a>"
+
+    def test_attributes_serialized_in_insertion_order(self):
+        node = Node("a", {"z": "1", "b": "2"})
+        assert node.to_xml() == '<a z="1" b="2"/>'
+
+    def test_attribute_values_escaped(self):
+        node = Node("a", {"x": 'v"<&'})
+        assert 'x="v&quot;&lt;&amp;"' in node.to_xml()
+
+    def test_text_content_escaped(self):
+        assert Node("a", {}, ["<&>"]).to_xml() == "<a>&lt;&amp;&gt;</a>"
+
+    def test_element_count(self):
+        root = Node("a")
+        root.child("b").child("c")
+        root.child("d")
+        root.text("t")
+        assert root.element_count() == 4
+
+    def test_element_count_leaf(self):
+        assert Node("x").element_count() == 1
+
+    def test_serialize_function_matches_method(self):
+        node = Node("a", {}, [Node("b")])
+        assert serialize(node) == node.to_xml()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: Node("a"),
+            lambda: Node("a", {"k": "v"}, ["text"]),
+            lambda: Node("a", {}, [Node("b", {}, [Node("c")]), "tail"]),
+        ],
+    )
+    def test_parse_of_serialized(self, builder):
+        node = builder()
+        doc = parse(node.to_xml())
+        assert doc.root.tag == node.tag
+        assert len(doc) == node.element_count()
+
+    def test_escaped_text_survives(self):
+        node = Node("a", {}, ["1 < 2 & 3 > 2"])
+        text = node.to_xml()
+        doc = parse(text)
+        assert doc.root.tag == "a"
+        # the raw markup contains no bare specials between the tags
+        inner = text[len("<a>") : -len("</a>")]
+        assert "<" not in inner and ">" not in inner.replace("&gt;", "")
