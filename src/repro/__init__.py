@@ -32,12 +32,14 @@ from repro.core import (
     LogStats,
     UpdateLog,
 )
+from repro.durability.database import DurableDatabase
 from repro.errors import ReproError
 
 __version__ = "1.0.0"
 
 __all__ = [
     "LazyXMLDatabase",
+    "DurableDatabase",
     "UpdateLog",
     "ElementIndex",
     "ElementRecord",

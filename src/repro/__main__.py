@@ -11,6 +11,22 @@ and :mod:`repro.storage` snapshots:
     python -m repro stats db.json
     python -m repro compact db.json
     python -m repro dump db.json            # print the document text
+    python -m repro fsck db.json            # verify a snapshot / durable dir
+
+Every subcommand can also run against a **durable directory** (write-ahead
+journal + atomic checkpoints, see :mod:`repro.durability`) instead of a
+plain snapshot by passing the global ``--durable DIR`` flag, in which case
+the snapshot-path argument is omitted:
+
+    python -m repro --durable state/ load doc.xml
+    python -m repro --durable state/ insert fragment.xml --position 120
+    python -m repro --durable state/ query "person//profile/interest"
+    python -m repro --durable state/ checkpoint
+    python -m repro --durable state/ fsck
+
+In durable mode, mutating commands are journaled (fsynced before the
+command reports success) rather than rewriting the whole snapshot; the
+``checkpoint`` command folds the journal into the checkpoint file.
 """
 
 from __future__ import annotations
@@ -21,11 +37,27 @@ from pathlib import Path
 
 from repro import LazyXMLDatabase, __version__
 from repro.core.join import JoinStatistics
+from repro.durability.database import DurableDatabase
 from repro.errors import ReproError
 from repro.storage import load, save
 from repro.workloads.chopper import chop_text
 
 __all__ = ["main", "build_parser"]
+
+#: Positional arguments per command, leftmost first.  When ``--durable`` is
+#: given the snapshot-path positional is omitted on the command line, so the
+#: parsed values must be shifted one slot to the right.
+_POSITIONALS = {
+    "insert": ("db", "fragment_file"),
+    "remove": ("db",),
+    "query": ("db", "expression"),
+    "join": ("db", "ancestor_tag", "descendant_tag"),
+    "stats": ("db",),
+    "compact": ("db",),
+    "dump": ("db",),
+    "fsck": ("db",),
+    "checkpoint": ("db",),
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -34,59 +66,112 @@ def build_parser() -> argparse.ArgumentParser:
         description="Lazy XML Updates database (SIGMOD 2005 reproduction)",
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    parser.add_argument(
+        "--durable",
+        metavar="DIR",
+        default=None,
+        help="operate on a durable directory (journal + checkpoints) "
+        "instead of a snapshot file; omit the snapshot-path argument",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     cmd = commands.add_parser("load", help="build a database from an XML file")
     cmd.add_argument("xml_file", type=Path)
-    cmd.add_argument("--db", type=Path, required=True, help="snapshot to write")
+    cmd.add_argument("--db", type=Path, default=None, help="snapshot to write")
     cmd.add_argument("--segments", type=int, default=1)
     cmd.add_argument("--shape", choices=["balanced", "nested"], default="balanced")
     cmd.add_argument("--mode", choices=["dynamic", "static"], default="dynamic")
 
     cmd = commands.add_parser("insert", help="insert a fragment file")
-    cmd.add_argument("db", type=Path)
-    cmd.add_argument("fragment_file", type=Path)
+    cmd.add_argument("db", nargs="?", default=None)
+    cmd.add_argument("fragment_file", nargs="?", default=None)
     cmd.add_argument("--position", type=int, default=None)
 
     cmd = commands.add_parser("remove", help="remove a character span")
-    cmd.add_argument("db", type=Path)
+    cmd.add_argument("db", nargs="?", default=None)
     cmd.add_argument("--position", type=int, required=True)
     cmd.add_argument("--length", type=int, required=True)
 
     cmd = commands.add_parser("query", help="evaluate a path expression")
-    cmd.add_argument("db", type=Path)
-    cmd.add_argument("expression")
+    cmd.add_argument("db", nargs="?", default=None)
+    cmd.add_argument("expression", nargs="?", default=None)
     cmd.add_argument("--count", action="store_true", help="print only the count")
 
     cmd = commands.add_parser("join", help="run one structural join")
-    cmd.add_argument("db", type=Path)
-    cmd.add_argument("ancestor_tag")
-    cmd.add_argument("descendant_tag")
+    cmd.add_argument("db", nargs="?", default=None)
+    cmd.add_argument("ancestor_tag", nargs="?", default=None)
+    cmd.add_argument("descendant_tag", nargs="?", default=None)
     cmd.add_argument("--axis", choices=["descendant", "child"], default="descendant")
     cmd.add_argument(
         "--algorithm", choices=["lazy", "std", "merge"], default="lazy"
     )
 
     cmd = commands.add_parser("stats", help="print database statistics")
-    cmd.add_argument("db", type=Path)
+    cmd.add_argument("db", nargs="?", default=None)
 
     cmd = commands.add_parser("compact", help="rebuild the index (pack segments)")
-    cmd.add_argument("db", type=Path)
+    cmd.add_argument("db", nargs="?", default=None)
 
     cmd = commands.add_parser("dump", help="print the document text")
-    cmd.add_argument("db", type=Path)
+    cmd.add_argument("db", nargs="?", default=None)
+
+    cmd = commands.add_parser(
+        "fsck", help="verify a snapshot file or durable directory"
+    )
+    cmd.add_argument("db", nargs="?", default=None)
+
+    cmd = commands.add_parser(
+        "checkpoint", help="fold a durable directory's journal into its checkpoint"
+    )
+    cmd.add_argument("db", nargs="?", default=None)
     return parser
 
 
-def _open(path: Path) -> LazyXMLDatabase:
+def _shift_positionals(args: argparse.Namespace) -> None:
+    """In durable mode the snapshot path is omitted; realign positionals."""
+    names = _POSITIONALS.get(args.command)
+    if names is None:
+        return
+    values = [getattr(args, name) for name in names]
+    present = [value for value in values if value is not None]
+    if len(present) == len(names):
+        raise ReproError(
+            "--durable replaces the snapshot-path argument; drop "
+            f"{present[0]!r} from the command line"
+        )
+    shifted = [None] + present + [None] * (len(names) - len(present) - 1)
+    for name, value in zip(names, shifted):
+        setattr(args, name, value)
+
+
+def _require(args: argparse.Namespace, *names: str) -> None:
+    for name in names:
+        if getattr(args, name) is None:
+            raise ReproError(f"missing required argument: {name}")
+
+
+def _open(args: argparse.Namespace):
+    """Open the database plus a ``persist()`` to call after mutations.
+
+    Snapshot mode rewrites the snapshot atomically; durable mode persists
+    through the journal as each op commits, so ``persist`` is a no-op.
+    """
+    if args.durable:
+        dd = DurableDatabase(args.durable)
+        dd.prepare_for_query()
+        return dd, lambda: None
+    _require(args, "db")
+    path = Path(args.db)
     db = load(path)
     db.prepare_for_query()
-    return db
+    return db, lambda: save(db, path)
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
+        if args.durable and args.command != "load":
+            _shift_positionals(args)
         return _dispatch(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -95,31 +180,25 @@ def main(argv: list[str] | None = None) -> int:
 
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "load":
-        text = args.xml_file.read_text(encoding="utf-8")
-        db = LazyXMLDatabase(mode=args.mode)
-        if args.segments <= 1:
-            db.insert(text)
-        else:
-            chop_text(text, args.segments, args.shape, db=db)
-        save(db, args.db)
-        print(
-            f"loaded {db.element_count} elements into {db.segment_count} "
-            f"segment(s); snapshot: {args.db}"
-        )
-        return 0
+        return _cmd_load(args)
+    if args.command == "fsck":
+        return _cmd_fsck(args)
+    if args.command == "checkpoint":
+        return _cmd_checkpoint(args)
+
+    db, persist = _open(args)
 
     if args.command == "insert":
-        db = _open(args.db)
-        fragment = args.fragment_file.read_text(encoding="utf-8")
+        _require(args, "fragment_file")
+        fragment = Path(args.fragment_file).read_text(encoding="utf-8")
         receipt = db.insert(fragment, args.position)
-        save(db, args.db)
+        persist()
         print(f"inserted segment {receipt.sid} at {receipt.gp} (path {receipt.path})")
         return 0
 
     if args.command == "remove":
-        db = _open(args.db)
         outcome = db.remove(args.position, args.length)
-        save(db, args.db)
+        persist()
         print(
             f"removed {args.length} chars: {len(outcome.report.removed_sids)} "
             f"segment(s) and {outcome.elements_removed} element record(s) gone"
@@ -127,7 +206,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "query":
-        db = _open(args.db)
+        _require(args, "expression")
         records = db.path_query(args.expression)
         if args.count:
             print(len(records))
@@ -138,7 +217,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "join":
-        db = _open(args.db)
+        _require(args, "ancestor_tag", "descendant_tag")
         stats = JoinStatistics()
         kwargs = {"stats": stats} if args.algorithm == "lazy" else {}
         pairs = db.structural_join(
@@ -157,7 +236,6 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "stats":
-        db = _open(args.db)
         log_stats = db.stats()
         print(f"mode:       {db.mode}")
         print(f"characters: {db.document_length}")
@@ -166,12 +244,14 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(f"tags:       {len(db.log.tags)}")
         print(f"SB-tree:    {log_stats.sbtree_bytes / 1024:.1f} KB")
         print(f"tag-list:   {log_stats.taglist_bytes / 1024:.1f} KB")
+        if args.durable:
+            dd: DurableDatabase = db
+            print(f"journal:    {dd.journal_size} B (last seq {dd.last_seq})")
         return 0
 
     if args.command == "compact":
-        db = _open(args.db)
         result = db.compact()
-        save(db, args.db)
+        persist()
         print(
             f"compacted {result.segments_before} -> {result.segments_after} "
             f"segments ({result.elements_relabelled} elements relabelled)"
@@ -179,11 +259,93 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "dump":
-        db = _open(args.db)
         print(db.text)
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    text = args.xml_file.read_text(encoding="utf-8")
+    if args.durable:
+        from repro.durability.recovery import CHECKPOINT_NAME, JOURNAL_NAME
+
+        directory = Path(args.durable)
+        for name in (CHECKPOINT_NAME, JOURNAL_NAME):
+            existing = directory / name
+            if existing.exists() and existing.stat().st_size:
+                raise ReproError(
+                    f"refusing to load into non-empty durable directory "
+                    f"({existing} exists)"
+                )
+        db = DurableDatabase(directory, mode=args.mode)
+        _load_into(db, text, args)
+        db.checkpoint()
+        where = f"durable dir: {directory}"
+    else:
+        if args.db is None:
+            raise ReproError("load requires --db SNAPSHOT (or --durable DIR)")
+        db = LazyXMLDatabase(mode=args.mode)
+        _load_into(db, text, args)
+        save(db, args.db)
+        where = f"snapshot: {args.db}"
+    print(
+        f"loaded {db.element_count} elements into {db.segment_count} "
+        f"segment(s); {where}"
+    )
+    return 0
+
+
+def _load_into(db, text: str, args: argparse.Namespace) -> None:
+    if args.segments <= 1:
+        db.insert(text)
+    else:
+        chop_text(text, args.segments, args.shape, db=db)
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    """Verify a snapshot file or durable directory; non-zero on corruption."""
+    target = Path(args.durable) if args.durable else None
+    if target is None:
+        _require(args, "db")
+        target = Path(args.db)
+    try:
+        if target.is_dir():
+            from repro.durability.recovery import recover
+
+            db, report = recover(target)
+            detail = report.describe()
+            if report.torn_tail:
+                print("fsck: note: torn final journal record discarded", file=sys.stderr)
+        else:
+            db = load(target)
+            detail = f"snapshot, {db.segment_count} segment(s)"
+        db.prepare_for_query()
+        db.check_invariants()
+    except (ReproError, AssertionError, OSError) as exc:
+        print(f"fsck: {target}: CORRUPT", file=sys.stderr)
+        print(f"fsck: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"fsck: {target}: ok ({detail}; {db.element_count} elements, "
+        f"{db.document_length} chars)"
+    )
+    return 0
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    if not args.durable:
+        raise ReproError("checkpoint requires --durable DIR")
+    db = DurableDatabase(args.durable)
+    before = db.journal_size
+    db.checkpoint()
+    after = db.journal_size
+    db.close()
+    print(
+        f"checkpoint written at seq {db.last_seq} "
+        f"(journal {before} B -> {after} B)"
+    )
+    return 0
 
 
 if __name__ == "__main__":

@@ -138,10 +138,21 @@ class LazyXMLDatabase:
 
         Returns the :class:`~repro.core.update_log.InsertReceipt` with the
         new segment's sid, path and local position.
+
+        Exception safety: every input check — fragment parse, position
+        bounds, optional full-document validation — runs before the first
+        structure is touched, and the index maintenance after the update-log
+        insertion is guarded by a rollback, so a failing insert always
+        leaves ``check_invariants()`` green.
         """
         if position is None:
             position = self.log.document_length
         document = parse_fragment(fragment)
+        if not 0 <= position <= self.log.document_length:
+            raise InvalidSegmentError(
+                f"insert position {position} outside super document "
+                f"[0, {self.log.document_length}]"
+            )
         if validate == "full":
             if not self._keep_text:
                 raise QueryError('validate="full" requires keep_text=True')
@@ -151,18 +162,45 @@ class LazyXMLDatabase:
 
         tag_counts: Counter = Counter(e.tag for e in document.elements)
         receipt = self.log.insert_segment(position, len(fragment), tag_counts)
-        records = [
-            (self.log.tags.intern(e.tag), e.start, e.end, e.level)
-            for e in document.elements
-        ]
-        self.index.insert_segment(receipt.sid, records, base_level)
-        self._segment_elements[receipt.sid] = [
-            (tid, start, end, base_level + level)
-            for tid, start, end, level in records
-        ]
-        if self._keep_text:
-            self._text = self._text[:position] + fragment + self._text[position:]
+        try:
+            records = [
+                (self.log.tags.intern(e.tag), e.start, e.end, e.level)
+                for e in document.elements
+            ]
+            self.index.insert_segment(receipt.sid, records, base_level)
+            self._segment_elements[receipt.sid] = [
+                (tid, start, end, base_level + level)
+                for tid, start, end, level in records
+            ]
+            if self._keep_text:
+                self._text = self._text[:position] + fragment + self._text[position:]
+        except BaseException:
+            self._rollback_insert(receipt, tag_counts)
+            raise
         return receipt
+
+    def _rollback_insert(self, receipt: InsertReceipt, tag_counts: Counter) -> None:
+        """Undo a segment insertion whose index maintenance failed midway.
+
+        Reverses the structures in dependency order: element-index entries
+        (whatever subset landed), the cached parse, the ER-/SB-tree node,
+        and finally the tag-list occurrences the update-log insertion
+        registered.  Removing the exact just-inserted span restores every
+        surviving segment's global position and ancestor lengths and leaves
+        no tombstone (the span aligns with the fresh node's boundaries).
+        """
+        tids = {
+            tid
+            for tid in (self.log.tags.tid_of(name) for name in tag_counts)
+            if tid is not None
+        }
+        self.index.remove_segment(receipt.sid, tids)
+        self._segment_elements.pop(receipt.sid, None)
+        self.log.ertree.remove_span(receipt.gp, receipt.length)
+        for name, count in tag_counts.items():
+            tid = self.log.tags.tid_of(name)
+            if tid is not None:
+                self.log.taglist.remove_occurrences(tid, receipt.sid, count)
 
     def _validate_splice(self, fragment: str, position: int) -> None:
         """Reject an insertion that would leave the super document malformed.
@@ -209,7 +247,21 @@ class LazyXMLDatabase:
         (whole segments and partially-removed local ranges), and folds the
         per-(tid, sid) removal counts back into the tag-list — the exact
         maintenance ordering Section 3.3 prescribes.
+
+        Exception safety: the span is validated here, before the first
+        mutation; once the ER-tree removal has run, the remaining index and
+        tag-list maintenance operates only on data the report proves
+        present, so an invalid request never leaves partial mutations.
         """
+        if length <= 0:
+            raise InvalidSegmentError(
+                f"removal length must be positive, got {length}"
+            )
+        if position < 0 or position + length > self.log.document_length:
+            raise InvalidSegmentError(
+                f"removal span [{position}, {position + length}) outside "
+                f"super document [0, {self.log.document_length})"
+            )
         report = self.log.remove_span(position, length)
         per_segment_counts: dict[int, Counter] = {}
         removed_elements = 0

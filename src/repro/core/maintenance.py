@@ -26,7 +26,19 @@ from dataclasses import dataclass
 from repro.core.segment import DUMMY_ROOT_SID
 from repro.errors import InvalidSegmentError
 
-__all__ = ["RepackResult", "repack_segment", "compact_database"]
+__all__ = ["RepackResult", "require_repackable", "repack_segment", "compact_database"]
+
+
+def require_repackable(db, sid: int) -> None:
+    """Raise (mutating nothing) unless segment ``sid`` can be repacked.
+
+    Shared by :func:`repack_segment` and the durability layer's op
+    pre-validation (:func:`repro.durability.recovery.validate_op`), so the
+    journal never records a repack that the in-memory apply would reject.
+    """
+    node = db.log.node(sid)  # SegmentNotFoundError when absent
+    if node.sid == DUMMY_ROOT_SID:
+        raise InvalidSegmentError("cannot repack the dummy root")
 
 
 @dataclass
@@ -48,9 +60,8 @@ def repack_segment(db, sid: int) -> RepackResult:
     tag-list, element index and the database's cached parses are all kept
     consistent.
     """
+    require_repackable(db, sid)
     node = db.log.node(sid)
-    if node.sid == DUMMY_ROOT_SID:
-        raise InvalidSegmentError("cannot repack the dummy root")
     base_gp = node.gp
 
     # Gather the subtree's element records with global-derived fresh labels.

@@ -1,0 +1,208 @@
+"""`DurableDatabase` — a journaled, crash-recoverable LazyXMLDatabase.
+
+Every structural operation follows the same commit protocol:
+
+1. **validate** — :func:`~repro.durability.recovery.validate_op` runs the
+   operation's full precondition check against the current state, so
+   nothing unreplayable ever reaches the journal;
+2. **journal** — the op record is appended and fsynced
+   (:meth:`~repro.durability.wal.Journal.append`); only now is the update
+   considered committed;
+3. **apply** — the op mutates the in-memory database through the exact
+   dispatcher recovery replays with, keeping live and replayed histories
+   identical.
+
+A crash at any point leaves the directory describing either the pre-op
+state (journal record absent or torn) or the post-op state (record fully
+durable); recovery never reconstructs anything else — the fault-injection
+suite (``tests/test_durability_failpoints.py``) kills the write at every
+boundary and asserts exactly that.
+
+Checkpoints fold the journal into an atomic snapshot: write the checkpoint
+(carrying ``last_seq``), then truncate the journal.  A crash between the
+two steps leaves stale journal records, which recovery skips by sequence
+number.
+
+Read-side API (joins, path queries, stats, ``text`` …) is delegated to the
+wrapped :class:`~repro.core.database.LazyXMLDatabase` via attribute
+forwarding; only the five structural ops are intercepted.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.durability import hooks
+from repro.durability.atomic import fsync_directory
+from repro.durability.checkpoint import write_checkpoint
+from repro.durability.recovery import (
+    CHECKPOINT_NAME,
+    JOURNAL_NAME,
+    apply_op,
+    recover,
+    validate_op,
+)
+from repro.durability.wal import Journal
+from repro.errors import JournalError
+
+__all__ = ["DurableDatabase"]
+
+
+class DurableDatabase:
+    """A :class:`LazyXMLDatabase` whose updates survive process death.
+
+    Parameters
+    ----------
+    directory:
+        Holds ``checkpoint.json`` and ``journal.wal``.  Created (with
+        parents) when missing; an existing directory is opened through
+        crash recovery.
+    mode, keep_text:
+        Forwarded to the fresh database when the directory is empty; an
+        existing checkpoint carries its own settings.
+    checkpoint_every:
+        Optional op count after which a checkpoint is taken automatically.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        mode: str = "dynamic",
+        keep_text: bool = True,
+        checkpoint_every: int | None = None,
+    ):
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be a positive op count")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.db, self.recovery_report = recover(
+            self.directory, mode=mode, keep_text=keep_text
+        )
+        self._last_seq = self.recovery_report.last_seq
+        journal_path = self.directory / JOURNAL_NAME
+        journal_existed = journal_path.exists()
+        # Physically trim a torn tail before appending past it: O_APPEND
+        # would otherwise strand new records behind an invalid one.
+        self._journal = Journal(
+            journal_path,
+            truncate_to=(
+                self.recovery_report.journal_valid_bytes
+                if self.recovery_report.torn_tail
+                else None
+            ),
+        )
+        if not journal_existed:
+            fsync_directory(self.directory)
+        self._checkpoint_every = checkpoint_every
+        self._ops_since_checkpoint = 0
+        self._poisoned: str | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    @classmethod
+    def open(cls, directory: str | Path, **kwargs: Any) -> "DurableDatabase":
+        """Open (or create) a durable directory; alias of the constructor."""
+        return cls(directory, **kwargs)
+
+    def close(self) -> None:
+        """Release the journal file descriptor (no implicit checkpoint)."""
+        self._journal.close()
+
+    def __enter__(self) -> "DurableDatabase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # the commit protocol
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recently committed operation."""
+        return self._last_seq
+
+    @property
+    def journal_size(self) -> int:
+        """Current journal length in bytes."""
+        return self._journal.size()
+
+    def _commit(self, op: dict):
+        if self._poisoned is not None:
+            raise JournalError(
+                f"database is read-only after a journal failure "
+                f"({self._poisoned}); reopen {self.directory} to recover"
+            )
+        validate_op(self.db, op)
+        seq = self._last_seq + 1
+        try:
+            self._journal.append(seq, op)
+        except Exception as exc:
+            # The record may be partially on disk; in-memory state is still
+            # pre-op and recovery will discard the torn tail, but *this*
+            # handle can no longer prove durability for further writes.
+            self._poisoned = f"append of seq {seq} failed: {exc}"
+            raise
+        self._last_seq = seq
+        result = apply_op(self.db, op)
+        self._ops_since_checkpoint += 1
+        if (
+            self._checkpoint_every is not None
+            and self._ops_since_checkpoint >= self._checkpoint_every
+        ):
+            self.checkpoint()
+        return result
+
+    def checkpoint(self) -> None:
+        """Fold the journal into an atomic snapshot, then truncate it."""
+        write_checkpoint(self.db, self.directory / CHECKPOINT_NAME, self._last_seq)
+        self._journal.truncate()
+        hooks.fire("checkpoint.after_truncate")
+        self._ops_since_checkpoint = 0
+
+    # ------------------------------------------------------------------
+    # journaled structural operations
+
+    def insert(
+        self, fragment: str, position: int | None = None, *, validate: str = "fragment"
+    ):
+        """Journaled :meth:`LazyXMLDatabase.insert`."""
+        if position is None:
+            position = self.db.document_length
+        op = {"op": "insert", "fragment": fragment, "position": position}
+        if validate != "fragment":
+            op["validate"] = validate
+        return self._commit(op)
+
+    def remove(self, position: int, length: int):
+        """Journaled :meth:`LazyXMLDatabase.remove`."""
+        return self._commit({"op": "remove", "position": position, "length": length})
+
+    def remove_segment(self, sid: int):
+        """Journaled :meth:`LazyXMLDatabase.remove_segment`."""
+        return self._commit({"op": "remove_segment", "sid": sid})
+
+    def repack(self, sid: int):
+        """Journaled :meth:`LazyXMLDatabase.repack`."""
+        return self._commit({"op": "repack", "sid": sid})
+
+    def compact(self):
+        """Journaled :meth:`LazyXMLDatabase.compact`."""
+        return self._commit({"op": "compact"})
+
+    # ------------------------------------------------------------------
+    # read-side delegation
+
+    def __getattr__(self, name: str):
+        # Only called for attributes not found on DurableDatabase itself,
+        # so the journaled ops above always win over the raw ones.
+        return getattr(self.db, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DurableDatabase {self.directory} seq={self._last_seq} "
+            f"segments={self.db.segment_count}>"
+        )

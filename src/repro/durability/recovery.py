@@ -1,0 +1,185 @@
+"""Crash recovery: checkpoint load + journal-tail replay.
+
+Recovery reconstructs the database a durable directory describes:
+
+1. load the checkpoint if one exists (verified by its embedded checksum),
+   otherwise start from an empty database;
+2. scan the journal, silently discarding a torn final record (the
+   signature of a crash mid-append);
+3. replay every record with ``seq`` greater than the checkpoint's
+   ``last_seq`` — older records are leftovers of a crash between the
+   checkpoint replace and the journal truncation and must not be
+   double-applied;
+4. finish with ``check_invariants()``.
+
+Replay uses the same operation dispatcher (:func:`apply_op`) the live
+:class:`~repro.durability.database.DurableDatabase` uses, so a replayed
+history is bit-identical to the directly applied one (the replay-
+equivalence property tests assert exactly this).  A record whose
+pre-validation fails during replay corresponds to a live call that raised
+before mutating anything; it is skipped, reproducing the live outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.database import LazyXMLDatabase
+from repro.core.maintenance import require_repackable
+from repro.core.segment import DUMMY_ROOT_SID
+from repro.durability.checkpoint import read_checkpoint
+from repro.durability.wal import JournalScan, read_journal
+from repro.errors import (
+    InvalidSegmentError,
+    RecoveryError,
+    ReproError,
+)
+from repro.xml.parser import parse_fragment
+
+__all__ = [
+    "CHECKPOINT_NAME",
+    "JOURNAL_NAME",
+    "RecoveryReport",
+    "recover",
+    "apply_op",
+    "validate_op",
+]
+
+CHECKPOINT_NAME = "checkpoint.json"
+JOURNAL_NAME = "journal.wal"
+
+#: Operation kinds a journal record may carry.
+OP_KINDS = ("insert", "remove", "remove_segment", "repack", "compact")
+
+
+@dataclass
+class RecoveryReport:
+    """What recovery found and did."""
+
+    directory: str
+    checkpoint_found: bool = False
+    last_seq: int = 0
+    ops_replayed: int = 0
+    ops_skipped: int = 0  # records replay rejected (live call raised pre-mutation)
+    torn_tail: bool = False
+    journal_valid_bytes: int = 0
+    skipped_details: list[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        parts = [
+            f"checkpoint={'yes' if self.checkpoint_found else 'no'}",
+            f"last_seq={self.last_seq}",
+            f"replayed={self.ops_replayed}",
+        ]
+        if self.ops_skipped:
+            parts.append(f"skipped={self.ops_skipped}")
+        if self.torn_tail:
+            parts.append("torn_tail=discarded")
+        return ", ".join(parts)
+
+
+def validate_op(db: LazyXMLDatabase, op: dict) -> None:
+    """Raise (without mutating anything) if ``op`` cannot apply to ``db``.
+
+    This runs *before* the journal append in the live write path, so the
+    journal only ever records operations that will succeed; replay applies
+    the same checks, keeping the two paths in lockstep.
+    """
+    kind = op.get("op")
+    if kind not in OP_KINDS:
+        raise RecoveryError(f"unknown journal operation {kind!r}")
+    if kind == "insert":
+        fragment = op["fragment"]
+        position = op["position"]
+        parse_fragment(fragment)
+        if not 0 <= position <= db.document_length:
+            raise InvalidSegmentError(
+                f"insert position {position} outside super document "
+                f"[0, {db.document_length}]"
+            )
+        if op.get("validate") == "full":
+            db._validate_splice(fragment, position)
+    elif kind == "remove":
+        position, length = op["position"], op["length"]
+        if length <= 0:
+            raise InvalidSegmentError(f"removal length must be positive, got {length}")
+        if position < 0 or position + length > db.document_length:
+            raise InvalidSegmentError(
+                f"removal span [{position}, {position + length}) outside "
+                f"super document [0, {db.document_length})"
+            )
+    elif kind == "remove_segment":
+        db.log.node(op["sid"])  # raises SegmentNotFoundError when absent
+    elif kind == "repack":
+        require_repackable(db, op["sid"])
+    elif kind == "compact":
+        pass
+
+
+def apply_op(db: LazyXMLDatabase, op: dict):
+    """Apply one journal operation to ``db``; returns the op's result."""
+    kind = op.get("op")
+    if kind == "insert":
+        return db.insert(
+            op["fragment"], op["position"], validate=op.get("validate", "fragment")
+        )
+    if kind == "remove":
+        return db.remove(op["position"], op["length"])
+    if kind == "remove_segment":
+        return db.remove_segment(op["sid"])
+    if kind == "repack":
+        return db.repack(op["sid"])
+    if kind == "compact":
+        return db.compact()
+    raise RecoveryError(f"unknown journal operation {kind!r}")
+
+
+def recover(
+    directory: str | Path, *, mode: str = "dynamic", keep_text: bool = True
+) -> tuple[LazyXMLDatabase, RecoveryReport]:
+    """Reconstruct the database stored in ``directory``.
+
+    ``mode`` and ``keep_text`` configure the fresh database when no
+    checkpoint exists yet; an existing checkpoint carries its own settings.
+    Raises :class:`RecoveryError` (via :class:`CheckpointError`) when the
+    checkpoint itself is corrupt — losing the base state is not a condition
+    replay can paper over — and on post-replay invariant violations.
+    """
+    directory = Path(directory)
+    report = RecoveryReport(directory=str(directory))
+    checkpoint_path = directory / CHECKPOINT_NAME
+    if checkpoint_path.exists():
+        db, last_seq = read_checkpoint(checkpoint_path)
+        report.checkpoint_found = True
+        report.last_seq = last_seq
+    else:
+        db = LazyXMLDatabase(mode=mode, keep_text=keep_text)
+    scan: JournalScan = read_journal(directory / JOURNAL_NAME)
+    report.torn_tail = scan.torn_tail
+    report.journal_valid_bytes = scan.valid_bytes
+    for record in scan.records:
+        seq = record["seq"]
+        if seq <= report.last_seq:
+            continue  # folded into the checkpoint already
+        op = {key: value for key, value in record.items() if key != "seq"}
+        try:
+            validate_op(db, op)
+            apply_op(db, op)
+        except RecoveryError:
+            raise
+        except ReproError as exc:
+            # The live call raised before mutating anything; skipping the
+            # record reproduces the live outcome exactly.
+            report.ops_skipped += 1
+            report.skipped_details.append(f"seq {seq}: {exc}")
+        else:
+            report.ops_replayed += 1
+        report.last_seq = seq
+    try:
+        db.check_invariants()
+    except AssertionError as exc:
+        raise RecoveryError(
+            f"recovered database fails invariants ({report.describe()}): {exc}"
+        ) from exc
+    return db, report

@@ -19,6 +19,10 @@ __all__ = [
     "KeyNotFoundError",
     "QueryError",
     "LabelingError",
+    "DurabilityError",
+    "JournalError",
+    "CheckpointError",
+    "RecoveryError",
 ]
 
 
@@ -82,3 +86,32 @@ class QueryError(ReproError):
 
 class LabelingError(ReproError):
     """Raised by labeling schemes (interval, prime) on invalid operations."""
+
+
+class DurabilityError(ReproError):
+    """Base class for errors in the durability subsystem (journal/checkpoint)."""
+
+
+class JournalError(DurabilityError):
+    """Raised when the write-ahead journal cannot be written or is unusable.
+
+    A :class:`~repro.durability.database.DurableDatabase` whose journal
+    append failed refuses further updates with this error: the in-memory
+    state can no longer be proven durable, so the caller must reopen the
+    directory (running recovery) to continue.
+    """
+
+
+class CheckpointError(DurabilityError):
+    """Raised when a checkpoint file is missing required structure or fails
+    its embedded checksum."""
+
+
+class RecoveryError(DurabilityError):
+    """Raised when crash recovery cannot reconstruct a consistent database.
+
+    A torn *final* journal record is not a recovery error (it is the
+    expected signature of a crash mid-append and is silently discarded);
+    this error covers genuinely unrecoverable states such as a corrupt
+    checkpoint or a journal record whose operation type is unknown.
+    """

@@ -69,8 +69,91 @@ def dumps(db: LazyXMLDatabase) -> str:
     return json.dumps(payload)
 
 
+def _expect(condition: bool, message: str) -> None:
+    if not condition:
+        raise SnapshotError(f"malformed snapshot: {message}")
+
+
+def _validate_payload(payload: dict) -> None:
+    """Structural validation so decoding never leaks raw KeyError/TypeError.
+
+    Checks presence and types of every field the reconstruction below
+    touches; anything off raises :class:`SnapshotError` with a message that
+    names the offending field.
+    """
+    for key in ("mode", "keep_text", "text", "tags", "next_sid", "segments"):
+        _expect(key in payload, f"missing key {key!r}")
+    _expect(
+        payload["mode"] in ("dynamic", "static"),
+        f"mode must be 'dynamic' or 'static', got {payload['mode']!r}",
+    )
+    _expect(isinstance(payload["keep_text"], bool), "keep_text must be a bool")
+    _expect(
+        payload["text"] is None or isinstance(payload["text"], str),
+        "text must be a string or null",
+    )
+    tags = payload["tags"]
+    _expect(
+        isinstance(tags, list) and all(isinstance(t, str) for t in tags),
+        "tags must be a list of strings",
+    )
+    _expect(
+        isinstance(payload["next_sid"], int) and not isinstance(payload["next_sid"], bool),
+        "next_sid must be an integer",
+    )
+    _expect(isinstance(payload["segments"], list), "segments must be a list")
+    for index, entry in enumerate(payload["segments"]):
+        where = f"segments[{index}]"
+        _expect(isinstance(entry, dict), f"{where} must be an object")
+        for key in ("sid", "parent", "gp", "length", "lp", "tombstones", "records"):
+            _expect(key in entry, f"{where} missing key {key!r}")
+        _expect(
+            isinstance(entry["sid"], int) and not isinstance(entry["sid"], bool),
+            f"{where}.sid must be an integer",
+        )
+        _expect(
+            entry["parent"] is None or isinstance(entry["parent"], int),
+            f"{where}.parent must be an integer or null",
+        )
+        for key in ("gp", "length", "lp"):
+            _expect(
+                isinstance(entry[key], int) and not isinstance(entry[key], bool),
+                f"{where}.{key} must be an integer",
+            )
+        _expect(
+            isinstance(entry["tombstones"], list)
+            and all(
+                isinstance(t, list)
+                and len(t) == 2
+                and all(isinstance(v, int) for v in t)
+                for t in entry["tombstones"]
+            ),
+            f"{where}.tombstones must be a list of [start, end] integer pairs",
+        )
+        _expect(
+            isinstance(entry["records"], list)
+            and all(
+                isinstance(record, list)
+                and len(record) == 4
+                and all(isinstance(v, int) for v in record)
+                for record in entry["records"]
+            ),
+            f"{where}.records must be a list of [tid, start, end, level] quadruples",
+        )
+        tag_count = len(tags)
+        _expect(
+            all(0 <= record[0] < tag_count for record in entry["records"]),
+            f"{where}.records reference tag ids outside the tag table",
+        )
+
+
 def loads(data: str) -> LazyXMLDatabase:
-    """Reconstruct a database from :func:`dumps` output."""
+    """Reconstruct a database from :func:`dumps` output.
+
+    Any structural defect in the payload — missing or ill-typed keys, bad
+    record arity, dangling parent references — raises :class:`SnapshotError`
+    rather than a raw ``KeyError``/``TypeError``/``ValueError``.
+    """
     try:
         payload = json.loads(data)
     except json.JSONDecodeError as exc:
@@ -78,8 +161,9 @@ def loads(data: str) -> LazyXMLDatabase:
     if not isinstance(payload, dict) or payload.get("format") != FORMAT_VERSION:
         found = payload.get("format") if isinstance(payload, dict) else type(payload).__name__
         raise SnapshotError(f"unsupported snapshot format: {found!r}")
+    _validate_payload(payload)
     db = LazyXMLDatabase(
-        mode=payload["mode"], keep_text=bool(payload["keep_text"])
+        mode=payload["mode"], keep_text=payload["keep_text"]
     )
     if db._keep_text:
         db._text = payload["text"] or ""
@@ -88,9 +172,13 @@ def loads(data: str) -> LazyXMLDatabase:
 
     ertree = db.log.ertree
     nodes: dict[int, ERNode] = {DUMMY_ROOT_SID: ertree.root}
+    seen_sids: set[int] = set()
     # Segments arrive in pre-order (parents first) from dumps().
     for entry in payload["segments"]:
         sid = entry["sid"]
+        if sid in seen_sids:
+            raise SnapshotError(f"malformed snapshot: duplicate segment id {sid}")
+        seen_sids.add(sid)
         if sid == DUMMY_ROOT_SID:
             ertree.root.length = entry["length"]
             ertree.root._tombstones = [tuple(t) for t in entry["tombstones"]]
@@ -127,8 +215,16 @@ def loads(data: str) -> LazyXMLDatabase:
 
 
 def save(db: LazyXMLDatabase, path: str | Path) -> None:
-    """Write a snapshot to ``path``."""
-    Path(path).write_text(dumps(db), encoding="utf-8")
+    """Atomically write a snapshot to ``path``.
+
+    Goes through tmp file + fsync + ``os.replace`` + directory fsync
+    (:func:`repro.durability.atomic.atomic_write_text`), so a crash
+    mid-save can never truncate or tear an existing snapshot: the path
+    holds either the complete old snapshot or the complete new one.
+    """
+    from repro.durability.atomic import atomic_write_text
+
+    atomic_write_text(path, dumps(db))
 
 
 def load(path: str | Path) -> LazyXMLDatabase:

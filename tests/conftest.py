@@ -11,3 +11,12 @@ import pytest
 def rng():
     """A seeded Random shared by randomized (but deterministic) tests."""
     return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_failpoints():
+    """Keep durability failpoints from leaking between tests."""
+    from repro.durability import hooks
+
+    yield
+    hooks.clear_all_failpoints()

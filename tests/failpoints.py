@@ -1,0 +1,58 @@
+"""Fault-injection harness for the durability subsystem.
+
+Drives the monkeypatchable hooks in :mod:`repro.durability.hooks`: a test
+arms a failpoint, runs an operation, and the write path raises
+:class:`SimulatedCrash` at the chosen fsync/write/rename boundary.  The
+test then throws away every in-memory object (the "process" is dead) and
+reopens the directory, asserting that recovery reconstructs either the
+pre-op or the post-op state — never a third one.
+
+``SimulatedCrash`` derives from :class:`BaseException` so that production
+code catching ``Exception`` cannot accidentally swallow the simulated
+death and keep writing.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.durability import hooks
+
+__all__ = ["SimulatedCrash", "crash_at", "all_failpoints"]
+
+
+class SimulatedCrash(BaseException):
+    """The process 'died' at a failpoint; state after this is untrusted."""
+
+    def __init__(self, failpoint: str):
+        super().__init__(f"simulated crash at failpoint {failpoint!r}")
+        self.failpoint = failpoint
+
+
+@contextmanager
+def crash_at(name: str, *, hit: int = 1):
+    """Arm failpoint ``name`` to raise :class:`SimulatedCrash` on hit ``hit``.
+
+    ``hit`` counts from 1, so boundaries crossed several times per
+    operation (e.g. the atomic-write hooks during a checkpoint) can be
+    killed on a later crossing.  The failpoint is disarmed on exit even
+    when the crash propagates.
+    """
+    remaining = hit
+
+    def trip(point: str) -> None:
+        nonlocal remaining
+        remaining -= 1
+        if remaining == 0:
+            raise SimulatedCrash(point)
+
+    hooks.set_failpoint(name, trip)
+    try:
+        yield
+    finally:
+        hooks.clear_failpoint(name)
+
+
+def all_failpoints() -> list[str]:
+    """Every failpoint the write path declares, sorted for parametrize."""
+    return sorted(hooks.FAILPOINT_NAMES)

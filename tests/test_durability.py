@@ -1,0 +1,476 @@
+"""Tests for the durability subsystem: journal, checkpoints, recovery, CLI."""
+
+from __future__ import annotations
+
+import json
+import re
+import zlib
+
+import pytest
+
+from repro.__main__ import main
+from repro.core.database import LazyXMLDatabase
+from repro.durability import hooks
+from repro.durability.checkpoint import read_checkpoint, write_checkpoint
+from repro.durability.database import DurableDatabase
+from repro.durability.recovery import CHECKPOINT_NAME, JOURNAL_NAME, recover
+from repro.durability.wal import RECORD_HEADER, Journal, read_journal
+from repro.errors import CheckpointError, JournalError
+from repro.storage import dumps
+from repro.workloads.scenarios import registration_stream
+from tests.helpers import assert_join_matches_oracle
+
+
+class TestJournal:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with Journal(path) as journal:
+            journal.append(1, {"op": "insert", "fragment": "<a/>", "position": 0})
+            journal.append(2, {"op": "remove", "position": 0, "length": 4})
+        scan = read_journal(path)
+        assert not scan.torn_tail
+        assert [r["seq"] for r in scan.records] == [1, 2]
+        assert scan.records[0]["fragment"] == "<a/>"
+        assert scan.valid_bytes == path.stat().st_size
+
+    def test_missing_file_is_empty(self, tmp_path):
+        scan = read_journal(tmp_path / "nope.wal")
+        assert scan == ([], 0, False)
+
+    @pytest.mark.parametrize("cut", [1, 4, 7, 8, 9])
+    def test_torn_tail_discarded(self, tmp_path, cut):
+        path = tmp_path / "j.wal"
+        with Journal(path) as journal:
+            journal.append(1, {"op": "compact"})
+            journal.append(2, {"op": "compact"})
+        size = path.stat().st_size
+        first_end = size // 2
+        path.write_bytes(path.read_bytes()[: size - cut])
+        scan = read_journal(path)
+        assert scan.torn_tail
+        assert [r["seq"] for r in scan.records] == [1]
+        assert scan.valid_bytes == first_end
+
+    def test_corrupt_crc_stops_scan(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with Journal(path) as journal:
+            journal.append(1, {"op": "compact"})
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip a payload byte; CRC now mismatches
+        path.write_bytes(bytes(data))
+        scan = read_journal(path)
+        assert scan.torn_tail
+        assert scan.records == []
+
+    def test_garbage_length_field(self, tmp_path):
+        path = tmp_path / "j.wal"
+        path.write_bytes(RECORD_HEADER.pack(2**31, 0) + b"xx")
+        scan = read_journal(path)
+        assert scan.torn_tail and scan.records == []
+
+    def test_truncate_then_append(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with Journal(path) as journal:
+            journal.append(1, {"op": "compact"})
+            journal.truncate()
+            assert journal.size() == 0
+            journal.append(2, {"op": "compact"})
+        scan = read_journal(path)
+        assert [r["seq"] for r in scan.records] == [2]
+
+    def test_open_trims_torn_tail(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with Journal(path) as journal:
+            journal.append(1, {"op": "compact"})
+        path.write_bytes(path.read_bytes() + b"\x00\x00\x00\x09garbage")
+        scan = read_journal(path)
+        assert scan.torn_tail
+        with Journal(path, truncate_to=scan.valid_bytes) as journal:
+            journal.append(2, {"op": "compact"})
+        rescan = read_journal(path)
+        assert not rescan.torn_tail
+        assert [r["seq"] for r in rescan.records] == [1, 2]
+
+    def test_closed_journal_refuses_io(self, tmp_path):
+        journal = Journal(tmp_path / "j.wal")
+        journal.close()
+        with pytest.raises(JournalError):
+            journal.append(1, {"op": "compact"})
+        with pytest.raises(JournalError):
+            journal.truncate()
+
+
+class TestCheckpoint:
+    def make_db(self):
+        db = LazyXMLDatabase()
+        for fragment in registration_stream(3):
+            db.insert(fragment)
+        return db
+
+    def test_roundtrip(self, tmp_path):
+        db = self.make_db()
+        path = tmp_path / "ckpt.json"
+        write_checkpoint(db, path, last_seq=7)
+        copy, last_seq = read_checkpoint(path)
+        assert last_seq == 7
+        assert dumps(copy) == dumps(db)
+
+    def test_checksum_detects_corruption(self, tmp_path):
+        db = self.make_db()
+        path = tmp_path / "ckpt.json"
+        write_checkpoint(db, path, last_seq=1)
+        envelope = json.loads(path.read_text())
+        envelope["payload"] = envelope["payload"].replace("registration", "corrupted", 1)
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(CheckpointError, match="checksum"):
+            read_checkpoint(path)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda env: "not json at all",
+            lambda env: json.dumps([1, 2, 3]),
+            lambda env: json.dumps({**env, "format": "other"}),
+            lambda env: json.dumps({**env, "version": 99}),
+            lambda env: json.dumps({**env, "last_seq": "seven"}),
+            lambda env: json.dumps({**env, "last_seq": -1}),
+            lambda env: json.dumps({**env, "crc32": None}),
+            lambda env: json.dumps({**env, "payload": 42}),
+        ],
+    )
+    def test_malformed_envelopes_rejected(self, tmp_path, mutate):
+        db = self.make_db()
+        path = tmp_path / "ckpt.json"
+        write_checkpoint(db, path, last_seq=1)
+        envelope = json.loads(path.read_text())
+        path.write_text(mutate(envelope))
+        with pytest.raises(CheckpointError):
+            read_checkpoint(path)
+
+    def test_bad_payload_wrapped(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        payload = json.dumps({"format": 99})
+        path.write_text(
+            json.dumps(
+                {
+                    "format": "repro-checkpoint",
+                    "version": 1,
+                    "last_seq": 0,
+                    "crc32": zlib.crc32(payload.encode()),
+                    "payload": payload,
+                }
+            )
+        )
+        with pytest.raises(CheckpointError, match="payload rejected"):
+            read_checkpoint(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            read_checkpoint(tmp_path / "absent.json")
+
+
+class TestDurableDatabase:
+    def test_empty_directory_starts_empty(self, tmp_path):
+        dd = DurableDatabase(tmp_path / "state")
+        assert dd.segment_count == 0
+        assert dd.last_seq == 0
+        assert not dd.recovery_report.checkpoint_found
+        dd.close()
+
+    def test_ops_survive_reopen_without_checkpoint(self, tmp_path):
+        directory = tmp_path / "state"
+        with DurableDatabase(directory) as dd:
+            for fragment in registration_stream(3):
+                dd.insert(fragment)
+            expected = dumps(dd.db)
+        with DurableDatabase(directory) as dd2:
+            assert dumps(dd2.db) == expected
+            assert dd2.recovery_report.ops_replayed == 3
+            dd2.check_invariants()
+            assert_join_matches_oracle(dd2.db, "registration", "interest")
+
+    def test_checkpoint_truncates_journal(self, tmp_path):
+        directory = tmp_path / "state"
+        with DurableDatabase(directory) as dd:
+            dd.insert("<a><b/></a>")
+            assert dd.journal_size > 0
+            dd.checkpoint()
+            assert dd.journal_size == 0
+            expected = dumps(dd.db)
+        with DurableDatabase(directory) as dd2:
+            assert dd2.recovery_report.checkpoint_found
+            assert dd2.recovery_report.ops_replayed == 0
+            assert dumps(dd2.db) == expected
+
+    def test_seq_continues_after_reopen(self, tmp_path):
+        directory = tmp_path / "state"
+        with DurableDatabase(directory) as dd:
+            dd.insert("<a/>")
+            dd.insert("<b/>")
+        with DurableDatabase(directory) as dd2:
+            assert dd2.last_seq == 2
+            dd2.insert("<c/>")
+            assert dd2.last_seq == 3
+        with DurableDatabase(directory) as dd3:
+            assert dd3.text == "<a/><b/><c/>"
+
+    def test_stale_journal_records_skipped_by_seq(self, tmp_path):
+        """Crash between checkpoint write and journal truncation: no double apply."""
+        directory = tmp_path / "state"
+        directory.mkdir()
+        with DurableDatabase(directory) as dd:
+            dd.insert("<a/>")
+            dd.insert("<b/>")
+            # Checkpoint *without* truncating — exactly the state a crash
+            # between the two steps leaves behind.
+            write_checkpoint(dd.db, directory / CHECKPOINT_NAME, dd.last_seq)
+            expected = dumps(dd.db)
+        with DurableDatabase(directory) as dd2:
+            assert dumps(dd2.db) == expected
+            assert dd2.recovery_report.ops_replayed == 0
+            assert dd2.last_seq == 2
+
+    def test_all_op_kinds_roundtrip(self, tmp_path):
+        directory = tmp_path / "state"
+        with DurableDatabase(directory) as dd:
+            for fragment in registration_stream(3):
+                dd.insert(fragment)
+            match = re.search("<preferences>", dd.text)
+            nested = dd.insert('<interest topic="nested"/>', match.end())
+            dd.repack(dd.log.node(nested.sid).parent.sid)
+            victim = re.search(r"<city>[^<]*</city>", dd.text)
+            dd.remove(victim.start(), victim.end() - victim.start())
+            dd.remove_segment(dd.log.ertree.root.children[-1].sid)
+            dd.compact()
+            expected = dumps(dd.db)
+        with DurableDatabase(directory) as dd2:
+            assert dumps(dd2.db) == expected
+            dd2.check_invariants()
+            assert_join_matches_oracle(dd2.db, "registration", "interest")
+
+    def test_auto_checkpoint(self, tmp_path):
+        directory = tmp_path / "state"
+        with DurableDatabase(directory, checkpoint_every=2) as dd:
+            dd.insert("<a/>")
+            assert dd.journal_size > 0
+            dd.insert("<b/>")
+            assert dd.journal_size == 0  # second op triggered the checkpoint
+            dd.insert("<c/>")
+            assert dd.journal_size > 0
+        with DurableDatabase(directory) as dd2:
+            assert dd2.text == "<a/><b/><c/>"
+            assert dd2.recovery_report.checkpoint_found
+            assert dd2.recovery_report.ops_replayed == 1
+
+    def test_invalid_op_never_reaches_journal(self, tmp_path):
+        directory = tmp_path / "state"
+        with DurableDatabase(directory) as dd:
+            dd.insert("<a/>")
+            size = dd.journal_size
+            from repro.errors import ReproError
+
+            with pytest.raises(ReproError):
+                dd.insert("<unclosed>")
+            with pytest.raises(ReproError):
+                dd.insert("<b/>", position=999)
+            with pytest.raises(ReproError):
+                dd.remove(0, 999)
+            with pytest.raises(ReproError):
+                dd.remove_segment(777)
+            with pytest.raises(ReproError):
+                dd.repack(777)
+            assert dd.journal_size == size
+            dd.check_invariants()
+
+    def test_failed_append_poisons_handle(self, tmp_path):
+        directory = tmp_path / "state"
+        with DurableDatabase(directory) as dd:
+            dd.insert("<a/>")
+
+            def blow_up(name):
+                raise OSError("disk full")
+
+            hooks.set_failpoint("wal.append.mid_write", blow_up)
+            try:
+                with pytest.raises(OSError):
+                    dd.insert("<b/>")
+            finally:
+                hooks.clear_failpoint("wal.append.mid_write")
+            with pytest.raises(JournalError, match="read-only"):
+                dd.insert("<c/>")
+        # Reopening recovers cleanly; the half-written record is discarded.
+        with DurableDatabase(directory) as dd2:
+            assert dd2.text == "<a/>"
+            dd2.check_invariants()
+
+    def test_static_mode(self, tmp_path):
+        directory = tmp_path / "state"
+        with DurableDatabase(directory, mode="static") as dd:
+            for fragment in registration_stream(2):
+                dd.insert(fragment)
+            dd.checkpoint()
+        with DurableDatabase(directory) as dd2:
+            assert dd2.mode == "static"
+            dd2.prepare_for_query()
+            assert_join_matches_oracle(dd2.db, "registration", "interest")
+
+    def test_keep_text_false(self, tmp_path):
+        directory = tmp_path / "state"
+        with DurableDatabase(directory, keep_text=False) as dd:
+            for fragment in registration_stream(2):
+                dd.insert(fragment)
+            expected = sorted(dd.structural_join("user", "occupation"))
+        with DurableDatabase(directory) as dd2:
+            assert sorted(dd2.structural_join("user", "occupation")) == expected
+
+    def test_recover_function_reports(self, tmp_path):
+        directory = tmp_path / "state"
+        with DurableDatabase(directory) as dd:
+            dd.insert("<a/>")
+            dd.checkpoint()
+            dd.insert("<b/>")
+        db, report = recover(directory)
+        assert report.checkpoint_found
+        assert report.ops_replayed == 1
+        assert not report.torn_tail
+        assert db.text == "<a/><b/>"
+        assert "replayed=1" in report.describe()
+
+    def test_torn_tail_trimmed_on_reopen(self, tmp_path):
+        directory = tmp_path / "state"
+        with DurableDatabase(directory) as dd:
+            dd.insert("<a/>")
+            dd.insert("<bb/>")
+        journal = directory / JOURNAL_NAME
+        journal.write_bytes(journal.read_bytes()[:-3])  # tear the final record
+        with DurableDatabase(directory) as dd2:
+            assert dd2.text == "<a/>"
+            assert dd2.recovery_report.torn_tail
+            assert dd2.last_seq == 1
+            dd2.insert("<c/>")  # appends after the trimmed tail
+        with DurableDatabase(directory) as dd3:
+            assert dd3.text == "<a/><c/>"
+            assert not dd3.recovery_report.torn_tail
+
+
+class TestDurableCLI:
+    @pytest.fixture
+    def doc_file(self, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text(
+            "<site><person><phone/></person><person><phone/><phone/></person></site>"
+        )
+        return path
+
+    def test_full_durable_session(self, doc_file, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        assert main(["--durable", state, "load", str(doc_file)]) == 0
+        fragment = tmp_path / "frag.xml"
+        fragment.write_text("<person><phone/></person>")
+        assert (
+            main(
+                [
+                    "--durable", state, "insert", str(fragment),
+                    "--position", str(len("<site>")),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["--durable", state, "query", "person//phone", "--count"]) == 0
+        assert capsys.readouterr().out.strip() == "4"
+        assert main(["--durable", state, "checkpoint"]) == 0
+        assert main(["--durable", state, "fsck"]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+        assert main(["--durable", state, "stats"]) == 0
+        assert "journal:" in capsys.readouterr().out
+        assert main(["--durable", state, "compact"]) == 0
+        capsys.readouterr()
+        assert main(["--durable", state, "dump"]) == 0
+        assert capsys.readouterr().out.count("<person>") == 3
+
+    def test_durable_remove_and_join(self, doc_file, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        main(["--durable", state, "load", str(doc_file)])
+        text = doc_file.read_text()
+        start = text.index("<person>")
+        length = text.index("</person>") + len("</person>") - start
+        assert (
+            main(
+                [
+                    "--durable", state, "remove",
+                    "--position", str(start), "--length", str(length),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["--durable", state, "join", "person", "phone"]) == 0
+        assert "2 pairs" in capsys.readouterr().out
+
+    def test_load_refuses_nonempty_directory(self, doc_file, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        assert main(["--durable", state, "load", str(doc_file)]) == 0
+        assert main(["--durable", state, "load", str(doc_file)]) == 1
+        assert "refusing" in capsys.readouterr().err
+
+    def test_durable_with_stray_db_argument_rejected(self, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        assert main(["--durable", state, "stats", "stray.json"]) == 1
+        assert "--durable replaces" in capsys.readouterr().err
+
+    def test_checkpoint_requires_durable(self, capsys):
+        assert main(["checkpoint"]) == 1
+        assert "requires --durable" in capsys.readouterr().err
+
+    def test_snapshot_path_still_required_without_durable(self, capsys):
+        assert main(["stats"]) == 1
+        assert "missing required argument" in capsys.readouterr().err
+
+
+class TestFsckCLI:
+    def test_fsck_ok_snapshot(self, tmp_path, capsys):
+        doc = tmp_path / "doc.xml"
+        doc.write_text("<a><b/></a>")
+        snap = tmp_path / "db.json"
+        main(["load", str(doc), "--db", str(snap)])
+        capsys.readouterr()
+        assert main(["fsck", str(snap)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_fsck_corrupt_snapshot(self, tmp_path, capsys):
+        snap = tmp_path / "db.json"
+        snap.write_text('{"format": 1, "mode": "dynamic"}')
+        assert main(["fsck", str(snap)]) == 1
+        err = capsys.readouterr().err
+        assert "CORRUPT" in err and "SnapshotError" in err
+
+    def test_fsck_missing_file(self, tmp_path, capsys):
+        assert main(["fsck", str(tmp_path / "absent.json")]) == 1
+        assert "CORRUPT" in capsys.readouterr().err
+
+    def test_fsck_corrupt_durable_checkpoint(self, tmp_path, capsys):
+        state = tmp_path / "state"
+        with DurableDatabase(state) as dd:
+            dd.insert("<a/>")
+            dd.checkpoint()
+        ckpt = state / CHECKPOINT_NAME
+        envelope = json.loads(ckpt.read_text())
+        envelope["crc32"] ^= 1
+        ckpt.write_text(json.dumps(envelope))
+        assert main(["fsck", str(state)]) == 1
+        err = capsys.readouterr().err
+        assert "CORRUPT" in err and "CheckpointError" in err
+
+    def test_fsck_durable_with_torn_journal(self, tmp_path, capsys):
+        state = tmp_path / "state"
+        with DurableDatabase(state) as dd:
+            dd.insert("<a/>")
+            dd.insert("<b/>")
+        journal = state / JOURNAL_NAME
+        journal.write_bytes(journal.read_bytes()[:-2])
+        assert main(["fsck", str(state)]) == 0
+        captured = capsys.readouterr()
+        assert "torn final journal record" in captured.err
+        assert "ok" in captured.out

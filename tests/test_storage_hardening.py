@@ -1,0 +1,179 @@
+"""Tests for atomic snapshot saves and malformed-payload rejection."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.database import LazyXMLDatabase
+from repro.storage import SnapshotError, dumps, load, loads, save
+from tests.failpoints import SimulatedCrash, crash_at
+
+
+def small_db() -> LazyXMLDatabase:
+    db = LazyXMLDatabase()
+    db.insert("<a><b/><c/></a>")
+    return db
+
+
+class TestAtomicSave:
+    @pytest.mark.parametrize(
+        "failpoint",
+        [
+            "atomic.before_tmp_write",
+            "atomic.after_tmp_write",
+            "atomic.after_tmp_fsync",
+        ],
+    )
+    def test_crash_before_replace_preserves_old_snapshot(self, tmp_path, failpoint):
+        path = tmp_path / "db.json"
+        db = small_db()
+        save(db, path)
+        original = path.read_text()
+
+        db.insert("<d/>")
+        with pytest.raises(SimulatedCrash):
+            with crash_at(failpoint):
+                save(db, path)
+        assert path.read_text() == original  # old snapshot byte-identical
+        restored = load(path)
+        restored.check_invariants()
+        assert restored.text == "<a><b/><c/></a>"
+
+    @pytest.mark.parametrize(
+        "failpoint", ["atomic.after_replace", "atomic.after_dir_fsync"]
+    )
+    def test_crash_after_replace_has_new_snapshot(self, tmp_path, failpoint):
+        path = tmp_path / "db.json"
+        db = small_db()
+        save(db, path)
+        db.insert("<d/>")
+        with pytest.raises(SimulatedCrash):
+            with crash_at(failpoint):
+                save(db, path)
+        restored = load(path)
+        restored.check_invariants()
+        assert restored.text == "<a><b/><c/></a><d/>"
+
+    def test_save_never_leaves_partial_file(self, tmp_path):
+        """At every boundary the target parses as a complete snapshot."""
+        path = tmp_path / "db.json"
+        db = small_db()
+        save(db, path)
+        for failpoint in (
+            "atomic.before_tmp_write",
+            "atomic.after_tmp_write",
+            "atomic.after_tmp_fsync",
+            "atomic.after_replace",
+            "atomic.after_dir_fsync",
+        ):
+            db.insert("<x/>")
+            try:
+                with crash_at(failpoint):
+                    save(db, path)
+            except SimulatedCrash:
+                pass
+            load(path).check_invariants()  # must always decode cleanly
+
+    def test_fresh_save_still_works(self, tmp_path):
+        path = tmp_path / "nested" / "dir"
+        path.mkdir(parents=True)
+        save(small_db(), path / "db.json")
+        assert load(path / "db.json").text == "<a><b/><c/></a>"
+
+
+def valid_payload() -> dict:
+    return json.loads(dumps(small_db()))
+
+
+class TestLoadsHardening:
+    @pytest.mark.parametrize(
+        "key", ["mode", "keep_text", "text", "tags", "next_sid", "segments"]
+    )
+    def test_missing_top_level_key(self, key):
+        payload = valid_payload()
+        del payload[key]
+        with pytest.raises(SnapshotError, match=f"missing key '{key}'"):
+            loads(json.dumps(payload))
+
+    @pytest.mark.parametrize(
+        "key,value",
+        [
+            ("mode", "turbo"),
+            ("mode", 3),
+            ("keep_text", "yes"),
+            ("text", 42),
+            ("tags", "a,b,c"),
+            ("tags", [1, 2]),
+            ("next_sid", "five"),
+            ("next_sid", True),
+            ("segments", {"0": {}}),
+        ],
+    )
+    def test_ill_typed_top_level_values(self, key, value):
+        payload = valid_payload()
+        payload[key] = value
+        with pytest.raises(SnapshotError):
+            loads(json.dumps(payload))
+
+    @pytest.mark.parametrize(
+        "key", ["sid", "parent", "gp", "length", "lp", "tombstones", "records"]
+    )
+    def test_missing_segment_key(self, key):
+        payload = valid_payload()
+        del payload["segments"][1][key]
+        with pytest.raises(SnapshotError, match="segments\\[1\\]"):
+            loads(json.dumps(payload))
+
+    @pytest.mark.parametrize(
+        "key,value",
+        [
+            ("sid", "one"),
+            ("parent", "root"),
+            ("gp", None),
+            ("length", 2.5),
+            ("lp", True),
+            ("tombstones", [[1]]),
+            ("tombstones", [["a", "b"]]),
+            ("tombstones", 7),
+            ("records", [[1, 2, 3]]),  # wrong arity
+            ("records", [[1, 2, 3, 4, 5]]),  # wrong arity
+            ("records", [["t", 0, 1, 1]]),
+            ("records", "none"),
+        ],
+    )
+    def test_ill_typed_segment_values(self, key, value):
+        payload = valid_payload()
+        payload["segments"][1][key] = value
+        with pytest.raises(SnapshotError):
+            loads(json.dumps(payload))
+
+    def test_segment_entry_not_object(self):
+        payload = valid_payload()
+        payload["segments"][1] = [1, 2, 3]
+        with pytest.raises(SnapshotError, match="must be an object"):
+            loads(json.dumps(payload))
+
+    def test_record_tag_id_out_of_range(self):
+        payload = valid_payload()
+        payload["segments"][1]["records"][0][0] = 999
+        with pytest.raises(SnapshotError, match="tag ids outside"):
+            loads(json.dumps(payload))
+
+    def test_duplicate_sid_rejected(self):
+        payload = valid_payload()
+        payload["segments"].append(dict(payload["segments"][1]))
+        with pytest.raises(SnapshotError, match="duplicate segment id"):
+            loads(json.dumps(payload))
+
+    def test_unknown_parent_rejected(self):
+        payload = valid_payload()
+        payload["segments"][1]["parent"] = 777
+        with pytest.raises(SnapshotError, match="unknown parent"):
+            loads(json.dumps(payload))
+
+    def test_valid_payload_still_loads(self):
+        copy = loads(json.dumps(valid_payload()))
+        copy.check_invariants()
+        assert copy.text == "<a><b/><c/></a>"
