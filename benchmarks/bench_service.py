@@ -1,0 +1,175 @@
+"""Service-layer benchmark: query latency/throughput under concurrency.
+
+Measures the resilient access layer (`repro.service.DatabaseService`) the
+way an operator would: N reader threads issuing structural joins against
+pinned snapshots, with and without a concurrent writer publishing epochs,
+at 1/4/16 readers.  Reports per-query p50/p95 latency and aggregate
+throughput, printed as a `repro.bench.harness.Table` and recorded to
+``BENCH_service.json`` at the repository root.
+
+Run standalone for the full series:  python benchmarks/bench_service.py
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import Table
+from repro.core.database import LazyXMLDatabase
+from repro.errors import Busy
+from repro.service import DatabaseService, ServiceConfig
+from repro.workloads.scenarios import registration_stream
+
+READER_COUNTS = (1, 4, 16)
+DOCS = 30
+
+
+def build_service(read_limit: int = 32) -> DatabaseService:
+    db = LazyXMLDatabase(keep_text=False)
+    for fragment in registration_stream(DOCS):
+        db.insert(fragment)
+    config = ServiceConfig(
+        read_limit=read_limit,
+        read_queue_depth=64,
+        admission_wait=2.0,
+        pressure_check_every=0,  # measure the steady state, not maintenance
+    )
+    return DatabaseService(db, config=config)
+
+
+def percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return float("nan")
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+def run_scenario(
+    readers: int, with_writer: bool, *, duration: float = 0.8
+) -> dict:
+    """One cell of the sweep; returns the recorded measurements."""
+    svc = build_service()
+    stop = threading.Event()
+    start_barrier = threading.Barrier(readers + 1)
+    latencies: list[list[float]] = [[] for _ in range(readers)]
+
+    def reader(slot: list[float]):
+        start_barrier.wait()
+        while not stop.is_set():
+            begin = time.perf_counter()
+            svc.join("registration", "interest")
+            slot.append(time.perf_counter() - begin)
+
+    def writer():
+        i = 0
+        while not stop.is_set():
+            try:
+                svc.insert(f"<registration><user>w{i}</user></registration>")
+            except Busy:
+                pass
+            i += 1
+            time.sleep(0.001)  # a steady, not saturating, update stream
+
+    threads = [
+        threading.Thread(target=reader, args=(slot,), daemon=True)
+        for slot in latencies
+    ]
+    if with_writer:
+        threads.append(threading.Thread(target=writer, daemon=True))
+    for thread in threads:
+        thread.start()
+    start_barrier.wait()
+    time.sleep(duration)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=10.0)
+    epochs = svc.health()["epochs"]
+    svc.close()
+
+    samples = sorted(lat for slot in latencies for lat in slot)
+    elapsed = duration
+    return {
+        "readers": readers,
+        "writer": with_writer,
+        "queries": len(samples),
+        "p50_ms": percentile(samples, 0.50) * 1e3,
+        "p95_ms": percentile(samples, 0.95) * 1e3,
+        "throughput_qps": len(samples) / elapsed,
+        "epochs_published": epochs["publishes"],
+    }
+
+
+def run_sweep(duration: float = 0.8) -> list[dict]:
+    return [
+        run_scenario(readers, with_writer, duration=duration)
+        for with_writer in (False, True)
+        for readers in READER_COUNTS
+    ]
+
+
+def report(results: list[dict]) -> Table:
+    table = Table(
+        "service: join latency under concurrent readers",
+        ["readers", "writer", "queries", "p50 ms", "p95 ms", "qps"],
+    )
+    for row in results:
+        table.add_row(
+            [
+                row["readers"],
+                "yes" if row["writer"] else "no",
+                row["queries"],
+                row["p50_ms"],
+                row["p95_ms"],
+                row["throughput_qps"],
+            ]
+        )
+    return table
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (reduced sizes; the standalone main prints the series)
+
+
+def test_single_reader_latency(benchmark):
+    svc = build_service()
+    pairs = benchmark(svc.join, "registration", "interest")
+    assert pairs
+    svc.close()
+
+
+@pytest.mark.parametrize("with_writer", [False, True])
+def test_concurrent_scenario_shape(with_writer):
+    result = run_scenario(2, with_writer, duration=0.2)
+    assert result["queries"] > 0
+    assert result["p95_ms"] >= result["p50_ms"]
+    if with_writer:
+        assert result["epochs_published"] > 0
+
+
+def main() -> None:
+    results = run_sweep()
+    report(results).print()
+    out = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+    out.write_text(
+        json.dumps(
+            {
+                "benchmark": "service concurrent join latency/throughput",
+                "documents": DOCS,
+                "duration_s": 0.8,
+                "scenarios": results,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    print(f"\nwrote {out}")
+
+
+if __name__ == "__main__":
+    main()

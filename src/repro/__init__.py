@@ -19,7 +19,9 @@ Subpackages: :mod:`repro.core` (the contribution), :mod:`repro.btree`,
 :mod:`repro.xml` (substrates), :mod:`repro.joins` (baseline join
 algorithms), :mod:`repro.labeling` (interval and prime-number comparators),
 :mod:`repro.workloads` (data generators), :mod:`repro.bench` (experiment
-harness).
+harness), :mod:`repro.durability` (journal + checkpoints),
+:mod:`repro.service` (concurrent access: snapshot reads, deadlines,
+backpressure, graceful degradation).
 """
 
 from repro.core import (
@@ -34,12 +36,16 @@ from repro.core import (
 )
 from repro.durability.database import DurableDatabase
 from repro.errors import ReproError
+from repro.service import DatabaseService, QueryContext, ServiceConfig
 
 __version__ = "1.0.0"
 
 __all__ = [
     "LazyXMLDatabase",
     "DurableDatabase",
+    "DatabaseService",
+    "ServiceConfig",
+    "QueryContext",
     "UpdateLog",
     "ElementIndex",
     "ElementRecord",

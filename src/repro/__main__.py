@@ -57,11 +57,20 @@ _POSITIONALS = {
     "dump": ("db",),
     "fsck": ("db",),
     "checkpoint": ("db",),
+    "serve": ("db",),
 }
 
 
+class _Parser(argparse.ArgumentParser):
+    """Usage errors (unknown subcommand, bad flag) exit 2 with ONE line —
+    a scriptable contract, not a usage dump."""
+
+    def error(self, message: str) -> "NoReturn":  # noqa: F821 - doc only
+        self.exit(2, f"error: {message} (see {self.prog} --help)\n")
+
+
 def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
+    parser = _Parser(
         prog="python -m repro",
         description="Lazy XML Updates database (SIGMOD 2005 reproduction)",
     )
@@ -124,6 +133,36 @@ def build_parser() -> argparse.ArgumentParser:
         "checkpoint", help="fold a durable directory's journal into its checkpoint"
     )
     cmd.add_argument("db", nargs="?", default=None)
+
+    cmd = commands.add_parser(
+        "serve",
+        help="serve the database over a line protocol on stdin/stdout "
+        "(snapshot isolation, deadlines, backpressure, auto-maintenance)",
+    )
+    cmd.add_argument("db", nargs="?", default=None)
+    cmd.add_argument(
+        "--timeout", type=float, default=None,
+        help="default per-query deadline in seconds",
+    )
+    cmd.add_argument(
+        "--max-rows", type=int, default=None,
+        help="default per-query result-row budget",
+    )
+    cmd.add_argument("--readers", type=int, default=16,
+                     help="concurrent read limit")
+    cmd.add_argument(
+        "--maintenance-interval", type=float, default=0.0,
+        help="seconds between background pressure checks (0 = only "
+        "piggybacked on writes)",
+    )
+    cmd.add_argument(
+        "--max-segments", type=int, default=256,
+        help="pressure bound: segment count",
+    )
+    cmd.add_argument(
+        "--max-depth", type=int, default=12,
+        help="pressure bound: ER-tree depth",
+    )
     return parser
 
 
@@ -157,7 +196,13 @@ def _open(args: argparse.Namespace):
     through the journal as each op commits, so ``persist`` is a no-op.
     """
     if args.durable:
-        dd = DurableDatabase(args.durable)
+        directory = Path(args.durable)
+        if not directory.is_dir():
+            raise OSError(
+                f"durable directory {str(directory)!r} does not exist "
+                "or is not a directory (create it with: load --durable)"
+            )
+        dd = DurableDatabase(directory)
         dd.prepare_for_query()
         return dd, lambda: None
     _require(args, "db")
@@ -176,6 +221,11 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except OSError as exc:
+        # Environment problems (unreadable --durable directory, missing
+        # input file) are usage-level failures: one line, exit 2.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -262,7 +312,42 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(db.text)
         return 0
 
+    if args.command == "serve":
+        return _cmd_serve(args, db, persist)
+
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _cmd_serve(args: argparse.Namespace, db, persist) -> int:
+    """Run the resilient service shell over stdin/stdout."""
+    from repro.service import DatabaseService, PressureThresholds, ServiceConfig
+    from repro.service.shell import ServiceShell
+
+    config = ServiceConfig(
+        read_limit=args.readers,
+        default_timeout=args.timeout,
+        max_result_rows=args.max_rows,
+        thresholds=PressureThresholds(
+            max_segments=args.max_segments, max_depth=args.max_depth
+        ),
+    )
+    service = DatabaseService(db, config=config)
+    if args.maintenance_interval > 0:
+        service.start_maintenance(args.maintenance_interval)
+    health = service.health()
+    print(
+        f"serving {health['segments']} segment(s), "
+        f"{health['elements']} element(s) "
+        f"[{'durable' if health['durable'] else 'snapshot'} mode]; "
+        "type 'help' for commands",
+        file=sys.stderr,
+    )
+    try:
+        ServiceShell(service, sys.stdin, sys.stdout).run()
+    finally:
+        service.close()
+        persist()
+    return 0
 
 
 def _cmd_load(args: argparse.Namespace) -> int:

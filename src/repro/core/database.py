@@ -28,12 +28,12 @@ from typing import NamedTuple
 from repro.core.element_index import ElementIndex, ElementRecord
 from repro.core.ertree import ERNode, RemovalReport
 from repro.core.join import JoinPair, JoinStatistics, LazyJoiner
-from repro.core.segment import DUMMY_ROOT_SID
+from repro.core.segment import DUMMY_ROOT_SID, SpanRelation, relate
 from repro.core.update_log import InsertReceipt, LogStats, UpdateLog
 from repro.errors import InvalidSegmentError, QueryError, XMLSyntaxError
 from repro.joins.merge_join import merge_containment_join
 from repro.joins.stack_tree import AXIS_DESCENDANT, stack_tree_desc
-from repro.xml.parser import parse_fragment
+from repro.xml.parser import is_well_formed, parse_fragment
 
 __all__ = ["LazyXMLDatabase", "GlobalElement", "RemovalOutcome"]
 
@@ -262,6 +262,7 @@ class LazyXMLDatabase:
                 f"removal span [{position}, {position + length}) outside "
                 f"super document [0, {self.log.document_length})"
             )
+        self._validate_removal_span(position, length)
         report = self.log.remove_span(position, length)
         per_segment_counts: dict[int, Counter] = {}
         removed_elements = 0
@@ -295,6 +296,61 @@ class LazyXMLDatabase:
             self._text = self._text[:position] + self._text[position + length :]
         return RemovalOutcome(report=report, elements_removed=removed_elements)
 
+    def _validate_removal_span(self, position: int, length: int) -> None:
+        """Reject spans that would corrupt structure, before any mutation.
+
+        Two failure shapes used to slip through silently:
+
+        - a span **crossing a segment boundary** — Fig. 7's clipping cases
+          would remove one segment's tail and its neighbour's head, leaving
+          both with unbalanced tags;
+        - a span **landing mid-tag** inside one segment — structurally a
+          plain partial removal, but the surviving text no longer parses.
+
+        The boundary check is a read-only ER-tree walk mirroring Fig. 7's
+        span classification: any ``LEFT_INTERSECT``/``RIGHT_INTERSECT``
+        against a live segment is refused.  The mid-tag check (text-mirror
+        databases only) re-parses the affected top-level document with the
+        span excised; it refuses only when the removal *breaks* a document
+        that currently parses, so databases already carrying a malformed
+        mirror (fragment-validated mid-text inserts) keep their existing
+        remove behaviour.
+        """
+        self._reject_boundary_crossing(self.log.ertree.root, position, length)
+        if not self._keep_text:
+            return
+        for top in self.log.ertree.root.children:
+            if relate(position, length, top.gp, top.length) is not SpanRelation.CONTAINED:
+                continue
+            current = self._text[top.gp : top.end]
+            candidate = (
+                self._text[top.gp : position]
+                + self._text[position + length : top.end]
+            )
+            if is_well_formed(current) and not is_well_formed(candidate):
+                raise InvalidSegmentError(
+                    f"removal span [{position}, {position + length}) lands "
+                    "mid-tag: the surviving document would not be "
+                    "well-formed"
+                )
+            break
+
+    def _reject_boundary_crossing(
+        self, node: ERNode, position: int, length: int
+    ) -> None:
+        for child in node.children:
+            rel = relate(position, length, child.gp, child.length)
+            if rel is SpanRelation.CONTAINED:
+                self._reject_boundary_crossing(child, position, length)
+                return
+            if rel in (SpanRelation.LEFT_INTERSECT, SpanRelation.RIGHT_INTERSECT):
+                raise InvalidSegmentError(
+                    f"removal span [{position}, {position + length}) crosses "
+                    f"the boundary of segment {child.sid} "
+                    f"[{child.gp}, {child.end}); remove whole segments or "
+                    "spans inside one segment"
+                )
+
     def remove_segment(self, sid: int) -> RemovalOutcome:
         """Remove exactly the span segment ``sid`` currently occupies."""
         node = self.log.node(sid)
@@ -315,6 +371,7 @@ class LazyXMLDatabase:
         *,
         algorithm: str = "lazy",
         stats: JoinStatistics | None = None,
+        context=None,
         **lazy_options,
     ) -> list[JoinPair]:
         """Answer ``tag_a // tag_d`` (or ``/`` with ``axis="child"``).
@@ -325,9 +382,15 @@ class LazyXMLDatabase:
         :class:`~repro.core.element_index.ElementRecord`; ordering differs
         (lazy: by descendant segment; std: by global descendant position;
         merge: by global ancestor position).
+
+        ``context`` (a :class:`~repro.service.context.QueryContext`) adds
+        cooperative deadline/row/depth enforcement to every algorithm; the
+        join is read-only, so a typed abort leaves the database untouched.
         """
         if algorithm == "lazy":
-            return self._joiner.join(tag_a, tag_d, axis, stats=stats, **lazy_options)
+            return self._joiner.join(
+                tag_a, tag_d, axis, stats=stats, context=context, **lazy_options
+            )
         if algorithm not in _ALGORITHMS:
             raise QueryError(
                 f"algorithm must be one of {_ALGORITHMS}, got {algorithm!r}"
@@ -336,21 +399,25 @@ class LazyXMLDatabase:
             raise QueryError(
                 "update log is not query-ready; call prepare_for_query()"
             )
-        a_globals = self.global_elements(tag_a)
-        d_globals = self.global_elements(tag_d)
+        a_globals = self.global_elements(tag_a, context=context)
+        d_globals = self.global_elements(tag_d, context=context)
         if algorithm == "std":
-            pairs = stack_tree_desc(a_globals, d_globals, axis=axis)
+            pairs = stack_tree_desc(a_globals, d_globals, axis=axis, context=context)
         else:
             pairs = merge_containment_join(a_globals, d_globals, axis=axis)
+            if context is not None:
+                context.check_deadline()
+                context.charge_rows(len(pairs))
         return [(a.record, d.record) for a, d in pairs]
 
-    def global_elements(self, tag: str) -> list[GlobalElement]:
+    def global_elements(self, tag: str, *, context=None) -> list[GlobalElement]:
         """All elements of ``tag`` with derived global spans, sorted by start.
 
         This is the materialization step the paper describes for running
         traditional join algorithms on top of the lazy store: fetch each
         element's segment from the SB-tree and shift its local span by the
-        segment's global position and child-segment lengths.
+        segment's global position and child-segment lengths.  ``context``
+        makes the materialization loop a cancellation checkpoint.
         """
         tid = self.log.tags.tid_of(tag)
         if tid is None:
@@ -358,6 +425,8 @@ class LazyXMLDatabase:
         out: list[GlobalElement] = []
         node_cache: dict[int, ERNode] = {}
         for record in self.index.all_elements(tid):
+            if context is not None:
+                context.tick()
             node = node_cache.get(record.sid)
             if node is None:
                 node = self.log.sbtree.lookup(record.sid)
@@ -376,14 +445,15 @@ class LazyXMLDatabase:
             node.to_global(record.end, count_ties=False),
         )
 
-    def path_query(self, expression: str, *, bindings: bool = False):
+    def path_query(self, expression: str, *, bindings: bool = False, context=None):
         """Evaluate a path expression (``"person//profile/interest"``).
 
         See :func:`repro.core.query.evaluate_path`; one Lazy-Join per step.
+        ``context`` threads a shared deadline/row budget through every step.
         """
         from repro.core.query import evaluate_path
 
-        return evaluate_path(self, expression, bindings=bindings)
+        return evaluate_path(self, expression, bindings=bindings, context=context)
 
     # ------------------------------------------------------------------
     # maintenance

@@ -107,6 +107,7 @@ class LazyJoiner:
         trim_top: bool = True,
         branch_strategy: str = "path",
         stats: JoinStatistics | None = None,
+        context=None,
     ) -> list[JoinPair]:
         """Answer ``tag_a // tag_d`` (or ``/`` with ``axis="child"``).
 
@@ -129,6 +130,13 @@ class LazyJoiner:
           what an implementation *without* stored paths must do, O(depth)
           per frame.
 
+        ``context`` is an optional
+        :class:`~repro.service.context.QueryContext`: the descendant-segment
+        loop is a cooperative cancellation checkpoint (deadline), result
+        rows are charged against its row budget and stack pushes against its
+        depth budget.  Joins are read-only, so an abort at any checkpoint
+        leaves every structure untouched.
+
         Requires a query-ready log (LD always is; LS must have had
         ``prepare_for_query()`` run).
         """
@@ -139,7 +147,9 @@ class LazyJoiner:
                 f"branch_strategy must be one of {_BRANCH_STRATEGIES}, "
                 f"got {branch_strategy!r}"
             )
-        self._branch = getattr(self, f"_branch_{branch_strategy}")
+        # Local, not an instance attribute: one LazyJoiner may serve many
+        # concurrent reader threads over a pinned snapshot.
+        branch_fn = getattr(self, f"_branch_{branch_strategy}")
         if not self._log.query_ready:
             raise QueryError(
                 "update log is not query-ready; call prepare_for_query() "
@@ -157,13 +167,14 @@ class LazyJoiner:
             return []
 
         child_only = axis == AXIS_CHILD
-        sbtree = self._log.sbtree
         results: list[JoinPair] = []
         stack: list[_Frame] = []
         ai = 0
         a_count = len(sl_a)
 
         for d_entry in sl_d:
+            if context is not None:
+                context.tick()
             sd = d_entry.node
             # Step 1 — pop stack segments that end before sd starts: sorted
             # gps mean they cannot contain sd nor any later D-segment.
@@ -183,15 +194,15 @@ class LazyJoiner:
                 if optimize_push:
                     elements = _elements_containing_a_child(sa, elements)
                 if trim_top and stack:
-                    self._trim_frame(stack[-1], sa, stats)
+                    self._trim_frame(stack[-1], sa, stats, branch_fn)
                 if elements:
                     if stack:
                         # The covered frame's branch toward everything below
                         # the new top goes through the new top's chain.
-                        stack[-1].cached_branch = self._branch_position(
-                            stack[-1].node, sa
-                        )
+                        stack[-1].cached_branch = branch_fn(stack[-1].node, sa)
                     stack.append(_Frame(sa, elements))
+                    if context is not None:
+                        context.charge_depth(len(stack))
                     stats.segments_pushed += 1
                     stats.elements_pushed += len(elements)
                 else:
@@ -207,34 +218,38 @@ class LazyJoiner:
                 stats.segments_skipped += 1
                 continue
             d_elements = self._index.elements_list(tid_d, sd.sid)
+            cross_before = len(results)
             if child_only:
                 self._cross_joins_child(stack, sd, d_elements, results, stats)
             else:
                 self._cross_joins_descendant(
-                    sbtree, stack, sd, d_elements, results, stats
+                    stack, sd, d_elements, results, stats, branch_fn
                 )
+            if context is not None:
+                context.charge_rows(len(results) - cross_before)
             if in_segment:
                 # Same segment in both lists: in-segment join on local
                 # positions (computed before the segment is ever pushed,
-                # so no pairs are lost — Section 4.2).
+                # so no pairs are lost — Section 4.2).  The nested
+                # Stack-Tree-Desc checkpoints and charges rows through the
+                # same context.
                 a_elements = self._index.elements_list(tid_a, sd.sid)
-                in_pairs = stack_tree_desc(a_elements, d_elements, axis=axis)
+                in_pairs = stack_tree_desc(
+                    a_elements, d_elements, axis=axis, context=context
+                )
                 results.extend(in_pairs)
                 stats.in_segment_pairs += len(in_pairs)
+        if context is not None:
+            context.check_deadline()
         return results
 
     # ------------------------------------------------------------------
     # helpers
 
-    def _branch_position(self, frame_node: ERNode, target: ERNode) -> int:
-        """``P_target^frame``: the lp of frame's child toward ``target``.
-
-        ``frame_node`` is a strict ancestor segment of ``target``; the
-        branch position is the local position of frame's child segment on
-        the containment chain down to ``target`` (Section 4.1).  Dispatches
-        to the strategy selected by :meth:`join`.
-        """
-        return self._branch(frame_node, target)
+    # ``P_target^frame`` — the lp of frame's child toward ``target``
+    # (Section 4.1) — is computed by one of the ``_branch_*`` strategies
+    # below; :meth:`join` resolves the chosen strategy to a local callable
+    # so concurrent joins on one joiner never share mutable state.
 
     def _branch_path(self, frame_node: ERNode, target: ERNode) -> int:
         """Stored-path strategy: one path index plus one SB-tree lookup.
@@ -264,7 +279,9 @@ class LazyJoiner:
             assert node is not None, "frame is not an ancestor of target"
         return node.lp
 
-    def _trim_frame(self, frame: _Frame, sa: ERNode, stats: JoinStatistics) -> None:
+    def _trim_frame(
+        self, frame: _Frame, sa: ERNode, stats: JoinStatistics, branch_fn
+    ) -> None:
         """Optimization (ii): drop top-frame elements ending before ``sa``.
 
         ``sa`` (and every future segment from either list) branches off the
@@ -275,19 +292,19 @@ class LazyJoiner:
             return
         if not (sa.end <= frame.node.end):
             return
-        branch = self._branch_position(frame.node, sa)
+        branch = branch_fn(frame.node, sa)
         kept = [e for e in frame.elements if e.end > branch]
         stats.elements_trimmed += len(frame.elements) - len(kept)
         frame.elements = kept
 
     def _cross_joins_descendant(
         self,
-        sbtree,
         stack: list[_Frame],
         sd: ERNode,
         d_elements: list[ElementRecord],
         results: list[JoinPair],
         stats: JoinStatistics,
+        branch_fn,
     ) -> None:
         """Step 3 cross joins: every stack frame against segment ``sd``."""
         if not d_elements:
@@ -295,7 +312,7 @@ class LazyJoiner:
         top_index = len(stack) - 1
         for index, frame in enumerate(stack):
             if index == top_index or frame.cached_branch is None:
-                branch = self._branch_position(frame.node, sd)
+                branch = branch_fn(frame.node, sd)
             else:
                 branch = frame.cached_branch
             for a_elem in frame.elements:

@@ -84,7 +84,14 @@ def parse_path(expression: str) -> PathQuery:
     return PathQuery(entry=names[0], steps=steps)
 
 
-def evaluate_path(db, expression: str, *, bindings: bool = False, algorithm: str = "joins"):
+def evaluate_path(
+    db,
+    expression: str,
+    *,
+    bindings: bool = False,
+    algorithm: str = "joins",
+    context=None,
+):
     """Evaluate a path expression against a :class:`LazyXMLDatabase`.
 
     Returns the distinct matches of the final step in ``(sid, start)``
@@ -99,10 +106,15 @@ def evaluate_path(db, expression: str, *, bindings: bool = False, algorithm: str
     - ``"pathstack"``: the holistic PathStack algorithm
       (:mod:`repro.joins.path_stack`) over derived global labels — no
       intermediate step results are ever materialized.
+
+    ``context`` is an optional
+    :class:`~repro.service.context.QueryContext`, threaded into every
+    per-step structural join and checked between steps, so a multi-step
+    path query honors one shared deadline/row budget end to end.
     """
     query = expression if isinstance(expression, PathQuery) else parse_path(expression)
     if algorithm == "pathstack":
-        return _evaluate_pathstack(db, query, bindings=bindings)
+        return _evaluate_pathstack(db, query, bindings=bindings, context=context)
     if algorithm != "joins":
         raise QueryError(
             f"algorithm must be 'joins' or 'pathstack', got {algorithm!r}"
@@ -117,8 +129,12 @@ def evaluate_path(db, expression: str, *, bindings: bool = False, algorithm: str
     for step in query.steps:
         if not current:
             break
+        if context is not None:
+            context.check_deadline()
         survivors = {binding[-1] for binding in current}
-        pairs = db.structural_join(previous_tag, step.tag, axis=step.axis)
+        pairs = db.structural_join(
+            previous_tag, step.tag, axis=step.axis, context=context
+        )
         extend: dict[ElementRecord, list[ElementRecord]] = {}
         for anc, desc in pairs:
             if anc in survivors:
@@ -142,14 +158,21 @@ def evaluate_path(db, expression: str, *, bindings: bool = False, algorithm: str
     return out
 
 
-def _evaluate_pathstack(db, query: PathQuery, *, bindings: bool):
+def _evaluate_pathstack(db, query: PathQuery, *, bindings: bool, context=None):
     """Holistic execution over derived global labels."""
     from repro.joins.path_stack import path_stack
 
     tags = [query.entry] + [step.tag for step in query.steps]
     axes = [AXIS_DESCENDANT] + [step.axis for step in query.steps]
-    streams = [db.global_elements(tag) for tag in tags]
+    streams = []
+    for tag in tags:
+        if context is not None:
+            context.check_deadline()
+        streams.append(db.global_elements(tag, context=context))
     chains = path_stack(streams, axes)
+    if context is not None:
+        context.check_deadline()
+        context.charge_rows(len(chains))
     if bindings:
         return [
             tuple(element.record for element in chain) for chain in chains

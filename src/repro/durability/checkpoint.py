@@ -66,6 +66,10 @@ def read_checkpoint(path: str | Path) -> tuple[LazyXMLDatabase, int]:
         raw = Path(path).read_text(encoding="utf-8")
     except OSError as exc:
         raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        # Byte-level corruption can land mid-codepoint and fail the decode
+        # before the checksum ever runs; that is still "corrupt checkpoint".
+        raise CheckpointError(f"checkpoint {path} is not valid UTF-8: {exc}") from exc
     try:
         envelope = json.loads(raw)
     except json.JSONDecodeError as exc:

@@ -23,6 +23,13 @@ __all__ = [
     "JournalError",
     "CheckpointError",
     "RecoveryError",
+    "ServiceError",
+    "QueryCancelled",
+    "DeadlineExceeded",
+    "ResourceExhausted",
+    "Busy",
+    "CircuitOpenError",
+    "ServiceClosed",
 ]
 
 
@@ -115,3 +122,41 @@ class RecoveryError(DurabilityError):
     this error covers genuinely unrecoverable states such as a corrupt
     checkpoint or a journal record whose operation type is unknown.
     """
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the concurrent access layer
+    (:mod:`repro.service`)."""
+
+
+class QueryCancelled(ServiceError):
+    """Base class for cooperative query aborts (deadline / resource limits).
+
+    Raised only at cancellation checkpoints inside read-only query code, so
+    an aborted query never leaves partial mutations behind — the next query
+    against the same snapshot succeeds.
+    """
+
+
+class DeadlineExceeded(QueryCancelled):
+    """Raised when a query runs past its :class:`QueryContext` deadline."""
+
+
+class ResourceExhausted(QueryCancelled):
+    """Raised when a query exceeds a resource budget (result rows, stack
+    depth) configured on its :class:`QueryContext`."""
+
+
+class Busy(ServiceError):
+    """Transient admission-control rejection: the request class is at its
+    concurrency/queue limit.  Safe to retry after backing off
+    (see :func:`repro.service.admission.retry_with_backoff`)."""
+
+
+class CircuitOpenError(ServiceError):
+    """Raised when an operation is refused because its circuit breaker is
+    open (repeated recent failures); retry after the reset timeout."""
+
+
+class ServiceClosed(ServiceError):
+    """Raised when a request reaches a service that has been shut down."""

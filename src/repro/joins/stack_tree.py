@@ -32,6 +32,8 @@ def stack_tree_desc(
     ancestors: Sequence,
     descendants: Sequence,
     axis: str = AXIS_DESCENDANT,
+    *,
+    context=None,
 ) -> list[tuple]:
     """Join two start-sorted element lists on containment.
 
@@ -40,6 +42,12 @@ def stack_tree_desc(
     (ties/nesting: inner ancestors after outer, i.e. ascending ancestor
     start).  ``axis="child"`` additionally requires
     ``descendant.level == ancestor.level + 1``.
+
+    ``context`` is an optional
+    :class:`~repro.service.context.QueryContext`: the descendant loop is a
+    cooperative cancellation checkpoint, emitted pairs are charged against
+    the row budget and stack pushes against the depth budget.  The join is
+    read-only, so an abort leaves no trace.
 
     Self-joins are safe: an element never pairs with itself because
     containment is strict.
@@ -52,6 +60,8 @@ def stack_tree_desc(
     a_index = 0
     a_count = len(ancestors)
     for desc in descendants:
+        if context is not None:
+            context.tick()
         # Push every ancestor starting before this descendant.
         while a_index < a_count and ancestors[a_index].start < desc.start:
             candidate = ancestors[a_index]
@@ -59,6 +69,8 @@ def stack_tree_desc(
                 stack.pop()
             stack.append(candidate)
             a_index += 1
+        if context is not None:
+            context.charge_depth(len(stack))
         # Drop ancestors that ended before this descendant starts.
         while stack and stack[-1].end <= desc.start:
             stack.pop()
@@ -68,9 +80,13 @@ def stack_tree_desc(
             # Only the innermost ancestor can be the parent.
             if stack and stack[-1].level + 1 == desc.level:
                 results.append((stack[-1], desc))
+                if context is not None:
+                    context.charge_rows(1)
         else:
             for anc in stack:
                 results.append((anc, desc))
+            if context is not None:
+                context.charge_rows(len(stack))
     return results
 
 
@@ -78,6 +94,8 @@ def stack_tree_anc(
     ancestors: Sequence,
     descendants: Sequence,
     axis: str = AXIS_DESCENDANT,
+    *,
+    context=None,
 ) -> list[tuple]:
     """Join two start-sorted element lists, output sorted by *ancestor*.
 
@@ -109,20 +127,28 @@ def stack_tree_anc(
     a_index = 0
     a_count = len(ancestors)
     for desc in descendants:
+        if context is not None:
+            context.tick()
         while a_index < a_count and ancestors[a_index].start < desc.start:
             candidate = ancestors[a_index]
             while stack and stack[-1][0].end <= candidate.start:
                 pop()
             stack.append([candidate, [], []])
             a_index += 1
+        if context is not None:
+            context.charge_depth(len(stack))
         while stack and stack[-1][0].end <= desc.start:
             pop()
         if child_only:
             if stack and stack[-1][0].level + 1 == desc.level:
                 stack[-1][1].append((stack[-1][0], desc))
+                if context is not None:
+                    context.charge_rows(1)
         else:
             for entry in stack:
                 entry[1].append((entry[0], desc))
+            if context is not None:
+                context.charge_rows(len(stack))
     while stack:
         pop()
     return results

@@ -1,0 +1,42 @@
+"""Concurrent access layer: snapshot reads, deadlines, backpressure,
+graceful degradation.
+
+The paper's laziness trades update cost for update-log growth; this package
+makes that trade safe to operate under concurrent load:
+
+- :mod:`repro.service.context` — :class:`QueryContext`: deadlines and
+  resource budgets enforced at cooperative cancellation checkpoints inside
+  the join algorithms;
+- :mod:`repro.service.snapshot` — epoch-based snapshot isolation (single
+  writer, many readers, readers never block the writer);
+- :mod:`repro.service.admission` — bounded per-class admission control with
+  jittered-backoff retry for transient :class:`~repro.errors.Busy`;
+- :mod:`repro.service.breaker` — a circuit breaker guarding automatic
+  maintenance;
+- :mod:`repro.service.pressure` — update-log pressure monitoring and
+  repack/compact planning;
+- :mod:`repro.service.server` — :class:`DatabaseService`, the facade tying
+  it all together (wired to ``python -m repro serve``).
+"""
+
+from repro.service.admission import AdmissionController, BackoffPolicy, retry_with_backoff
+from repro.service.breaker import CircuitBreaker
+from repro.service.context import QueryContext
+from repro.service.pressure import PressureMonitor, PressureReport, PressureThresholds
+from repro.service.server import DatabaseService, ServiceConfig
+from repro.service.snapshot import EpochManager, Snapshot
+
+__all__ = [
+    "AdmissionController",
+    "BackoffPolicy",
+    "CircuitBreaker",
+    "DatabaseService",
+    "EpochManager",
+    "PressureMonitor",
+    "PressureReport",
+    "PressureThresholds",
+    "QueryContext",
+    "ServiceConfig",
+    "Snapshot",
+    "retry_with_backoff",
+]

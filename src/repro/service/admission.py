@@ -1,0 +1,217 @@
+"""Admission control and backpressure.
+
+A production service in front of the lazy store must bound its own
+concurrency: unbounded reader fan-out starves the writer, and unbounded
+writes grow the update log faster than maintenance can drain it.  The
+:class:`AdmissionController` enforces per-class (``read`` / ``write`` /
+``maintenance``) concurrency limits plus a small wait queue per class; a
+request over both limits is rejected *immediately* with the transient
+:class:`~repro.errors.Busy` — load shedding, not queue collapse.  Shed and
+admitted counts are exported as metrics.
+
+Callers that can wait should wrap their attempt in
+:func:`retry_with_backoff`, which retries ``Busy`` with capped exponential
+backoff and full jitter (the AWS-style policy: sleeping a uniform random
+fraction of the cap de-correlates retry storms).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import Busy, ServiceClosed
+
+__all__ = ["AdmissionController", "Ticket", "BackoffPolicy", "retry_with_backoff"]
+
+#: Default per-class concurrency limits: many readers, one writer (the
+#: snapshot protocol is single-writer), one maintenance job at a time.
+DEFAULT_LIMITS = {"read": 16, "write": 1, "maintenance": 1}
+
+#: Default per-class wait-queue depth on top of the concurrency limit.
+DEFAULT_QUEUE_DEPTH = {"read": 32, "write": 8, "maintenance": 0}
+
+
+class Ticket:
+    """An admitted request; release it (or use as a context manager)."""
+
+    __slots__ = ("_controller", "_request_class", "_released")
+
+    def __init__(self, controller: "AdmissionController", request_class: str):
+        self._controller = controller
+        self._request_class = request_class
+        self._released = False
+
+    @property
+    def request_class(self) -> str:
+        return self._request_class
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._controller._release(self._request_class)
+
+    def __enter__(self) -> "Ticket":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class _ClassState:
+    __slots__ = ("limit", "queue_depth", "active", "waiting", "admitted", "rejected", "peak")
+
+    def __init__(self, limit: int, queue_depth: int):
+        self.limit = limit
+        self.queue_depth = queue_depth
+        self.active = 0
+        self.waiting = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.peak = 0
+
+
+class AdmissionController:
+    """Bounded per-class admission with immediate ``Busy`` load shedding.
+
+    ``admit(cls)`` admits when the class has a free slot; otherwise it
+    waits up to ``wait_timeout`` *if* the class's wait queue has room, and
+    rejects with :class:`~repro.errors.Busy` when the queue is full or the
+    wait times out.  ``wait_timeout=0`` makes rejection immediate.
+    """
+
+    def __init__(
+        self,
+        limits: dict[str, int] | None = None,
+        *,
+        queue_depth: dict[str, int] | None = None,
+    ):
+        limits = dict(DEFAULT_LIMITS if limits is None else limits)
+        depths = dict(DEFAULT_QUEUE_DEPTH if queue_depth is None else queue_depth)
+        for name, limit in limits.items():
+            if limit < 1:
+                raise ValueError(f"limit for {name!r} must be >= 1, got {limit}")
+        self._lock = threading.Lock()
+        self._freed = threading.Condition(self._lock)
+        self._classes = {
+            name: _ClassState(limit, max(0, depths.get(name, 0)))
+            for name, limit in limits.items()
+        }
+        self._closed = False
+
+    def admit(self, request_class: str, *, wait_timeout: float = 0.0) -> Ticket:
+        """Admit a request of ``request_class`` or raise ``Busy``."""
+        state = self._state(request_class)
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("admission controller is closed")
+            if state.active < state.limit:
+                return self._admit_locked(state, request_class)
+            if wait_timeout <= 0 or state.waiting >= state.queue_depth:
+                state.rejected += 1
+                raise Busy(
+                    f"{request_class} limit reached "
+                    f"({state.active}/{state.limit} active, "
+                    f"{state.waiting} waiting); retry with backoff"
+                )
+            state.waiting += 1
+            deadline = time.monotonic() + wait_timeout
+            try:
+                while state.active >= state.limit:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or self._closed:
+                        state.rejected += 1
+                        raise Busy(
+                            f"{request_class} queue wait exceeded "
+                            f"{wait_timeout:.3f}s; retry with backoff"
+                        )
+                    self._freed.wait(remaining)
+            finally:
+                state.waiting -= 1
+            return self._admit_locked(state, request_class)
+
+    def _admit_locked(self, state: _ClassState, request_class: str) -> Ticket:
+        state.active += 1
+        state.admitted += 1
+        state.peak = max(state.peak, state.active)
+        return Ticket(self, request_class)
+
+    def _release(self, request_class: str) -> None:
+        with self._lock:
+            state = self._classes[request_class]
+            state.active -= 1
+            self._freed.notify_all()
+
+    def _state(self, request_class: str) -> _ClassState:
+        try:
+            return self._classes[request_class]
+        except KeyError:
+            raise Busy(f"unknown request class {request_class!r}") from None
+
+    def close(self) -> None:
+        """Reject all future admissions (in-flight tickets stay valid)."""
+        with self._lock:
+            self._closed = True
+            self._freed.notify_all()
+
+    def metrics(self) -> dict:
+        """Per-class counters: active/peak/admitted/rejected/waiting."""
+        with self._lock:
+            return {
+                name: {
+                    "limit": state.limit,
+                    "active": state.active,
+                    "peak": state.peak,
+                    "waiting": state.waiting,
+                    "admitted": state.admitted,
+                    "rejected": state.rejected,
+                }
+                for name, state in self._classes.items()
+            }
+
+
+@dataclass
+class BackoffPolicy:
+    """Capped exponential backoff with full jitter.
+
+    Attempt ``n`` (0-based) sleeps ``uniform(0, min(max_delay,
+    base_delay * multiplier**n))`` seconds.
+    """
+
+    retries: int = 5
+    base_delay: float = 0.01
+    max_delay: float = 0.5
+    multiplier: float = 2.0
+    rng: random.Random = field(default_factory=random.Random)
+
+    def delay(self, attempt: int) -> float:
+        cap = min(self.max_delay, self.base_delay * self.multiplier**attempt)
+        return self.rng.uniform(0.0, cap)
+
+
+def retry_with_backoff(
+    fn,
+    *,
+    policy: BackoffPolicy | None = None,
+    retry_on=(Busy,),
+    sleep=time.sleep,
+):
+    """Call ``fn()``; on a transient rejection, back off and retry.
+
+    Retries only exceptions in ``retry_on`` (default: ``Busy``), up to
+    ``policy.retries`` times; the final failure propagates.  ``sleep`` is
+    injectable so tests can run instantaneously.
+    """
+    if policy is None:
+        policy = BackoffPolicy()
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except retry_on:
+            if attempt >= policy.retries:
+                raise
+            sleep(policy.delay(attempt))
+            attempt += 1

@@ -1,0 +1,158 @@
+"""`QueryContext` — deadlines and resource budgets for one query.
+
+Queries in this system are read-only, so cancellation is purely
+cooperative: the join algorithms call :meth:`QueryContext.tick` (amortized
+O(1), a clock read every ``check_every`` ticks) and
+:meth:`QueryContext.charge_rows` at natural loop boundaries, and the
+context raises a typed :class:`~repro.errors.DeadlineExceeded` /
+:class:`~repro.errors.ResourceExhausted` out of the query.  Because no
+structure is mutated between checkpoints, an aborted query leaves the
+database exactly as it found it — the property the fault-drill suite
+asserts.
+
+The clock is injectable (``clock=``) so tests can drive deadline behaviour
+deterministically; production code uses :func:`time.monotonic`.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import DeadlineExceeded, QueryCancelled, ResourceExhausted
+
+__all__ = ["QueryContext"]
+
+#: How many ticks pass between deadline clock reads.  Power of two so the
+#: modulo compiles to a mask; 64 keeps worst-case overrun tiny while making
+#: the common case a single integer increment.
+_CHECK_EVERY = 64
+
+
+class QueryContext:
+    """Deadline, row budget and stack-depth budget for a single query.
+
+    Parameters
+    ----------
+    timeout:
+        Seconds from now until the deadline, or ``None`` for no deadline.
+    max_result_rows:
+        Upper bound on result pairs/rows a query may produce.
+    max_stack_depth:
+        Upper bound on candidate-ancestor stack depth inside the join
+        algorithms (guards pathological nesting).
+    check_every:
+        Ticks between clock reads (exposed for tests).
+    clock:
+        Monotonic clock, injectable for deterministic tests.
+    """
+
+    __slots__ = (
+        "_clock",
+        "_deadline",
+        "_check_every",
+        "_ticks",
+        "_rows",
+        "max_result_rows",
+        "max_stack_depth",
+        "_cancelled",
+    )
+
+    def __init__(
+        self,
+        *,
+        timeout: float | None = None,
+        deadline: float | None = None,
+        max_result_rows: int | None = None,
+        max_stack_depth: int | None = None,
+        check_every: int = _CHECK_EVERY,
+        clock=time.monotonic,
+    ):
+        if timeout is not None and deadline is not None:
+            raise ValueError("pass timeout or deadline, not both")
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        self._clock = clock
+        if timeout is not None:
+            deadline = clock() + timeout
+        self._deadline = deadline
+        self._check_every = check_every
+        self._ticks = 0
+        self._rows = 0
+        self.max_result_rows = max_result_rows
+        self.max_stack_depth = max_stack_depth
+        self._cancelled: str | None = None
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    @property
+    def deadline(self) -> float | None:
+        """Absolute deadline on this context's clock, or ``None``."""
+        return self._deadline
+
+    @property
+    def ticks(self) -> int:
+        """Checkpoints passed so far (tests use this to prove threading)."""
+        return self._ticks
+
+    @property
+    def rows(self) -> int:
+        """Result rows charged so far."""
+        return self._rows
+
+    def remaining(self) -> float | None:
+        """Seconds until the deadline (negative when past), or ``None``."""
+        if self._deadline is None:
+            return None
+        return self._deadline - self._clock()
+
+    # ------------------------------------------------------------------
+    # cancellation checkpoints
+
+    def cancel(self, reason: str = "cancelled by caller") -> None:
+        """Request external cancellation; the next checkpoint raises."""
+        self._cancelled = reason
+
+    def tick(self) -> None:
+        """Cooperative checkpoint: cheap counter, occasional clock read."""
+        self._ticks += 1
+        if self._cancelled is not None:
+            raise QueryCancelled(self._cancelled)
+        if self._deadline is not None and self._ticks % self._check_every == 0:
+            self.check_deadline()
+
+    def check_deadline(self) -> None:
+        """Unconditional deadline check (used at loop entry/exit)."""
+        if self._cancelled is not None:
+            raise QueryCancelled(self._cancelled)
+        if self._deadline is not None and self._clock() > self._deadline:
+            raise DeadlineExceeded(
+                f"query exceeded its deadline by "
+                f"{self._clock() - self._deadline:.3f}s "
+                f"(after {self._ticks} checkpoints, {self._rows} rows)"
+            )
+
+    def charge_rows(self, n: int) -> None:
+        """Charge ``n`` result rows against the row budget."""
+        if n <= 0:
+            return
+        self._rows += n
+        if self.max_result_rows is not None and self._rows > self.max_result_rows:
+            raise ResourceExhausted(
+                f"query produced {self._rows} result rows, over the "
+                f"budget of {self.max_result_rows}"
+            )
+
+    def charge_depth(self, depth: int) -> None:
+        """Validate a candidate-stack depth against the depth budget."""
+        if self.max_stack_depth is not None and depth > self.max_stack_depth:
+            raise ResourceExhausted(
+                f"join stack depth {depth} over the budget of "
+                f"{self.max_stack_depth}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<QueryContext deadline={self._deadline} rows={self._rows}"
+            f"/{self.max_result_rows} ticks={self._ticks}>"
+        )

@@ -1,0 +1,543 @@
+"""`DatabaseService` — the resilient concurrent facade over the lazy store.
+
+Composes the pieces of :mod:`repro.service` into one operational surface:
+
+- **reads** go through admission control, pin an epoch snapshot
+  (:mod:`repro.service.snapshot`), and run under a
+  :class:`~repro.service.context.QueryContext` deadline/budget; they never
+  observe a half-applied update and never block the writer;
+- **writes** (single-writer) go through admission control and the
+  journaled primary when it is a
+  :class:`~repro.durability.database.DurableDatabase` — then the committed
+  op is replayed onto the next epoch's replica and published atomically;
+- **maintenance** is driven by the :class:`~repro.service.pressure.
+  PressureMonitor` and executed behind a :class:`~repro.service.breaker.
+  CircuitBreaker`: repeated repack/compact failures open the breaker and
+  the service degrades gracefully — reads keep flowing, writes are shed
+  while pressure is critical — instead of hot-looping a failing repair;
+- **degradation the other way**: when the log is *clean* (every segment
+  top-level, no nesting, no tombstones — the state a compact leaves
+  behind), ``algorithm="auto"`` joins skip the lazy cross-segment
+  machinery entirely and run the repacked fast path, one in-segment
+  Stack-Tree-Desc per shared segment.
+
+``python -m repro serve`` wraps this class in a line-oriented shell (see
+:mod:`repro.service.shell`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.core.database import LazyXMLDatabase
+from repro.durability.recovery import apply_op, validate_op
+from repro.errors import (
+    Busy,
+    CircuitOpenError,
+    DeadlineExceeded,
+    QueryError,
+    ResourceExhausted,
+    ServiceClosed,
+)
+from repro.joins.stack_tree import AXIS_DESCENDANT, stack_tree_desc
+from repro.service.admission import AdmissionController
+from repro.service.breaker import CircuitBreaker
+from repro.service.context import QueryContext
+from repro.service.pressure import (
+    LEVEL_CRITICAL,
+    PressureMonitor,
+    PressureReport,
+    PressureThresholds,
+)
+from repro.service.snapshot import EpochManager, Snapshot
+
+__all__ = ["ServiceConfig", "DatabaseService", "clean_segment_join", "log_is_clean"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Operational knobs for a :class:`DatabaseService`."""
+
+    #: Per-class concurrency limits; ``write`` must stay 1 (single writer).
+    read_limit: int = 16
+    maintenance_limit: int = 1
+    #: Wait-queue depth per class (over the concurrency limit).
+    read_queue_depth: int = 32
+    write_queue_depth: int = 8
+    #: Default seconds a request may wait for admission before ``Busy``.
+    admission_wait: float = 0.05
+    #: Default per-query deadline (seconds); ``None`` = no deadline.
+    default_timeout: float | None = None
+    #: Default per-query result-row budget; ``None`` = unbounded.
+    max_result_rows: int | None = None
+    #: Default per-query join-stack depth budget; ``None`` = unbounded.
+    max_stack_depth: int | None = None
+    #: Seconds a publish waits for a retiring epoch's readers to drain.
+    drain_timeout: float = 5.0
+    #: Writes between automatic pressure samples (0 disables).
+    pressure_check_every: int = 8
+    thresholds: PressureThresholds = field(default_factory=PressureThresholds)
+    breaker_failure_threshold: int = 3
+    breaker_reset_timeout: float = 30.0
+    #: Shed writes with ``Busy`` while pressure is critical and the
+    #: breaker is open (maintenance cannot run) — self-defense against
+    #: unbounded log growth.
+    shed_writes_when_degraded: bool = True
+
+
+def log_is_clean(db) -> bool:
+    """True when the update log carries no structural debt: every segment
+    is a top-level document with no nested segments and no tombstones —
+    exactly the state :func:`~repro.core.maintenance.compact_database`
+    leaves behind."""
+    for node in db.log.ertree.root.children:
+        if node.children or node.tombstones():
+            return False
+    return True
+
+
+def clean_segment_join(
+    db, tag_a: str, tag_d: str, axis: str = AXIS_DESCENDANT, *, context=None
+):
+    """The repacked fast path: per-segment Stack-Tree-Desc, no lazy machinery.
+
+    Sound only when :func:`log_is_clean` holds — top-level segments are
+    disjoint documents, so cross-segment pairs are impossible and the join
+    decomposes into independent in-segment joins over immutable local
+    labels.  Returns the same (ancestor, descendant) record pairs as
+    ``algorithm="lazy"``, grouped by segment in ascending global position.
+    """
+    tid_a = db.log.tags.tid_of(tag_a)
+    tid_d = db.log.tags.tid_of(tag_d)
+    if tid_a is None or tid_d is None:
+        return []
+    d_sids = {entry.sid for entry in db.log.taglist.segments_for(tid_d)}
+    results = []
+    for entry in db.log.taglist.segments_for(tid_a):
+        if entry.sid not in d_sids:
+            continue
+        if context is not None:
+            context.tick()
+        a_elements = db.index.elements_list(tid_a, entry.sid)
+        d_elements = db.index.elements_list(tid_d, entry.sid)
+        results.extend(
+            stack_tree_desc(a_elements, d_elements, axis=axis, context=context)
+        )
+    return results
+
+
+class DatabaseService:
+    """Concurrent, deadline-aware, self-defending access to a database.
+
+    Parameters
+    ----------
+    primary:
+        The authoritative store — a plain
+        :class:`~repro.core.database.LazyXMLDatabase` or a
+        :class:`~repro.durability.database.DurableDatabase` (in which case
+        every write, including pressure-triggered repacks, goes through the
+        journaled commit protocol).
+    config:
+        :class:`ServiceConfig`; defaults are sized for tests/examples.
+    clock:
+        Injectable monotonic clock shared by deadlines and the breaker.
+    """
+
+    def __init__(
+        self,
+        primary,
+        *,
+        config: ServiceConfig | None = None,
+        clock=time.monotonic,
+    ):
+        self.config = config or ServiceConfig()
+        self.primary = primary
+        # The raw LazyXMLDatabase behind a durable wrapper (or the primary
+        # itself): what replicas are cloned from and pressure is sampled on.
+        self._base: LazyXMLDatabase = getattr(primary, "db", primary)
+        self._durable = self._base is not primary
+        self._clock = clock
+        self._base.prepare_for_query()
+        self._epochs = EpochManager(
+            self._base, drain_timeout=self.config.drain_timeout
+        )
+        self._admission = AdmissionController(
+            {
+                "read": self.config.read_limit,
+                "write": 1,
+                "maintenance": self.config.maintenance_limit,
+            },
+            queue_depth={
+                "read": self.config.read_queue_depth,
+                "write": self.config.write_queue_depth,
+                "maintenance": 0,
+            },
+        )
+        self._breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_failure_threshold,
+            reset_timeout=self.config.breaker_reset_timeout,
+            clock=clock,
+        )
+        self._monitor = PressureMonitor(self.config.thresholds)
+        self._writer_lock = threading.RLock()
+        self._writes_since_check = 0
+        self._last_pressure: PressureReport | None = None
+        self._closed = False
+        self._stop_maintenance = threading.Event()
+        self._maintenance_thread: threading.Thread | None = None
+        self._counters = {
+            "queries": 0,
+            "writes": 0,
+            "deadline_aborts": 0,
+            "resource_aborts": 0,
+            "fast_path_joins": 0,
+            "lazy_joins": 0,
+            "writes_shed_degraded": 0,
+            "maintenance_runs": 0,
+            "maintenance_failures": 0,
+            "replica_rebuilds": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # contexts & snapshots
+
+    def make_context(self, **overrides) -> QueryContext:
+        """A :class:`QueryContext` seeded from the service defaults."""
+        options = {
+            "timeout": self.config.default_timeout,
+            "max_result_rows": self.config.max_result_rows,
+            "max_stack_depth": self.config.max_stack_depth,
+            "clock": self._clock,
+        }
+        options.update(overrides)
+        return QueryContext(**options)
+
+    def snapshot(self) -> Snapshot:
+        """Pin the current epoch directly (no admission, no deadline) —
+        for diagnostics and invariant checks; release it promptly."""
+        self._ensure_open()
+        return self._epochs.pin()
+
+    # ------------------------------------------------------------------
+    # reads
+
+    def read(self, fn, *, context=None, wait_timeout=None):
+        """Run ``fn(db, context)`` against a pinned snapshot.
+
+        The generic read entry point: admission-controlled, snapshot-
+        isolated, deadline-enforced.  ``fn`` must treat ``db`` as
+        read-only.
+        """
+        self._ensure_open()
+        wait = self.config.admission_wait if wait_timeout is None else wait_timeout
+        with self._admission.admit("read", wait_timeout=wait):
+            with self._epochs.pin() as snap:
+                ctx = context if context is not None else self.make_context()
+                try:
+                    result = fn(snap.db, ctx)
+                except DeadlineExceeded:
+                    self._counters["deadline_aborts"] += 1
+                    raise
+                except ResourceExhausted:
+                    self._counters["resource_aborts"] += 1
+                    raise
+                self._counters["queries"] += 1
+                return result
+
+    def query(self, expression: str, *, bindings: bool = False, context=None,
+              wait_timeout=None):
+        """Snapshot-isolated :meth:`LazyXMLDatabase.path_query`."""
+        return self.read(
+            lambda db, ctx: db.path_query(expression, bindings=bindings, context=ctx),
+            context=context,
+            wait_timeout=wait_timeout,
+        )
+
+    def join(
+        self,
+        tag_a: str,
+        tag_d: str,
+        axis: str = AXIS_DESCENDANT,
+        *,
+        algorithm: str = "auto",
+        context=None,
+        wait_timeout=None,
+        **options,
+    ):
+        """Snapshot-isolated structural join.
+
+        ``algorithm="auto"`` (the default) picks the repacked fast path
+        (:func:`clean_segment_join`) when the pinned snapshot's log is
+        clean and Lazy-Join otherwise; any explicit algorithm name is
+        forwarded to :meth:`LazyXMLDatabase.structural_join`.
+        """
+
+        def run(db, ctx):
+            if algorithm == "auto":
+                if log_is_clean(db):
+                    self._counters["fast_path_joins"] += 1
+                    return clean_segment_join(db, tag_a, tag_d, axis, context=ctx)
+                self._counters["lazy_joins"] += 1
+                return db.structural_join(
+                    tag_a, tag_d, axis, algorithm="lazy", context=ctx, **options
+                )
+            return db.structural_join(
+                tag_a, tag_d, axis, algorithm=algorithm, context=ctx, **options
+            )
+
+        return self.read(run, context=context, wait_timeout=wait_timeout)
+
+    # ------------------------------------------------------------------
+    # writes (single writer)
+
+    def insert(self, fragment: str, position: int | None = None, *,
+               validate: str = "fragment", wait_timeout=None):
+        if position is None:
+            position = self._base.document_length
+        op = {"op": "insert", "fragment": fragment, "position": position}
+        if validate != "fragment":
+            op["validate"] = validate
+        return self._write(op, wait_timeout=wait_timeout)
+
+    def remove(self, position: int, length: int, *, wait_timeout=None):
+        return self._write(
+            {"op": "remove", "position": position, "length": length},
+            wait_timeout=wait_timeout,
+        )
+
+    def remove_segment(self, sid: int, *, wait_timeout=None):
+        return self._write({"op": "remove_segment", "sid": sid},
+                           wait_timeout=wait_timeout)
+
+    def repack(self, sid: int, *, wait_timeout=None):
+        """Operator-requested repack (maintenance class, breaker-guarded)."""
+        return self._maintenance_op({"op": "repack", "sid": sid},
+                                    wait_timeout=wait_timeout)
+
+    def compact(self, *, wait_timeout=None):
+        """Operator-requested compact (maintenance class, breaker-guarded)."""
+        return self._maintenance_op({"op": "compact"}, wait_timeout=wait_timeout)
+
+    def _write(self, op: dict, *, wait_timeout=None, request_class: str = "write"):
+        self._ensure_open()
+        if (
+            request_class == "write"
+            and self.config.shed_writes_when_degraded
+            and self.is_degraded
+        ):
+            self._counters["writes_shed_degraded"] += 1
+            raise Busy(
+                "service is degraded (pressure critical, maintenance "
+                "circuit open); writes are shed until the log drains"
+            )
+        wait = self.config.admission_wait if wait_timeout is None else wait_timeout
+        with self._admission.admit(request_class, wait_timeout=wait):
+            with self._writer_lock:
+                result = self._apply_primary(op)
+                self._publish([op])
+                self._counters["writes"] += 1
+                if request_class == "write":
+                    self._after_write()
+        return result
+
+    def _apply_primary(self, op: dict):
+        """Apply ``op`` to the authoritative database.
+
+        Durable primaries dispatch through their journaled methods — the
+        op is fsynced before it is applied, so pressure-triggered repacks
+        journal exactly like user writes; plain primaries use the shared
+        validate/apply dispatcher.
+        """
+        if self._durable:
+            kind = op["op"]
+            if kind == "insert":
+                return self.primary.insert(
+                    op["fragment"],
+                    op["position"],
+                    validate=op.get("validate", "fragment"),
+                )
+            if kind == "remove":
+                return self.primary.remove(op["position"], op["length"])
+            if kind == "remove_segment":
+                return self.primary.remove_segment(op["sid"])
+            if kind == "repack":
+                return self.primary.repack(op["sid"])
+            if kind == "compact":
+                return self.primary.compact()
+            raise QueryError(f"unknown operation {kind!r}")
+        validate_op(self._base, op)
+        return apply_op(self._base, op)
+
+    def _publish(self, ops: list[dict]) -> None:
+        """Publish committed ops to readers; self-heal on replica failure.
+
+        Replica replay uses the same dispatcher as crash recovery, so a
+        failure here means the replica diverged (e.g. an injected fault).
+        The primary is already committed — readers must not be left on a
+        stale epoch forever — so the epoch store is rebuilt from a fresh
+        clone of the primary.
+        """
+        try:
+            self._epochs.publish(ops)
+        except Exception:
+            self._counters["replica_rebuilds"] += 1
+            old = self._epochs
+            self._epochs = EpochManager(
+                self._base, drain_timeout=self.config.drain_timeout
+            )
+            old.close()
+
+    # ------------------------------------------------------------------
+    # pressure-driven maintenance & degradation
+
+    def _after_write(self) -> None:
+        every = self.config.pressure_check_every
+        if every <= 0:
+            return
+        self._writes_since_check += 1
+        if self._writes_since_check >= every:
+            self._writes_since_check = 0
+            self.run_maintenance()
+
+    def check_pressure(self) -> PressureReport:
+        """Sample pressure on the authoritative log (no maintenance run)."""
+        with self._writer_lock:
+            report = self._monitor.sample(self._base)
+        self._last_pressure = report
+        return report
+
+    def run_maintenance(self) -> PressureReport:
+        """Sample pressure and execute the recommended plan, if any.
+
+        Each planned op runs behind the circuit breaker; failures open it
+        after the configured threshold and are swallowed here (the service
+        keeps serving — that is the graceful-degradation contract).
+        Returns the pressure report that drove the decision.
+        """
+        report = self.check_pressure()
+        if not report.needs_maintenance:
+            return report
+        for op in report.plan:
+            try:
+                self._maintenance_op(op)
+            except (Busy, CircuitOpenError, ServiceClosed):
+                break
+            except Exception:
+                # Recorded by the breaker inside _maintenance_op; degraded
+                # mode (breaker open) is the steady state if this persists.
+                break
+        self._last_pressure = self.check_pressure()
+        return self._last_pressure
+
+    def _maintenance_op(self, op: dict, *, wait_timeout=None):
+        def attempt():
+            return self._write(
+                op, wait_timeout=wait_timeout, request_class="maintenance"
+            )
+
+        self._counters["maintenance_runs"] += 1
+        try:
+            return self._breaker.call(attempt)
+        except CircuitOpenError:
+            raise
+        except Exception:
+            self._counters["maintenance_failures"] += 1
+            raise
+
+    @property
+    def is_degraded(self) -> bool:
+        """True when pressure is critical but maintenance cannot run
+        (breaker open): reads continue, writes are shed."""
+        if self._breaker.state != "open":
+            return False
+        last = self._last_pressure
+        return last is not None and last.level == LEVEL_CRITICAL
+
+    # ------------------------------------------------------------------
+    # background maintenance
+
+    def start_maintenance(self, interval: float = 1.0) -> None:
+        """Run :meth:`run_maintenance` every ``interval`` seconds in a
+        daemon thread until :meth:`close`."""
+        self._ensure_open()
+        if self._maintenance_thread is not None:
+            return
+
+        def loop():
+            while not self._stop_maintenance.wait(interval):
+                try:
+                    self.run_maintenance()
+                except ServiceClosed:  # pragma: no cover - close race
+                    break
+
+        self._maintenance_thread = threading.Thread(
+            target=loop, name="repro-maintenance", daemon=True
+        )
+        self._maintenance_thread.start()
+
+    # ------------------------------------------------------------------
+    # health & lifecycle
+
+    def health(self) -> dict:
+        """Operational snapshot: status, pressure, breaker, admission,
+        epochs, log stats."""
+        last = self._last_pressure
+        breaker_state = self._breaker.state
+        if self._closed:
+            status = "closed"
+        elif self.is_degraded:
+            status = "degraded"
+        elif breaker_state != "closed" or (last is not None and last.level != "ok"):
+            status = "warning"
+        else:
+            status = "ok"
+        log_stats = self._base.stats()
+        return {
+            "status": status,
+            "mode": self._base.mode,
+            "durable": self._durable,
+            "segments": self._base.segment_count,
+            "elements": self._base.element_count,
+            "document_length": self._base.document_length,
+            "log_bytes": log_stats.total_bytes,
+            "pressure": last.as_dict() if last is not None else None,
+            "breaker": self._breaker.metrics(),
+            "admission": self._admission.metrics(),
+            "epochs": self._epochs.metrics(),
+            "counters": dict(self._counters),
+        }
+
+    def stats(self) -> dict:
+        """Alias for :meth:`health` minus derived status (CLI `stats`)."""
+        health = self.health()
+        health.pop("status", None)
+        return health
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ServiceClosed("service has been closed")
+
+    def close(self) -> None:
+        """Stop maintenance, refuse new requests, release the epoch store.
+
+        In-flight reads holding pinned snapshots finish normally.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._stop_maintenance.set()
+        if self._maintenance_thread is not None:
+            self._maintenance_thread.join(timeout=5.0)
+            self._maintenance_thread = None
+        self._admission.close()
+        self._epochs.close()
+        if self._durable:
+            self.primary.close()
+
+    def __enter__(self) -> "DatabaseService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

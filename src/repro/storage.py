@@ -31,7 +31,15 @@ from repro.core.ertree import ERNode
 from repro.core.segment import DUMMY_ROOT_SID
 from repro.errors import ReproError
 
-__all__ = ["FORMAT_VERSION", "dumps", "loads", "save", "load", "SnapshotError"]
+__all__ = [
+    "FORMAT_VERSION",
+    "dumps",
+    "loads",
+    "save",
+    "load",
+    "clone",
+    "SnapshotError",
+]
 
 FORMAT_VERSION = 1
 
@@ -67,6 +75,18 @@ def dumps(db: LazyXMLDatabase) -> str:
         "segments": segments,
     }
     return json.dumps(payload)
+
+
+def clone(db: LazyXMLDatabase) -> LazyXMLDatabase:
+    """A deep, structurally independent copy of ``db``.
+
+    A serialization round-trip: every structure the snapshot format covers
+    (which is all of them) is rebuilt from scratch, so the copy shares no
+    mutable state with the original — the property the concurrent access
+    layer (:mod:`repro.service.snapshot`) relies on when seeding read
+    replicas.
+    """
+    return loads(dumps(db))
 
 
 def _expect(condition: bool, message: str) -> None:

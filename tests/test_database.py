@@ -329,3 +329,82 @@ class TestExceptionSafety:
             db.repack(0)  # dummy root
         assert self.fingerprint(db) == before
         db.check_invariants()
+
+
+class TestRemoveSpanValidation:
+    """Structurally invalid removal spans are refused with a typed error.
+
+    Regression tests: both shapes used to succeed silently, leaving a
+    corrupt text mirror / unbalanced tags behind.
+    """
+
+    def fingerprint(self, db):
+        from repro.storage import dumps
+
+        return dumps(db)
+
+    def test_mid_tag_span_rejected(self):
+        db = LazyXMLDatabase()
+        db.insert("<a><b>hello</b></a>")
+        before = self.fingerprint(db)
+        with pytest.raises(InvalidSegmentError, match="mid-tag"):
+            db.remove(1, 3)  # removes "a><" — tags no longer balance
+        assert self.fingerprint(db) == before
+        assert db.text == "<a><b>hello</b></a>"
+        db.check_invariants()
+        # a well-formed removal at the same position granularity still works
+        db.remove(db.text.index("<b>"), len("<b>hello</b>"))
+        assert db.text == "<a></a>"
+
+    def test_unbalanced_span_inside_one_segment_rejected(self):
+        db = LazyXMLDatabase()
+        db.insert("<a><b>x</b><c>y</c></a>")
+        with pytest.raises(InvalidSegmentError, match="mid-tag"):
+            # covers "</b><c>y" — element boundaries don't balance
+            db.remove(db.text.index("</b>"), len("</b><c>y"))
+        db.check_invariants()
+
+    def test_segment_boundary_crossing_rejected(self):
+        db = LazyXMLDatabase()
+        db.insert("<a>one</a>")
+        db.insert("<b>two</b>")
+        before = self.fingerprint(db)
+        with pytest.raises(InvalidSegmentError, match="crosses the boundary"):
+            db.remove(5, 8)  # tail of segment 1 + head of segment 2
+        assert self.fingerprint(db) == before
+        db.check_invariants()
+
+    def test_nested_segment_boundary_crossing_rejected(self):
+        db = LazyXMLDatabase()
+        db.insert("<a><b>hello</b></a>")
+        receipt = db.insert("<n>x</n>", db.text.index("hello"))
+        node = db.log.node(receipt.sid)
+        with pytest.raises(InvalidSegmentError, match="crosses the boundary"):
+            # starts inside the nested segment, ends past it
+            db.remove(node.gp + 1, node.length)
+        db.check_invariants()
+
+    def test_whole_segment_spans_still_allowed(self):
+        db = LazyXMLDatabase()
+        db.insert("<a>one</a>")
+        db.insert("<b>two</b>")
+        db.remove(0, 10)  # exactly segment 1
+        assert db.text == "<b>two</b>"
+        db.check_invariants()
+
+    def test_multi_segment_exact_cover_still_allowed(self):
+        db = LazyXMLDatabase()
+        db.insert("<a>one</a>")
+        db.insert("<b>two</b>")
+        db.insert("<c>three</c>")
+        db.remove(0, 20)  # exactly segments 1+2
+        assert db.text == "<c>three</c>"
+        db.check_invariants()
+
+    def test_keep_text_false_still_catches_boundary_crossings(self):
+        db = LazyXMLDatabase(keep_text=False)
+        db.insert("<a>one</a>")
+        db.insert("<b>two</b>")
+        with pytest.raises(InvalidSegmentError, match="crosses the boundary"):
+            db.remove(5, 8)
+        db.check_invariants()

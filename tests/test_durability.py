@@ -168,6 +168,16 @@ class TestCheckpoint:
         with pytest.raises(CheckpointError):
             read_checkpoint(tmp_path / "absent.json")
 
+    def test_invalid_utf8_reported_as_corruption(self, tmp_path):
+        db = self.make_db()
+        path = tmp_path / "ckpt.json"
+        write_checkpoint(db, path, last_seq=1)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF  # 0x80-0xFF mid-ASCII breaks the decode
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="not valid UTF-8"):
+            read_checkpoint(path)
+
 
 class TestDurableDatabase:
     def test_empty_directory_starts_empty(self, tmp_path):

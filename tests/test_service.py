@@ -1,0 +1,686 @@
+"""Unit tests for the resilient service layer (:mod:`repro.service`).
+
+Each component is exercised in isolation with injected clocks/sleeps so
+nothing here depends on wall-clock timing, then the assembled
+:class:`DatabaseService` is checked for end-to-end behaviour: snapshot
+isolation, the clean-log fast join path, admission metrics, health
+reporting, and the ``serve`` shell protocol.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.core.database import LazyXMLDatabase
+from repro.errors import (
+    Busy,
+    CircuitOpenError,
+    ServiceClosed,
+)
+from repro.service import (
+    AdmissionController,
+    BackoffPolicy,
+    CircuitBreaker,
+    DatabaseService,
+    EpochManager,
+    PressureMonitor,
+    PressureThresholds,
+    ServiceConfig,
+    retry_with_backoff,
+)
+from repro.service.server import clean_segment_join, log_is_clean
+from repro.service.shell import ServiceShell
+from repro.workloads.scenarios import registration_stream
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def advance(self, dt):
+        self.now += dt
+
+    def __call__(self):
+        return self.now
+
+
+def populated_db(n=5):
+    db = LazyXMLDatabase()
+    for fragment in registration_stream(n):
+        db.insert(fragment)
+    db.prepare_for_query()
+    return db
+
+
+def fragmented_db(nested=8):
+    """One document carrying ``nested`` nested segments — collapsible debt."""
+    db = LazyXMLDatabase()
+    db.insert("<doc><hot>x</hot></doc>")
+    for i in range(nested):
+        db.insert(f"<item>{i}</item>", db.log.node(1).gp + len("<doc><hot>"))
+    db.prepare_for_query()
+    return db
+
+
+# ----------------------------------------------------------------------
+# snapshots
+
+
+class TestEpochManager:
+    def test_pin_sees_seed_state(self):
+        db = populated_db()
+        mgr = EpochManager(db)
+        with mgr.pin() as snap:
+            assert snap.epoch == 0
+            assert snap.db.segment_count == db.segment_count
+            assert snap.db is not db  # a replica, not the primary
+
+    def test_publish_advances_epoch(self):
+        db = populated_db()
+        mgr = EpochManager(db)
+        op = {"op": "insert", "fragment": "<x/>", "position": db.document_length}
+        from repro.durability.recovery import apply_op
+
+        apply_op(db, op)
+        assert mgr.publish([op]) == 1
+        with mgr.pin() as snap:
+            assert snap.epoch == 1
+            assert snap.db.document_length == db.document_length
+
+    def test_pinned_snapshot_survives_publish(self):
+        """The isolation property: a held pin never observes later writes."""
+        db = populated_db()
+        mgr = EpochManager(db)
+        old = mgr.pin()
+        before_len = old.db.document_length
+        from repro.durability.recovery import apply_op
+
+        for i in range(3):
+            op = {"op": "insert", "fragment": f"<w{i}/>",
+                  "position": db.document_length}
+            apply_op(db, op)
+            mgr.publish([op])
+        assert old.db.document_length == before_len
+        old.db.check_invariants()
+        with mgr.pin() as new:
+            assert new.epoch == 3
+            assert new.db.document_length == db.document_length
+        old.release()
+
+    def test_replica_matches_primary_exactly(self):
+        from repro.storage import dumps
+
+        db = populated_db()
+        mgr = EpochManager(db)
+        from repro.durability.recovery import apply_op
+
+        op = {"op": "insert", "fragment": "<x><y>z</y></x>",
+              "position": db.document_length}
+        apply_op(db, op)
+        mgr.publish([op])
+        db.prepare_for_query()
+        with mgr.pin() as snap:
+            assert dumps(snap.db) == dumps(db)
+
+    def test_buffers_are_recycled_not_recloned(self):
+        db = populated_db(2)
+        mgr = EpochManager(db)
+        from repro.durability.recovery import apply_op
+
+        for i in range(6):
+            op = {"op": "insert", "fragment": f"<r{i}/>",
+                  "position": db.document_length}
+            apply_op(db, op)
+            mgr.publish([op])
+        metrics = mgr.metrics()
+        # Double buffering: first publish clones the second buffer, the
+        # remaining five recycle via op replay.
+        assert metrics["publishes"] == 6
+        assert metrics["replica_clones"] == 2
+        assert metrics["pending_ops"] <= 2
+
+    def test_stuck_reader_triggers_clone_fallback(self):
+        db = populated_db(2)
+        mgr = EpochManager(db, drain_timeout=0.01)
+        from repro.durability.recovery import apply_op
+
+        stuck = mgr.pin()  # never released while publishing continues
+        for i in range(3):
+            op = {"op": "insert", "fragment": f"<s{i}/>",
+                  "position": db.document_length}
+            apply_op(db, op)
+            mgr.publish([op])
+        assert mgr.metrics()["clone_fallbacks"] >= 1
+        stuck.db.check_invariants()  # abandoned buffer still consistent
+        stuck.release()
+
+    def test_closed_manager_refuses_pins(self):
+        mgr = EpochManager(populated_db(1))
+        snap = mgr.pin()
+        mgr.close()
+        with pytest.raises(ServiceClosed):
+            mgr.pin()
+        snap.release()  # outstanding pin still releasable after close
+
+
+# ----------------------------------------------------------------------
+# admission & backoff
+
+
+class TestAdmission:
+    def test_admits_up_to_limit_then_busy(self):
+        ctl = AdmissionController({"read": 2}, queue_depth={"read": 0})
+        a = ctl.admit("read")
+        b = ctl.admit("read")
+        with pytest.raises(Busy):
+            ctl.admit("read")
+        a.release()
+        c = ctl.admit("read")
+        c.release()
+        b.release()
+        metrics = ctl.metrics()["read"]
+        assert metrics["admitted"] == 3
+        assert metrics["rejected"] == 1
+        assert metrics["peak"] == 2
+        assert metrics["active"] == 0
+
+    def test_release_is_idempotent(self):
+        ctl = AdmissionController({"read": 1}, queue_depth={"read": 0})
+        ticket = ctl.admit("read")
+        ticket.release()
+        ticket.release()
+        assert ctl.metrics()["read"]["active"] == 0
+
+    def test_ticket_context_manager(self):
+        ctl = AdmissionController({"write": 1}, queue_depth={"write": 0})
+        with ctl.admit("write"):
+            with pytest.raises(Busy):
+                ctl.admit("write")
+        ctl.admit("write").release()
+
+    def test_full_queue_rejects_immediately(self):
+        ctl = AdmissionController({"read": 1}, queue_depth={"read": 0})
+        with ctl.admit("read"):
+            with pytest.raises(Busy):
+                ctl.admit("read", wait_timeout=5.0)  # depth 0: no waiting
+
+    def test_wait_timeout_expires(self):
+        ctl = AdmissionController({"read": 1}, queue_depth={"read": 4})
+        with ctl.admit("read"):
+            with pytest.raises(Busy, match="queue wait"):
+                ctl.admit("read", wait_timeout=0.01)
+
+    def test_unknown_class_is_busy(self):
+        ctl = AdmissionController()
+        with pytest.raises(Busy):
+            ctl.admit("nonsense")
+
+    def test_closed_controller(self):
+        ctl = AdmissionController()
+        ctl.close()
+        with pytest.raises(ServiceClosed):
+            ctl.admit("read")
+
+
+class TestBackoff:
+    def test_delays_grow_and_cap(self):
+        policy = BackoffPolicy(base_delay=0.1, max_delay=0.4, multiplier=2.0)
+        for attempt, cap in [(0, 0.1), (1, 0.2), (2, 0.4), (5, 0.4)]:
+            for _ in range(20):
+                assert 0.0 <= policy.delay(attempt) <= cap
+
+    def test_retry_until_success(self):
+        calls = {"n": 0}
+        sleeps = []
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise Busy("later")
+            return "done"
+
+        result = retry_with_backoff(flaky, sleep=sleeps.append)
+        assert result == "done"
+        assert calls["n"] == 3
+        assert len(sleeps) == 2
+
+    def test_retries_exhausted_propagates(self):
+        policy = BackoffPolicy(retries=2)
+        calls = {"n": 0}
+
+        def always_busy():
+            calls["n"] += 1
+            raise Busy("no")
+
+        with pytest.raises(Busy):
+            retry_with_backoff(always_busy, policy=policy, sleep=lambda _s: None)
+        assert calls["n"] == 3  # initial + 2 retries
+
+    def test_non_retryable_errors_pass_through(self):
+        def boom():
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            retry_with_backoff(boom, sleep=lambda _s: None)
+
+
+# ----------------------------------------------------------------------
+# circuit breaker
+
+
+class TestCircuitBreaker:
+    def make(self, clock, threshold=3, reset=10.0):
+        return CircuitBreaker(
+            failure_threshold=threshold, reset_timeout=reset, clock=clock
+        )
+
+    def test_opens_after_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            with pytest.raises(RuntimeError):
+                breaker.call(self._fail)
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: "never runs")
+
+    def test_success_resets_failure_streak(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        for _ in range(2):
+            with pytest.raises(RuntimeError):
+                breaker.call(self._fail)
+        breaker.call(lambda: "ok")
+        for _ in range(2):
+            with pytest.raises(RuntimeError):
+                breaker.call(self._fail)
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        self._trip(breaker)
+        clock.advance(10.0)
+        assert breaker.state == "half_open"
+        assert breaker.call(lambda: 42) == 42
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        self._trip(breaker)
+        clock.advance(10.0)
+        with pytest.raises(RuntimeError):
+            breaker.call(self._fail)
+        assert breaker.state == "open"
+        clock.advance(9.9)
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: None)
+
+    def test_single_probe_reserved(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        self._trip(breaker)
+        clock.advance(10.0)
+        assert breaker.allow() is True  # the probe
+        assert breaker.allow() is False  # everyone else waits
+
+    def test_metrics(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        self._trip(breaker)
+        metrics = breaker.metrics()
+        assert metrics["trips"] == 1
+        assert metrics["failures"] == 3
+        assert metrics["state"] == "open"
+
+    @staticmethod
+    def _fail():
+        raise RuntimeError("injected")
+
+    def _trip(self, breaker):
+        for _ in range(3):
+            with pytest.raises(RuntimeError):
+                breaker.call(self._fail)
+        assert breaker.state == "open"
+
+
+# ----------------------------------------------------------------------
+# pressure
+
+
+class TestPressureMonitor:
+    def test_quiet_database_is_ok(self):
+        monitor = PressureMonitor()
+        report = monitor.sample(populated_db(3))
+        assert report.level == "ok"
+        assert report.plan == []
+        assert not report.needs_maintenance
+
+    def test_elevated_below_bound(self):
+        db = populated_db(8)
+        monitor = PressureMonitor(PressureThresholds(max_segments=10))
+        report = monitor.sample(db)
+        assert report.level == "elevated"
+        assert report.plan == []
+        assert any("segments" in reason for reason in report.reasons)
+
+    def test_segment_pressure_plans_compact(self):
+        db = fragmented_db(8)
+        monitor = PressureMonitor(PressureThresholds(max_segments=4))
+        report = monitor.sample(db)
+        assert report.level == "critical"
+        assert report.plan == [{"op": "compact"}]
+
+    def test_uncollapsible_pressure_has_empty_plan(self):
+        """Top-level documents cannot be merged: critical but unactionable."""
+        db = populated_db(8)
+        monitor = PressureMonitor(PressureThresholds(max_segments=4))
+        report = monitor.sample(db)
+        assert report.level == "critical"
+        assert report.plan == []
+        assert any("unactionable" in reason for reason in report.reasons)
+
+    def test_depth_pressure_plans_targeted_repack(self):
+        db = LazyXMLDatabase()
+        db.insert("<a><b>deep</b></a>")
+        sid = 1
+        for i in range(5):  # nest segments inside segment 1's <b>
+            receipt = db.insert(f"<n{i}>x</n{i}>", db.log.node(sid).gp + 6)
+            sid = receipt.sid
+        db.insert("<flat/>")
+        monitor = PressureMonitor(
+            PressureThresholds(max_depth=3, max_segments=1000, max_fanout=1000)
+        )
+        report = monitor.sample(db)
+        assert report.level == "critical"
+        assert report.plan == [{"op": "repack", "sid": 1}]
+
+    def test_executing_the_plan_clears_pressure(self):
+        db = fragmented_db(8)
+        monitor = PressureMonitor(PressureThresholds(max_segments=6))
+        report = monitor.sample(db)
+        assert report.needs_maintenance
+        for op in report.plan:
+            assert op["op"] == "compact"
+            db.compact()
+        after = monitor.sample(db)
+        assert after.level == "ok"
+        assert monitor.metrics()["samples"] == 2
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            PressureThresholds(max_segments=0)
+        with pytest.raises(ValueError):
+            PressureThresholds(elevated_fraction=0.0)
+
+
+# ----------------------------------------------------------------------
+# fast path
+
+
+class TestCleanFastPath:
+    def test_clean_detection(self):
+        db = populated_db(3)
+        assert log_is_clean(db)
+        db.insert("<nested/>", db.log.node(1).gp + len("<registration>"))
+        assert not log_is_clean(db)
+        db.compact()
+        assert log_is_clean(db)
+
+    def test_tombstones_disable_fast_path(self):
+        db = LazyXMLDatabase()
+        db.insert("<a><b>hello</b><c/></a>")
+        db.remove(3, 12)  # partial removal leaves a tombstone
+        assert not log_is_clean(db)
+
+    def test_fast_path_matches_lazy(self):
+        db = populated_db(6)
+        assert log_is_clean(db)
+        for pair in [("registration", "interest"), ("contact", "city"),
+                     ("registration", "nosuchtag")]:
+            fast = clean_segment_join(db, *pair)
+            lazy = db.structural_join(*pair, algorithm="lazy")
+            assert sorted(fast) == sorted(lazy)
+
+    def test_fast_path_child_axis(self):
+        db = populated_db(4)
+        fast = clean_segment_join(db, "contact", "city", axis="child")
+        lazy = db.structural_join("contact", "city", axis="child",
+                                  algorithm="lazy")
+        assert sorted(fast) == sorted(lazy)
+
+
+# ----------------------------------------------------------------------
+# the assembled service
+
+
+class TestDatabaseService:
+    def test_read_write_cycle(self):
+        with DatabaseService(populated_db(3)) as svc:
+            n = len(svc.query("registration//interest"))
+            svc.insert(next(iter(registration_stream(1, seed=7))))
+            assert len(svc.query("registration//interest")) >= n
+
+    def test_snapshot_isolation_across_writes(self):
+        svc = DatabaseService(populated_db(3))
+        snap = svc.snapshot()
+        frozen = snap.db.document_length
+        svc.insert("<later/>")
+        assert snap.db.document_length == frozen
+        with svc.snapshot() as fresh:
+            assert fresh.db.document_length > frozen
+        snap.release()
+        svc.close()
+
+    def test_join_auto_uses_fast_path_when_clean(self):
+        svc = DatabaseService(populated_db(3))
+        svc.join("registration", "interest")
+        assert svc.health()["counters"]["fast_path_joins"] == 1
+        # dirty the log: nested insert → lazy path
+        svc.insert("<nested/>", 14)
+        svc.join("registration", "interest")
+        counters = svc.health()["counters"]
+        assert counters["lazy_joins"] == 1
+        svc.close()
+
+    def test_explicit_algorithm_respected(self):
+        svc = DatabaseService(populated_db(3))
+        lazy = svc.join("registration", "interest", algorithm="lazy")
+        std = svc.join("registration", "interest", algorithm="std")
+        assert sorted(lazy) == sorted(std)
+        svc.close()
+
+    def test_write_is_visible_to_subsequent_reads(self):
+        svc = DatabaseService(LazyXMLDatabase())
+        svc.insert("<a><b>x</b></a>")
+        svc.insert("<a><b>y</b></a>")
+        assert len(svc.join("a", "b")) == 2
+        svc.close()
+
+    def test_remove_via_service(self):
+        svc = DatabaseService(LazyXMLDatabase())
+        svc.insert("<a>one</a>")
+        svc.insert("<b>two</b>")
+        svc.remove_segment(2)
+        assert svc.query("b") == []
+        svc.close()
+
+    def test_busy_when_read_limit_hit(self):
+        config = ServiceConfig(read_limit=1, read_queue_depth=0,
+                               admission_wait=0.0)
+        svc = DatabaseService(populated_db(2), config=config)
+        stalled = []
+
+        def slow_read(db, ctx):
+            with pytest.raises(Busy):
+                svc.query("registration")  # second read over the limit
+            stalled.append(True)
+            return db.segment_count
+
+        svc.read(slow_read)
+        assert stalled
+        svc.close()
+
+    def test_maintenance_triggers_on_pressure(self):
+        config = ServiceConfig(
+            pressure_check_every=1,
+            thresholds=PressureThresholds(max_segments=4),
+        )
+        svc = DatabaseService(LazyXMLDatabase(), config=config)
+        svc.insert("<doc><hot>x</hot></doc>")
+        for i in range(12):  # hot inserts nested inside <hot> (gp 10)
+            svc.insert(f"<item>{i}</item>", len("<doc><hot>"))
+        # auto-compact kept the log within bounds
+        assert svc.health()["segments"] <= 4
+        assert svc.health()["counters"]["maintenance_runs"] >= 1
+        svc.close()
+
+    def test_durable_primary_journals_service_writes(self, tmp_path):
+        from repro.durability.database import DurableDatabase
+        from repro.durability.recovery import recover
+
+        svc = DatabaseService(DurableDatabase(tmp_path))
+        svc.insert("<a><b>x</b></a>")
+        svc.insert("<a><b>y</b></a>")
+        pairs = svc.join("a", "b")
+        svc.close()
+        recovered, _report = recover(tmp_path)
+        recovered.prepare_for_query()
+        assert sorted(recovered.structural_join("a", "b")) == sorted(pairs)
+
+    def test_health_shape(self):
+        svc = DatabaseService(populated_db(2))
+        health = svc.health()
+        assert health["status"] == "ok"
+        assert health["durable"] is False
+        assert set(health) >= {
+            "segments", "elements", "pressure", "breaker", "admission",
+            "epochs", "counters",
+        }
+        svc.close()
+
+    def test_closed_service_refuses_requests(self):
+        svc = DatabaseService(populated_db(1))
+        svc.close()
+        with pytest.raises(ServiceClosed):
+            svc.query("registration")
+        with pytest.raises(ServiceClosed):
+            svc.insert("<x/>")
+        assert svc.health()["status"] == "closed"
+        svc.close()  # idempotent
+
+
+# ----------------------------------------------------------------------
+# the serve shell
+
+
+class TestServiceShell:
+    def run_shell(self, commands, db=None):
+        svc = DatabaseService(db if db is not None else populated_db(2))
+        out = io.StringIO()
+        shell = ServiceShell(svc, io.StringIO(commands), out)
+        shell.run()
+        svc.close()
+        return out.getvalue().splitlines()
+
+    def test_query_join_insert(self):
+        lines = self.run_shell(
+            "query registration//interest\n"
+            "join registration interest\n"
+            "insert end <a><b>x</b></a>\n"
+            "join a b\n"
+            "quit\n"
+        )
+        assert lines[0].startswith("ok ")
+        assert any(line.startswith("ok inserted segment") for line in lines)
+        assert "ok 1 pair(s)" in lines
+        assert lines[-1] == "ok bye"
+
+    def test_unknown_command_keeps_serving(self):
+        lines = self.run_shell("frobnicate\nhelp\nquit\n")
+        assert lines[0].startswith("error unknown command")
+        assert lines[1].startswith("ok commands:")
+
+    def test_errors_are_reported_not_fatal(self):
+        lines = self.run_shell(
+            "remove 1 3\n"        # mid-tag: InvalidSegmentError
+            "join onlyone\n"      # bad arity
+            "query a/b\n"
+            "quit\n",
+            db=(lambda d: (d.insert("<a><b>hello</b></a>"), d)[1])(
+                LazyXMLDatabase()
+            ),
+        )
+        assert lines[0].startswith("error InvalidSegmentError")
+        assert lines[1].startswith("error bad argument")
+        assert lines[2].startswith("ok 1 match(es)")
+
+    def test_health_and_pressure_are_json(self):
+        import json
+
+        lines = self.run_shell("health\npressure\nstats\nquit\n")
+        for line in lines[:-1]:
+            assert line.startswith("ok ")
+            payload = json.loads(line[3:])
+            assert isinstance(payload, dict)
+
+
+# ----------------------------------------------------------------------
+# CLI satellites
+
+
+class TestCLIErrorHandling:
+    def test_unknown_subcommand_exits_2_one_line(self, capsys):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert len(err.strip().splitlines()) == 1
+        assert "invalid choice" in err
+
+    def test_bad_flag_exits_2_one_line(self, capsys):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--bogus-flag"])
+        assert excinfo.value.code == 2
+        assert len(capsys.readouterr().err.strip().splitlines()) == 1
+
+    def test_unreadable_durable_dir_exits_2_one_line(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        not_a_dir = tmp_path / "state"
+        not_a_dir.write_text("plain file")
+        code = main(["--durable", str(not_a_dir), "stats"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert len(err.strip().splitlines()) == 1
+        assert "durable directory" in err
+
+    def test_missing_durable_dir_exits_2(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        code = main(["--durable", str(tmp_path / "nope"), "query", "a"])
+        assert code == 2
+        assert "durable directory" in capsys.readouterr().err
+
+    def test_serve_shell_over_pipes(self, tmp_path, capsys, monkeypatch):
+        from repro.__main__ import main
+        from repro.storage import save
+
+        db = populated_db(2)
+        path = tmp_path / "db.json"
+        save(db, path)
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("query registration\nquit\n")
+        )
+        code = main(["serve", str(path)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "ok " in captured.out
+        assert "serving" in captured.err

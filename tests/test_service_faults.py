@@ -1,0 +1,308 @@
+"""Fault drills and concurrency stress for the service layer.
+
+These are the acceptance scenarios of the resilient-access work:
+
+(a) a deadline abort mid-join is clean — no state mutation, the very next
+    query on the same service succeeds;
+(b) sustained hot-inserts into one document trigger automatic maintenance
+    that keeps the segment count below the configured bound;
+(c) injected repack/compact failures open the circuit breaker and the
+    service keeps answering reads in degraded mode, then recovers once the
+    fault clears and the reset timeout elapses;
+
+plus a randomized N-readers × 1-writer stress test asserting that every
+pinned snapshot is internally consistent (invariants + text-oracle joins)
+and the final state passes the full invariant check.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.database import LazyXMLDatabase
+from repro.errors import Busy, CircuitOpenError, DeadlineExceeded, ResourceExhausted
+from repro.service import (
+    BackoffPolicy,
+    DatabaseService,
+    PressureThresholds,
+    ServiceConfig,
+    retry_with_backoff,
+)
+from repro.storage import dumps
+from repro.workloads.scenarios import registration_stream
+from tests.helpers import assert_join_matches_oracle
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def advance(self, dt):
+        self.now += dt
+
+    def __call__(self):
+        return self.now
+
+
+def service_with_docs(n=5, **config_kwargs):
+    db = LazyXMLDatabase()
+    for fragment in registration_stream(n):
+        db.insert(fragment)
+    return DatabaseService(db, config=ServiceConfig(**config_kwargs))
+
+
+class TestDrillDeadlineAbort:
+    """Drill (a): abort mid-join leaves no trace."""
+
+    def test_abort_then_next_query_succeeds(self):
+        svc = service_with_docs(6)
+        expected = svc.join("registration", "interest")
+        with svc.snapshot() as snap:
+            before = dumps(snap.db)
+        ctx = svc.make_context(max_result_rows=1)
+        with pytest.raises(ResourceExhausted):
+            svc.join("registration", "interest", context=ctx)
+        # identical snapshot bytes: the abort mutated nothing
+        with svc.snapshot() as snap:
+            assert dumps(snap.db) == before
+            snap.db.check_invariants()
+        assert svc.join("registration", "interest") == expected
+        counters = svc.health()["counters"]
+        assert counters["resource_aborts"] == 1
+        svc.close()
+
+    def test_expired_deadline_abort_is_clean(self):
+        clock = FakeClock()
+        db = LazyXMLDatabase()
+        for fragment in registration_stream(4):
+            db.insert(fragment)
+        svc = DatabaseService(db, clock=clock)
+        ctx = svc.make_context(timeout=0.5, check_every=1)
+        clock.advance(1.0)
+        with pytest.raises(DeadlineExceeded):
+            svc.join("registration", "interest", context=ctx)
+        assert svc.health()["counters"]["deadline_aborts"] == 1
+        # service remains fully functional
+        assert len(svc.join("registration", "interest")) > 0
+        svc.close()
+
+
+class TestDrillHotInsert:
+    """Drill (b): sustained nested inserts stay within the segment bound."""
+
+    def test_segment_count_stays_bounded(self):
+        bound = 6
+        svc = DatabaseService(
+            LazyXMLDatabase(),
+            config=ServiceConfig(
+                pressure_check_every=2,
+                thresholds=PressureThresholds(max_segments=bound),
+            ),
+        )
+        svc.insert("<doc><hot>seed</hot></doc>")
+        worst = 0
+        for i in range(40):
+            svc.insert(f"<item>{i}</item>", len("<doc><hot>"))
+            worst = max(worst, svc.health()["segments"])
+        # between checks the count may briefly exceed the bound by the
+        # check interval, never by more
+        assert worst <= bound + 2
+        assert svc.health()["segments"] <= bound
+        assert svc.health()["counters"]["maintenance_runs"] >= 1
+        # the document text survived all that maintenance
+        assert svc.query("doc//item") != []
+        with svc.snapshot() as snap:
+            snap.db.check_invariants()
+        svc.close()
+
+
+class TestDrillBreakerDegradation:
+    """Drill (c): maintenance failures open the breaker; reads keep working."""
+
+    def build(self):
+        clock = FakeClock()
+        db = LazyXMLDatabase()
+        db.insert("<doc><hot>seed</hot></doc>")
+        svc = DatabaseService(
+            db,
+            config=ServiceConfig(
+                pressure_check_every=1,
+                thresholds=PressureThresholds(max_segments=3),
+                breaker_failure_threshold=3,
+                breaker_reset_timeout=30.0,
+            ),
+            clock=clock,
+        )
+        return svc, clock
+
+    def inject_compact_failure(self, svc):
+        def broken_compact(*_a, **_k):
+            raise RuntimeError("injected maintenance fault")
+
+        svc._base.compact = broken_compact  # plain primary: apply_op hits this
+
+    def grow_until_degraded(self, svc, attempts=12):
+        """Hot-insert until degradation sheds a write; return insert count."""
+        inserted = 0
+        for i in range(attempts):
+            try:
+                svc.insert(f"<item>{i}</item>", len("<doc><hot>"))
+            except Busy:
+                return inserted
+            inserted += 1
+        raise AssertionError("service never degraded")
+
+    def test_breaker_opens_and_reads_continue(self):
+        svc, clock = self.build()
+        self.inject_compact_failure(svc)
+        # grow nested segments past the bound; each write samples pressure
+        # and attempts the (broken) compact until the breaker opens, after
+        # which degraded mode sheds the next write
+        inserted = self.grow_until_degraded(svc)
+        health = svc.health()
+        assert health["breaker"]["state"] == "open"
+        assert health["breaker"]["trips"] >= 1
+        assert health["counters"]["maintenance_failures"] >= 3
+        assert health["counters"]["writes_shed_degraded"] >= 1
+        assert health["status"] == "degraded"
+        # reads still answer, on a consistent snapshot
+        assert len(svc.query("doc//item")) == inserted
+        assert svc.join("doc", "item") != []
+        with pytest.raises(Busy):
+            svc.insert("<more/>", len("<doc><hot>"))
+        svc.close()
+
+    def test_breaker_half_open_probe_recovers(self):
+        svc, clock = self.build()
+        self.inject_compact_failure(svc)
+        self.grow_until_degraded(svc)
+        assert svc.health()["breaker"]["state"] == "open"
+        # fault clears, reset timeout elapses: next maintenance probe heals
+        del svc._base.compact  # restore the real bound method
+        clock.advance(30.0)
+        report = svc.run_maintenance()
+        assert svc.health()["breaker"]["state"] == "closed"
+        assert report.level == "ok"
+        assert svc.health()["segments"] <= 3
+        assert svc.health()["status"] == "ok"
+        # writes flow again
+        svc.insert("<recovered/>", len("<doc><hot>"))
+        assert svc.query("doc//recovered") != []
+        svc.close()
+
+    def test_open_breaker_refuses_manual_maintenance(self):
+        svc, clock = self.build()
+        self.inject_compact_failure(svc)
+        self.grow_until_degraded(svc)
+        with pytest.raises(CircuitOpenError):
+            svc.compact()
+        svc.close()
+
+
+class TestConcurrentStress:
+    """N reader threads × 1 writer over a random op history."""
+
+    READERS = 4
+    WRITES = 60
+
+    def test_snapshots_consistent_under_concurrent_writes(self, rng):
+        svc = service_with_docs(
+            3,
+            pressure_check_every=10,
+            thresholds=PressureThresholds(max_segments=64),
+            admission_wait=2.0,
+        )
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def reader(idx: int):
+            checks = 0
+            while not stop.is_set() or checks == 0:
+                try:
+                    epoch_a, epoch_b = svc.read(self._consistency_check)
+                except Busy:
+                    continue
+                except Exception as exc:  # pragma: no cover - fail the test
+                    failures.append(f"reader {idx}: {type(exc).__name__}: {exc}")
+                    return
+                if epoch_a != epoch_b:
+                    failures.append(f"reader {idx}: snapshot changed mid-read")
+                    return
+                checks += 1
+
+        threads = [
+            threading.Thread(target=reader, args=(i,), name=f"reader-{i}")
+            for i in range(self.READERS)
+        ]
+        for thread in threads:
+            thread.start()
+
+        policy = BackoffPolicy(retries=20, base_delay=0.001, max_delay=0.02,
+                               rng=rng)
+        inserted_sids: list[int] = []
+        try:
+            for step in range(self.WRITES):
+                roll = rng.random()
+                if roll < 0.55 or not inserted_sids:
+                    receipt = retry_with_backoff(
+                        lambda: svc.insert(
+                            f"<stress><val>{step}</val></stress>"
+                        ),
+                        policy=policy,
+                    )
+                    inserted_sids.append(receipt.sid)
+                elif roll < 0.8:
+                    # nested insert into a random stress doc
+                    sid = rng.choice(inserted_sids)
+                    node = svc.primary.log.ertree._nodes.get(sid)
+                    if node is None:
+                        inserted_sids.remove(sid)
+                        continue
+                    retry_with_backoff(
+                        lambda: svc.insert(
+                            f"<n>{step}</n>", node.gp + len("<stress>")
+                        ),
+                        policy=policy,
+                    )
+                else:
+                    sid = rng.choice(inserted_sids)
+                    if sid in svc.primary.log.ertree._nodes:
+                        retry_with_backoff(
+                            lambda: svc.remove_segment(sid), policy=policy
+                        )
+                    inserted_sids.remove(sid)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30.0)
+
+        assert failures == []
+        # final state: full invariant check + oracle agreement
+        with svc.snapshot() as snap:
+            snap.db.check_invariants()
+            assert_join_matches_oracle(snap.db, "stress", "val")
+            assert_join_matches_oracle(snap.db, "registration", "interest")
+        # primary and published replica agree
+        svc.primary.prepare_for_query()
+        with svc.snapshot() as snap:
+            assert snap.db.document_length == svc.primary.document_length
+            assert snap.db.segment_count == svc.primary.segment_count
+        metrics = svc.health()
+        assert metrics["counters"]["writes"] >= self.WRITES * 0.9
+        assert metrics["counters"]["queries"] > 0
+        svc.close()
+
+    @staticmethod
+    def _consistency_check(db, ctx):
+        """Runs inside a pinned snapshot: invariants + a text-oracle join.
+
+        Returns the (document_length, segment_count) pair read twice around
+        the work so the caller can assert nothing moved underneath.
+        """
+        first = (db.document_length, db.segment_count)
+        db.check_invariants()
+        assert_join_matches_oracle(db, "stress", "val")
+        second = (db.document_length, db.segment_count)
+        return first, second
