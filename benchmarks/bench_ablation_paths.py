@@ -11,9 +11,12 @@ Run standalone for the table:  python benchmarks/bench_ablation_paths.py
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.bench.experiments import ablation_branch_strategy
+from repro.bench.harness import write_envelope
 from repro.core.database import LazyXMLDatabase
 from repro.workloads.join_mix import build_join_mix, sweep_configs
 
@@ -43,7 +46,15 @@ def test_strategies_agree(deep_db):
 
 
 def main() -> None:
-    ablation_branch_strategy().print()
+    table = ablation_branch_strategy()
+    table.print()
+    write_envelope(
+        Path(__file__).resolve().parent.parent / "BENCH_ablation_paths.json",
+        "ablation_paths",
+        params={"n_segments": 120, "fraction": 1.0,
+                "strategies": ["path", "bisect", "walk"]},
+        tables=[table],
+    )
 
 
 if __name__ == "__main__":

@@ -11,9 +11,12 @@ Run standalone for the table:  python benchmarks/bench_ablation_pushopt.py
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.bench.experiments import ablation_push_optimizations
+from repro.bench.harness import write_envelope
 from repro.core.database import LazyXMLDatabase
 from repro.core.join import JoinStatistics
 from repro.workloads.join_mix import build_join_mix, sweep_configs
@@ -48,7 +51,14 @@ def test_optimization_reduces_pushed_elements(db):
 
 
 def main() -> None:
-    ablation_push_optimizations().print()
+    table = ablation_push_optimizations()
+    table.print()
+    write_envelope(
+        Path(__file__).resolve().parent.parent / "BENCH_ablation_pushopt.json",
+        "ablation_pushopt",
+        params={"n_segments": 50, "shape": "nested", "fraction": 0.8},
+        tables=[table],
+    )
 
 
 if __name__ == "__main__":

@@ -12,9 +12,11 @@ Run standalone for the table:  python benchmarks/bench_ablation_repack.py
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
-from repro.bench.harness import Table, measure
+from repro.bench.harness import Table, measure, write_envelope
 from repro.core.database import LazyXMLDatabase
 from repro.workloads.join_mix import JoinMixConfig, build_join_mix
 
@@ -87,6 +89,13 @@ def main() -> None:
         ]
     )
     table.print()
+    write_envelope(
+        Path(__file__).resolve().parent.parent / "BENCH_ablation_repack.json",
+        "ablation_repack",
+        params={"n_segments": N_SEGMENTS, "shape": "nested",
+                "in_blocks_per_segment": 2, "repeat": 3},
+        tables=[table],
+    )
 
 
 if __name__ == "__main__":

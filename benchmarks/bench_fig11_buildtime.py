@@ -10,11 +10,13 @@ Run standalone for the full series:  python benchmarks/bench_fig11_buildtime.py
 from __future__ import annotations
 
 from collections import Counter
+from pathlib import Path
 
 import pytest
 
 from repro.bench.builders import parent_plan
 from repro.bench.experiments import fig11_update_log
+from repro.bench.harness import write_envelope
 from repro.core.database import LazyXMLDatabase
 from repro.core.update_log import UpdateLog
 from repro.workloads.generator import generate_uniform_fragment, tag_pool
@@ -55,8 +57,17 @@ def test_build_update_log(benchmark, shape, n_segments):
 
 
 def main() -> None:
-    for shape, table in fig11_update_log().items():
+    tables = fig11_update_log()
+    for table in tables.values():
         table.print()
+    write_envelope(
+        Path(__file__).resolve().parent.parent / "BENCH_fig11_buildtime.json",
+        "fig11_buildtime",
+        params={"segment_counts": [50, 100, 150, 200, 250, 300],
+                "shapes": list(tables), "elements_per_segment": 24,
+                "n_tags": 8, "repeat": 3},
+        tables=list(tables.values()),
+    )
 
 
 if __name__ == "__main__":

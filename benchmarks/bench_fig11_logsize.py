@@ -10,10 +10,13 @@ Run standalone for the full series:  python benchmarks/bench_fig11_logsize.py
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.bench.builders import build_uniform_segments
 from repro.bench.experiments import fig11_update_log
+from repro.bench.harness import write_envelope
 from repro.core.database import LazyXMLDatabase
 
 SEGMENTS = 120
@@ -54,8 +57,17 @@ def test_growth_is_superlinear_nested():
 
 
 def main() -> None:
-    for shape, table in fig11_update_log().items():
+    tables = fig11_update_log()
+    for table in tables.values():
         table.print()
+    write_envelope(
+        Path(__file__).resolve().parent.parent / "BENCH_fig11_logsize.json",
+        "fig11_logsize",
+        params={"segment_counts": [50, 100, 150, 200, 250, 300],
+                "shapes": list(tables), "elements_per_segment": 24,
+                "n_tags": 8, "repeat": 3},
+        tables=list(tables.values()),
+    )
 
 
 if __name__ == "__main__":

@@ -14,10 +14,12 @@ Run standalone for the full series:  python benchmarks/bench_fig12_crossjoin.py
 from __future__ import annotations
 
 import random
+from pathlib import Path
 
 import pytest
 
 from repro.bench.experiments import fig12_cross_join
+from repro.bench.harness import write_envelope
 from repro.core.database import LazyXMLDatabase
 from repro.workloads.join_mix import build_join_mix, sweep_configs
 
@@ -75,10 +77,20 @@ def test_ld_beats_std_shape():
 
 
 def main() -> None:
+    tables = []
     for n_segments in (50, 100):
         for shape in ("nested", "balanced"):
             sweep = fig12_cross_join(n_segments=n_segments, shape=shape)
-            sweep.to_table(f"Fig 12 — {shape}, {n_segments} segments").print()
+            table = sweep.to_table(f"Fig 12 — {shape}, {n_segments} segments")
+            table.print()
+            tables.append(table)
+    write_envelope(
+        Path(__file__).resolve().parent.parent / "BENCH_fig12_crossjoin.json",
+        "fig12_crossjoin",
+        params={"segment_counts": [50, 100],
+                "shapes": ["nested", "balanced"]},
+        tables=tables,
+    )
 
 
 if __name__ == "__main__":

@@ -10,9 +10,12 @@ Run standalone for the full series:  python benchmarks/bench_fig13_segments.py
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.bench.experiments import fig13_segments, spine_document
+from repro.bench.harness import write_envelope
 from repro.workloads.chopper import chop_text
 
 DEPTH = 200
@@ -49,8 +52,17 @@ def test_ld_time_grows_with_segments(document_text):
 
 
 def main() -> None:
-    for shape, sweep in fig13_segments().items():
+    sweeps = fig13_segments()
+    for shape, sweep in sweeps.items():
         sweep.to_table(f"Fig 13 — {shape} ER-tree").print()
+    write_envelope(
+        Path(__file__).resolve().parent.parent / "BENCH_fig13_segments.json",
+        "fig13_segments",
+        params={"segment_counts": [10, 20, 40, 80, 160],
+                "shapes": list(sweeps), "depth": 200, "bushiness": 3,
+                "repeat": 3},
+        sweeps=list(sweeps.values()),
+    )
 
 
 if __name__ == "__main__":

@@ -10,9 +10,12 @@ Run standalone for the table:  python benchmarks/bench_fig14_queries.py
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.bench.experiments import _xmark_chop_ops, fig14_15_xmark
+from repro.bench.harness import write_envelope
 from repro.core.database import LazyXMLDatabase
 from repro.workloads.chopper import apply_chop
 from repro.workloads.xmark import XMARK_QUERIES, XMarkConfig, generate_site
@@ -53,6 +56,12 @@ def test_all_algorithms_agree_on_cardinalities(xmark_db):
 def main() -> None:
     cards, _ = fig14_15_xmark()
     cards.print()
+    write_envelope(
+        Path(__file__).resolve().parent.parent / "BENCH_fig14_queries.json",
+        "fig14_queries",
+        params={"scale": 0.05, "n_segments": 100, "seed": 7, "repeat": 3},
+        tables=[cards],
+    )
 
 
 if __name__ == "__main__":

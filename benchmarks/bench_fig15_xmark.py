@@ -10,10 +10,12 @@ Run standalone for the full table:  python benchmarks/bench_fig15_xmark.py
 from __future__ import annotations
 
 import random
+from pathlib import Path
 
 import pytest
 
 from repro.bench.experiments import _xmark_chop_ops, fig14_15_xmark
+from repro.bench.harness import write_envelope
 from repro.core.database import LazyXMLDatabase
 from repro.workloads.chopper import apply_chop
 from repro.workloads.xmark import XMARK_QUERIES, XMarkConfig, generate_site
@@ -84,6 +86,12 @@ def main() -> None:
     cards, times = fig14_15_xmark()
     cards.print()
     times.print()
+    write_envelope(
+        Path(__file__).resolve().parent.parent / "BENCH_fig15_xmark.json",
+        "fig15_xmark",
+        params={"scale": 0.05, "n_segments": 100, "seed": 7, "repeat": 3},
+        tables=[cards, times],
+    )
 
 
 if __name__ == "__main__":

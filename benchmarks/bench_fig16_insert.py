@@ -11,11 +11,13 @@ Run standalone for the full series:  python benchmarks/bench_fig16_insert.py
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.bench.builders import build_uniform_segments, insert_under
 from repro.bench.experiments import fig16_insert
-from repro.bench.harness import measure
+from repro.bench.harness import measure, write_envelope
 from repro.core.database import LazyXMLDatabase
 from repro.labeling.interval import IntervalLabelingIndex
 from repro.workloads.generator import generate_uniform_fragment, tag_pool
@@ -74,7 +76,15 @@ def test_traditional_relabels_about_half():
 
 
 def main() -> None:
-    fig16_insert().to_table("Fig 16 — insert one segment (ms)").print()
+    sweep = fig16_insert()
+    sweep.to_table("Fig 16 — insert one segment (ms)").print()
+    write_envelope(
+        Path(__file__).resolve().parent.parent / "BENCH_fig16_insert.json",
+        "fig16_insert",
+        params={"doc_segment_counts": [20, 40, 80, 160],
+                "elements_per_segment": 25, "n_tags": 8, "repeat": 3},
+        sweeps=[sweep],
+    )
 
 
 if __name__ == "__main__":

@@ -13,10 +13,13 @@ python benchmarks/bench_fig17_element_insert.py
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.bench.builders import build_uniform_segments, insert_under
 from repro.bench.experiments import fig17_element_insert
+from repro.bench.harness import write_envelope
 from repro.core.database import LazyXMLDatabase
 from repro.labeling.prime import PrimeLabeling
 from repro.workloads.generator import generate_uniform_fragment, tag_pool
@@ -97,6 +100,16 @@ def main() -> None:
     sweeps["elements"].to_table("Fig 17(a) — µs/element vs elements/segment").print()
     sweeps["tags"].to_table("Fig 17(b) — µs/element vs distinct tags").print()
     sweeps["segments"].to_table("Fig 17(c) — µs/element vs segments").print()
+    write_envelope(
+        Path(__file__).resolve().parent.parent / "BENCH_fig17_element_insert.json",
+        "fig17_element_insert",
+        params={"element_counts": [10, 20, 40, 80, 160],
+                "tag_counts": [2, 4, 8, 16, 32],
+                "segment_counts": [25, 50, 100, 200],
+                "shape": "balanced", "n_segments": 100,
+                "prime_groups": [10, 50], "repeat": 3},
+        sweeps=list(sweeps.values()),
+    )
 
 
 if __name__ == "__main__":

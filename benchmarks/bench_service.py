@@ -12,14 +12,13 @@ Run standalone for the full series:  python benchmarks/bench_service.py
 
 from __future__ import annotations
 
-import json
 import threading
 import time
 from pathlib import Path
 
 import pytest
 
-from repro.bench.harness import Table
+from repro.bench.harness import Table, write_envelope
 from repro.core.database import LazyXMLDatabase
 from repro.errors import Busy
 from repro.service import DatabaseService, ServiceConfig
@@ -153,22 +152,16 @@ def test_concurrent_scenario_shape(with_writer):
 
 def main() -> None:
     results = run_sweep()
-    report(results).print()
-    out = Path(__file__).resolve().parent.parent / "BENCH_service.json"
-    out.write_text(
-        json.dumps(
-            {
-                "benchmark": "service concurrent join latency/throughput",
-                "documents": DOCS,
-                "duration_s": 0.8,
-                "scenarios": results,
-            },
-            indent=2,
-        )
-        + "\n",
-        encoding="utf-8",
+    table = report(results)
+    table.print()
+    write_envelope(
+        Path(__file__).resolve().parent.parent / "BENCH_service.json",
+        "service",
+        params={"documents": DOCS, "duration_s": 0.8,
+                "reader_counts": list(READER_COUNTS)},
+        tables=[table],
+        results={"scenarios": results},
     )
-    print(f"\nwrote {out}")
 
 
 if __name__ == "__main__":

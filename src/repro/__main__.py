@@ -8,7 +8,7 @@ and :mod:`repro.storage` snapshots:
     python -m repro remove db.json --position 120 --length 34
     python -m repro query db.json "person//profile/interest" [--count]
     python -m repro join db.json person interest --algorithm std
-    python -m repro stats db.json
+    python -m repro stats db.json [--metrics] [--json]
     python -m repro compact db.json
     python -m repro dump db.json            # print the document text
     python -m repro fsck db.json            # verify a snapshot / durable dir
@@ -117,6 +117,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     cmd = commands.add_parser("stats", help="print database statistics")
     cmd.add_argument("db", nargs="?", default=None)
+    cmd.add_argument(
+        "--metrics", action="store_true",
+        help="also print the process metric catalogue with current values",
+    )
+    cmd.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit stats (and --metrics snapshot) as one JSON object",
+    )
 
     cmd = commands.add_parser("compact", help="rebuild the index (pack segments)")
     cmd.add_argument("db", nargs="?", default=None)
@@ -286,18 +294,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "stats":
-        log_stats = db.stats()
-        print(f"mode:       {db.mode}")
-        print(f"characters: {db.document_length}")
-        print(f"segments:   {db.segment_count}")
-        print(f"elements:   {db.element_count}")
-        print(f"tags:       {len(db.log.tags)}")
-        print(f"SB-tree:    {log_stats.sbtree_bytes / 1024:.1f} KB")
-        print(f"tag-list:   {log_stats.taglist_bytes / 1024:.1f} KB")
-        if args.durable:
-            dd: DurableDatabase = db
-            print(f"journal:    {dd.journal_size} B (last seq {dd.last_seq})")
-        return 0
+        return _cmd_stats(args, db)
 
     if args.command == "compact":
         result = db.compact()
@@ -316,6 +313,59 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_serve(args, db, persist)
 
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _cmd_stats(args: argparse.Namespace, db) -> int:
+    """Database size stats, optionally with the process metric catalogue."""
+    from repro.obs.metrics import METRICS
+
+    log_stats = db.stats()
+    if args.as_json:
+        import json
+
+        payload = {
+            "mode": db.mode,
+            "characters": db.document_length,
+            "segments": db.segment_count,
+            "elements": db.element_count,
+            "tags": len(db.log.tags),
+            "sbtree_bytes": log_stats.sbtree_bytes,
+            "taglist_bytes": log_stats.taglist_bytes,
+        }
+        if args.durable:
+            payload["journal_bytes"] = db.journal_size
+            payload["last_seq"] = db.last_seq
+        if args.metrics:
+            payload["metrics"] = METRICS.snapshot()
+            payload["metric_catalogue"] = METRICS.catalogue()
+        print(json.dumps(payload, sort_keys=True))
+        return 0
+    print(f"mode:       {db.mode}")
+    print(f"characters: {db.document_length}")
+    print(f"segments:   {db.segment_count}")
+    print(f"elements:   {db.element_count}")
+    print(f"tags:       {len(db.log.tags)}")
+    print(f"SB-tree:    {log_stats.sbtree_bytes / 1024:.1f} KB")
+    print(f"tag-list:   {log_stats.taglist_bytes / 1024:.1f} KB")
+    if args.durable:
+        dd: DurableDatabase = db
+        print(f"journal:    {dd.journal_size} B (last seq {dd.last_seq})")
+    if args.metrics:
+        snapshot = METRICS.snapshot()
+        state = "enabled" if METRICS.enabled else "disabled"
+        print(f"metrics:    {len(snapshot)} instrument(s), recording {state}")
+        for entry in METRICS.catalogue():
+            name = entry["name"]
+            data = snapshot[name]
+            if entry["type"] == "histogram":
+                value = f"n={data['count']} mean={data['mean']:.4g} max={data['max']:.4g}"
+            else:
+                value = str(data["value"])
+            print(
+                f"  {name:<28} {entry['type']:<9} {value:<28} "
+                f"[{entry['unit']}] {entry['site']}"
+            )
+    return 0
 
 
 def _cmd_serve(args: argparse.Namespace, db, persist) -> int:

@@ -121,6 +121,18 @@ class LazyXMLDatabase:
         """Update-log size snapshot (Fig. 11(a) series)."""
         return self.log.stats()
 
+    def set_observed(self, flag: bool) -> None:
+        """Enable/disable mutation-path metrics on every owned structure.
+
+        The :class:`~repro.service.snapshot.EpochManager` clears this on
+        read replicas: they replay the primary's committed ops, and counting
+        those replays would double-charge every write.  Query-path
+        instruments (joins, index reads) are unaffected.
+        """
+        self.log.ertree.observed = flag
+        self.log.taglist.observed = flag
+        self.index.observed = flag
+
     # ------------------------------------------------------------------
     # updates
 
@@ -399,6 +411,20 @@ class LazyXMLDatabase:
             raise QueryError(
                 "update log is not query-ready; call prepare_for_query()"
             )
+        trace = context.trace if context is not None else None
+        if trace is None:
+            return self._materialized_join(tag_a, tag_d, axis, algorithm, context)
+        with trace.span(
+            f"{algorithm}_join", a=tag_a, d=tag_d, axis=axis
+        ) as span:
+            results = self._materialized_join(tag_a, tag_d, axis, algorithm, context)
+            span.annotate(pairs=len(results))
+        return results
+
+    def _materialized_join(
+        self, tag_a: str, tag_d: str, axis: str, algorithm: str, context
+    ) -> list[JoinPair]:
+        """The std/merge baselines: derive global labels, join on them."""
         a_globals = self.global_elements(tag_a, context=context)
         d_globals = self.global_elements(tag_d, context=context)
         if algorithm == "std":

@@ -24,10 +24,26 @@ from collections.abc import Iterable, Iterator
 from typing import NamedTuple
 
 from repro.btree import BPlusTree
+from repro.obs.metrics import METRICS
 
 __all__ = ["ElementRecord", "ElementIndex"]
 
 _ORDER = 64
+
+# Mutation-path instruments honor ElementIndex.observed (replica replay
+# guard); the read counters are query-path and ignore it.
+_M_INSERTED = METRICS.counter(
+    "index.records_inserted", unit="records", site="ElementIndex.insert_segment"
+)
+_M_REMOVED = METRICS.counter(
+    "index.records_removed", unit="records", site="ElementIndex.remove_*"
+)
+_M_READS = METRICS.counter(
+    "index.reads", unit="calls", site="ElementIndex.elements_list"
+)
+_M_RECORDS_READ = METRICS.counter(
+    "index.records_read", unit="records", site="ElementIndex.elements_list"
+)
 
 
 class ElementRecord(NamedTuple):
@@ -44,6 +60,8 @@ class ElementIndex:
 
     def __init__(self, order: int = _ORDER):
         self._tree = BPlusTree(order=order)
+        #: See ERTree.observed — cleared on EpochManager read replicas.
+        self.observed = True
 
     def __len__(self) -> int:
         return len(self._tree)
@@ -67,9 +85,13 @@ class ElementIndex:
         the tag-list.
         """
         counts: Counter = Counter()
+        inserted = 0
         for tid, start, end, level in records:
             self._tree.insert((tid, sid, start, end, base_level + level), None)
             counts[tid] += 1
+            inserted += 1
+        if METRICS.enabled and self.observed:
+            _M_INSERTED.inc(inserted)
         return counts
 
     # ------------------------------------------------------------------
@@ -83,7 +105,11 @@ class ElementIndex:
 
     def elements_list(self, tid: int, sid: int) -> list[ElementRecord]:
         """:meth:`elements`, materialized."""
-        return list(self.elements(tid, sid))
+        records = list(self.elements(tid, sid))
+        if METRICS.enabled:
+            _M_READS.inc()
+            _M_RECORDS_READ.inc(len(records))
+        return records
 
     def all_elements(self, tid: int) -> Iterator[ElementRecord]:
         """Every element of tag ``tid`` across all segments.
@@ -121,6 +147,8 @@ class ElementIndex:
                 self._tree.delete(key)
             if keys:
                 counts[tid] = len(keys)
+        if METRICS.enabled and self.observed:
+            _M_REMOVED.inc(sum(counts.values()))
         return counts
 
     def remove_local_range(
@@ -147,6 +175,8 @@ class ElementIndex:
                 self._tree.delete(key)
             if doomed:
                 counts[tid] = len(doomed)
+        if METRICS.enabled and self.observed:
+            _M_REMOVED.inc(sum(counts.values()))
         return counts
 
     # ------------------------------------------------------------------

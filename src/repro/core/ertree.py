@@ -32,8 +32,34 @@ from dataclasses import dataclass, field
 
 from repro.core.segment import DUMMY_ROOT_SID, SpanRelation, relate
 from repro.errors import InvalidSegmentError, SegmentNotFoundError
+from repro.obs.metrics import METRICS, SIZE_BUCKETS
 
 __all__ = ["ERNode", "ERTree", "RemovalReport", "PartialRemoval"]
+
+# Mutation-path instruments (module-level handles; see repro.obs.metrics).
+# Only `observed` trees emit — read replicas replay the primary's ops and
+# must not double-count them.
+_M_ADDED = METRICS.counter(
+    "ertree.segments_added", unit="segments", site="ERTree.add_segment"
+)
+_M_REMOVED = METRICS.counter(
+    "ertree.segments_removed", unit="segments", site="ERTree.remove_span"
+)
+_M_TOMBSTONES = METRICS.counter(
+    "ertree.tombstones_added", unit="intervals", site="ERTree.remove_span"
+)
+_M_SHIFT = METRICS.histogram(
+    "ertree.shift.nodes",
+    unit="nodes",
+    site="ERTree.add_segment/remove_span",
+    boundaries=SIZE_BUCKETS,
+)
+_G_SEGMENTS = METRICS.gauge(
+    "log.segments", unit="segments", site="ERTree (live segment count)"
+)
+_G_DEPTH = METRICS.gauge(
+    "log.depth.max", unit="levels", site="ERTree (deepest segment)"
+)
 
 
 class ERNode:
@@ -213,9 +239,22 @@ class ERNode:
         Children sort before a tombstone starting at the same virtual
         offset, mirroring ``to_global``'s reading that a child inserted at
         ``v`` precedes the (removed) character at ``v``.
+
+        A child's ``lp`` can sit strictly *inside* a tombstone: two
+        removals flanking the child's insertion point leave touching
+        holes, and :meth:`_add_tombstone` merges touching intervals.  The
+        scan in :meth:`to_local` needs events in interleaved order, so
+        such tombstones are split at every interior child lp.
         """
         events = [(child.lp, "child", child.length) for child in self.children]
-        events += [(t_start, "tomb", t_end - t_start) for t_start, t_end in self._tombstones]
+        lps = sorted({child.lp for child in self.children})
+        for t_start, t_end in self._tombstones:
+            start = t_start
+            for lp in lps:
+                if start < lp < t_end:
+                    events.append((start, "tomb", lp - start))
+                    start = lp
+            events.append((start, "tomb", t_end - start))
         events.sort(key=lambda e: (e[0], e[1]))  # "child" < "tomb"
         return events
 
@@ -277,6 +316,46 @@ class ERTree:
         self._next_sid = DUMMY_ROOT_SID + 1
         self._on_add = on_add
         self._on_remove = on_remove
+        #: Mutation-path instruments fire only on observed trees; the
+        #: EpochManager clears this on read replicas so replayed ops are
+        #: not double-counted.
+        self.observed = True
+        # depth -> number of live segments at that depth (dummy root at 0);
+        # kept incrementally so max_depth is O(1) instead of a tree walk.
+        self._depth_counts: dict[int, int] = {0: 1}
+        self._max_depth = 0
+
+    # ------------------------------------------------------------------
+    # incremental dimension tracking (feeds PressureMonitor / gauges)
+
+    def _track_add(self, node: ERNode) -> None:
+        depth = node.depth
+        self._depth_counts[depth] = self._depth_counts.get(depth, 0) + 1
+        if depth > self._max_depth:
+            self._max_depth = depth
+
+    def _track_remove(self, node: ERNode) -> None:
+        depth = node.depth
+        remaining = self._depth_counts.get(depth, 0) - 1
+        if remaining <= 0:
+            self._depth_counts.pop(depth, None)
+            if depth == self._max_depth:
+                self._max_depth = max(self._depth_counts, default=0)
+        else:
+            self._depth_counts[depth] = remaining
+
+    @property
+    def max_depth(self) -> int:
+        """Depth of the deepest live segment (0 = only the dummy root).
+
+        Maintained incrementally by the update algorithms — O(1), unlike
+        a full pre-order walk.
+        """
+        return self._max_depth
+
+    def _publish_gauges(self) -> None:
+        _G_SEGMENTS.set(len(self._nodes) - 1)
+        _G_DEPTH.set(self._max_depth)
 
     # ------------------------------------------------------------------
     # accessors
@@ -362,9 +441,11 @@ class ERTree:
         self._next_sid = max(self._next_sid, sid + 1)
 
         # Step 1: global position shift (inclusive — see module docstring).
+        shifted = 0
         for node in self.root.iter_subtree():
             if node.gp >= gp and node is not self.root:
                 node.gp += length
+                shifted += 1
 
         # Step 2: descend to the parent, growing ancestors on the way.
         parent = self.root
@@ -386,6 +467,11 @@ class ERTree:
         idx = bisect_right(gps, gp)
         parent.children.insert(idx, new)
         self._nodes[sid] = new
+        self._track_add(new)
+        if METRICS.enabled and self.observed:
+            _M_ADDED.inc()
+            _M_SHIFT.observe(shifted)
+            self._publish_gauges()
         if self._on_add is not None:
             self._on_add(new)
         return new
@@ -419,13 +505,21 @@ class ERTree:
         # begin where the hole begins (this covers arbitrarily nested
         # right-intersections, which Fig. 7's per-level `k.gp` update gets
         # wrong); a node starting at or after the hole's end shifts left.
+        shifted = 0
         for node in self.root.iter_subtree():
             if node is self.root:
                 continue
             if node.gp >= end:
                 node.gp -= length
+                shifted += 1
             elif node.gp > gp:
                 node.gp = gp
+                shifted += 1
+        if METRICS.enabled and self.observed:
+            _M_REMOVED.inc(len(report.removed_sids))
+            _M_TOMBSTONES.inc(len(report.partials))
+            _M_SHIFT.observe(shifted)
+            self._publish_gauges()
         return report
 
     def _remove_from(
@@ -474,6 +568,7 @@ class ERTree:
         for sub in node.iter_subtree():
             report.removed_sids.append(sub.sid)
             del self._nodes[sub.sid]
+            self._track_remove(sub)
             if self._on_remove is not None:
                 self._on_remove(sub)
 
@@ -499,6 +594,7 @@ class ERTree:
         assert parent is not None
         for sub in old.iter_subtree():
             del self._nodes[sub.sid]
+            self._track_remove(sub)
             if self._on_remove is not None:
                 self._on_remove(sub)
         new_sid = self._next_sid
@@ -506,6 +602,9 @@ class ERTree:
         new = ERNode(new_sid, gp=old.gp, length=old.length, lp=old.lp, parent=parent)
         parent.children[parent.children.index(old)] = new
         self._nodes[new_sid] = new
+        self._track_add(new)
+        if METRICS.enabled and self.observed:
+            self._publish_gauges()
         if self._on_add is not None:
             self._on_add(new)
         return new
@@ -522,9 +621,11 @@ class ERTree:
         Definition 2 linking lp to gp.
         """
         seen: set[int] = set()
+        depth_counts: dict[int, int] = {}
         for node in self.root.iter_subtree():
             assert node.sid not in seen, f"duplicate sid {node.sid}"
             seen.add(node.sid)
+            depth_counts[node.depth] = depth_counts.get(node.depth, 0) + 1
             assert self._nodes.get(node.sid) is node, "registry out of sync"
             assert node.length >= 0, f"negative length on sid {node.sid}"
             child_sum = 0
@@ -553,3 +654,5 @@ class ERTree:
                     )
                 prev_t_end = t_end
         assert seen == set(self._nodes), "registry contains orphans"
+        assert depth_counts == self._depth_counts, "depth tracking out of sync"
+        assert self._max_depth == max(depth_counts), "max_depth out of sync"

@@ -31,14 +31,53 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.core.element_index import ElementIndex, ElementRecord
 from repro.core.ertree import ERNode
 from repro.core.update_log import UpdateLog
 from repro.errors import QueryError
 from repro.joins.stack_tree import AXIS_CHILD, AXIS_DESCENDANT, stack_tree_desc
+from repro.obs.metrics import LATENCY_BUCKETS, METRICS, SIZE_BUCKETS
 
 _BRANCH_STRATEGIES = ("path", "bisect", "walk")
+
+# Query-path instruments: a join is real work wherever it runs, so these
+# ignore the per-structure `observed` flag.  The per-call JoinStatistics is
+# folded into the registry once at join end — zero per-pair registry work.
+_M_CALLS = METRICS.counter(
+    "join.lazy.calls", unit="joins", site="LazyJoiner.join"
+)
+_M_PAIRS = METRICS.counter(
+    "join.lazy.pairs", unit="pairs", site="LazyJoiner.join"
+)
+_M_CROSS = METRICS.counter(
+    "join.lazy.cross_pairs", unit="pairs", site="LazyJoiner.join"
+)
+_M_IN_SEG = METRICS.counter(
+    "join.lazy.in_segment_pairs", unit="pairs", site="LazyJoiner.join"
+)
+_M_PUSHED = METRICS.counter(
+    "join.lazy.segments_pushed", unit="segments", site="LazyJoiner.join"
+)
+_M_SKIPPED = METRICS.counter(
+    "join.lazy.segments_skipped", unit="segments", site="LazyJoiner.join"
+)
+_M_TRIMMED = METRICS.counter(
+    "join.lazy.elements_trimmed", unit="elements", site="LazyJoiner.join"
+)
+_H_SECONDS = METRICS.histogram(
+    "join.lazy.seconds",
+    unit="seconds",
+    site="LazyJoiner.join",
+    boundaries=LATENCY_BUCKETS,
+)
+_H_STACK = METRICS.histogram(
+    "join.lazy.stack_depth",
+    unit="frames",
+    site="LazyJoiner.join",
+    boundaries=SIZE_BUCKETS,
+)
 
 __all__ = ["LazyJoiner", "JoinPair", "JoinStatistics"]
 
@@ -61,6 +100,7 @@ class JoinStatistics:
     elements_trimmed: int = 0
     cross_pairs: int = 0
     in_segment_pairs: int = 0
+    max_stack_depth: int = 0
 
     @property
     def pairs(self) -> int:
@@ -140,6 +180,52 @@ class LazyJoiner:
         Requires a query-ready log (LD always is; LS must have had
         ``prepare_for_query()`` run).
         """
+        if stats is None:
+            stats = JoinStatistics()
+        enabled = METRICS.enabled
+        start = perf_counter() if enabled else 0.0
+        trace = context.trace if context is not None else None
+        if trace is None:
+            results = self._join_impl(
+                tag_a, tag_d, axis, optimize_push, trim_top,
+                branch_strategy, stats, context,
+            )
+        else:
+            with trace.span("lazy_join", a=tag_a, d=tag_d, axis=axis) as span:
+                results = self._join_impl(
+                    tag_a, tag_d, axis, optimize_push, trim_top,
+                    branch_strategy, stats, context,
+                )
+                span.annotate(
+                    pairs=stats.pairs,
+                    cross_pairs=stats.cross_pairs,
+                    in_segment_pairs=stats.in_segment_pairs,
+                    segments_pushed=stats.segments_pushed,
+                    max_stack_depth=stats.max_stack_depth,
+                )
+        if enabled:
+            _M_CALLS.inc()
+            _M_PAIRS.inc(stats.pairs)
+            _M_CROSS.inc(stats.cross_pairs)
+            _M_IN_SEG.inc(stats.in_segment_pairs)
+            _M_PUSHED.inc(stats.segments_pushed)
+            _M_SKIPPED.inc(stats.segments_skipped)
+            _M_TRIMMED.inc(stats.elements_trimmed)
+            _H_STACK.observe(stats.max_stack_depth)
+            _H_SECONDS.observe(perf_counter() - start)
+        return results
+
+    def _join_impl(
+        self,
+        tag_a: str,
+        tag_d: str,
+        axis: str,
+        optimize_push: bool,
+        trim_top: bool,
+        branch_strategy: str,
+        stats: JoinStatistics,
+        context,
+    ) -> list[JoinPair]:
         if axis not in _AXES:
             raise QueryError(f"axis must be one of {_AXES}, got {axis!r}")
         if branch_strategy not in _BRANCH_STRATEGIES:
@@ -155,8 +241,6 @@ class LazyJoiner:
                 "update log is not query-ready; call prepare_for_query() "
                 "(required in LS mode)"
             )
-        if stats is None:
-            stats = JoinStatistics()
         tid_a = self._log.tags.tid_of(tag_a)
         tid_d = self._log.tags.tid_of(tag_d)
         if tid_a is None or tid_d is None:
@@ -205,6 +289,8 @@ class LazyJoiner:
                         context.charge_depth(len(stack))
                     stats.segments_pushed += 1
                     stats.elements_pushed += len(elements)
+                    if len(stack) > stats.max_stack_depth:
+                        stats.max_stack_depth = len(stack)
                 else:
                     stats.segments_skipped += 1
 

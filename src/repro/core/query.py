@@ -20,14 +20,26 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.core.element_index import ElementRecord
 from repro.errors import QueryError
 from repro.joins.stack_tree import AXIS_CHILD, AXIS_DESCENDANT
+from repro.obs.metrics import LATENCY_BUCKETS, METRICS
 
 __all__ = ["PathStep", "PathQuery", "parse_path", "evaluate_path"]
 
 _NAME_RE = re.compile(r"[A-Za-z_:][\w:.\-]*$")
+
+_M_PATH_CALLS = METRICS.counter(
+    "query.path.calls", unit="queries", site="evaluate_path"
+)
+_H_PATH_SECONDS = METRICS.histogram(
+    "query.path.seconds",
+    unit="seconds",
+    site="evaluate_path",
+    boundaries=LATENCY_BUCKETS,
+)
 
 
 @dataclass(frozen=True)
@@ -113,12 +125,30 @@ def evaluate_path(
     path query honors one shared deadline/row budget end to end.
     """
     query = expression if isinstance(expression, PathQuery) else parse_path(expression)
-    if algorithm == "pathstack":
-        return _evaluate_pathstack(db, query, bindings=bindings, context=context)
-    if algorithm != "joins":
+    if algorithm not in ("joins", "pathstack"):
         raise QueryError(
             f"algorithm must be 'joins' or 'pathstack', got {algorithm!r}"
         )
+    enabled = METRICS.enabled
+    start = perf_counter() if enabled else 0.0
+    trace = context.trace if context is not None else None
+    if trace is None:
+        result = _evaluate(db, query, bindings, algorithm, context)
+    else:
+        with trace.span(
+            "path_query", expr=str(query), algorithm=algorithm
+        ) as span:
+            result = _evaluate(db, query, bindings, algorithm, context)
+            span.annotate(matches=len(result))
+    if enabled:
+        _M_PATH_CALLS.inc()
+        _H_PATH_SECONDS.observe(perf_counter() - start)
+    return result
+
+
+def _evaluate(db, query: PathQuery, bindings: bool, algorithm: str, context):
+    if algorithm == "pathstack":
+        return _evaluate_pathstack(db, query, bindings=bindings, context=context)
     tid_entry = db.log.tags.tid_of(query.entry)
     if tid_entry is None:
         return []

@@ -24,8 +24,27 @@ from dataclasses import dataclass
 
 from repro.core.ertree import ERNode
 from repro.errors import UpdateError
+from repro.obs.metrics import METRICS
 
 __all__ = ["TagRegistry", "TagEntry", "TagList"]
+
+# Mutation-path instruments honor TagList.observed (replica replay guard);
+# the segments_for scan counters are query-path and ignore it.
+_M_ENTRIES_ADDED = METRICS.counter(
+    "taglist.entries_added", unit="entries", site="TagList.add_segment"
+)
+_M_ENTRIES_DROPPED = METRICS.counter(
+    "taglist.entries_dropped", unit="entries", site="TagList.remove_occurrences*"
+)
+_M_SCANS = METRICS.counter(
+    "taglist.segment_scans", unit="calls", site="TagList.segments_for"
+)
+_M_ENTRIES_SCANNED = METRICS.counter(
+    "taglist.entries_scanned", unit="entries", site="TagList.segments_for"
+)
+_G_FANOUT = METRICS.gauge(
+    "log.fanout.max", unit="entries", site="TagList (longest per-tag list)"
+)
 
 
 class TagRegistry:
@@ -86,6 +105,25 @@ class TagList:
         self._dynamic = dynamic
         self._lists: dict[int, list[TagEntry]] = {}
         self._unsorted: set[int] = set()
+        #: See ERTree.observed — cleared on EpochManager read replicas.
+        self.observed = True
+        # Longest per-tag list, maintained incrementally: adds bump it in
+        # O(1); drops only mark it dirty and max_fanout() recomputes in
+        # O(T) (one len() per tag) instead of walking every entry.
+        self._max_fanout = 0
+        self._fanout_dirty = False
+
+    def max_fanout(self) -> int:
+        """Length of the longest per-tag list (0 when empty)."""
+        if self._fanout_dirty:
+            self._max_fanout = max(
+                (len(entries) for entries in self._lists.values()), default=0
+            )
+            self._fanout_dirty = False
+        return self._max_fanout
+
+    def _publish_gauge(self) -> None:
+        _G_FANOUT.set(self.max_fanout())
 
     # ------------------------------------------------------------------
     # updates
@@ -106,6 +144,11 @@ class TagList:
         else:
             entries.append(entry)
             self._unsorted.add(tid)
+        if len(entries) > self._max_fanout:
+            self._max_fanout = len(entries)
+        if METRICS.enabled and self.observed:
+            _M_ENTRIES_ADDED.inc()
+            _G_FANOUT.set(self.max_fanout())
 
     def remove_occurrences(self, tid: int, sid: int, removed: int) -> None:
         """Subtract ``removed`` occurrences of ``tid`` from segment ``sid``.
@@ -131,6 +174,10 @@ class TagList:
             del entries[idx]
             if not entries:
                 del self._lists[tid]
+            self._fanout_dirty = True
+            if METRICS.enabled and self.observed:
+                _M_ENTRIES_DROPPED.inc()
+                _G_FANOUT.set(self.max_fanout())
 
     def _locate(self, tid: int, sid: int) -> int:
         """Index of the entry for ``sid`` in ``tid``'s list (linear scan).
@@ -173,6 +220,10 @@ class TagList:
             del entries[idx]
             if not entries:
                 del self._lists[tid]
+            self._fanout_dirty = True
+            if METRICS.enabled and self.observed:
+                _M_ENTRIES_DROPPED.inc()
+                _G_FANOUT.set(self.max_fanout())
 
     def finalize(self) -> None:
         """Sort any LS-mode lists left unsorted by appends."""
@@ -210,7 +261,11 @@ class TagList:
                 f"tag-list for tid {tid} is unsorted; call finalize() "
                 "(LS mode requires prepare_for_query before joining)"
             )
-        return self._lists.get(tid, [])
+        entries = self._lists.get(tid, [])
+        if METRICS.enabled:
+            _M_SCANS.inc()
+            _M_ENTRIES_SCANNED.inc(len(entries))
+        return entries
 
     def count_for(self, tid: int, sid: int) -> int:
         """Occurrences of ``tid`` recorded for segment ``sid`` (0 if none)."""

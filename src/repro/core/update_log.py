@@ -199,6 +199,27 @@ class UpdateLog:
             taglist_bytes=self.taglist.approximate_bytes(),
         )
 
+    def dimensions(self) -> dict:
+        """The pressure dimensions, from the incremental trackers — O(1)
+        amortized, unlike the full ER-tree/tag-list walks the
+        :class:`~repro.service.pressure.PressureMonitor` used to run.
+        """
+        return {
+            "segments": self.segment_count,
+            "max_depth": self.ertree.max_depth,
+            "max_fanout": self.taglist.max_fanout(),
+        }
+
+    def publish_gauges(self) -> None:
+        """Push this log's dimensions to the registry's ``log.*`` gauges.
+
+        The gauges are process-global while logs are not; a service that
+        reads pressure from the registry refreshes them from its own
+        primary first so another database's updates cannot bleed in.
+        """
+        self.ertree._publish_gauges()
+        self.taglist._publish_gauge()
+
     def check_invariants(self) -> None:
         """Cross-structure consistency check used by the test suite."""
         self.ertree.check_invariants()

@@ -30,10 +30,32 @@ import zlib
 from pathlib import Path
 from typing import Iterable, NamedTuple
 
+from time import perf_counter
+
 from repro.durability import hooks
 from repro.errors import JournalError
+from repro.obs.metrics import LATENCY_BUCKETS, METRICS
 
 __all__ = ["Journal", "JournalScan", "read_journal", "RECORD_HEADER"]
+
+_M_APPENDS = METRICS.counter(
+    "wal.appends", unit="records", site="Journal.append"
+)
+_M_BYTES = METRICS.counter(
+    "wal.bytes_written", unit="bytes", site="Journal.append"
+)
+_M_FSYNCS = METRICS.counter(
+    "wal.fsyncs", unit="calls", site="Journal.append"
+)
+_M_TRUNCATES = METRICS.counter(
+    "wal.truncates", unit="calls", site="Journal.truncate"
+)
+_H_FSYNC = METRICS.histogram(
+    "wal.fsync.seconds",
+    unit="seconds",
+    site="Journal.append",
+    boundaries=LATENCY_BUCKETS,
+)
 
 #: (payload length, payload crc32), big-endian.
 RECORD_HEADER = struct.Struct(">II")
@@ -121,7 +143,15 @@ class Journal:
         hooks.fire("wal.append.mid_write")
         os.write(fd, payload)
         hooks.fire("wal.append.after_write")
-        os.fsync(fd)
+        if METRICS.enabled:
+            fsync_start = perf_counter()
+            os.fsync(fd)
+            _H_FSYNC.observe(perf_counter() - fsync_start)
+            _M_APPENDS.inc()
+            _M_BYTES.inc(len(header) + len(payload))
+            _M_FSYNCS.inc()
+        else:
+            os.fsync(fd)
         hooks.fire("wal.append.after_fsync")
 
     def append_all(self, records: Iterable[tuple[int, dict]]) -> None:
@@ -135,6 +165,9 @@ class Journal:
         hooks.fire("wal.truncate.before")
         os.ftruncate(fd, 0)
         os.fsync(fd)
+        if METRICS.enabled:
+            _M_TRUNCATES.inc()
+            _M_FSYNCS.inc()
         hooks.fire("wal.truncate.after")
 
     def size(self) -> int:

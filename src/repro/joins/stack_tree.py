@@ -20,8 +20,18 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.errors import QueryError
+from repro.obs.metrics import METRICS
 
 __all__ = ["stack_tree_desc", "stack_tree_anc", "AXIS_DESCENDANT", "AXIS_CHILD"]
+
+# Query-path instruments, folded in once per call (see repro.obs.metrics).
+# Covers both standalone STD runs and Lazy-Join's in-segment subjoins.
+_M_CALLS = METRICS.counter(
+    "join.stacktree.calls", unit="joins", site="stack_tree_desc/anc"
+)
+_M_PAIRS = METRICS.counter(
+    "join.stacktree.pairs", unit="pairs", site="stack_tree_desc/anc"
+)
 
 AXIS_DESCENDANT = "descendant"
 AXIS_CHILD = "child"
@@ -87,6 +97,9 @@ def stack_tree_desc(
                 results.append((anc, desc))
             if context is not None:
                 context.charge_rows(len(stack))
+    if METRICS.enabled:
+        _M_CALLS.inc()
+        _M_PAIRS.inc(len(results))
     return results
 
 
@@ -151,4 +164,7 @@ def stack_tree_anc(
                 context.charge_rows(len(stack))
     while stack:
         pop()
+    if METRICS.enabled:
+        _M_CALLS.inc()
+        _M_PAIRS.inc(len(results))
     return results

@@ -1,0 +1,91 @@
+"""Per-query trace spans.
+
+A :class:`Trace` is attached to one query (via
+:class:`~repro.service.context.QueryContext`'s ``trace`` field) and
+collects a tree of timed spans as the query moves through the hot paths:
+the service read wrapper, each path-query step, the Lazy-Join / STD /
+clean-segment join bodies.  Tracing is strictly opt-in: untraced queries
+carry ``trace=None`` and every instrumented site guards with a single
+``is None`` check, so the steady-state cost is zero.
+
+Span format (the line-protocol ``trace`` command prints one JSON object
+per span)::
+
+    {"name": "lazy_join", "depth": 1, "start_ms": 0.021, "dur_ms": 1.84,
+     "attrs": {"a": "person", "d": "interest", "pairs": 12, "cross_pairs": 4}}
+
+``start_ms`` is relative to the trace's creation; ``depth`` is the span's
+nesting level (0 = root).  Spans are reported in *completion* order;
+re-sort by ``start_ms`` for a chronological view.
+
+Timing uses ``time.perf_counter`` only (no wall-clock reads on the hot
+path).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+__all__ = ["Trace", "Span"]
+
+
+class Span:
+    """One finished (or in-flight) span; also its own context manager."""
+
+    __slots__ = ("name", "depth", "start", "duration", "attrs", "_trace")
+
+    def __init__(self, trace: "Trace", name: str, depth: int, attrs: dict):
+        self._trace = trace
+        self.name = name
+        self.depth = depth
+        self.start = perf_counter() - trace.t0
+        self.duration = 0.0
+        self.attrs = attrs
+
+    def annotate(self, **attrs) -> None:
+        """Attach result attributes (pair counts, rows…) before closing."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.duration = perf_counter() - self._trace.t0 - self.start
+        self._trace._close(self)
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "depth": self.depth,
+            "start_ms": round(self.start * 1e3, 3),
+            "dur_ms": round(self.duration * 1e3, 3),
+            "attrs": dict(self.attrs),
+        }
+
+
+class Trace:
+    """Collects the spans of one query."""
+
+    __slots__ = ("t0", "spans", "_depth")
+
+    def __init__(self):
+        self.t0 = perf_counter()
+        self.spans: list[Span] = []
+        self._depth = 0
+
+    def span(self, name: str, **attrs) -> Span:
+        """Open a span; use as a context manager to time and record it."""
+        span = Span(self, name, self._depth, attrs)
+        self._depth += 1
+        return span
+
+    def _close(self, span: Span) -> None:
+        self._depth -= 1
+        self.spans.append(span)
+
+    def as_dicts(self) -> list[dict]:
+        """Finished spans in completion order, JSON-serializable."""
+        return [span.as_dict() for span in self.spans]
+
+    def __len__(self) -> int:
+        return len(self.spans)

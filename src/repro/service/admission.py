@@ -23,8 +23,22 @@ import time
 from dataclasses import dataclass, field
 
 from repro.errors import Busy, ServiceClosed
+from repro.obs.metrics import LATENCY_BUCKETS, METRICS
 
 __all__ = ["AdmissionController", "Ticket", "BackoffPolicy", "retry_with_backoff"]
+
+_M_ADMITTED = METRICS.counter(
+    "service.admission.admitted", unit="requests", site="AdmissionController.admit"
+)
+_M_REJECTED = METRICS.counter(
+    "service.admission.rejected", unit="requests", site="AdmissionController.admit"
+)
+_H_WAIT = METRICS.histogram(
+    "service.admission.wait_seconds",
+    unit="seconds",
+    site="AdmissionController.admit (queued waits only)",
+    boundaries=LATENCY_BUCKETS,
+)
 
 #: Default per-class concurrency limits: many readers, one writer (the
 #: snapshot protocol is single-writer), one maintenance job at a time.
@@ -111,6 +125,8 @@ class AdmissionController:
                 return self._admit_locked(state, request_class)
             if wait_timeout <= 0 or state.waiting >= state.queue_depth:
                 state.rejected += 1
+                if METRICS.enabled:
+                    _M_REJECTED.inc()
                 raise Busy(
                     f"{request_class} limit reached "
                     f"({state.active}/{state.limit} active, "
@@ -123,6 +139,9 @@ class AdmissionController:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0 or self._closed:
                         state.rejected += 1
+                        if METRICS.enabled:
+                            _M_REJECTED.inc()
+                            _H_WAIT.observe(wait_timeout)
                         raise Busy(
                             f"{request_class} queue wait exceeded "
                             f"{wait_timeout:.3f}s; retry with backoff"
@@ -130,12 +149,16 @@ class AdmissionController:
                     self._freed.wait(remaining)
             finally:
                 state.waiting -= 1
+            if METRICS.enabled:
+                _H_WAIT.observe(wait_timeout - (deadline - time.monotonic()))
             return self._admit_locked(state, request_class)
 
     def _admit_locked(self, state: _ClassState, request_class: str) -> Ticket:
         state.active += 1
         state.admitted += 1
         state.peak = max(state.peak, state.active)
+        if METRICS.enabled:
+            _M_ADMITTED.inc()
         return Ticket(self, request_class)
 
     def _release(self, request_class: str) -> None:

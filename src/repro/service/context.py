@@ -44,6 +44,10 @@ class QueryContext:
         Ticks between clock reads (exposed for tests).
     clock:
         Monotonic clock, injectable for deterministic tests.
+    trace:
+        Optional :class:`~repro.obs.trace.Trace`; when set, the join and
+        path-query hot paths record timed spans into it.  ``None`` (the
+        default) keeps tracing at a single ``is None`` check per site.
     """
 
     __slots__ = (
@@ -55,6 +59,7 @@ class QueryContext:
         "max_result_rows",
         "max_stack_depth",
         "_cancelled",
+        "trace",
     )
 
     def __init__(
@@ -66,6 +71,7 @@ class QueryContext:
         max_stack_depth: int | None = None,
         check_every: int = _CHECK_EVERY,
         clock=time.monotonic,
+        trace=None,
     ):
         if timeout is not None and deadline is not None:
             raise ValueError("pass timeout or deadline, not both")
@@ -81,6 +87,7 @@ class QueryContext:
         self.max_result_rows = max_result_rows
         self.max_stack_depth = max_stack_depth
         self._cancelled: str | None = None
+        self.trace = trace
 
     # ------------------------------------------------------------------
     # introspection

@@ -42,6 +42,8 @@ from repro.errors import (
     ServiceClosed,
 )
 from repro.joins.stack_tree import AXIS_DESCENDANT, stack_tree_desc
+from repro.obs.metrics import METRICS
+from repro.obs.trace import Trace
 from repro.service.admission import AdmissionController
 from repro.service.breaker import CircuitBreaker
 from repro.service.context import QueryContext
@@ -54,6 +56,42 @@ from repro.service.pressure import (
 from repro.service.snapshot import EpochManager, Snapshot
 
 __all__ = ["ServiceConfig", "DatabaseService", "clean_segment_join", "log_is_clean"]
+
+# Service-level counters mirror the `_counters` dict (the dict stays the
+# in-process health() shape; the registry makes them part of the exported
+# metric catalogue alongside the structure-level instruments).
+_SERVICE_COUNTERS = {
+    "queries": METRICS.counter(
+        "service.queries", unit="queries", site="DatabaseService.read"
+    ),
+    "writes": METRICS.counter(
+        "service.writes", unit="ops", site="DatabaseService._write"
+    ),
+    "deadline_aborts": METRICS.counter(
+        "service.deadline_aborts", unit="queries", site="DatabaseService.read"
+    ),
+    "resource_aborts": METRICS.counter(
+        "service.resource_aborts", unit="queries", site="DatabaseService.read"
+    ),
+    "fast_path_joins": METRICS.counter(
+        "service.fast_path_joins", unit="joins", site="DatabaseService.join"
+    ),
+    "lazy_joins": METRICS.counter(
+        "service.lazy_joins", unit="joins", site="DatabaseService.join"
+    ),
+    "writes_shed_degraded": METRICS.counter(
+        "service.writes_shed", unit="ops", site="DatabaseService._write"
+    ),
+    "maintenance_runs": METRICS.counter(
+        "service.maintenance.runs", unit="ops", site="DatabaseService._maintenance_op"
+    ),
+    "maintenance_failures": METRICS.counter(
+        "service.maintenance.failures", unit="ops", site="DatabaseService._maintenance_op"
+    ),
+    "replica_rebuilds": METRICS.counter(
+        "service.replica_rebuilds", unit="rebuilds", site="DatabaseService._publish"
+    ),
+}
 
 
 @dataclass(frozen=True)
@@ -200,6 +238,12 @@ class DatabaseService:
             "replica_rebuilds": 0,
         }
 
+    def _count(self, key: str) -> None:
+        """Bump a service counter in both the dict and the registry."""
+        self._counters[key] += 1
+        if METRICS.enabled:
+            _SERVICE_COUNTERS[key].inc()
+
     # ------------------------------------------------------------------
     # contexts & snapshots
 
@@ -238,12 +282,12 @@ class DatabaseService:
                 try:
                     result = fn(snap.db, ctx)
                 except DeadlineExceeded:
-                    self._counters["deadline_aborts"] += 1
+                    self._count("deadline_aborts")
                     raise
                 except ResourceExhausted:
-                    self._counters["resource_aborts"] += 1
+                    self._count("resource_aborts")
                     raise
-                self._counters["queries"] += 1
+                self._count("queries")
                 return result
 
     def query(self, expression: str, *, bindings: bool = False, context=None,
@@ -277,9 +321,9 @@ class DatabaseService:
         def run(db, ctx):
             if algorithm == "auto":
                 if log_is_clean(db):
-                    self._counters["fast_path_joins"] += 1
+                    self._count("fast_path_joins")
                     return clean_segment_join(db, tag_a, tag_d, axis, context=ctx)
-                self._counters["lazy_joins"] += 1
+                self._count("lazy_joins")
                 return db.structural_join(
                     tag_a, tag_d, axis, algorithm="lazy", context=ctx, **options
                 )
@@ -288,6 +332,36 @@ class DatabaseService:
             )
 
         return self.read(run, context=context, wait_timeout=wait_timeout)
+
+    # ------------------------------------------------------------------
+    # tracing
+
+    def trace_query(self, expression: str, *, bindings: bool = False,
+                    wait_timeout=None):
+        """Run :meth:`query` with span tracing; returns ``(result, spans)``.
+
+        ``spans`` is the trace's span list as JSON-serializable dicts (see
+        :mod:`repro.obs.trace` for the format), covering the path query and
+        every per-step join it ran.
+        """
+        trace = Trace()
+        context = self.make_context(trace=trace)
+        result = self.query(
+            expression, bindings=bindings, context=context,
+            wait_timeout=wait_timeout,
+        )
+        return result, trace.as_dicts()
+
+    def trace_join(self, tag_a: str, tag_d: str, axis: str = AXIS_DESCENDANT,
+                   *, algorithm: str = "lazy", wait_timeout=None, **options):
+        """Run :meth:`join` with span tracing; returns ``(result, spans)``."""
+        trace = Trace()
+        context = self.make_context(trace=trace)
+        result = self.join(
+            tag_a, tag_d, axis, algorithm=algorithm, context=context,
+            wait_timeout=wait_timeout, **options,
+        )
+        return result, trace.as_dicts()
 
     # ------------------------------------------------------------------
     # writes (single writer)
@@ -327,7 +401,7 @@ class DatabaseService:
             and self.config.shed_writes_when_degraded
             and self.is_degraded
         ):
-            self._counters["writes_shed_degraded"] += 1
+            self._count("writes_shed_degraded")
             raise Busy(
                 "service is degraded (pressure critical, maintenance "
                 "circuit open); writes are shed until the log drains"
@@ -337,7 +411,7 @@ class DatabaseService:
             with self._writer_lock:
                 result = self._apply_primary(op)
                 self._publish([op])
-                self._counters["writes"] += 1
+                self._count("writes")
                 if request_class == "write":
                     self._after_write()
         return result
@@ -382,7 +456,7 @@ class DatabaseService:
         try:
             self._epochs.publish(ops)
         except Exception:
-            self._counters["replica_rebuilds"] += 1
+            self._count("replica_rebuilds")
             old = self._epochs
             self._epochs = EpochManager(
                 self._base, drain_timeout=self.config.drain_timeout
@@ -402,9 +476,19 @@ class DatabaseService:
             self.run_maintenance()
 
     def check_pressure(self) -> PressureReport:
-        """Sample pressure on the authoritative log (no maintenance run)."""
+        """Sample pressure on the authoritative log (no maintenance run).
+
+        Reads the dimensions from the metrics registry's ``log.*`` gauges
+        (published incrementally by the observed primary) when metrics are
+        enabled, falling back to the structures' O(1) trackers otherwise —
+        either way, no ER-tree or tag-list walk.
+        """
         with self._writer_lock:
-            report = self._monitor.sample(self._base)
+            if METRICS.enabled:
+                self._base.log.publish_gauges()
+            report = self._monitor.sample(
+                self._base, from_registry=METRICS.enabled
+            )
         self._last_pressure = report
         return report
 
@@ -437,13 +521,13 @@ class DatabaseService:
                 op, wait_timeout=wait_timeout, request_class="maintenance"
             )
 
-        self._counters["maintenance_runs"] += 1
+        self._count("maintenance_runs")
         try:
             return self._breaker.call(attempt)
         except CircuitOpenError:
             raise
         except Exception:
-            self._counters["maintenance_failures"] += 1
+            self._count("maintenance_failures")
             raise
 
     @property
@@ -510,9 +594,12 @@ class DatabaseService:
         }
 
     def stats(self) -> dict:
-        """Alias for :meth:`health` minus derived status (CLI `stats`)."""
+        """:meth:`health` minus derived status, plus the full metric
+        snapshot and catalogue from the registry (CLI/shell ``stats``)."""
         health = self.health()
         health.pop("status", None)
+        health["metrics"] = METRICS.snapshot()
+        health["metric_catalogue"] = METRICS.catalogue()
         return health
 
     def _ensure_open(self) -> None:

@@ -15,6 +15,8 @@ Commands::
     join <anc> <desc> [algorithm]    structural join (default: auto)
     insert <position|end> <xml...>   insert the rest of the line
     remove <position> <length>       remove a character span
+    trace query <path-expression>    run a query, print per-span timings
+    trace join <anc> <desc> [algo]   run a join, print per-span timings
     repack <sid> | compact           breaker-guarded maintenance
     maintain                         sample pressure, run the plan
     pressure | health | stats        JSON status output
@@ -32,7 +34,9 @@ __all__ = ["ServiceShell"]
 
 _HELP = (
     "commands: query <expr> | join <anc> <desc> [algo] | "
-    "insert <pos|end> <xml> | remove <pos> <len> | repack <sid> | compact | "
+    "insert <pos|end> <xml> | remove <pos> <len> | "
+    "trace query <expr> | trace join <anc> <desc> [algo] | "
+    "repack <sid> | compact | "
     "maintain | pressure | health | stats | help | quit"
 )
 
@@ -115,6 +119,31 @@ class ServiceShell:
             raise ValueError("remove needs: <position> <length>")
         outcome = self.service.remove(int(parts[0]), int(parts[1]))
         self._print(f"ok removed {outcome.elements_removed} element record(s)")
+
+    def _cmd_trace(self, rest: str) -> None:
+        kind, _, spec = rest.partition(" ")
+        kind = kind.lower()
+        spec = spec.strip()
+        if kind == "query":
+            if not spec:
+                raise ValueError("trace query needs a path expression")
+            result, spans = self.service.trace_query(spec)
+            self._print(f"ok {len(result)} match(es), {len(spans)} span(s)")
+        elif kind == "join":
+            parts = spec.split()
+            if len(parts) not in (2, 3):
+                raise ValueError(
+                    "trace join needs: <ancestor> <descendant> [algorithm]"
+                )
+            algorithm = parts[2] if len(parts) == 3 else "lazy"
+            result, spans = self.service.trace_join(
+                parts[0], parts[1], algorithm=algorithm
+            )
+            self._print(f"ok {len(result)} pair(s), {len(spans)} span(s)")
+        else:
+            raise ValueError("trace needs: query <expr> | join <anc> <desc>")
+        for span in spans:
+            self._print("  " + json.dumps(span, sort_keys=True))
 
     def _cmd_repack(self, rest: str) -> None:
         if not rest:

@@ -37,8 +37,19 @@ from repro import storage
 from repro.core.database import LazyXMLDatabase
 from repro.durability.recovery import apply_op
 from repro.errors import ServiceClosed
+from repro.obs.metrics import METRICS
 
 __all__ = ["EpochManager", "Snapshot"]
+
+_M_PUBLISHES = METRICS.counter(
+    "service.epoch.publishes", unit="epochs", site="EpochManager.publish"
+)
+_M_DRAIN_WAITS = METRICS.counter(
+    "service.epoch.drain_waits", unit="waits", site="EpochManager._take_spare_locked"
+)
+_M_CLONE_FALLBACKS = METRICS.counter(
+    "service.epoch.clone_fallbacks", unit="clones", site="EpochManager._take_spare_locked"
+)
 
 
 class _Buffer:
@@ -127,6 +138,10 @@ class EpochManager:
 
     def _seed_clone(self, db: LazyXMLDatabase) -> LazyXMLDatabase:
         replica = self._clone(db)
+        # Replicas replay ops the observed primary already counted;
+        # mutation-path metrics must not see them twice.
+        if hasattr(replica, "set_observed"):
+            replica.set_observed(False)
         replica.prepare_for_query()
         return replica
 
@@ -187,6 +202,8 @@ class EpochManager:
             self._current = spare
             self._spares.append(retiring)
             self._publishes += 1
+            if METRICS.enabled:
+                _M_PUBLISHES.inc()
             self._truncate_ops_locked()
             return spare.epoch
 
@@ -198,6 +215,8 @@ class EpochManager:
         if spare.pins == 0:
             return spare
         self._drain_waits += 1
+        if METRICS.enabled:
+            _M_DRAIN_WAITS.inc()
         deadline = time.monotonic() + self._drain_timeout
         while spare.pins:
             remaining = deadline - time.monotonic()
@@ -206,6 +225,8 @@ class EpochManager:
                 # garbage-collected when the reader releases) and report
                 # that a fresh clone is needed.
                 self._clone_fallbacks += 1
+                if METRICS.enabled:
+                    _M_CLONE_FALLBACKS.inc()
                 return None
             self._drained.wait(remaining)
         return spare
@@ -217,7 +238,10 @@ class EpochManager:
             if self._current is None:
                 raise ServiceClosed("epoch manager is closed")
             source = self._current
-        buffer = _Buffer(self._clone(source.db), applied_upto=source.applied_upto)
+        replica = self._clone(source.db)
+        if hasattr(replica, "set_observed"):
+            replica.set_observed(False)
+        buffer = _Buffer(replica, applied_upto=source.applied_upto)
         self._clones += 1
         return buffer
 

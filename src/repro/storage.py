@@ -185,6 +185,9 @@ def loads(data: str) -> LazyXMLDatabase:
     db = LazyXMLDatabase(
         mode=payload["mode"], keep_text=payload["keep_text"]
     )
+    # Reconstruction is not an update: suppress mutation-path metrics while
+    # the structures are rebuilt (restored below).
+    db.set_observed(False)
     if db._keep_text:
         db._text = payload["text"] or ""
     for name in payload["tags"]:
@@ -218,6 +221,7 @@ def loads(data: str) -> LazyXMLDatabase:
         node._tombstones = [tuple(t) for t in entry["tombstones"]]
         parent.children.append(node)
         ertree._nodes[sid] = node
+        ertree._track_add(node)
         nodes[sid] = node
         db.log.sbtree.on_add(node)
         records = [tuple(record) for record in entry["records"]]
@@ -231,6 +235,7 @@ def loads(data: str) -> LazyXMLDatabase:
     for node in nodes.values():
         node.children.sort(key=lambda child: child.gp)
     ertree._next_sid = payload.get("next_sid", max(nodes) + 1)
+    db.set_observed(True)
     return db
 
 

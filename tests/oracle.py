@@ -1,0 +1,202 @@
+"""A naive re-parse reference implementation for differential testing.
+
+:class:`ReferenceDatabase` is the "obviously correct" baseline the lazy
+store is measured against: the super document is one plain string, every
+update is a string splice, and every query is answered by re-parsing the
+whole text from scratch.  No ER-tree, no tombstones, no update log —
+nothing to get wrong beyond the parser itself, which both sides share.
+
+:func:`replay_random_sequence` drives a :class:`LazyXMLDatabase` and a
+reference through the same seeded random insert/remove sequence, choosing
+only operations the paper's update model allows:
+
+- inserts of well-formed fragments (via :mod:`repro.workloads.generator`)
+  at *safe* positions — anywhere in the super document that is not
+  strictly inside a tag;
+- removals of whole segments (the span a live segment currently occupies)
+  and of whole elements (an element's current global span).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.database import LazyXMLDatabase
+from repro.core.ertree import DUMMY_ROOT_SID
+from repro.workloads.generator import generate_fragment, tag_pool
+from repro.xml.parser import parse_fragment
+
+__all__ = [
+    "ReferenceDatabase",
+    "ReplayResult",
+    "replay_random_sequence",
+    "safe_insert_positions",
+]
+
+_WRAPPER = "__oracle__"
+
+
+class ReferenceDatabase:
+    """The string-splice + full-re-parse reference."""
+
+    def __init__(self):
+        self.text = ""
+
+    # -- updates (string splices) --------------------------------------
+
+    def insert(self, fragment: str, position: int | None = None) -> None:
+        if position is None:
+            position = len(self.text)
+        self.text = self.text[:position] + fragment + self.text[position:]
+
+    def remove(self, position: int, length: int) -> None:
+        self.text = self.text[:position] + self.text[position + length:]
+
+    # -- queries (full re-parse) ---------------------------------------
+
+    def _parse(self):
+        return parse_fragment(f"<{_WRAPPER}>{self.text}</{_WRAPPER}>")
+
+    def elements(self, tag: str) -> list[tuple[int, int]]:
+        """Global ``(start, end)`` spans of every ``tag`` element, sorted."""
+        shift = len(_WRAPPER) + 2
+        spans = [
+            (e.start - shift, e.end - shift)
+            for e in self._parse().elements
+            if e.tag == tag
+        ]
+        spans.sort()
+        return spans
+
+    def tag_counts(self) -> Counter:
+        counts = Counter(e.tag for e in self._parse().elements)
+        del counts[_WRAPPER]
+        return counts
+
+    def join(
+        self, tag_a: str, tag_d: str, axis: str = "descendant"
+    ) -> list[tuple[tuple[int, int], tuple[int, int]]]:
+        """Ground-truth structural join as sorted global-span pairs."""
+        shift = len(_WRAPPER) + 2
+        pairs = []
+        for anc in self._parse().elements:
+            if anc.tag != tag_a or anc.tag == _WRAPPER:
+                continue
+            targets = (
+                anc.descendants() if axis == "descendant" else anc.children
+            )
+            for desc in targets:
+                if desc.tag == tag_d:
+                    pairs.append(
+                        (
+                            (anc.start - shift, anc.end - shift),
+                            (desc.start - shift, desc.end - shift),
+                        )
+                    )
+        pairs.sort()
+        return pairs
+
+
+def safe_insert_positions(text: str) -> list[int]:
+    """Every position in ``[0, len]`` that is not strictly inside a tag.
+
+    Inserting a well-formed fragment at such a position keeps the super
+    document well-formed: the splice lands in character data or between
+    markup, never mid-``<tag>``.
+    """
+    out = [0]
+    in_tag = False
+    for i, ch in enumerate(text):
+        if ch == "<":
+            in_tag = True
+        elif ch == ">":
+            in_tag = False
+        if not in_tag:
+            out.append(i + 1)
+    return out
+
+
+@dataclass
+class ReplayResult:
+    """What one seeded replay produced (both sides, plus an op trace)."""
+
+    db: LazyXMLDatabase
+    reference: ReferenceDatabase
+    tags: list[str]
+    inserts: int = 0
+    removes: int = 0
+    ops: list[str] = field(default_factory=list)
+
+
+def _random_removal(
+    db: LazyXMLDatabase, rng: random.Random, tags: list[str]
+) -> tuple[int, int] | None:
+    """Pick a removable span: a whole live segment or a whole element."""
+    if rng.random() < 0.5:
+        sids = [
+            node.sid
+            for node in db.log.ertree.nodes()
+            if node.sid != DUMMY_ROOT_SID
+        ]
+        if sids:
+            node = db.log.node(rng.choice(sids))
+            return node.gp, node.length
+    tag = rng.choice(tags)
+    spans = [(e.start, e.end) for e in db.global_elements(tag)]
+    if not spans:
+        return None
+    start, end = rng.choice(spans)
+    return start, end - start
+
+
+def replay_random_sequence(
+    seed: int,
+    *,
+    n_ops: int = 8,
+    n_tags: int = 4,
+    fragment_elements: int = 6,
+) -> ReplayResult:
+    """Apply one seeded random update sequence to both implementations.
+
+    Roughly two thirds of the operations are inserts (so the document
+    grows and joins stay non-trivial); the rest remove a whole segment or
+    a whole element.  Operations the model forbids are simply not
+    generated, so every op must succeed on the lazy side — a rejection is
+    a test failure, not a skip.
+    """
+    rng = random.Random(seed)
+    tags = tag_pool(n_tags)
+    db = LazyXMLDatabase()
+    ref = ReferenceDatabase()
+    result = ReplayResult(db=db, reference=ref, tags=tags)
+
+    seed_fragment = generate_fragment(
+        fragment_elements, tags, rng=rng, max_depth=4
+    )
+    db.insert(seed_fragment)
+    ref.insert(seed_fragment)
+    result.inserts += 1
+    result.ops.append(f"insert seed len={len(seed_fragment)}")
+
+    for step in range(n_ops):
+        removal = None
+        if rng.random() < 0.35 and db.document_length:
+            removal = _random_removal(db, rng, tags)
+        if removal is not None:
+            position, length = removal
+            db.remove(position, length)
+            ref.remove(position, length)
+            result.removes += 1
+            result.ops.append(f"remove [{position}, {position + length})")
+        else:
+            fragment = generate_fragment(
+                1 + rng.randrange(fragment_elements), tags, rng=rng, max_depth=4
+            )
+            position = rng.choice(safe_insert_positions(ref.text))
+            db.insert(fragment, position)
+            ref.insert(fragment, position)
+            result.inserts += 1
+            result.ops.append(f"insert at {position} len={len(fragment)}")
+    return result

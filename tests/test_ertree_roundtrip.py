@@ -1,0 +1,170 @@
+"""Round-trip properties of ``ERNode.to_local``/``to_global`` under
+tombstones.
+
+The virtual↔actual coordinate mapping is what keeps immutable element
+labels exact across partial removals (DESIGN.md, "virtual coordinates").
+Its contract, verified here exhaustively for small coordinates and by
+hypothesis for random tombstone/child layouts:
+
+- ``to_local(to_global(x))`` returns the **minimal preimage** of
+  ``to_global(x)`` under the default (``count_ties=True``) reading: the
+  smallest virtual ``y`` with the same actual offset.  Where the map is
+  injective this is the identity; where a tombstone collapses onto one
+  actual point it is the hole's start;
+- for *clean* coordinates — not touching any tombstone interval and not
+  a child's insertion point — the two tie conventions agree and the
+  round trip is the exact identity.  These are the coordinates element
+  labels actually use: offsets into surviving, un-spliced text;
+- ``to_global`` is monotone and stays inside the segment's actual span
+  under both conventions;
+- for a childless segment the closed form is exactly: ``x`` outside
+  every tombstone's ``(start, end]``, the hole start inside it.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ertree import DUMMY_ROOT_SID, ERTree
+
+
+def closed_form(node, x: int) -> int:
+    """The childless-segment answer: collapse ``(start, end]`` to start."""
+    for t_start, t_end in node.tombstones():
+        if t_start < x <= t_end:
+            return t_start
+    return x
+
+
+def is_clean(node, x: int) -> bool:
+    """True when ``x`` touches no tombstone interval and no child lp."""
+    for t_start, t_end in node.tombstones():
+        if t_start <= x <= t_end:
+            return False
+    return all(child.lp != x for child in node.children)
+
+
+def assert_roundtrip(node) -> None:
+    """Check the full contract over every virtual coordinate of ``node``.
+
+    Precomputes both ``to_global`` images; ``list.index`` then finds the
+    minimal preimage (monotonicity makes the first equal image the
+    minimum).
+    """
+    top = node.virtual_own_length()
+    images_t = [node.to_global(x) for x in range(top + 1)]
+    images_f = [
+        node.to_global(x, count_ties=False) for x in range(top + 1)
+    ]
+    for x in range(top + 1):
+        for label, images in (("ties", images_t), ("no-ties", images_f)):
+            g = images[x]
+            assert node.gp <= g <= node.end, (node, x, label)
+            if x:
+                assert g >= images[x - 1], (
+                    f"to_global ({label}) not monotone at {x} on {node}"
+                )
+        # Default reading: to_local inverts to the minimal preimage.
+        assert node.to_local(images_t[x]) == images_t.index(images_t[x]), (
+            node, x, node.tombstones(),
+        )
+        # Clean coordinates: conventions agree and the round trip is exact.
+        if is_clean(node, x):
+            assert images_t[x] == images_f[x], (node, x)
+            assert node.to_local(images_f[x]) == x, (
+                node, x, node.tombstones(),
+            )
+    if not node.children:
+        for x in range(top + 1):
+            assert node.to_local(images_t[x]) == closed_form(node, x), (
+                node, x, node.tombstones(),
+            )
+
+
+class TestSingleTombstoneExhaustive:
+    """Every (start, length) partial removal of a small segment."""
+
+    @pytest.mark.parametrize("length", [4, 7, 10])
+    def test_all_single_removals(self, length):
+        for start in range(length):
+            for rlen in range(1, length - start):
+                tree = ERTree()
+                node = tree.add_segment(0, length)
+                tree.remove_span(start, rlen)
+                assert node.tombstones() == [(start, start + rlen)]
+                assert node.virtual_own_length() == length
+                assert_roundtrip(node)
+                tree.check_invariants()
+
+    def test_two_disjoint_tombstones(self):
+        length = 12
+        for s1 in range(0, 4):
+            for s2 in range(6, 10):
+                tree = ERTree()
+                node = tree.add_segment(0, length)
+                tree.remove_span(s2, 2)  # right hole first: stable offsets
+                tree.remove_span(s1, 2)
+                assert node.tombstones() == [(s1, s1 + 2), (s2, s2 + 2)]
+                assert_roundtrip(node)
+
+    def test_adjacent_tombstones_merge(self):
+        tree = ERTree()
+        node = tree.add_segment(0, 10)
+        tree.remove_span(2, 2)
+        tree.remove_span(2, 2)  # actual [2,4) again: virtual [4,6)
+        assert node.tombstones() == [(2, 6)]
+        assert_roundtrip(node)
+
+
+class TestWithChildren:
+    """Round-trip with child segments at and around tombstones."""
+
+    def test_child_at_tombstone_collapse_point(self):
+        tree = ERTree()
+        node = tree.add_segment(0, 10)
+        tree.remove_span(4, 3)      # virtual hole [4, 7)
+        tree.add_segment(4, 5)      # child inserted exactly at the collapse
+        assert node.tombstones() == [(4, 7)]
+        assert_roundtrip(node)
+
+    def test_tie_positions_differ_only_by_children(self):
+        tree = ERTree()
+        node = tree.add_segment(0, 10)
+        tree.add_segment(6, 4)
+        # At the child's lp the two tie readings straddle the child text.
+        assert node.to_global(6, count_ties=True) - node.to_global(
+            6, count_ties=False
+        ) == 4
+        assert_roundtrip(node)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.data())
+def test_random_layout_roundtrip(data):
+    """Random interleavings of inserts and removals, checked on every
+    surviving node."""
+    tree = ERTree()
+    tree.add_segment(0, data.draw(st.integers(6, 20), label="root_len"))
+    n_ops = data.draw(st.integers(1, 8), label="n_ops")
+    for i in range(n_ops):
+        total = tree.total_length
+        if total > 2 and data.draw(st.booleans(), label=f"op{i}_is_remove"):
+            start = data.draw(
+                st.integers(0, total - 2), label=f"op{i}_start"
+            )
+            length = data.draw(
+                st.integers(1, min(6, total - 1 - start)), label=f"op{i}_len"
+            )
+            tree.remove_span(start, length)
+        else:
+            position = data.draw(st.integers(0, total), label=f"op{i}_pos")
+            tree.add_segment(position, data.draw(
+                st.integers(1, 8), label=f"op{i}_seglen"
+            ))
+    tree.check_invariants()
+    for node in tree.nodes():
+        if node.sid == DUMMY_ROOT_SID:
+            continue
+        assert_roundtrip(node)
