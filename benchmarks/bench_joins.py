@@ -1,0 +1,205 @@
+"""Compiled read path: warm-cache vs uncached Lazy-Join envelopes.
+
+Times the same structural-join workloads the figure benchmarks use —
+fig12's cross-join mix, fig13's chopped spine document and fig14's XMark
+query set — twice each: once with the read-path cache disabled (the
+``REPRO_READPATH_CACHE=0`` kill-switch behaviour: every join recompiles
+its segment lists and element arrays) and once warm (cache enabled, first
+call compiles, the measured calls hit).  Records per-workload speedups and
+the cache hit/miss counters into ``BENCH_joins.json``.
+
+Two query classes are measured per workload:
+
+- the canonical ``A//D`` query of the figure (output-emission-heavy for
+  some workloads, so the compile savings are diluted by pair building);
+- the reversed ``D//A`` query, which yields no pairs — a pure scan where
+  the measured cost *is* the read path, the regime updates-then-queries
+  services live in when most probes miss.
+
+Run:  python benchmarks/bench_joins.py [--smoke]
+
+``--smoke`` shrinks the workloads to seconds-total for the CI perf-smoke
+job and writes to ``BENCH_joins.smoke.json`` instead.
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+from pathlib import Path
+
+from repro.bench.experiments import _xmark_chop_ops, spine_document
+from repro.bench.harness import Table, measure, write_envelope
+from repro.core.database import LazyXMLDatabase
+from repro.core.join import JoinStatistics
+from repro.workloads.chopper import apply_chop, chop_text
+from repro.workloads.join_mix import build_join_mix, sweep_configs
+from repro.workloads.xmark import XMARK_QUERIES, XMarkConfig, generate_site
+
+_MS = 1e3
+
+
+def _time_both(db: LazyXMLDatabase, queries, repeat: int) -> dict:
+    """Best-of-``repeat`` uncached / compiled / warm times per query.
+
+    ``queries`` is a list of (label, tag_a, tag_d).  Three regimes:
+
+    - ``uncached``: cache disabled (the kill-switch path) — every call
+      recompiles segment lists and element arrays from the structures;
+    - ``compiled``: cache enabled but the join-result memo bypassed (by
+      passing a statistics collector), so the merge re-runs each call over
+      memoized compiled artifacts — the steady state after *any* update
+      touching either tag;
+    - ``warm``: fully warm, result-memo hits — the steady state of
+      repeated identical queries between updates.
+    """
+    out = {}
+    for label, tag_a, tag_d in queries:
+        db.readpath.disable()
+        t_off = measure(lambda: db.structural_join(tag_a, tag_d), repeat=repeat)
+        db.readpath.enable()
+        pairs = len(db.structural_join(tag_a, tag_d))  # compile pass
+        t_compiled = measure(
+            lambda: db.structural_join(tag_a, tag_d, stats=JoinStatistics()),
+            repeat=repeat,
+        )
+        t_on = measure(lambda: db.structural_join(tag_a, tag_d), repeat=repeat)
+        out[label] = {
+            "query": f"{tag_a}//{tag_d}",
+            "pairs": pairs,
+            "uncached_ms": t_off * _MS,
+            "compiled_ms": t_compiled * _MS,
+            "warm_ms": t_on * _MS,
+            "speedup_compiled": t_compiled and t_off / t_compiled,
+            "speedup": t_off / t_on if t_on > 0 else float("inf"),
+        }
+    return out
+
+
+def bench_fig12(smoke: bool) -> tuple[Table, dict, list[float]]:
+    """Fig12 join-mix workloads across cross-join fractions."""
+    n_segments = 20 if smoke else 50
+    fractions = [0.5] if smoke else [0.0, 0.5, 1.0]
+    repeat = 2 if smoke else 5
+    table = Table(
+        "fig12 join mix — warm vs uncached",
+        ["shape", "fraction", "query", "pairs", "uncached_ms", "compiled_ms",
+         "warm_ms", "speedup_compiled", "speedup"],
+    )
+    results: dict = {}
+    ad_speedups: list[float] = []
+    for shape in ("nested", "balanced"):
+        for fraction in fractions:
+            config = sweep_configs(n_segments, shape, [fraction])[0]
+            db = LazyXMLDatabase(keep_text=False)
+            build_join_mix(db, config)
+            timed = _time_both(
+                db, [("a_d", "a", "d"), ("d_a", "d", "a")], repeat
+            )
+            key = f"{shape}/{fraction}"
+            results[key] = timed
+            results[key]["cache"] = db.readpath.stats()
+            ad_speedups.append(timed["a_d"]["speedup"])
+            for label in ("a_d", "d_a"):
+                r = timed[label]
+                table.add_row(
+                    [shape, fraction, r["query"], r["pairs"],
+                     r["uncached_ms"], r["compiled_ms"], r["warm_ms"],
+                     r["speedup_compiled"], r["speedup"]]
+                )
+    return table, results, ad_speedups
+
+
+def bench_fig13(smoke: bool) -> tuple[Table, dict, list[float]]:
+    """Fig13 chopped spine document across segment counts."""
+    depth = 60 if smoke else 200
+    counts = [20] if smoke else [40, 160]
+    repeat = 2 if smoke else 5
+    text = spine_document(depth, 3)
+    table = Table(
+        "fig13 spine — warm vs uncached",
+        ["shape", "segments", "query", "pairs", "uncached_ms", "compiled_ms",
+         "warm_ms", "speedup_compiled", "speedup"],
+    )
+    results: dict = {}
+    ad_speedups: list[float] = []
+    for shape in ("nested", "balanced"):
+        for count in counts:
+            db, _ = chop_text(text, count, shape)
+            timed = _time_both(
+                db, [("t0_t1", "t0", "t1"), ("t1_t0", "t1", "t0")], repeat
+            )
+            key = f"{shape}/{count}"
+            results[key] = timed
+            results[key]["cache"] = db.readpath.stats()
+            ad_speedups.append(timed["t0_t1"]["speedup"])
+            for label in ("t0_t1", "t1_t0"):
+                r = timed[label]
+                table.add_row(
+                    [shape, count, r["query"], r["pairs"],
+                     r["uncached_ms"], r["compiled_ms"], r["warm_ms"],
+                     r["speedup_compiled"], r["speedup"]]
+                )
+    return table, results, ad_speedups
+
+
+def bench_fig14(smoke: bool) -> tuple[Table, dict]:
+    """Fig14 XMark query set on a chopped site document."""
+    scale = 0.01 if smoke else 0.05
+    n_segments = 30 if smoke else 100
+    repeat = 2 if smoke else 5
+    text = generate_site(XMarkConfig(scale=scale, seed=7)).to_xml()
+    db = LazyXMLDatabase(keep_text=False)
+    apply_chop(db, _xmark_chop_ops(text, n_segments))
+    queries = [(qid, a, d) for qid, a, d in XMARK_QUERIES]
+    timed = _time_both(db, queries, repeat)
+    timed_extra = _time_both(db, [("Q1r", "phone", "person")], repeat)
+    timed.update(timed_extra)
+    table = Table(
+        "fig14 XMark — warm vs uncached",
+        ["query_id", "query", "pairs", "uncached_ms", "compiled_ms",
+         "warm_ms", "speedup_compiled", "speedup"],
+    )
+    for qid, r in timed.items():
+        table.add_row(
+            [qid, r["query"], r["pairs"], r["uncached_ms"], r["compiled_ms"],
+             r["warm_ms"], r["speedup_compiled"], r["speedup"]]
+        )
+    timed["cache"] = db.readpath.stats()
+    return table, timed
+
+
+def main() -> None:
+    smoke = "--smoke" in sys.argv
+    t12, r12, ad12 = bench_fig12(smoke)
+    t13, r13, ad13 = bench_fig13(smoke)
+    t14, r14 = bench_fig14(smoke)
+    for table in (t12, t13, t14):
+        table.print()
+    ad_speedups = ad12 + ad13
+    summary = {
+        "ad_speedup_min": min(ad_speedups),
+        "ad_speedup_median": statistics.median(ad_speedups),
+        "ad_speedup_max": max(ad_speedups),
+        "meets_2x_warm_target": min(ad_speedups) >= 2.0,
+    }
+    print(f"[bench_joins] A//D warm speedups: min {summary['ad_speedup_min']:.2f}x, "
+          f"median {summary['ad_speedup_median']:.2f}x, "
+          f"max {summary['ad_speedup_max']:.2f}x")
+    name = "BENCH_joins.smoke.json" if smoke else "BENCH_joins.json"
+    write_envelope(
+        Path(__file__).resolve().parent.parent / name,
+        "joins_readpath",
+        params={"smoke": smoke, "repeat": 2 if smoke else 5},
+        tables=[t12, t13, t14],
+        results={
+            "fig12": r12,
+            "fig13": r13,
+            "fig14": r14,
+            "summary": summary,
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

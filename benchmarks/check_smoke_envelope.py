@@ -1,0 +1,60 @@
+"""CI gate for the perf-smoke envelope (``BENCH_joins.smoke.json``).
+
+Validates what the perf-smoke job needs beyond "the script exited 0":
+
+- the envelope carries the current ``repro-bench/2`` schema with every
+  required section present;
+- each workload recorded its read-path cache counters and the measured
+  (second-and-later) passes actually hit the cache — a zero hit count
+  means the memo keys broke and every "warm" number silently measured
+  recompilation;
+- the summary's A//D warm speedups exist and are positive.
+
+Usage:  python benchmarks/check_smoke_envelope.py [path]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REQUIRED_KEYS = {
+    "schema", "benchmark", "params", "tables", "sweeps", "results", "metrics",
+}
+SCHEMA = "repro-bench/2"
+
+
+def check(path: Path) -> None:
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    assert doc.get("schema") == SCHEMA, f"schema {doc.get('schema')!r}"
+    missing = REQUIRED_KEYS - set(doc)
+    assert not missing, f"envelope missing sections: {sorted(missing)}"
+    assert doc["benchmark"] == "joins_readpath"
+
+    results = doc["results"]
+    caches = []
+    for fig in ("fig12", "fig13"):
+        for key, workload in results[fig].items():
+            cache = workload.get("cache")
+            assert cache is not None, f"{fig}/{key} recorded no cache stats"
+            caches.append((f"{fig}/{key}", cache))
+    caches.append(("fig14", results["fig14"]["cache"]))
+    for label, cache in caches:
+        assert cache["enabled"], f"{label}: cache was disabled"
+        assert cache["hits"] > 0, f"{label}: warm passes never hit the cache"
+
+    summary = results["summary"]
+    assert summary["ad_speedup_min"] > 0
+    print(
+        f"[check_smoke_envelope] OK: {len(caches)} workloads warm, "
+        f"A//D speedups {summary['ad_speedup_min']:.2f}x..."
+        f"{summary['ad_speedup_max']:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    target = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        __file__
+    ).resolve().parent.parent / "BENCH_joins.smoke.json"
+    check(target)

@@ -28,6 +28,7 @@ from typing import NamedTuple
 from repro.core.element_index import ElementIndex, ElementRecord
 from repro.core.ertree import ERNode, RemovalReport
 from repro.core.join import JoinPair, JoinStatistics, LazyJoiner
+from repro.core.readpath import ReadPathCache
 from repro.core.segment import DUMMY_ROOT_SID, SpanRelation, relate
 from repro.core.update_log import InsertReceipt, LogStats, UpdateLog
 from repro.errors import InvalidSegmentError, QueryError, XMLSyntaxError
@@ -79,7 +80,11 @@ class LazyXMLDatabase:
     def __init__(self, mode: str = "dynamic", *, keep_text: bool = True):
         self.log = UpdateLog(mode=mode)
         self.index = ElementIndex()
-        self._joiner = LazyJoiner(self.log, self.index)
+        # The compiled read path (version-keyed element-array / segment-list
+        # caches) is shared by every query executor on this database;
+        # REPRO_READPATH_CACHE=0 is the kill switch.
+        self.readpath = ReadPathCache(self.log, self.index)
+        self._joiner = LazyJoiner(self.log, self.index, self.readpath)
         self._keep_text = keep_text
         self._text: str = ""
         # Per-segment parsed element records (tid, start, end, abs level),
@@ -208,6 +213,7 @@ class LazyXMLDatabase:
         }
         self.index.remove_segment(receipt.sid, tids)
         self._segment_elements.pop(receipt.sid, None)
+        self.readpath.drop_segment(receipt.sid)
         self.log.ertree.remove_span(receipt.gp, receipt.length)
         for name, count in tag_counts.items():
             tid = self.log.tags.tid_of(name)
@@ -286,6 +292,9 @@ class LazyXMLDatabase:
             per_segment_counts[sid] = counts
             removed_elements += sum(counts.values())
             self._segment_elements.pop(sid, None)
+            # Version keys already make stale compiled entries unreachable;
+            # the eager drop just reclaims their memory (sids never return).
+            self.readpath.drop_segment(sid)
         for partial in report.partials:
             if partial.sid == DUMMY_ROOT_SID:
                 continue
@@ -511,6 +520,28 @@ class LazyXMLDatabase:
         """Cross-structure consistency, including the text mirror if kept."""
         self.log.check_invariants()
         self.index.check_invariants()
+        # The tag-list's incrementally maintained occurrence counts (what
+        # join planning and the compiled read path consume) must agree with
+        # the element index's authoritative B+-tree — probed here with the
+        # count_range/has_segment_tag scans the hot path no longer uses.
+        taglist = self.log.taglist
+        for tid in list(taglist.tids()):
+            total = 0
+            for entry in taglist._lists[tid]:
+                assert self.index.has_segment_tag(tid, entry.sid), (
+                    f"tag-list records tid {tid} in segment {entry.sid} "
+                    "but the element index has no such records"
+                )
+                indexed = self.index.count(tid, entry.sid)
+                assert indexed == entry.count, (
+                    f"tag-list count {entry.count} != indexed count "
+                    f"{indexed} for tid {tid} in segment {entry.sid}"
+                )
+                total += entry.count
+            assert taglist.total_count(tid) == total, (
+                f"tag-list running total {taglist.total_count(tid)} != "
+                f"entry sum {total} for tid {tid}"
+            )
         if self._keep_text:
             assert len(self._text) == self.log.document_length, (
                 "text mirror and ER-tree disagree on document length"

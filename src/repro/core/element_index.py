@@ -62,6 +62,18 @@ class ElementIndex:
         self._tree = BPlusTree(order=order)
         #: See ERTree.observed — cleared on EpochManager read replicas.
         self.observed = True
+        # Read-path version keys: one counter per segment, bumped exactly
+        # when that segment's recorded elements change.  The compiled
+        # element-array cache (repro.core.readpath) keys on these, so
+        # invalidation is O(touched segments), never a global flush.
+        self._versions: dict[int, int] = {}
+
+    def version(self, sid: int) -> int:
+        """Monotone counter of observable changes to ``sid``'s records."""
+        return self._versions.get(sid, 0)
+
+    def _bump(self, sid: int) -> None:
+        self._versions[sid] = self._versions.get(sid, 0) + 1
 
     def __len__(self) -> int:
         return len(self._tree)
@@ -90,6 +102,8 @@ class ElementIndex:
             self._tree.insert((tid, sid, start, end, base_level + level), None)
             counts[tid] += 1
             inserted += 1
+        if inserted:
+            self._bump(sid)
         if METRICS.enabled and self.observed:
             _M_INSERTED.inc(inserted)
         return counts
@@ -147,6 +161,8 @@ class ElementIndex:
                 self._tree.delete(key)
             if keys:
                 counts[tid] = len(keys)
+        if counts:
+            self._bump(sid)
         if METRICS.enabled and self.observed:
             _M_REMOVED.inc(sum(counts.values()))
         return counts
@@ -175,6 +191,8 @@ class ElementIndex:
                 self._tree.delete(key)
             if doomed:
                 counts[tid] = len(doomed)
+        if counts:
+            self._bump(sid)
         if METRICS.enabled and self.observed:
             _M_REMOVED.inc(sum(counts.values()))
         return counts

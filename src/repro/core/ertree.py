@@ -26,7 +26,7 @@ interval in that segment's *local* coordinate space.
 
 from __future__ import annotations
 
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from collections.abc import Iterator
 from dataclasses import dataclass, field
 
@@ -73,7 +73,10 @@ class ERNode:
     and deletion never re-parents survivors.
     """
 
-    __slots__ = ("sid", "gp", "length", "lp", "parent", "children", "path", "_tombstones")
+    __slots__ = (
+        "sid", "gp", "length", "lp", "parent", "children", "path",
+        "_tombstones", "_version", "_rp",
+    )
 
     def __init__(
         self,
@@ -90,6 +93,12 @@ class ERNode:
         self.parent = parent
         self.children: list[ERNode] = []
         self._tombstones: list[tuple[int, int]] = []
+        # Read-path version key: bumped whenever anything the compiled
+        # coordinate-mapping state depends on changes — own length, the
+        # child list, a child's length, tombstones.  Global position shifts
+        # do NOT bump it (nothing compiled depends on gp).
+        self._version = 0
+        self._rp: tuple | None = None  # memoized compiled state, see _compiled
         if parent is None:
             self.path: tuple[int, ...] = (sid,)
         else:
@@ -140,13 +149,56 @@ class ERNode:
         """Removed virtual intervals of this segment's own text (sorted)."""
         return list(self._tombstones)
 
+    def _touch(self) -> None:
+        """Invalidate the compiled read state (O(1): bump + drop)."""
+        self._version += 1
+        self._rp = None
+
+    def _compiled(self) -> tuple:
+        """Memoized read-path state, rebuilt lazily after :meth:`_touch`.
+
+        ``(events, child_lps, child_len_prefix, tomb_starts, tomb_ends,
+        tomb_removed_prefix)`` — everything :meth:`to_local` /
+        :meth:`to_global` need, precomputed once per version instead of
+        per call.  Nothing here depends on ``gp``, so global-position
+        shifts leave the compiled state valid.
+        """
+        rp = self._rp
+        if rp is None:
+            children = self.children
+            lps = [child.lp for child in children]
+            len_prefix = [0] * (len(children) + 1)
+            acc = 0
+            for i, child in enumerate(children):
+                acc += child.length
+                len_prefix[i + 1] = acc
+            t_starts = []
+            t_ends = []
+            removed_prefix = [0]
+            acc = 0
+            for t_start, t_end in self._tombstones:
+                t_starts.append(t_start)
+                t_ends.append(t_end)
+                acc += t_end - t_start
+                removed_prefix.append(acc)
+            rp = (
+                self._build_events(),
+                lps,
+                len_prefix,
+                t_starts,
+                t_ends,
+                removed_prefix,
+            )
+            self._rp = rp
+        return rp
+
     def _removed_before(self, virtual: int) -> int:
         """Virtual characters removed strictly before offset ``virtual``."""
-        removed = 0
-        for t_start, t_end in self._tombstones:
-            if t_start >= virtual:
-                break
-            removed += min(t_end, virtual) - t_start
+        _, _, _, t_starts, t_ends, removed_prefix = self._compiled()
+        idx = bisect_left(t_starts, virtual)
+        removed = removed_prefix[idx]
+        if idx and t_ends[idx - 1] > virtual:
+            removed -= t_ends[idx - 1] - virtual
         return removed
 
     def _add_tombstone(self, start: int, end: int) -> None:
@@ -217,23 +269,28 @@ class ERNode:
         the element's one-past-the-end position lies outside the element.
 
         Child lps are ascending in child order but not strictly (several
-        children may share an insertion point), so the scan cannot break
-        early on equality when ties are excluded.
+        children may share an insertion point), so ties are resolved by
+        bisect side: ``bisect_right`` counts them, ``bisect_left`` does not.
         """
         if not (0 <= local <= self.virtual_own_length()):
             raise InvalidSegmentError(
                 f"local offset {local} outside segment {self.sid} "
                 f"(virtual own length {self.virtual_own_length()})"
             )
-        offset = local - self._removed_before(local)
-        for child in self.children:
-            if child.lp < local or (count_ties and child.lp == local):
-                offset += child.length
-            elif child.lp > local:
-                break
-        return self.gp + offset
+        _, lps, len_prefix, t_starts, t_ends, removed_prefix = self._compiled()
+        idx = bisect_left(t_starts, local)
+        removed = removed_prefix[idx]
+        if idx and t_ends[idx - 1] > local:
+            removed -= t_ends[idx - 1] - local
+        offset = local - removed
+        cut = bisect_right(lps, local) if count_ties else bisect_left(lps, local)
+        return self.gp + offset + len_prefix[cut]
 
     def _events(self) -> list[tuple[int, str, int]]:
+        """Memoized :meth:`_build_events` (see :meth:`_compiled`)."""
+        return self._compiled()[0]
+
+    def _build_events(self) -> list[tuple[int, str, int]]:
         """Children and tombstones merged by virtual position.
 
         Children sort before a tombstone starting at the same virtual
@@ -448,24 +505,32 @@ class ERTree:
                 shifted += 1
 
         # Step 2: descend to the parent, growing ancestors on the way.
+        # Each grown ancestor's compiled read state depends on child
+        # lengths, so the whole chain is touched — O(depth), the
+        # "invalidation is O(touched structures)" contract.
         parent = self.root
         parent.length += length
+        parent._touch()
         while True:
             child = self._child_strictly_containing(parent, gp)
             if child is None:
                 break
             parent = child
             parent.length += length
+            parent._touch()
 
         # Step 3: splice the new leaf in, keeping children sorted by gp,
         # and compute its local position.  ``to_local`` implements
         # Definition 2 (subtract left-sibling lengths) generalized to
         # parents that lost characters to partial removals.
         new = ERNode(sid, gp=gp, length=length, lp=0, parent=parent)
+        # to_local above the insert compiles the parent's read state, so
+        # the child splice must re-touch it or the cache would miss ``new``.
         new.lp = parent.to_local(gp)
         gps = [c.gp for c in parent.children]
         idx = bisect_right(gps, gp)
         parent.children.insert(idx, new)
+        parent._touch()
         self._nodes[sid] = new
         self._track_add(new)
         if METRICS.enabled and self.observed:
@@ -539,6 +604,7 @@ class ERTree:
             report.partials.append(PartialRemoval(node.sid, local_start, local_end))
             node._add_tombstone(local_start, local_end)
         node.length -= rm_len
+        node._touch()
 
         surviving: list[ERNode] = []
         for child in node.children:
@@ -601,6 +667,7 @@ class ERTree:
         self._next_sid += 1
         new = ERNode(new_sid, gp=old.gp, length=old.length, lp=old.lp, parent=parent)
         parent.children[parent.children.index(old)] = new
+        parent._touch()
         self._nodes[new_sid] = new
         self._track_add(new)
         if METRICS.enabled and self.observed:
@@ -653,6 +720,13 @@ class ERTree:
                         f"tombstones of {node.sid} overlap or touch unmerged"
                     )
                 prev_t_end = t_end
+            if node._rp is not None:
+                cached = node._rp
+                node._rp = None
+                assert node._compiled() == cached, (
+                    f"stale compiled read state on sid {node.sid}: a mutation "
+                    "changed children/lengths/tombstones without _touch()"
+                )
         assert seen == set(self._nodes), "registry contains orphans"
         assert depth_counts == self._depth_counts, "depth tracking out of sync"
         assert self._max_depth == max(depth_counts), "max_depth out of sync"

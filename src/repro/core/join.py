@@ -25,16 +25,37 @@ switchable (for the ablation benchmarks):
 
 The parent/child variant restricts cross joins to (parent segment of ``T``,
 ``T``) per Proposition 3(1) and filters on ``LevelNum``.
+
+The merge runs over the **compiled read path** (:mod:`repro.core.readpath`):
+segment lists, element arrays and push lists are version-keyed compiled
+artifacts, so repeated joins between updates reuse them.  Two skip-ahead
+moves exploit the compiled layouts:
+
+- **segment-list galloping** (Step 2): the A-segments between two
+  consecutive D-segments form a run the merge previously scanned one entry
+  at a time.  A segment in that run strictly containing the D-segment must
+  be an ER-tree ancestor of it (segments form a laminar family), hence its
+  sid is on the D-segment's stored tag-list path — so one bisect finds the
+  run's end and only ``len(path)`` sid probes find the containing segments;
+  everything else in the run is skipped without even a containment test;
+- **element bisecting** (Step 3): a frame's compiled columns are sorted by
+  start with a prefix-max-of-end column, so the candidates for
+  ``start < P < end`` are found by one bisect, and a frame none of whose
+  prefix maxima exceed ``P`` is dismissed with one comparison.  When no
+  frame element joins and the segment has no in-segment work, the
+  D-elements are never fetched at all.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
+from operator import attrgetter
 from time import perf_counter
 
 from repro.core.element_index import ElementIndex, ElementRecord
 from repro.core.ertree import ERNode
+from repro.core.readpath import ReadPathCache
 from repro.core.update_log import UpdateLog
 from repro.errors import QueryError
 from repro.joins.stack_tree import AXIS_CHILD, AXIS_DESCENDANT, stack_tree_desc
@@ -63,6 +84,12 @@ _M_PUSHED = METRICS.counter(
 _M_SKIPPED = METRICS.counter(
     "join.lazy.segments_skipped", unit="segments", site="LazyJoiner.join"
 )
+_M_GALLOPED = METRICS.counter(
+    "join.lazy.segments_galloped", unit="segments", site="LazyJoiner.join"
+)
+_M_D_AVOIDED = METRICS.counter(
+    "join.lazy.d_fetches_avoided", unit="segments", site="LazyJoiner.join"
+)
 _M_TRIMMED = METRICS.counter(
     "join.lazy.elements_trimmed", unit="elements", site="LazyJoiner.join"
 )
@@ -83,6 +110,8 @@ __all__ = ["LazyJoiner", "JoinPair", "JoinStatistics"]
 
 _AXES = (AXIS_DESCENDANT, AXIS_CHILD)
 
+_node_gp = attrgetter("gp")
+
 
 #: A join result: (ancestor element, descendant element), each an
 #: :class:`~repro.core.element_index.ElementRecord` carrying (sid, local
@@ -96,6 +125,11 @@ class JoinStatistics:
 
     segments_pushed: int = 0
     segments_skipped: int = 0
+    #: Segments skipped by the Step 2 bisect without a containment test.
+    segments_galloped: int = 0
+    #: D-segments whose element fetch was avoided (stack present but no
+    #: frame element joins, and no in-segment work).
+    d_fetches_avoided: int = 0
     elements_pushed: int = 0
     elements_trimmed: int = 0
     cross_pairs: int = 0
@@ -116,26 +150,47 @@ class JoinStatistics:
 class _Frame:
     """One stack entry: a candidate ancestor segment and its live A-elements.
 
+    The element view is columnar — ``records`` plus parallel ``starts`` /
+    ``ends`` / ``maxends`` (prefix max of ends) sorted by start — and is
+    *shared with the read-path cache* until the first trim, which replaces
+    the columns copy-on-write (compiled artifacts are immutable).
+
     ``cached_branch`` is the paper's auxiliary data structure (Section 4.3):
     while a frame is covered by a deeper frame, every descendant segment
     reaches it through the same child, so its branch position is computed
     once at push time instead of per descendant segment.
     """
 
-    __slots__ = ("node", "elements", "cached_branch")
+    __slots__ = ("node", "records", "starts", "ends", "maxends", "cached_branch")
 
-    def __init__(self, node: ERNode, elements: list[ElementRecord]):
+    def __init__(self, node: ERNode, records, starts, ends, maxends):
         self.node = node
-        self.elements = elements
+        self.records = records
+        self.starts = starts
+        self.ends = ends
+        self.maxends = maxends
         self.cached_branch: int | None = None
 
 
 class LazyJoiner:
     """Executes Lazy-Join over an update log and element index."""
 
-    def __init__(self, log: UpdateLog, index: ElementIndex):
+    def __init__(
+        self,
+        log: UpdateLog,
+        index: ElementIndex,
+        readpath: ReadPathCache | None = None,
+    ):
         self._log = log
         self._index = index
+        self._readpath = (
+            ReadPathCache(log, index) if readpath is None else readpath
+        )
+
+    @property
+    def readpath(self) -> ReadPathCache:
+        """The compiled read-path cache this joiner runs over."""
+        return self._readpath
 
     def join(
         self,
@@ -179,7 +234,35 @@ class LazyJoiner:
 
         Requires a query-ready log (LD always is; LS must have had
         ``prepare_for_query()`` run).
+
+        Default-configuration calls (no stats, no context, both
+        optimizations on, stored-path branching) are answered from the
+        read-path cache's join-result memo when both tags are unchanged
+        since the answer was computed — see
+        :meth:`~repro.core.readpath.ReadPathCache.cached_join` for the
+        soundness argument.  Any ablation flag, statistics collection or
+        query context bypasses the memo so those semantics stay exact.
         """
+        memo_key = None
+        if (
+            stats is None
+            and context is None
+            and optimize_push
+            and trim_top
+            and branch_strategy == "path"
+            and self._log.query_ready
+        ):
+            tid_a = self._log.tags.tid_of(tag_a)
+            tid_d = self._log.tags.tid_of(tag_d)
+            if tid_a is not None and tid_d is not None and axis in _AXES:
+                memo_key = (tid_a, tid_d, axis)
+                cached = self._readpath.cached_join(tid_a, tid_d, axis)
+                if cached is not None:
+                    if METRICS.enabled:
+                        _M_CALLS.inc()
+                        _M_PAIRS.inc(len(cached))
+                    # Fresh list: callers may sort/extend their copy.
+                    return list(cached)
         if stats is None:
             stats = JoinStatistics()
         enabled = METRICS.enabled
@@ -210,9 +293,13 @@ class LazyJoiner:
             _M_IN_SEG.inc(stats.in_segment_pairs)
             _M_PUSHED.inc(stats.segments_pushed)
             _M_SKIPPED.inc(stats.segments_skipped)
+            _M_GALLOPED.inc(stats.segments_galloped)
+            _M_D_AVOIDED.inc(stats.d_fetches_avoided)
             _M_TRIMMED.inc(stats.elements_trimmed)
             _H_STACK.observe(stats.max_stack_depth)
             _H_SECONDS.observe(perf_counter() - start)
+        if memo_key is not None:
+            self._readpath.store_join(*memo_key, tuple(results))
         return results
 
     def _join_impl(
@@ -245,18 +332,21 @@ class LazyJoiner:
         tid_d = self._log.tags.tid_of(tag_d)
         if tid_a is None or tid_d is None:
             return []
-        sl_a = self._log.taglist.segments_for(tid_a)
-        sl_d = self._log.taglist.segments_for(tid_d)
-        if not sl_a or not sl_d:
+        rp = self._readpath
+        csl_a = rp.segment_list(tid_a)
+        csl_d = rp.segment_list(tid_d)
+        if not csl_a.entries or not csl_d.entries:
             return []
 
+        nodes_a = csl_a.nodes
+        sid_index_a = csl_a.sid_index
         child_only = axis == AXIS_CHILD
         results: list[JoinPair] = []
         stack: list[_Frame] = []
         ai = 0
-        a_count = len(sl_a)
+        a_count = len(nodes_a)
 
-        for d_entry in sl_d:
+        for d_entry in csl_d.entries:
             if context is not None:
                 context.tick()
             sd = d_entry.node
@@ -266,51 +356,92 @@ class LazyJoiner:
                 stack.pop()
 
             # Step 2 — push A-segments preceding sd that (strictly) contain
-            # it; skip the rest.  Loops because several A-segments may lie
-            # between consecutive D-segments.
-            while ai < a_count and sl_a[ai].node.gp < sd.gp:
-                sa = sl_a[ai].node
-                ai += 1
-                if not (sa.gp < sd.gp and sa.end > sd.end):
-                    stats.segments_skipped += 1
-                    continue
-                elements = self._index.elements_list(tid_a, sa.sid)
-                if optimize_push:
-                    elements = _elements_containing_a_child(sa, elements)
-                if trim_top and stack:
-                    self._trim_frame(stack[-1], sa, stats, branch_fn)
-                if elements:
-                    if stack:
-                        # The covered frame's branch toward everything below
-                        # the new top goes through the new top's chain.
-                        stack[-1].cached_branch = branch_fn(stack[-1].node, sa)
-                    stack.append(_Frame(sa, elements))
-                    if context is not None:
-                        context.charge_depth(len(stack))
-                    stats.segments_pushed += 1
-                    stats.elements_pushed += len(elements)
-                    if len(stack) > stats.max_stack_depth:
-                        stats.max_stack_depth = len(stack)
-                else:
-                    stats.segments_skipped += 1
+            # it; skip the rest.  Compiled skip-ahead: one bisect bounds the
+            # run of A-segments with gp < sd.gp, and only ER-tree ancestors
+            # of sd (its stored tag-list path) can contain it, so the run's
+            # other members are galloped over untested.
+            if ai < a_count and nodes_a[ai].gp < sd.gp:
+                nxt = bisect_left(nodes_a, sd.gp, ai, a_count, key=_node_gp)
+                candidates = []
+                for psid in sd.path[:-1]:
+                    idx = sid_index_a.get(psid)
+                    if idx is not None and ai <= idx < nxt:
+                        candidates.append(idx)
+                candidates.sort()
+                pushed_in_run = 0
+                for idx in candidates:
+                    sa = nodes_a[idx]
+                    if not (sa.gp < sd.gp and sa.end > sd.end):
+                        continue
+                    if optimize_push:
+                        push = rp.push_elements(tid_a, sa)
+                        records = push.records
+                        starts = push.starts
+                        ends = push.ends
+                        maxends = push.maxends
+                    else:
+                        compiled = rp.elements(tid_a, sa.sid)
+                        records = compiled.records
+                        starts = compiled.starts
+                        ends = compiled.ends
+                        maxends = _prefix_max(ends)
+                    if trim_top and stack:
+                        self._trim_frame(stack[-1], sa, stats, branch_fn)
+                    if records:
+                        if stack:
+                            # The covered frame's branch toward everything
+                            # below the new top goes through the new top's
+                            # chain.
+                            stack[-1].cached_branch = branch_fn(
+                                stack[-1].node, sa
+                            )
+                        stack.append(_Frame(sa, records, starts, ends, maxends))
+                        if context is not None:
+                            context.charge_depth(len(stack))
+                        stats.segments_pushed += 1
+                        stats.elements_pushed += len(records)
+                        pushed_in_run += 1
+                        if len(stack) > stats.max_stack_depth:
+                            stats.max_stack_depth = len(stack)
+                stats.segments_skipped += (nxt - ai) - pushed_in_run
+                stats.segments_galloped += (nxt - ai) - len(candidates)
+                ai = nxt
 
             # Step 3 — generate joins for sd.  Fetch sd's D-elements only
             # when some join can actually involve them — this is the
             # "segments that do not satisfy Proposition 3(1) are skipped"
             # effect (Section 5.3): a D-segment with an empty stack and no
             # A-elements of its own costs no element-index access at all.
-            in_segment = ai < a_count and sl_a[ai].node.gp == sd.gp
+            # The compiled columns sharpen it further: joining frame
+            # elements are found by bisect first, and if none join (and
+            # there is no in-segment work) the D-fetch is avoided too.
+            in_segment = sd.sid in sid_index_a
             if not stack and not in_segment:
                 stats.segments_skipped += 1
                 continue
-            d_elements = self._index.elements_list(tid_d, sd.sid)
-            cross_before = len(results)
             if child_only:
-                self._cross_joins_child(stack, sd, d_elements, results, stats)
+                matched = self._cross_matches_child(stack, sd)
             else:
-                self._cross_joins_descendant(
-                    stack, sd, d_elements, results, stats, branch_fn
-                )
+                matched = self._cross_matches_descendant(stack, sd, branch_fn)
+            if not matched and not in_segment:
+                stats.d_fetches_avoided += 1
+                continue
+            d_records = rp.elements(tid_d, sd.sid).records
+            cross_before = len(results)
+            if d_records:
+                if child_only:
+                    for a_elem in matched:
+                        for d_elem in d_records:
+                            if d_elem.level == a_elem.level + 1:
+                                results.append((a_elem, d_elem))
+                                stats.cross_pairs += 1
+                else:
+                    n_d = len(d_records)
+                    for a_elem in matched:
+                        results.extend(
+                            (a_elem, d_elem) for d_elem in d_records
+                        )
+                        stats.cross_pairs += n_d
             if context is not None:
                 context.charge_rows(len(results) - cross_before)
             if in_segment:
@@ -319,9 +450,9 @@ class LazyJoiner:
                 # so no pairs are lost — Section 4.2).  The nested
                 # Stack-Tree-Desc checkpoints and charges rows through the
                 # same context.
-                a_elements = self._index.elements_list(tid_a, sd.sid)
+                a_records = rp.elements(tid_a, sd.sid).records
                 in_pairs = stack_tree_desc(
-                    a_elements, d_elements, axis=axis, context=context
+                    a_records, d_records, axis=axis, context=context
                 )
                 results.extend(in_pairs)
                 stats.in_segment_pairs += len(in_pairs)
@@ -338,14 +469,15 @@ class LazyJoiner:
     # so concurrent joins on one joiner never share mutable state.
 
     def _branch_path(self, frame_node: ERNode, target: ERNode) -> int:
-        """Stored-path strategy: one path index plus one SB-tree lookup.
+        """Stored-path strategy: one path index plus one lp-memo lookup.
 
         This is what the tag-list stores paths *for*: the frame's sid sits
         at ``target.path[frame_node.depth]``, so the child on the branch is
-        the next path component.
+        the next path component.  Local positions are immutable, so the
+        read-path cache memoizes the SB-tree resolution per sid.
         """
         child_sid = target.path[frame_node.depth + 1]
-        return self._log.sbtree.lookup(child_sid).lp
+        return self._readpath.lp_of(child_sid)
 
     @staticmethod
     def _branch_bisect(frame_node: ERNode, target: ERNode) -> int:
@@ -372,68 +504,90 @@ class LazyJoiner:
 
         ``sa`` (and every future segment from either list) branches off the
         frame at a local position >= ``P_sa``, so elements with
-        ``end <= P_sa`` can never satisfy Proposition 3(2) again.
+        ``end <= P_sa`` can never satisfy Proposition 3(2) again.  The
+        frame's columns may still be the cache's compiled artifacts, so the
+        trim rebuilds them copy-on-write rather than mutating in place.
         """
         if frame.node.end <= sa.gp or not (frame.node.gp < sa.gp):
             return
         if not (sa.end <= frame.node.end):
             return
         branch = branch_fn(frame.node, sa)
-        kept = [e for e in frame.elements if e.end > branch]
-        stats.elements_trimmed += len(frame.elements) - len(kept)
-        frame.elements = kept
-
-    def _cross_joins_descendant(
-        self,
-        stack: list[_Frame],
-        sd: ERNode,
-        d_elements: list[ElementRecord],
-        results: list[JoinPair],
-        stats: JoinStatistics,
-        branch_fn,
-    ) -> None:
-        """Step 3 cross joins: every stack frame against segment ``sd``."""
-        if not d_elements:
+        ends = frame.ends
+        kept = [i for i, end in enumerate(ends) if end > branch]
+        trimmed = len(ends) - len(kept)
+        if not trimmed:
             return
+        stats.elements_trimmed += trimmed
+        records = frame.records
+        starts = frame.starts
+        frame.records = [records[i] for i in kept]
+        frame.starts = [starts[i] for i in kept]
+        frame.ends = [ends[i] for i in kept]
+        frame.maxends = _prefix_max(frame.ends)
+
+    def _cross_matches_descendant(
+        self, stack: list[_Frame], sd: ERNode, branch_fn
+    ) -> list[ElementRecord]:
+        """Step 3 cross candidates: frame A-elements joining segment ``sd``.
+
+        Per frame, ``a.start < P < a.end`` candidates lie in the bisected
+        prefix ``starts < P``; a frame whose prefix-max end there does not
+        exceed ``P`` contributes nothing and is dismissed in O(log n).
+        Returned in frame order then element order — the emission order of
+        the uncompiled merge.
+        """
+        matched: list[ElementRecord] = []
         top_index = len(stack) - 1
         for index, frame in enumerate(stack):
             if index == top_index or frame.cached_branch is None:
                 branch = branch_fn(frame.node, sd)
             else:
                 branch = frame.cached_branch
-            for a_elem in frame.elements:
-                if a_elem.start < branch < a_elem.end:
-                    results.extend((a_elem, d_elem) for d_elem in d_elements)
-                    stats.cross_pairs += len(d_elements)
+            hi = bisect_left(frame.starts, branch)
+            if hi == 0 or frame.maxends[hi - 1] <= branch:
+                continue
+            ends = frame.ends
+            records = frame.records
+            for i in range(hi):
+                if ends[i] > branch:
+                    matched.append(records[i])
+        return matched
 
-    def _cross_joins_child(
-        self,
-        stack: list[_Frame],
-        sd: ERNode,
-        d_elements: list[ElementRecord],
-        results: list[JoinPair],
-        stats: JoinStatistics,
-    ) -> None:
-        """Parent/child cross joins: only ``sd``'s parent segment qualifies.
+    def _cross_matches_child(
+        self, stack: list[_Frame], sd: ERNode
+    ) -> list[ElementRecord]:
+        """Parent/child cross candidates: only ``sd``'s parent segment.
 
         Proposition 3(1): a parent element lives in the segment *directly*
         containing ``sd``; if that segment is on the stack it is the top
-        frame.  The element-level filter is ``d.level == a.level + 1`` with
-        the branch-position containment test.
+        frame.  The per-element ``d.level == a.level + 1`` filter is applied
+        at emission time by the caller.
         """
-        if not d_elements or not stack:
-            return
+        if not stack:
+            return []
         top = stack[-1]
         assert sd.parent is not None
         if top.node.sid != sd.parent.sid:
-            return
+            return []
         branch = sd.lp
-        for a_elem in top.elements:
-            if a_elem.start < branch < a_elem.end:
-                for d_elem in d_elements:
-                    if d_elem.level == a_elem.level + 1:
-                        results.append((a_elem, d_elem))
-                        stats.cross_pairs += 1
+        hi = bisect_left(top.starts, branch)
+        if hi == 0 or top.maxends[hi - 1] <= branch:
+            return []
+        ends = top.ends
+        records = top.records
+        return [records[i] for i in range(hi) if ends[i] > branch]
+
+
+def _prefix_max(values) -> list[int]:
+    """Running maximum of ``values`` (the frame-dismissal column)."""
+    out = []
+    acc = 0
+    for v in values:
+        if v > acc:
+            acc = v
+        out.append(acc)
+    return out
 
 
 def _elements_containing_a_child(
@@ -444,7 +598,8 @@ def _elements_containing_a_child(
     Only such elements can ever satisfy ``start < P < end`` for any branch
     position P, because P is always some child's lp.  Child lps are sorted
     (children are gp-ordered and lp is monotone in gp), so one bisect per
-    element decides it.
+    element decides it.  Kept as the reference implementation of the filter
+    the read-path cache precompiles (:meth:`ReadPathCache.push_elements`).
     """
     lps = [child.lp for child in node.children]
     if not lps:

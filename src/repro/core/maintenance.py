@@ -87,6 +87,9 @@ def repack_segment(db, sid: int) -> RepackResult:
         for tid, count in counts.items():
             db.log.taglist.remove_occurrences_for_node(tid, old_node, count)
         db._segment_elements.pop(old_sid, None)
+        # The version bumps above already fence off stale compiled state;
+        # eagerly reclaim it (repacked sids are never queried again).
+        db.readpath.drop_segment(old_sid)
 
     # One fresh segment over the same span; re-register everything.
     segments_before = db.segment_count

@@ -14,6 +14,16 @@ a three-step path costs three structural joins, never a document scan.
 
 Evaluation returns the matches of the *last* step by default;
 ``bindings=True`` returns full match tuples (one element per step).
+
+Execution is *selectivity-ordered*: before any join runs, every step tag is
+probed against the tag-list's O(1) occurrence totals
+(:meth:`~repro.core.taglist.TagList.total_count`).  A path naming an absent
+or element-free tag short-circuits to ``[]`` without touching the element
+index, and the per-step structural joins are executed cheapest-estimate
+first so that a step producing zero pairs aborts the query before its more
+expensive siblings run.  (The B+-tree probes ``ElementIndex.count`` /
+``has_segment_tag`` remain the authoritative source — used by invariant
+checks — while the planner reads only the incrementally maintained totals.)
 """
 
 from __future__ import annotations
@@ -27,12 +37,24 @@ from repro.errors import QueryError
 from repro.joins.stack_tree import AXIS_CHILD, AXIS_DESCENDANT
 from repro.obs.metrics import LATENCY_BUCKETS, METRICS
 
-__all__ = ["PathStep", "PathQuery", "parse_path", "evaluate_path"]
+__all__ = [
+    "PathStep",
+    "PathQuery",
+    "PathPlan",
+    "parse_path",
+    "plan_path",
+    "evaluate_path",
+]
 
 _NAME_RE = re.compile(r"[A-Za-z_:][\w:.\-]*$")
 
 _M_PATH_CALLS = METRICS.counter(
     "query.path.calls", unit="queries", site="evaluate_path"
+)
+_M_PLAN_SHORT = METRICS.counter(
+    "query.plan.short_circuits",
+    unit="queries",
+    site="evaluate_path (zero-selectivity tag or empty step join)",
 )
 _H_PATH_SECONDS = METRICS.histogram(
     "query.path.seconds",
@@ -96,6 +118,47 @@ def parse_path(expression: str) -> PathQuery:
     return PathQuery(entry=names[0], steps=steps)
 
 
+@dataclass(frozen=True)
+class PathPlan:
+    """Selectivity estimates for one path query, from tag-list totals.
+
+    ``tags`` lists the entry tag followed by each step tag; ``counts`` are
+    the corresponding O(1) occurrence totals (0 for unknown tags).
+    ``join_order`` gives the step indices sorted by estimated join cost
+    (the product of the two participating tags' totals — an upper bound on
+    output pairs): running the cheapest joins first lets a zero-pair step
+    abort the query before the expensive ones execute.
+    """
+
+    tags: tuple[str, ...]
+    counts: tuple[int, ...]
+    join_order: tuple[int, ...]
+
+    @property
+    def empty(self) -> bool:
+        """True when some tag on the path has no elements at all."""
+        return any(count == 0 for count in self.counts)
+
+    def estimated_cost(self, step: int) -> int:
+        """The cost estimate used to order step ``step``'s join."""
+        return self.counts[step] * self.counts[step + 1]
+
+
+def plan_path(db, query: PathQuery) -> PathPlan:
+    """Plan ``query`` against ``db``'s tag-list selectivity totals."""
+    tags = (query.entry,) + tuple(step.tag for step in query.steps)
+    counts = []
+    for tag in tags:
+        tid = db.log.tags.tid_of(tag)
+        counts.append(0 if tid is None else db.log.taglist.total_count(tid))
+    counts = tuple(counts)
+    n_steps = len(query.steps)
+    join_order = tuple(
+        sorted(range(n_steps), key=lambda i: counts[i] * counts[i + 1])
+    )
+    return PathPlan(tags=tags, counts=counts, join_order=join_order)
+
+
 def evaluate_path(
     db,
     expression: str,
@@ -147,26 +210,45 @@ def evaluate_path(
 
 
 def _evaluate(db, query: PathQuery, bindings: bool, algorithm: str, context):
+    plan = plan_path(db, query)
+    if plan.empty:
+        # A tag with zero recorded elements anywhere on the path empties
+        # the whole result: answer without touching the element index.
+        if METRICS.enabled:
+            _M_PLAN_SHORT.inc()
+        return []
     if algorithm == "pathstack":
         return _evaluate_pathstack(db, query, bindings=bindings, context=context)
     tid_entry = db.log.tags.tid_of(query.entry)
     if tid_entry is None:
         return []
+    # Run the per-step joins cheapest-estimate first (joins are read-only
+    # and independent; only the semi-join *filtering* is sequential), so a
+    # step with no pairs at all aborts before the expensive joins execute.
+    step_pairs: dict[int, list] = {}
+    for i in plan.join_order:
+        if context is not None:
+            context.check_deadline()
+        step = query.steps[i]
+        pairs = db.structural_join(
+            plan.tags[i], step.tag, axis=step.axis, context=context
+        )
+        if not pairs:
+            if METRICS.enabled:
+                _M_PLAN_SHORT.inc()
+            return []
+        step_pairs[i] = pairs
     current: list[tuple[ElementRecord, ...]] = [
         (record,) for record in db.index.all_elements(tid_entry)
     ]
-    previous_tag = query.entry
-    for step in query.steps:
+    for i, step in enumerate(query.steps):
         if not current:
             break
         if context is not None:
             context.check_deadline()
         survivors = {binding[-1] for binding in current}
-        pairs = db.structural_join(
-            previous_tag, step.tag, axis=step.axis, context=context
-        )
         extend: dict[ElementRecord, list[ElementRecord]] = {}
-        for anc, desc in pairs:
+        for anc, desc in step_pairs[i]:
             if anc in survivors:
                 extend.setdefault(anc, []).append(desc)
         current = [
@@ -174,7 +256,6 @@ def _evaluate(db, query: PathQuery, bindings: bool, algorithm: str, context):
             for binding in current
             for desc in extend.get(binding[-1], ())
         ]
-        previous_tag = step.tag
     if bindings:
         return current
     seen: set[ElementRecord] = set()

@@ -1,0 +1,422 @@
+"""The compiled read path: version-keyed caches for the query-side hot loop.
+
+The paper's bargain is that updates stay cheap because queries derive what
+they need on demand — but deriving the *same* thing on every call is waste,
+not laziness.  Between two updates, the structures a join reads are
+immutable, and the service layer's epoch publishing (``repro.service.
+snapshot``) makes that window explicit: a published replica is never
+mutated, so anything compiled from it stays valid for the epoch's lifetime.
+This module compiles the three read-side layouts Lazy-Join touches per
+call and memoizes them under *per-structure version keys*:
+
+- **element arrays** — per ``(tid, sid)``, the segment's element records
+  materialized once as a tuple plus flat sorted ``array('q')`` start/end/
+  level columns, keyed on :meth:`ElementIndex.version` (bumped exactly when
+  that segment's records change);
+- **push lists** — the Section 4.2 optimization-(i) filter (elements
+  containing at least one child insertion point) precomputed per
+  ``(tid, sid)`` together with a prefix-max-of-end column for skip-ahead
+  containment scans, keyed on the element version *and* the ER-node's
+  version (children can move under a segment without its elements
+  changing);
+- **segment lists** — per tag, the tag-list entries frozen as a tuple with
+  an O(1) ``sid -> position`` map, keyed on :meth:`TagList.version`.
+  Global positions are deliberately *not* copied out: gp shifts on every
+  update, so the compiled list stores node references and the join reads
+  ``node.gp`` live — which is what keeps invalidation O(touched
+  structures) instead of a global flush per update;
+- **local positions** — ``sid -> lp`` for branch-point resolution.  An lp
+  is immutable for the segment's whole lifetime and sids are never reused,
+  so this memo needs no version key at all;
+- **join results** — the top of the stack: a whole ``A//D`` answer keyed
+  on ``(tid_a, tid_d, axis)`` plus *both tags' versions*.  This is sound
+  because of the lazy scheme's core invariant: element labels are local
+  and immutable, and the containment relation between two existing
+  elements can never be changed by later updates (insertions splice new
+  segments, removals only delete elements) — so the pair set is a pure
+  function of the two element sets, and each element set changes exactly
+  when its tag's version bumps (entries added/dropped/recounted,
+  including via repack's relabelling).  Even the pair *order* survives
+  unrelated updates, since gp shifts are order-preserving.
+
+Every cache honors one **kill switch** (:attr:`ReadPathCache.enabled`,
+initialized from the ``REPRO_READPATH_CACHE`` environment variable; ``0``
+disables).  Disabled, lookups compile fresh state per call and store
+nothing — the read path still runs, only the memoization is off.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+
+from repro.obs.metrics import METRICS
+
+__all__ = [
+    "CompiledElements",
+    "CompiledPushList",
+    "CompiledSegmentList",
+    "ReadPathCache",
+    "cache_enabled_default",
+]
+
+# Query-path instruments (a cache hit/miss is real read work wherever it
+# happens, so these ignore the per-structure `observed` replica flag).
+_M_EL_HITS = METRICS.counter(
+    "readpath.elements.hits", unit="lookups", site="ReadPathCache.elements"
+)
+_M_EL_MISSES = METRICS.counter(
+    "readpath.elements.misses", unit="lookups", site="ReadPathCache.elements"
+)
+_M_SEG_HITS = METRICS.counter(
+    "readpath.segments.hits", unit="lookups", site="ReadPathCache.segment_list"
+)
+_M_SEG_MISSES = METRICS.counter(
+    "readpath.segments.misses", unit="lookups", site="ReadPathCache.segment_list"
+)
+_M_PUSH_HITS = METRICS.counter(
+    "readpath.push.hits", unit="lookups", site="ReadPathCache.push_elements"
+)
+_M_PUSH_MISSES = METRICS.counter(
+    "readpath.push.misses", unit="lookups", site="ReadPathCache.push_elements"
+)
+_M_JOIN_HITS = METRICS.counter(
+    "readpath.joins.hits", unit="lookups", site="ReadPathCache.cached_join"
+)
+_M_JOIN_MISSES = METRICS.counter(
+    "readpath.joins.misses", unit="lookups", site="ReadPathCache.cached_join"
+)
+_M_INVALIDATED = METRICS.counter(
+    "readpath.invalidations",
+    unit="entries",
+    site="ReadPathCache (stale entry replaced or dropped)",
+)
+
+
+def cache_enabled_default() -> bool:
+    """The kill switch's process default: ``REPRO_READPATH_CACHE`` != 0."""
+    return os.environ.get("REPRO_READPATH_CACHE", "1") != "0"
+
+
+class CompiledElements:
+    """One segment's elements of one tag, compiled to flat columns.
+
+    ``records`` is the materialized :class:`ElementRecord` tuple (what join
+    results are made of); ``starts``/``ends``/``levels`` are parallel
+    ``array('q')`` columns sorted by start — local coordinates, which are
+    immutable, so a compiled instance never goes stale from *other*
+    segments' updates.
+    """
+
+    __slots__ = ("records", "starts", "ends", "levels")
+
+    def __init__(self, records):
+        self.records = tuple(records)
+        self.starts = array("q", (r.start for r in self.records))
+        self.ends = array("q", (r.end for r in self.records))
+        self.levels = array("q", (r.level for r in self.records))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class CompiledPushList:
+    """A segment's Lazy-Join push list: optimization-(i) filtered columns.
+
+    Only elements containing at least one child insertion point can ever
+    satisfy Proposition 3(2); this precomputes that subset once per
+    (element version, node version) instead of per join.  ``maxends[i]`` is
+    ``max(ends[:i+1])`` — a frame whose prefix max does not exceed the
+    branch position cannot join the descendant segment at all, which lets
+    the cross-join scan skip whole frames with one comparison.
+    """
+
+    __slots__ = ("records", "starts", "ends", "maxends")
+
+    def __init__(self, records, starts, ends):
+        self.records = records
+        self.starts = starts
+        self.ends = ends
+        maxends = []
+        acc = 0
+        for e in ends:
+            if e > acc:
+                acc = e
+            maxends.append(acc)
+        self.maxends = maxends
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class CompiledSegmentList:
+    """One tag's segment list frozen for merging: ``SL_A`` / ``SL_D``.
+
+    ``entries`` / ``nodes`` are position-aligned tuples in ascending
+    segment-gp order; ``sid_index`` maps sid to position, which is what
+    makes the skip-ahead merge exact: the A-segments containing a
+    descendant segment are precisely the ones on its ER-tree path, so the
+    merge can jump over a run of non-containing segments and probe only
+    ``len(path)`` sids instead of scanning the run.
+    """
+
+    __slots__ = ("entries", "nodes", "sid_index")
+
+    def __init__(self, entries):
+        self.entries = tuple(entries)
+        self.nodes = tuple(entry.node for entry in self.entries)
+        self.sid_index = {node.sid: i for i, node in enumerate(self.nodes)}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class ReadPathCache:
+    """Version-keyed memo of compiled read-path state for one database.
+
+    Owned by a :class:`~repro.core.database.LazyXMLDatabase`; replicas get
+    their own instance (clones rebuild from scratch), and epoch replay on a
+    spare replica bumps exactly the touched structures' versions, so a
+    replica's warm state survives publishes untouched except where ops
+    landed.
+    """
+
+    def __init__(self, log, index, *, enabled: bool | None = None):
+        self._log = log
+        self._index = index
+        self.enabled = cache_enabled_default() if enabled is None else enabled
+        # (tid, sid) -> (index_version, CompiledElements)
+        self._elements: dict[tuple[int, int], tuple[int, CompiledElements]] = {}
+        # (tid, sid) -> (index_version, node_version, CompiledPushList)
+        self._push: dict[tuple[int, int], tuple[int, int, CompiledPushList]] = {}
+        # tid -> (taglist_version, CompiledSegmentList)
+        self._segments: dict[int, tuple[int, CompiledSegmentList]] = {}
+        # sid -> lp (immutable; no version key)
+        self._lps: dict[int, int] = {}
+        # (tid_a, tid_d, axis) -> (version_a, version_d, results tuple)
+        self._joins: dict[tuple[int, int, str], tuple[int, int, tuple]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    # switches
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Kill switch: stop memoizing and drop everything held."""
+        self.enabled = False
+        self.clear()
+
+    def clear(self) -> None:
+        """Drop all compiled state (counters are kept)."""
+        self._elements.clear()
+        self._push.clear()
+        self._segments.clear()
+        self._lps.clear()
+        self._joins.clear()
+
+    # ------------------------------------------------------------------
+    # compiled lookups
+
+    def elements(self, tid: int, sid: int) -> CompiledElements:
+        """The compiled element arrays for ``(tid, sid)``."""
+        if not self.enabled:
+            return CompiledElements(self._index.elements_list(tid, sid))
+        key = (tid, sid)
+        version = self._index.version(sid)
+        cached = self._elements.get(key)
+        if cached is not None:
+            if cached[0] == version:
+                self.hits += 1
+                if METRICS.enabled:
+                    _M_EL_HITS.inc()
+                return cached[1]
+            self.invalidations += 1
+            if METRICS.enabled:
+                _M_INVALIDATED.inc()
+        self.misses += 1
+        if METRICS.enabled:
+            _M_EL_MISSES.inc()
+        compiled = CompiledElements(self._index.elements_list(tid, sid))
+        self._elements[key] = (version, compiled)
+        return compiled
+
+    def push_elements(self, tid: int, node) -> CompiledPushList:
+        """The optimization-(i) push list for tag ``tid`` in segment ``node``."""
+        sid = node.sid
+        if not self.enabled:
+            return self._compile_push(tid, node)
+        key = (tid, sid)
+        iv = self._index.version(sid)
+        nv = node._version
+        cached = self._push.get(key)
+        if cached is not None:
+            if cached[0] == iv and cached[1] == nv:
+                self.hits += 1
+                if METRICS.enabled:
+                    _M_PUSH_HITS.inc()
+                return cached[2]
+            self.invalidations += 1
+            if METRICS.enabled:
+                _M_INVALIDATED.inc()
+        self.misses += 1
+        if METRICS.enabled:
+            _M_PUSH_MISSES.inc()
+        compiled = self._compile_push(tid, node)
+        self._push[key] = (iv, nv, compiled)
+        return compiled
+
+    def _compile_push(self, tid: int, node) -> CompiledPushList:
+        from bisect import bisect_right
+
+        full = self.elements(tid, node.sid)
+        lps = [child.lp for child in node.children]
+        if not lps:
+            return CompiledPushList((), array("q"), array("q"))
+        records = []
+        starts = array("q")
+        ends = array("q")
+        n_lps = len(lps)
+        for i, record in enumerate(full.records):
+            idx = bisect_right(lps, record.start)
+            if idx < n_lps and lps[idx] < full.ends[i]:
+                records.append(record)
+                starts.append(full.starts[i])
+                ends.append(full.ends[i])
+        return CompiledPushList(tuple(records), starts, ends)
+
+    def segment_list(self, tid: int) -> CompiledSegmentList:
+        """The compiled segment list (``SL`` of Lazy-Join) for ``tid``."""
+        taglist = self._log.taglist
+        if not self.enabled:
+            return CompiledSegmentList(taglist.segments_for(tid))
+        version = taglist.version(tid)
+        cached = self._segments.get(tid)
+        if cached is not None:
+            if cached[0] == version:
+                self.hits += 1
+                if METRICS.enabled:
+                    _M_SEG_HITS.inc()
+                return cached[1]
+            self.invalidations += 1
+            if METRICS.enabled:
+                _M_INVALIDATED.inc()
+        self.misses += 1
+        if METRICS.enabled:
+            _M_SEG_MISSES.inc()
+        compiled = CompiledSegmentList(taglist.segments_for(tid))
+        self._segments[tid] = (version, compiled)
+        return compiled
+
+    def cached_join(self, tid_a: int, tid_d: int, axis: str) -> tuple | None:
+        """A previously stored ``tid_a // tid_d`` answer, if still valid.
+
+        Valid means *both* tags' versions are unchanged since the store —
+        the precise condition under which the pair set (and its order) is
+        provably identical; see the module docstring.  Returns the frozen
+        results tuple, or ``None`` on miss/stale.
+        """
+        if not self.enabled:
+            return None
+        key = (tid_a, tid_d, axis)
+        cached = self._joins.get(key)
+        taglist = self._log.taglist
+        if cached is not None:
+            if (
+                cached[0] == taglist.version(tid_a)
+                and cached[1] == taglist.version(tid_d)
+            ):
+                self.hits += 1
+                if METRICS.enabled:
+                    _M_JOIN_HITS.inc()
+                return cached[2]
+            del self._joins[key]
+            self.invalidations += 1
+            if METRICS.enabled:
+                _M_INVALIDATED.inc()
+        self.misses += 1
+        if METRICS.enabled:
+            _M_JOIN_MISSES.inc()
+        return None
+
+    def store_join(
+        self, tid_a: int, tid_d: int, axis: str, results: tuple
+    ) -> None:
+        """Remember a freshly computed join answer under the current versions."""
+        if not self.enabled:
+            return
+        taglist = self._log.taglist
+        self._joins[(tid_a, tid_d, axis)] = (
+            taglist.version(tid_a),
+            taglist.version(tid_d),
+            results,
+        )
+
+    def lp_of(self, sid: int) -> int:
+        """The (immutable) local position of segment ``sid``."""
+        if not self.enabled:
+            return self._log.sbtree.lookup(sid).lp
+        lp = self._lps.get(sid)
+        if lp is None:
+            lp = self._log.sbtree.lookup(sid).lp
+            self._lps[sid] = lp
+        return lp
+
+    # ------------------------------------------------------------------
+    # eager invalidation (lazy version checks already guarantee safety;
+    # this reclaims memory for segments that will never be queried again)
+
+    def drop_segment(self, sid: int) -> int:
+        """Forget all compiled state for a removed/repacked segment."""
+        doomed = [key for key in self._elements if key[1] == sid]
+        for key in doomed:
+            del self._elements[key]
+        doomed_push = [key for key in self._push if key[1] == sid]
+        for key in doomed_push:
+            del self._push[key]
+        dropped = len(doomed) + len(doomed_push)
+        if self._lps.pop(sid, None) is not None:
+            dropped += 1
+        if dropped:
+            self.invalidations += dropped
+            if METRICS.enabled:
+                _M_INVALIDATED.inc(dropped)
+        return dropped
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    def stats(self) -> dict:
+        """Hit/miss/entry counts (surfaced by the service health output)."""
+        lookups = self.hits + self.misses
+        return {
+            "enabled": self.enabled,
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+            "entries": {
+                "elements": len(self._elements),
+                "push_lists": len(self._push),
+                "segment_lists": len(self._segments),
+                "lps": len(self._lps),
+                "join_results": len(self._joins),
+            },
+        }
+
+    def approximate_bytes(self) -> int:
+        """Rough size of the compiled state: 8 bytes per stored scalar."""
+        total = 0
+        for _, compiled in self._elements.values():
+            total += 8 * 3 * len(compiled.records) + 8 * len(compiled.records)
+        for _, _, push in self._push.values():
+            total += 8 * 3 * len(push.records)
+        for _, compiled_list in self._segments.values():
+            total += 8 * 2 * len(compiled_list.entries)
+        for _, _, results in self._joins.values():
+            total += 8 * 8 * len(results)  # two 4-field records per pair
+        total += 8 * len(self._lps)
+        return total

@@ -107,11 +107,37 @@ class TagList:
         self._unsorted: set[int] = set()
         #: See ERTree.observed — cleared on EpochManager read replicas.
         self.observed = True
+        # Read-path version keys: one counter per tag, bumped exactly when
+        # that tag's list changes observably (entries added/dropped, counts
+        # changed, order changed by finalize/unsort).  The compiled
+        # segment-list cache (repro.core.readpath) keys on these.
+        self._versions: dict[int, int] = {}
+        # Total occurrences per tag across all segments, maintained
+        # incrementally — the O(1) selectivity probe join planning uses
+        # instead of B+-tree count_range scans.
+        self._totals: dict[int, int] = {}
         # Longest per-tag list, maintained incrementally: adds bump it in
         # O(1); drops only mark it dirty and max_fanout() recomputes in
         # O(T) (one len() per tag) instead of walking every entry.
         self._max_fanout = 0
         self._fanout_dirty = False
+
+    def version(self, tid: int) -> int:
+        """Monotone counter of observable changes to ``tid``'s list."""
+        return self._versions.get(tid, 0)
+
+    def _bump(self, tid: int) -> None:
+        self._versions[tid] = self._versions.get(tid, 0) + 1
+
+    def total_count(self, tid: int) -> int:
+        """Total element occurrences of ``tid`` across all segments, O(1).
+
+        Maintained incrementally by :meth:`add_segment` /
+        ``remove_occurrences*`` — the selectivity estimate join planning
+        reads instead of probing the element index's B+-tree (which stays
+        authoritative for invariant checks).
+        """
+        return self._totals.get(tid, 0)
 
     def max_fanout(self) -> int:
         """Length of the longest per-tag list (0 when empty)."""
@@ -144,6 +170,8 @@ class TagList:
         else:
             entries.append(entry)
             self._unsorted.add(tid)
+        self._bump(tid)
+        self._totals[tid] = self._totals.get(tid, 0) + count
         if len(entries) > self._max_fanout:
             self._max_fanout = len(entries)
         if METRICS.enabled and self.observed:
@@ -170,6 +198,8 @@ class TagList:
                 f"{sid}, only {entry.count} recorded"
             )
         entry.count -= removed
+        self._bump(tid)
+        self._debit_total(tid, removed)
         if entry.count == 0:
             del entries[idx]
             if not entries:
@@ -178,6 +208,13 @@ class TagList:
             if METRICS.enabled and self.observed:
                 _M_ENTRIES_DROPPED.inc()
                 _G_FANOUT.set(self.max_fanout())
+
+    def _debit_total(self, tid: int, removed: int) -> None:
+        remaining = self._totals.get(tid, 0) - removed
+        if remaining > 0:
+            self._totals[tid] = remaining
+        else:
+            self._totals.pop(tid, None)
 
     def _locate(self, tid: int, sid: int) -> int:
         """Index of the entry for ``sid`` in ``tid``'s list (linear scan).
@@ -216,6 +253,8 @@ class TagList:
                 f"{node.sid}, only {entry.count} recorded"
             )
         entry.count -= removed
+        self._bump(tid)
+        self._debit_total(tid, removed)
         if entry.count == 0:
             del entries[idx]
             if not entries:
@@ -230,6 +269,7 @@ class TagList:
         for tid in self._unsorted:
             if tid in self._lists:
                 self._lists[tid].sort(key=lambda e: e.node.gp)
+            self._bump(tid)
         self._unsorted.clear()
 
     def unsort(self, rng=None) -> None:
@@ -246,6 +286,7 @@ class TagList:
             else:
                 rng.shuffle(entries)
             self._unsorted.add(tid)
+            self._bump(tid)
 
     # ------------------------------------------------------------------
     # queries

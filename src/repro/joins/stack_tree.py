@@ -17,10 +17,14 @@ Works over any objects exposing ``start``, ``end`` (end-exclusive) and
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections.abc import Sequence
+from operator import attrgetter
 
 from repro.errors import QueryError
 from repro.obs.metrics import METRICS
+
+_start_of = attrgetter("start")
 
 __all__ = ["stack_tree_desc", "stack_tree_anc", "AXIS_DESCENDANT", "AXIS_CHILD"]
 
@@ -61,6 +65,13 @@ def stack_tree_desc(
 
     Self-joins are safe: an element never pairs with itself because
     containment is strict.
+
+    Descendant runs that cannot produce pairs are *galloped* over: with an
+    empty stack, no pair is possible until the next unpushed ancestor has
+    started, so one bisect over the start-sorted descendants jumps the
+    whole run (and an empty stack with the ancestors exhausted ends the
+    merge outright).  Emission order is unchanged — skipped descendants
+    emitted nothing in the plain merge either.
     """
     if axis not in _AXES:
         raise QueryError(f"axis must be one of {_AXES}, got {axis!r}")
@@ -69,9 +80,23 @@ def stack_tree_desc(
     stack: list = []
     a_index = 0
     a_count = len(ancestors)
-    for desc in descendants:
+    d_index = 0
+    d_count = len(descendants)
+    while d_index < d_count:
+        desc = descendants[d_index]
         if context is not None:
             context.tick()
+        if not stack:
+            if a_index >= a_count:
+                break
+            nxt_start = ancestors[a_index].start
+            if desc.start <= nxt_start:
+                # No ancestor starts strictly before desc (or any earlier
+                # descendant in the run): skip ahead past nxt_start.
+                d_index = bisect_right(
+                    descendants, nxt_start, d_index, d_count, key=_start_of
+                )
+                continue
         # Push every ancestor starting before this descendant.
         while a_index < a_count and ancestors[a_index].start < desc.start:
             candidate = ancestors[a_index]
@@ -97,6 +122,7 @@ def stack_tree_desc(
                 results.append((anc, desc))
             if context is not None:
                 context.charge_rows(len(stack))
+        d_index += 1
     if METRICS.enabled:
         _M_CALLS.inc()
         _M_PAIRS.inc(len(results))

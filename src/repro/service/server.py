@@ -566,7 +566,7 @@ class DatabaseService:
 
     def health(self) -> dict:
         """Operational snapshot: status, pressure, breaker, admission,
-        epochs, log stats."""
+        epochs, read-path cache, log stats."""
         last = self._last_pressure
         breaker_state = self._breaker.state
         if self._closed:
@@ -578,6 +578,7 @@ class DatabaseService:
         else:
             status = "ok"
         log_stats = self._base.stats()
+        epochs = self._epochs.metrics()
         return {
             "status": status,
             "mode": self._base.mode,
@@ -589,7 +590,10 @@ class DatabaseService:
             "pressure": last.as_dict() if last is not None else None,
             "breaker": self._breaker.metrics(),
             "admission": self._admission.metrics(),
-            "epochs": self._epochs.metrics(),
+            "epochs": epochs,
+            # The published replica's compiled read-path cache — the one
+            # read queries actually hit (reads run on pinned snapshots).
+            "readpath": epochs.get("readpath"),
             "counters": dict(self._counters),
         }
 

@@ -25,6 +25,16 @@ module gives readers a *pinned, immutable* view instead, RCU-style:
 
 Writers therefore never block readers, and readers delay the writer only
 by at most one grace-period wait — and never indefinitely.
+
+The epoch discipline is also what lets replicas keep a **warm compiled
+read path** (:mod:`repro.core.readpath`) across publishes: a buffer is
+only mutated while private (op replay on the spare), each replayed op
+bumps exactly the version counters of the structures it touched, and once
+published the buffer is immutable — so compiled element arrays and segment
+lists stay valid for untouched structures from epoch to epoch, and
+invalidation cost tracks the op stream, not the database size.
+:meth:`EpochManager.metrics` surfaces the published replica's cache
+hit/miss counters as ``readpath``.
 """
 
 from __future__ import annotations
@@ -270,6 +280,7 @@ class EpochManager:
         service's health output)."""
         with self._lock:
             current = self._current
+            readpath = getattr(current.db, "readpath", None) if current is not None else None
             return {
                 "epoch": current.epoch if current is not None else None,
                 "active_pins": (current.pins if current is not None else 0)
@@ -279,4 +290,5 @@ class EpochManager:
                 "drain_waits": self._drain_waits,
                 "clone_fallbacks": self._clone_fallbacks,
                 "pending_ops": len(self._ops),
+                "readpath": readpath.stats() if readpath is not None else None,
             }

@@ -205,6 +205,7 @@ def loads(data: str) -> LazyXMLDatabase:
         if sid == DUMMY_ROOT_SID:
             ertree.root.length = entry["length"]
             ertree.root._tombstones = [tuple(t) for t in entry["tombstones"]]
+            ertree.root._touch()
             continue
         parent = nodes.get(entry["parent"])
         if parent is None:
@@ -220,6 +221,7 @@ def loads(data: str) -> LazyXMLDatabase:
         )
         node._tombstones = [tuple(t) for t in entry["tombstones"]]
         parent.children.append(node)
+        parent._touch()
         ertree._nodes[sid] = node
         ertree._track_add(node)
         nodes[sid] = node

@@ -19,13 +19,21 @@ tombstoned partial removals, whole-segment drops, empty documents.
 from __future__ import annotations
 
 import itertools
+import random
 
 import pytest
 
+from repro.core.database import LazyXMLDatabase
 from repro.core.join import JoinStatistics
 from repro.obs.metrics import METRICS
+from repro.workloads.generator import generate_fragment, tag_pool
 
-from tests.oracle import replay_random_sequence
+from tests.oracle import (
+    ReferenceDatabase,
+    _random_removal,
+    replay_random_sequence,
+    safe_insert_positions,
+)
 
 N_SEQUENCES = 220
 
@@ -78,6 +86,68 @@ def test_lazy_store_matches_reference(seed):
         if enabled_before:
             assert _M_PAIRS.value - pairs_before >= len(truth)
             assert _M_CROSS.value - cross_before >= cross_truth
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_interleaved_updates_and_joins_stay_coherent(seed):
+    """Updates interleaved with repeated joins: the read-path cache must
+    never serve yesterday's answer.
+
+    After *every* operation, for each probed tag pair, three answers must
+    agree with the string-splice reference: a **cold** one (cache
+    disabled and flushed — per-call compilation), a **fresh** one (cache
+    enabled, compiled entries revalidated against the new versions), and
+    a **warm** one (the immediately repeated call, a join-result memo
+    hit).  This is the interleaving that breaks a cache with a missing
+    invalidation edge: the same queries run before and after each update,
+    so any structure whose version failed to bump serves a stale compiled
+    answer on the *fresh* call, and any over-broad invalidation shows up
+    as the warm call never hitting.
+    """
+    rng = random.Random(seed)
+    tags = tag_pool(3)
+    db = LazyXMLDatabase()
+    ref = ReferenceDatabase()
+    pairs = list(itertools.permutations(tags, 2))
+
+    def check_all():
+        for tag_a, tag_d in pairs:
+            truth = ref.join(tag_a, tag_d)
+            db.readpath.disable()
+            cold = db.structural_join(tag_a, tag_d)
+            db.readpath.enable()
+            fresh = db.structural_join(tag_a, tag_d)
+            hits_before = db.readpath.hits
+            warm = db.structural_join(tag_a, tag_d)
+            if (
+                db.log.tags.tid_of(tag_a) is not None
+                and db.log.tags.tid_of(tag_d) is not None
+            ):
+                # known tags always store a memo, so the repeat must hit
+                assert db.readpath.hits > hits_before, (tag_a, tag_d)
+            assert _span_pairs(db, cold) == truth, (tag_a, tag_d)
+            assert _span_pairs(db, fresh) == truth, (tag_a, tag_d)
+            assert _span_pairs(db, warm) == truth, (tag_a, tag_d)
+
+    seed_fragment = generate_fragment(6, tags, rng=rng, max_depth=4)
+    db.insert(seed_fragment)
+    ref.insert(seed_fragment)
+    check_all()
+    for _ in range(6):
+        if rng.random() < 0.35 and db.document_length:
+            removal = _random_removal(db, rng, tags)
+            if removal is not None:
+                db.remove(*removal)
+                ref.remove(*removal)
+        else:
+            fragment = generate_fragment(
+                1 + rng.randrange(5), tags, rng=rng, max_depth=4
+            )
+            position = rng.choice(safe_insert_positions(ref.text))
+            db.insert(fragment, position)
+            ref.insert(fragment, position)
+        check_all()
+    db.check_invariants()
 
 
 def test_sequences_exercise_removals():

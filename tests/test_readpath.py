@@ -1,0 +1,394 @@
+"""The compiled read path: correctness, invalidation, and overhead guards.
+
+Four concerns, mirroring the module's contract (``repro.core.readpath``):
+
+- **parity** — enabled, disabled, memo-hit and memo-bypassed joins must
+  return identical pair lists (same pairs, same order), and the kill
+  switch must change nothing observable;
+- **invalidation** — version-keyed entries revalidate exactly when the
+  underlying structure changed: hits on repeat lookups, one invalidation
+  (not a flush) per touched structure, eager drops on segment removal;
+- **version exactness** — the property the whole design leans on: a
+  structure's version counter bumps *iff* its observable state changed.
+  Never bumping on change means stale answers; always bumping (e.g. on
+  every gp shift) means the cache never hits.  Driven by seeded random
+  insert/remove/repack sequences via hypothesis;
+- **overhead** — with the cache disabled, the residual machinery is a few
+  attribute checks per lookup; a deterministic bound (regions x per-check
+  cost, the ``test_obs_overhead`` idiom) keeps it under 5%.
+
+The ``perf_smoke`` marked test is the CI perf-smoke gate: a small join
+workload run twice must hit the cache on the second pass, and the
+benchmark envelope it writes must validate against ``repro-bench/2``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from time import perf_counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.database import LazyXMLDatabase
+from repro.core.ertree import DUMMY_ROOT_SID
+from repro.core.join import JoinStatistics
+from repro.bench.harness import SCHEMA, Table, write_envelope
+from repro.workloads.generator import generate_fragment, tag_pool
+from repro.workloads.join_mix import build_join_mix, sweep_configs
+
+from tests.oracle import _random_removal, safe_insert_positions
+
+OVERHEAD_BUDGET = 0.05
+
+
+def _mix_db(n_segments: int = 12, fraction: float = 0.5) -> LazyXMLDatabase:
+    config = sweep_configs(n_segments, "nested", [fraction])[0]
+    db = LazyXMLDatabase(keep_text=False)
+    build_join_mix(db, config)
+    return db
+
+
+def _ids(pairs):
+    return [((a.sid, a.start), (d.sid, d.start)) for a, d in pairs]
+
+
+# ----------------------------------------------------------------------
+# parity: every cache regime returns the same answer
+
+
+def test_enabled_disabled_and_memo_parity():
+    db = _mix_db()
+    db.readpath.disable()
+    cold = db.structural_join("a", "d")
+    db.readpath.enable()
+    first = db.structural_join("a", "d")          # compiles + stores memo
+    warm = db.structural_join("a", "d")           # memo hit
+    bypass = db.structural_join("a", "d", stats=JoinStatistics())
+    assert _ids(first) == _ids(cold)
+    assert _ids(warm) == _ids(cold)
+    assert _ids(bypass) == _ids(cold)
+    # A memo hit hands back a fresh list, never the cached tuple's alias.
+    assert warm is not first
+
+
+def test_kill_switch_env(monkeypatch):
+    from repro.core.readpath import ReadPathCache, cache_enabled_default
+
+    monkeypatch.setenv("REPRO_READPATH_CACHE", "0")
+    assert cache_enabled_default() is False
+    db = _mix_db(6)
+    cache = ReadPathCache(db.log, db.index)
+    assert cache.enabled is False
+    tid = db.log.tags.tid_of("a")
+    sid = db.log.taglist.segments_for(tid)[0].sid
+    cache.elements(tid, sid)
+    cache.segment_list(tid)
+    assert cache.stats()["entries"] == {
+        "elements": 0,
+        "push_lists": 0,
+        "segment_lists": 0,
+        "lps": 0,
+        "join_results": 0,
+    }
+    monkeypatch.delenv("REPRO_READPATH_CACHE")
+    assert cache_enabled_default() is True
+
+
+# ----------------------------------------------------------------------
+# invalidation: hits on repeats, per-structure staleness, eager drops
+
+
+def test_repeat_lookups_hit():
+    db = _mix_db(8)
+    rp = db.readpath
+    tid = db.log.tags.tid_of("d")
+    sid = db.log.taglist.segments_for(tid)[0].sid
+    first = rp.elements(tid, sid)
+    hits = rp.hits
+    assert rp.elements(tid, sid) is first
+    assert rp.segment_list(tid) is rp.segment_list(tid)
+    assert rp.hits > hits
+
+
+def test_update_invalidates_only_touched_structures():
+    db = LazyXMLDatabase()
+    db.insert("<a><d>one</d></a>")
+    db.insert("<b><e>two</e></b>")
+    rp = db.readpath
+    tid_a = db.log.tags.tid_of("a")
+    tid_b = db.log.tags.tid_of("b")
+    sl_a = rp.segment_list(tid_a)
+    sl_b = rp.segment_list(tid_b)
+    # A new <a> document bumps tag a's list but must leave b's compiled
+    # entry valid — invalidation is O(touched structures), not a flush.
+    db.insert("<a><d>three</d></a>")
+    assert rp.segment_list(tid_a) is not sl_a
+    assert rp.segment_list(tid_b) is sl_b
+
+
+def test_element_arrays_invalidate_on_in_segment_removal():
+    db = LazyXMLDatabase()
+    db.insert("<a><d>x</d><d>y</d></a>")
+    rp = db.readpath
+    tid = db.log.tags.tid_of("d")
+    sid = db.log.taglist.segments_for(tid)[0].sid
+    before = rp.elements(tid, sid)
+    assert len(before) == 2
+    d_first = db.global_elements("d")[0]
+    db.remove(d_first.start, d_first.end - d_first.start)
+    invalidations = rp.invalidations
+    after = rp.elements(tid, sid)
+    assert after is not before
+    assert len(after) == 1
+    assert rp.invalidations > invalidations
+
+
+def test_whole_segment_removal_drops_compiled_entries():
+    db = LazyXMLDatabase()
+    db.insert("<a><d>x</d></a>")
+    db.insert("<a><d>y</d></a>")
+    db.structural_join("a", "d")  # warm everything
+    rp = db.readpath
+    assert rp.stats()["entries"]["elements"] > 0
+    node = [
+        n for n in db.log.ertree.nodes() if n.sid != DUMMY_ROOT_SID
+    ][0]
+    sid = node.sid
+    db.remove(node.gp, node.length)
+    assert not any(key[1] == sid for key in rp._elements)
+    assert not any(key[1] == sid for key in rp._push)
+    assert sid not in rp._lps
+
+
+def test_join_memo_invalidates_when_either_tag_changes():
+    db = LazyXMLDatabase()
+    db.insert("<a><d>x</d></a>")
+    first = db.structural_join("a", "d")
+    assert db.readpath.stats()["entries"]["join_results"] == 1
+    db.insert("<d>solo</d>")  # touches d only; memo for (a, d) is stale
+    second = db.structural_join("a", "d")
+    assert _ids(second) == _ids(first)  # the new top-level <d> joins nothing
+    db.check_invariants()
+
+
+def test_repack_invalidates_relabelled_tag():
+    db = LazyXMLDatabase()
+    db.insert("<a>outer</a>")
+    inner = db.insert("<a><d>x</d></a>", position=len("<a>"))
+    spans_before = sorted(
+        (db.global_span(a), db.global_span(d))
+        for a, d in db.structural_join("a", "d")
+    )
+    db.repack(inner.sid)  # relabels; the memoized answer holds stale records
+    spans_after = sorted(
+        (db.global_span(a), db.global_span(d))
+        for a, d in db.structural_join("a", "d")
+    )
+    assert spans_after == spans_before
+    db.check_invariants()
+
+
+# ----------------------------------------------------------------------
+# version exactness: bump iff observable state changed
+
+
+def _tag_states(db):
+    taglist = db.log.taglist
+    versions, states = {}, {}
+    for tid in list(taglist.tids()):
+        versions[tid] = taglist.version(tid)
+        states[tid] = tuple(
+            (entry.sid, entry.count) for entry in taglist._lists[tid]
+        )
+    return versions, states
+
+
+def _segment_states(db):
+    all_tids = range(len(db.log.tags))
+    versions, states = {}, {}
+    for node in db.log.ertree.nodes():
+        if node.sid == DUMMY_ROOT_SID:
+            continue
+        sid = node.sid
+        versions[sid] = db.index.version(sid)
+        states[sid] = tuple(
+            (tid, tuple(db.index.elements_list(tid, sid)))
+            for tid in all_tids
+            if db.index.has_segment_tag(tid, sid)
+        )
+    return versions, states
+
+
+def _node_states(db):
+    states = {}
+    for node in db.log.ertree.nodes():
+        states[node.sid] = (
+            node._version,
+            tuple((c.sid, c.lp, c.length) for c in node.children),
+        )
+    return states
+
+
+def _assert_version_exactness(before, after, what):
+    versions_b, states_b = before
+    versions_a, states_a = after
+    for key in versions_b.keys() & versions_a.keys():
+        bumped = versions_a[key] != versions_b[key]
+        changed = states_a[key] != states_b[key]
+        assert bumped == changed, (
+            f"{what} {key}: version "
+            f"{'bumped without' if bumped else 'stale despite'} an "
+            "observable state change"
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10**6))
+def test_version_counters_bump_exactly_on_observable_change(seed):
+    rng = random.Random(seed)
+    tags = tag_pool(4)
+    db = LazyXMLDatabase()
+    db.insert(generate_fragment(5, tags, rng=rng, max_depth=3))
+    for _ in range(6):
+        tag_b, seg_b = _tag_states(db), _segment_states(db)
+        nodes_b = _node_states(db)
+        roll = rng.random()
+        if roll < 0.25 and db.document_length:
+            removal = _random_removal(db, rng, tags)
+            if removal is None:
+                continue
+            db.remove(*removal)
+        elif roll < 0.35:
+            live = [
+                n.sid
+                for n in db.log.ertree.nodes()
+                if n.sid != DUMMY_ROOT_SID
+            ]
+            if not live:
+                continue
+            db.repack(rng.choice(live))
+        else:
+            fragment = generate_fragment(
+                1 + rng.randrange(4), tags, rng=rng, max_depth=3
+            )
+            db.insert(fragment, rng.choice(safe_insert_positions(db.text)))
+        tag_a, seg_a = _tag_states(db), _segment_states(db)
+        _assert_version_exactness(tag_b, tag_a, "tag")
+        _assert_version_exactness(seg_b, seg_a, "segment")
+        # ER-node compiled state: staleness is the fatal direction — any
+        # observable child change must have touched the node.  (Spurious
+        # touches are permitted: ancestors recompile when descendant
+        # lengths shift even if their direct child tuple is unchanged.)
+        nodes_a = _node_states(db)
+        for sid in nodes_b.keys() & nodes_a.keys():
+            vb, cb = nodes_b[sid]
+            va, ca = nodes_a[sid]
+            if cb != ca:
+                assert va != vb, f"ER node {sid} stale after child change"
+        db.check_invariants()
+
+
+def test_queries_never_bump_versions():
+    db = _mix_db(8)
+    before_tags = _tag_states(db)[0]
+    before_segs = _segment_states(db)[0]
+    db.structural_join("a", "d")
+    db.structural_join("a", "d", stats=JoinStatistics())
+    db.structural_join("d", "a")
+    assert _tag_states(db)[0] == before_tags
+    assert _segment_states(db)[0] == before_segs
+
+
+# ----------------------------------------------------------------------
+# overhead: the disabled cache must cost only its attribute checks
+
+
+@pytest.mark.overhead
+def test_disabled_cache_overhead_within_budget():
+    """Deterministic bound, the ``test_obs_overhead`` idiom.
+
+    Disabled, every ``ReadPathCache`` lookup is one ``self.enabled``
+    attribute check before compiling exactly what the pre-cache code
+    built inline.  Count the lookups one workload pass performs (the
+    enabled-mode hit/miss counters measure precisely that when the join
+    memo is bypassed), price one check in a tight loop, and bound the
+    product — doubled to cover the uncounted ``lp_of``/``cached_join``/
+    ``store_join`` checks — against 5% of the disabled runtime.
+    """
+    db = _mix_db(12)
+    rp = db.readpath
+
+    def workload():
+        for _ in range(10):
+            db.structural_join("a", "d", stats=JoinStatistics())
+            db.structural_join("d", "a", stats=JoinStatistics())
+
+    rp.enable()
+    workload()  # compile pass
+    before = rp.hits + rp.misses
+    workload()
+    regions = 2 * (rp.hits + rp.misses - before)
+    assert regions > 0
+
+    rp.disable()
+    disabled = min(
+        (lambda: (t := perf_counter(), workload(), perf_counter() - t)[2])()
+        for _ in range(5)
+    )
+
+    sink = 0
+    begin = perf_counter()
+    for _ in range(200_000):
+        if rp.enabled:
+            sink += 1
+    per_check = (perf_counter() - begin) / 200_000
+    assert sink == 0
+
+    overhead = regions * per_check
+    fraction = overhead / disabled
+    assert fraction < OVERHEAD_BUDGET, (
+        f"{regions} enabled-checks x {per_check * 1e9:.1f}ns "
+        f"= {overhead * 1e3:.3f}ms is {fraction:.1%} of the "
+        f"{disabled * 1e3:.1f}ms disabled workload"
+    )
+
+
+# ----------------------------------------------------------------------
+# CI perf smoke: warm second pass + valid envelope
+
+
+@pytest.mark.perf_smoke
+def test_perf_smoke_second_pass_hits_and_envelope_validates(tmp_path):
+    db = _mix_db(10)
+    queries = [("a", "d"), ("d", "a")]
+    for tag_a, tag_d in queries:
+        db.structural_join(tag_a, tag_d)  # first pass: compile + store
+    hits_before = db.readpath.hits
+    pair_counts = [
+        len(db.structural_join(tag_a, tag_d)) for tag_a, tag_d in queries
+    ]
+    stats = db.readpath.stats()
+    assert db.readpath.hits > hits_before, "second pass never hit the cache"
+    assert stats["hit_rate"] > 0.0
+    assert stats["entries"]["join_results"] == len(queries)
+
+    table = Table("perf smoke", ["query", "pairs"])
+    for (tag_a, tag_d), pairs in zip(queries, pair_counts):
+        table.add_row([f"{tag_a}//{tag_d}", pairs])
+    path = write_envelope(
+        tmp_path / "BENCH_smoke.json",
+        "readpath_smoke",
+        params={"n_segments": 10},
+        tables=[table],
+        results={"cache": stats},
+    )
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    assert doc["schema"] == SCHEMA
+    assert set(doc) >= {
+        "schema", "benchmark", "params", "tables", "sweeps", "results",
+        "metrics",
+    }
+    assert doc["results"]["cache"]["hits"] > 0
