@@ -1,0 +1,197 @@
+"""Sharded scatter-gather join throughput at N = 1 / 2 / 4 shards.
+
+Runs the fig14 XMark query mix against the same set of site documents
+partitioned across N shards, in the regime the partitioning exists for:
+a steady trickle of updates interleaved with the queries.  Each round
+inserts one small fragment into one document (rotating), then runs the
+whole query mix.  On one shard every update invalidates the compiled
+read path for the entire corpus, so every query recompiles; at N=4 the
+update touches one shard's versions and the other three answer from
+their memos while the written shard recomputes — shard affinity is the
+speedup, IPC is the tax.
+
+Reports join throughput (queries/s) and per-query p50/p99 latency per
+shard count into ``BENCH_shard.json`` (``--smoke`` shrinks the corpus
+and writes ``BENCH_shard.smoke.json``).
+
+``--fault-drill`` instead runs the worker-loss acceptance check: kill
+one worker process mid-stream, require the in-flight query to fail with
+a typed :class:`~repro.errors.WorkerLost` within the deadline (never a
+hang) and the next query to answer correctly in degraded mode.  Exits
+non-zero on any violation, so CI can gate on it.
+
+Run:  python benchmarks/bench_shard.py [--smoke] [--fault-drill]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.harness import Table, write_envelope
+from repro.workloads.xmark import XMARK_QUERIES, XMarkConfig, generate_site
+
+SHARD_COUNTS = (1, 2, 4)
+_MS = 1e3
+
+
+def _default_executor() -> str:
+    return "process" if os.name == "posix" else "inprocess"
+
+
+def _site_texts(n_docs: int, scale: float) -> list[str]:
+    return [
+        generate_site(XMarkConfig(scale=scale, seed=seed)).to_xml()
+        for seed in range(n_docs)
+    ]
+
+
+def _build(n_shards: int, texts: list[str], executor: str):
+    from repro.shard import ShardedDatabase
+
+    db = ShardedDatabase(n_shards, executor=executor)
+    for text in texts:
+        db.insert(text)
+    return db
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+def _run_mix(db, rounds: int) -> dict:
+    """``rounds`` x (one rotating-document insert + the full fig14 mix)."""
+    queries = [(a, d) for _, a, d in XMARK_QUERIES]
+    # Warm every shard's compiled read path before the clock starts.
+    pairs = {f"{a}//{d}": len(db.structural_join(a, d)) for a, d in queries}
+    docs = db._doc_table()
+    latencies: list[float] = []
+    started = time.perf_counter()
+    for round_no in range(rounds):
+        doc = db._doc_table()[round_no % len(docs)]
+        db.insert("<x>u</x>", doc.vstart + len("<site>"))
+        for tag_a, tag_d in queries:
+            t0 = time.perf_counter()
+            db.structural_join(tag_a, tag_d)
+            latencies.append(time.perf_counter() - t0)
+    elapsed = time.perf_counter() - started
+    latencies.sort()
+    return {
+        "queries": len(latencies),
+        "elapsed_s": elapsed,
+        "throughput_qps": len(latencies) / elapsed,
+        "p50_ms": _percentile(latencies, 0.50) * _MS,
+        "p99_ms": _percentile(latencies, 0.99) * _MS,
+        "pairs": pairs,
+    }
+
+
+def bench_scatter(smoke: bool, executor: str) -> tuple[Table, dict]:
+    scale = 0.01 if smoke else 0.03
+    n_docs = 8
+    rounds = 3 if smoke else 8
+    texts = _site_texts(n_docs, scale)
+    table = Table(
+        "sharded fig14 mix — updates interleaved",
+        ["shards", "executor", "queries", "throughput_qps", "p50_ms", "p99_ms"],
+    )
+    results: dict = {
+        "params": {
+            "scale": scale,
+            "n_docs": n_docs,
+            "rounds": rounds,
+            "executor": executor,
+        }
+    }
+    for n_shards in SHARD_COUNTS:
+        db = _build(n_shards, texts, executor)
+        try:
+            run = _run_mix(db, rounds)
+        finally:
+            db.close()
+        results[f"N={n_shards}"] = run
+        table.add_row(
+            [n_shards, executor, run["queries"], run["throughput_qps"],
+             run["p50_ms"], run["p99_ms"]]
+        )
+    base = results["N=1"]["throughput_qps"]
+    results["summary"] = {
+        "speedup_n2": results["N=2"]["throughput_qps"] / base,
+        "speedup_n4": results["N=4"]["throughput_qps"] / base,
+        "meets_1p5x_target": results["N=4"]["throughput_qps"] / base >= 1.5,
+    }
+    return table, results
+
+
+def fault_drill(executor: str) -> int:
+    """Acceptance: worker loss is typed and fast, service degrades, never hangs."""
+    from repro.errors import WorkerLost
+
+    if executor != "process":
+        print("[bench_shard] fault drill requires the process executor")
+        return 1
+    texts = _site_texts(4, 0.01)
+    db = _build(2, texts, executor)
+    try:
+        tag_a, tag_d = XMARK_QUERIES[0][1], XMARK_QUERIES[0][2]
+        want = len(db.structural_join(tag_a, tag_d))
+        worker = db.executor._workers[0]
+        worker.process.kill()
+        worker.process.join(timeout=5)
+        deadline = 2.0
+        started = time.perf_counter()
+        try:
+            db.executor.scatter([(0, "ping", ())], timeout=deadline)
+        except WorkerLost as exc:
+            elapsed = time.perf_counter() - started
+            if elapsed > deadline + 1.0:
+                print(f"[bench_shard] FAIL: loss took {elapsed:.2f}s")
+                return 1
+            print(f"[bench_shard] worker loss typed in {elapsed * _MS:.1f}ms: {exc}")
+        else:
+            print("[bench_shard] FAIL: dead worker did not raise WorkerLost")
+            return 1
+        db.flush_caches()  # force the degraded path, not a cache answer
+        got = len(db.structural_join(tag_a, tag_d))
+        if got != want:
+            print(f"[bench_shard] FAIL: degraded answer {got} != {want}")
+            return 1
+        print(f"[bench_shard] degraded query correct ({got} pairs); drill OK")
+        return 0
+    finally:
+        db.close()
+
+
+def main() -> int:
+    smoke = "--smoke" in sys.argv
+    executor = _default_executor()
+    if "--inprocess" in sys.argv:
+        executor = "inprocess"
+    if "--fault-drill" in sys.argv:
+        return fault_drill(executor)
+    table, results = bench_scatter(smoke, executor)
+    table.print()
+    summary = results["summary"]
+    print(
+        f"[bench_shard] N=2 {summary['speedup_n2']:.2f}x, "
+        f"N=4 {summary['speedup_n4']:.2f}x vs N=1 "
+        f"(target >= 1.5x at N=4: "
+        f"{'met' if summary['meets_1p5x_target'] else 'MISSED'})"
+    )
+    name = "BENCH_shard.smoke.json" if smoke else "BENCH_shard.json"
+    write_envelope(
+        Path(__file__).resolve().parent.parent / name,
+        "shard_scatter",
+        params={"smoke": smoke, "executor": executor,
+                "shard_counts": list(SHARD_COUNTS)},
+        tables=[table],
+        results=results,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,9 @@
-"""CI gate for the perf-smoke envelope (``BENCH_joins.smoke.json``).
+"""CI gate for the perf-smoke envelopes.
 
-Validates what the perf-smoke job needs beyond "the script exited 0":
+Validates what the perf-smoke job needs beyond "the script exited 0",
+dispatching on the envelope's ``benchmark`` name:
+
+``joins_readpath`` (``BENCH_joins.smoke.json``):
 
 - the envelope carries the current ``repro-bench/2`` schema with every
   required section present;
@@ -9,6 +12,17 @@ Validates what the perf-smoke job needs beyond "the script exited 0":
   means the memo keys broke and every "warm" number silently measured
   recompilation;
 - the summary's A//D warm speedups exist and are positive.
+
+``shard_scatter`` (``BENCH_shard.smoke.json``):
+
+- results exist for every advertised shard count with sane latency
+  percentiles (p99 >= p50 > 0);
+- per-query pair counts are identical across shard counts — a mismatch
+  means partitioning changed the answers, making every throughput
+  number meaningless;
+- the N=4 speedup is recorded.  Smoke runs on shared CI runners, so the
+  gate only requires it to be positive; the >= 1.5x acceptance target is
+  asserted on the full ``BENCH_shard.json`` run.
 
 Usage:  python benchmarks/check_smoke_envelope.py [path]
 """
@@ -30,7 +44,11 @@ def check(path: Path) -> None:
     assert doc.get("schema") == SCHEMA, f"schema {doc.get('schema')!r}"
     missing = REQUIRED_KEYS - set(doc)
     assert not missing, f"envelope missing sections: {sorted(missing)}"
-    assert doc["benchmark"] == "joins_readpath"
+    benchmark = doc["benchmark"]
+    if benchmark == "shard_scatter":
+        check_shard(doc)
+        return
+    assert benchmark == "joins_readpath", f"unknown benchmark {benchmark!r}"
 
     results = doc["results"]
     caches = []
@@ -50,6 +68,31 @@ def check(path: Path) -> None:
         f"[check_smoke_envelope] OK: {len(caches)} workloads warm, "
         f"A//D speedups {summary['ad_speedup_min']:.2f}x..."
         f"{summary['ad_speedup_max']:.2f}x"
+    )
+
+
+def check_shard(doc: dict) -> None:
+    results = doc["results"]
+    counts = doc["params"]["shard_counts"]
+    pair_sets = []
+    for n in counts:
+        run = results.get(f"N={n}")
+        assert run is not None, f"no results for N={n}"
+        assert run["throughput_qps"] > 0, f"N={n}: zero throughput"
+        assert 0 < run["p50_ms"] <= run["p99_ms"], f"N={n}: bad percentiles"
+        pair_sets.append((n, run["pairs"]))
+    base = pair_sets[0][1]
+    for n, pairs in pair_sets[1:]:
+        assert pairs == base, (
+            f"N={n} pair counts differ from N={counts[0]}: partitioning "
+            f"changed the answers"
+        )
+    summary = results["summary"]
+    assert summary["speedup_n4"] > 0
+    print(
+        f"[check_smoke_envelope] OK: shard_scatter, {len(counts)} shard "
+        f"counts, identical answers, N=4 speedup "
+        f"{summary['speedup_n4']:.2f}x"
     )
 
 

@@ -27,6 +27,19 @@ the snapshot-path argument is omitted:
 In durable mode, mutating commands are journaled (fsynced before the
 command reports success) rather than rewriting the whole snapshot; the
 ``checkpoint`` command folds the journal into the checkpoint file.
+
+**Sharded operation** (:mod:`repro.shard`): ``load --shards N`` with
+``--durable`` creates an N-way document-partitioned directory (per-shard
+WALs plus a coordinated checkpoint manifest).  A durable directory that
+contains ``manifest.json`` is recognised as sharded by *every* command —
+``query``/``join``/``stats``/``serve``/``fsck``/``checkpoint`` open it
+through :class:`~repro.shard.durable.ShardedDurableDatabase`
+automatically.  ``serve --shards N`` on a plain snapshot partitions it at
+startup and fans queries out to persistent worker processes:
+
+    python -m repro --durable state/ load doc.xml --shards 4
+    python -m repro --durable state/ serve --executor process
+    python -m repro serve db.json --shards 4
 """
 
 from __future__ import annotations
@@ -90,6 +103,11 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("--segments", type=int, default=1)
     cmd.add_argument("--shape", choices=["balanced", "nested"], default="balanced")
     cmd.add_argument("--mode", choices=["dynamic", "static"], default="dynamic")
+    cmd.add_argument(
+        "--shards", type=int, default=1,
+        help="partition into N shards (requires --durable; creates "
+        "per-shard WALs and a coordinated checkpoint manifest)",
+    )
 
     cmd = commands.add_parser("insert", help="insert a fragment file")
     cmd.add_argument("db", nargs="?", default=None)
@@ -171,6 +189,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-depth", type=int, default=12,
         help="pressure bound: ER-tree depth",
     )
+    cmd.add_argument(
+        "--shards", type=int, default=None,
+        help="partition a snapshot into N shards at startup (a sharded "
+        "durable directory is detected from its manifest instead)",
+    )
+    cmd.add_argument(
+        "--executor", choices=["process", "inprocess"], default="process",
+        help="sharded query execution: persistent worker processes "
+        "(default) or in-process on the coordinator",
+    )
     return parser
 
 
@@ -210,6 +238,15 @@ def _open(args: argparse.Namespace):
                 f"durable directory {str(directory)!r} does not exist "
                 "or is not a directory (create it with: load --durable)"
             )
+        if (directory / "manifest.json").exists():
+            # A coordinated-checkpoint manifest marks a sharded directory.
+            from repro.shard.durable import ShardedDurableDatabase
+
+            sdd = ShardedDurableDatabase(
+                directory, executor=getattr(args, "executor", "inprocess")
+            )
+            sdd.prepare_for_query()
+            return sdd, lambda: None
         dd = DurableDatabase(directory)
         dd.prepare_for_query()
         return dd, lambda: None
@@ -257,8 +294,14 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "remove":
         outcome = db.remove(args.position, args.length)
         persist()
+        if hasattr(outcome, "outcomes"):  # sharded: one outcome per shard
+            segments = sum(
+                len(sub.report.removed_sids) for _, sub in outcome.outcomes
+            )
+        else:
+            segments = len(outcome.report.removed_sids)
         print(
-            f"removed {args.length} chars: {len(outcome.report.removed_sids)} "
+            f"removed {args.length} chars: {segments} "
             f"segment(s) and {outcome.elements_removed} element record(s) gone"
         )
         return 0
@@ -270,8 +313,14 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(len(records))
         else:
             for record in records:
-                start, end = db.global_span(record)
-                print(f"{start}\t{end}\tsid={record.sid} level={record.level}")
+                if hasattr(record, "gstart"):  # sharded: virtual-global span
+                    print(
+                        f"{record.gstart}\t{record.gend}\tsid={record.sid} "
+                        f"shard={record.shard} level={record.level}"
+                    )
+                else:
+                    start, end = db.global_span(record)
+                    print(f"{start}\t{end}\tsid={record.sid} level={record.level}")
         return 0
 
     if args.command == "join":
@@ -299,9 +348,13 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "compact":
         result = db.compact()
         persist()
+        results = result if isinstance(result, list) else [result]
+        before = sum(r.segments_before for r in results)
+        after = sum(r.segments_after for r in results)
+        relabelled = sum(r.elements_relabelled for r in results)
         print(
-            f"compacted {result.segments_before} -> {result.segments_after} "
-            f"segments ({result.elements_relabelled} elements relabelled)"
+            f"compacted {before} -> {after} "
+            f"segments ({relabelled} elements relabelled)"
         )
         return 0
 
@@ -315,30 +368,94 @@ def _dispatch(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
+def _stats_payload(args: argparse.Namespace, db) -> dict:
+    """The ``stats --json`` object.
+
+    Sharded databases emit ``{"shards": [...], "totals": {...}}`` — one
+    entry per shard carrying its read-path cache stats and per-structure
+    version counters, plus the aggregated totals.  With a single shard the
+    flat single-database keys are *also* kept at the top level, so scripts
+    written against the unsharded shape keep parsing.
+    """
+    from repro.shard.database import ShardedDatabase
+
+    if isinstance(db, ShardedDatabase):
+        totals = {
+            "mode": db.mode,
+            "documents": len(db.docmap),
+            "characters": db.document_length,
+            "segments": db.segment_count,
+            "elements": db.element_count,
+            "tags": len(db.catalog.tags()),
+            "sbtree_bytes": db.stats().sbtree_bytes,
+            "taglist_bytes": db.stats().taglist_bytes,
+            "versions": db.version_counters(),
+        }
+        if hasattr(db, "epoch"):  # ShardedDurableDatabase
+            totals["epoch"] = db.epoch
+            totals["last_seqs"] = db.last_seqs
+            totals["journal_bytes"] = sum(db.journal_sizes)
+        payload = {"shards": db.shard_stats(), "totals": totals}
+        if db.n_shards == 1:
+            # Compatibility fallback: the unsharded flat keys still parse.
+            for key in (
+                "mode", "characters", "segments", "elements", "tags",
+                "sbtree_bytes", "taglist_bytes",
+            ):
+                payload[key] = totals[key]
+        return payload
+    log_stats = db.stats()
+    payload = {
+        "mode": db.mode,
+        "characters": db.document_length,
+        "segments": db.segment_count,
+        "elements": db.element_count,
+        "tags": len(db.log.tags),
+        "sbtree_bytes": log_stats.sbtree_bytes,
+        "taglist_bytes": log_stats.taglist_bytes,
+    }
+    if args.durable:
+        payload["journal_bytes"] = db.journal_size
+        payload["last_seq"] = db.last_seq
+    return payload
+
+
 def _cmd_stats(args: argparse.Namespace, db) -> int:
     """Database size stats, optionally with the process metric catalogue."""
     from repro.obs.metrics import METRICS
+    from repro.shard.database import ShardedDatabase
 
     log_stats = db.stats()
     if args.as_json:
         import json
 
-        payload = {
-            "mode": db.mode,
-            "characters": db.document_length,
-            "segments": db.segment_count,
-            "elements": db.element_count,
-            "tags": len(db.log.tags),
-            "sbtree_bytes": log_stats.sbtree_bytes,
-            "taglist_bytes": log_stats.taglist_bytes,
-        }
-        if args.durable:
-            payload["journal_bytes"] = db.journal_size
-            payload["last_seq"] = db.last_seq
+        payload = _stats_payload(args, db)
         if args.metrics:
             payload["metrics"] = METRICS.snapshot()
             payload["metric_catalogue"] = METRICS.catalogue()
         print(json.dumps(payload, sort_keys=True))
+        return 0
+    if isinstance(db, ShardedDatabase):
+        payload = _stats_payload(args, db)
+        totals = payload["totals"]
+        print(f"mode:       {totals['mode']}")
+        print(f"shards:     {db.n_shards}")
+        print(f"documents:  {totals['documents']}")
+        print(f"characters: {totals['characters']}")
+        print(f"segments:   {totals['segments']}")
+        print(f"elements:   {totals['elements']}")
+        print(f"tags:       {totals['tags']}")
+        if "epoch" in totals:
+            print(
+                f"epoch:      {totals['epoch']} "
+                f"(journals {totals['journal_bytes']} B)"
+            )
+        for entry in payload["shards"]:
+            print(
+                f"  shard {entry['shard']}: {entry['documents']} doc(s), "
+                f"{entry['segments']} segment(s), "
+                f"{entry['elements']} element(s)"
+            )
         return 0
     print(f"mode:       {db.mode}")
     print(f"characters: {db.document_length}")
@@ -372,6 +489,22 @@ def _cmd_serve(args: argparse.Namespace, db, persist) -> int:
     """Run the resilient service shell over stdin/stdout."""
     from repro.service import DatabaseService, PressureThresholds, ServiceConfig
     from repro.service.shell import ServiceShell
+    from repro.shard.database import ShardedDatabase
+
+    if args.shards is not None and args.shards > 1:
+        if isinstance(db, ShardedDatabase):
+            if db.n_shards != args.shards:
+                raise ReproError(
+                    f"--shards {args.shards} conflicts with the sharded "
+                    f"directory's manifest ({db.n_shards} shards)"
+                )
+        else:
+            # Partition the snapshot at startup; writes stay in memory
+            # (persist() rewrites nothing for the sharded copy).
+            db = ShardedDatabase.from_database(
+                db, args.shards, executor=args.executor
+            )
+            persist = lambda: None  # noqa: E731 - deliberate shadowing
 
     config = ServiceConfig(
         read_limit=args.readers,
@@ -385,10 +518,16 @@ def _cmd_serve(args: argparse.Namespace, db, persist) -> int:
     if args.maintenance_interval > 0:
         service.start_maintenance(args.maintenance_interval)
     health = service.health()
+    sharding = (
+        f", {health['shards']['count']} shard(s) "
+        f"[{health['shards']['executor']} executor]"
+        if "shards" in health
+        else ""
+    )
     print(
         f"serving {health['segments']} segment(s), "
         f"{health['elements']} element(s) "
-        f"[{'durable' if health['durable'] else 'snapshot'} mode]; "
+        f"[{'durable' if health['durable'] else 'snapshot'} mode]{sharding}; "
         "type 'help' for commands",
         file=sys.stderr,
     )
@@ -402,17 +541,35 @@ def _cmd_serve(args: argparse.Namespace, db, persist) -> int:
 
 def _cmd_load(args: argparse.Namespace) -> int:
     text = args.xml_file.read_text(encoding="utf-8")
+    if args.shards > 1 and not args.durable:
+        raise ReproError("load --shards requires --durable DIR")
     if args.durable:
         from repro.durability.recovery import CHECKPOINT_NAME, JOURNAL_NAME
+        from repro.shard.durable import MANIFEST_NAME
 
         directory = Path(args.durable)
-        for name in (CHECKPOINT_NAME, JOURNAL_NAME):
+        for name in (CHECKPOINT_NAME, JOURNAL_NAME, MANIFEST_NAME):
             existing = directory / name
             if existing.exists() and existing.stat().st_size:
                 raise ReproError(
                     f"refusing to load into non-empty durable directory "
                     f"({existing} exists)"
                 )
+        if args.shards > 1:
+            from repro.shard.durable import ShardedDurableDatabase
+
+            db = ShardedDurableDatabase(
+                directory, args.shards, mode=args.mode
+            )
+            _load_into(db, text, args)
+            db.checkpoint()
+            db.close()
+            where = f"sharded durable dir ({args.shards} shards): {directory}"
+            print(
+                f"loaded {db.element_count} elements into {db.segment_count} "
+                f"segment(s); {where}"
+            )
+            return 0
         db = DurableDatabase(directory, mode=args.mode)
         _load_into(db, text, args)
         db.checkpoint()
@@ -445,7 +602,24 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
         _require(args, "db")
         target = Path(args.db)
     try:
-        if target.is_dir():
+        if target.is_dir() and (target / "manifest.json").exists():
+            from repro.shard.durable import ShardedDurableDatabase
+
+            db = ShardedDurableDatabase(target)
+            reports = db.recovery_reports()
+            detail = (
+                f"sharded ({db.n_shards} shards, epoch {db.epoch}); "
+                + "; ".join(
+                    f"shard {i}: {r.describe()}" for i, r in enumerate(reports)
+                )
+            )
+            if any(r.torn_tail for r in reports):
+                print(
+                    "fsck: note: torn final journal record discarded",
+                    file=sys.stderr,
+                )
+            db.close()
+        elif target.is_dir():
             from repro.durability.recovery import recover
 
             db, report = recover(target)
@@ -471,6 +645,21 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
 def _cmd_checkpoint(args: argparse.Namespace) -> int:
     if not args.durable:
         raise ReproError("checkpoint requires --durable DIR")
+    directory = Path(args.durable)
+    if (directory / "manifest.json").exists():
+        from repro.shard.durable import ShardedDurableDatabase
+
+        db = ShardedDurableDatabase(directory)
+        before = sum(db.journal_sizes)
+        db.checkpoint()
+        after = sum(db.journal_sizes)
+        epoch = db.epoch
+        db.close()
+        print(
+            f"coordinated checkpoint written: epoch {epoch}, "
+            f"{db.n_shards} shard(s) (journals {before} B -> {after} B)"
+        )
+        return 0
     db = DurableDatabase(args.durable)
     before = db.journal_size
     db.checkpoint()

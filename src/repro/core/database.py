@@ -77,8 +77,10 @@ class LazyXMLDatabase:
         switch it off.
     """
 
-    def __init__(self, mode: str = "dynamic", *, keep_text: bool = True):
-        self.log = UpdateLog(mode=mode)
+    def __init__(self, mode: str = "dynamic", *, keep_text: bool = True,
+                 sid_start: int = 1, sid_stride: int = 1):
+        self.log = UpdateLog(mode=mode, sid_start=sid_start,
+                             sid_stride=sid_stride)
         self.index = ElementIndex()
         # The compiled read path (version-keyed element-array / segment-list
         # caches) is shared by every query executor on this database;
@@ -125,6 +127,34 @@ class LazyXMLDatabase:
     def stats(self) -> LogStats:
         """Update-log size snapshot (Fig. 11(a) series)."""
         return self.log.stats()
+
+    def version_counters(self, *, detail: bool = False) -> dict:
+        """Sum (and optionally dump) the read-path version counters.
+
+        These counters key every compiled-cache entry
+        (:mod:`repro.core.readpath`), so an unchanged snapshot of them
+        proves no memo on this database was invalidated — the
+        shard-affinity tests and ``stats --json`` both rely on that.
+        """
+        ertree = {
+            node.sid: node._version
+            for node in self.log.ertree._nodes.values()
+            if node._version
+        }
+        index = dict(self.index._versions)
+        taglist = dict(self.log.taglist._versions)
+        counters = {
+            "ertree": sum(ertree.values()),
+            "element_index": sum(index.values()),
+            "taglist": sum(taglist.values()),
+        }
+        if detail:
+            counters["detail"] = {
+                "ertree": ertree,
+                "element_index": index,
+                "taglist": taglist,
+            }
+        return counters
 
     def set_observed(self, flag: bool) -> None:
         """Enable/disable mutation-path metrics on every owned structure.

@@ -367,10 +367,20 @@ class ERTree:
     class knowing about it.
     """
 
-    def __init__(self, on_add=None, on_remove=None):
+    def __init__(self, on_add=None, on_remove=None, *, sid_start: int = 1,
+                 sid_stride: int = 1):
+        if sid_start < 1 or sid_stride < 1 or sid_start > sid_stride:
+            raise ValueError(
+                f"invalid sid namespace start={sid_start} stride={sid_stride}"
+            )
         self.root = ERNode(DUMMY_ROOT_SID, gp=0, length=0, lp=0, parent=None)
         self._nodes: dict[int, ERNode] = {DUMMY_ROOT_SID: self.root}
-        self._next_sid = DUMMY_ROOT_SID + 1
+        #: Sid namespace: this tree allocates sids from the arithmetic
+        #: lattice ``start + k*stride``.  Shards use disjoint lattices so a
+        #: segment id names its owning shard (``(sid-1) % stride``).
+        self.sid_start = sid_start
+        self.sid_stride = sid_stride
+        self._next_sid = sid_start
         self._on_add = on_add
         self._on_remove = on_remove
         #: Mutation-path instruments fire only on observed trees; the
@@ -495,7 +505,12 @@ class ERTree:
             sid = self._next_sid
         elif sid in self._nodes:
             raise InvalidSegmentError(f"segment id {sid} already in use")
-        self._next_sid = max(self._next_sid, sid + 1)
+        # Advance to the first lattice point strictly past ``sid`` so an
+        # explicit sid (snapshot load, replay) never collides with a future
+        # allocation, while staying on this tree's sid lattice.
+        if sid >= self._next_sid:
+            steps = (sid + self.sid_stride - self.sid_start) // self.sid_stride
+            self._next_sid = self.sid_start + steps * self.sid_stride
 
         # Step 1: global position shift (inclusive — see module docstring).
         shifted = 0

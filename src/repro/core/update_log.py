@@ -63,12 +63,13 @@ class LogStats:
 class UpdateLog:
     """SB-tree + tag-list with the paper's update algorithms."""
 
-    def __init__(self, mode: str = "dynamic"):
+    def __init__(self, mode: str = "dynamic", *, sid_start: int = 1,
+                 sid_stride: int = 1):
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
         self._mode = mode
         dynamic = mode == "dynamic"
-        self.ertree = ERTree()
+        self.ertree = ERTree(sid_start=sid_start, sid_stride=sid_stride)
         self.sbtree = SBTree(self.ertree, dynamic=dynamic)
         self.ertree._on_add = self.sbtree.on_add
         self.ertree._on_remove = self.sbtree.on_remove

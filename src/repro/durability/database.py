@@ -72,13 +72,22 @@ class DurableDatabase:
         mode: str = "dynamic",
         keep_text: bool = True,
         checkpoint_every: int | None = None,
+        checkpoint_name: str = CHECKPOINT_NAME,
+        sid_start: int = 1,
+        sid_stride: int = 1,
     ):
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError("checkpoint_every must be a positive op count")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._checkpoint_name = checkpoint_name
         self.db, self.recovery_report = recover(
-            self.directory, mode=mode, keep_text=keep_text
+            self.directory,
+            mode=mode,
+            keep_text=keep_text,
+            checkpoint_name=checkpoint_name,
+            sid_start=sid_start,
+            sid_stride=sid_stride,
         )
         self._last_seq = self.recovery_report.last_seq
         journal_path = self.directory / JOURNAL_NAME
@@ -158,7 +167,28 @@ class DurableDatabase:
 
     def checkpoint(self) -> None:
         """Fold the journal into an atomic snapshot, then truncate it."""
-        write_checkpoint(self.db, self.directory / CHECKPOINT_NAME, self._last_seq)
+        write_checkpoint(
+            self.db, self.directory / self._checkpoint_name, self._last_seq
+        )
+        self._journal.truncate()
+        hooks.fire("checkpoint.after_truncate")
+        self._ops_since_checkpoint = 0
+
+    def export_checkpoint(self, name: str) -> int:
+        """Phase 1 of a coordinated checkpoint: write a snapshot under
+        ``name`` *without* truncating the journal; returns its crc32.
+
+        The journal keeps covering every committed op until
+        :meth:`confirm_checkpoint`, so a crash before the coordinator's
+        manifest swap loses nothing — the old epoch stays recoverable.
+        """
+        crc = write_checkpoint(self.db, self.directory / name, self._last_seq)
+        self._checkpoint_name = name
+        return crc
+
+    def confirm_checkpoint(self) -> None:
+        """Phase 2 of a coordinated checkpoint: the manifest now names the
+        new epoch, so the journal (folded into it) can be truncated."""
         self._journal.truncate()
         hooks.fire("checkpoint.after_truncate")
         self._ops_since_checkpoint = 0

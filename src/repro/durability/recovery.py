@@ -136,25 +136,39 @@ def apply_op(db: LazyXMLDatabase, op: dict):
 
 
 def recover(
-    directory: str | Path, *, mode: str = "dynamic", keep_text: bool = True
+    directory: str | Path,
+    *,
+    mode: str = "dynamic",
+    keep_text: bool = True,
+    checkpoint_name: str = CHECKPOINT_NAME,
+    sid_start: int = 1,
+    sid_stride: int = 1,
 ) -> tuple[LazyXMLDatabase, RecoveryReport]:
     """Reconstruct the database stored in ``directory``.
 
     ``mode`` and ``keep_text`` configure the fresh database when no
-    checkpoint exists yet; an existing checkpoint carries its own settings.
+    checkpoint exists yet; an existing checkpoint carries its own settings
+    (including the sid namespace, which ``sid_start``/``sid_stride`` seed
+    for fresh shard databases).  ``checkpoint_name`` lets the sharded
+    coordinated-checkpoint layer use epoch-named checkpoint files.
     Raises :class:`RecoveryError` (via :class:`CheckpointError`) when the
     checkpoint itself is corrupt — losing the base state is not a condition
     replay can paper over — and on post-replay invariant violations.
     """
     directory = Path(directory)
     report = RecoveryReport(directory=str(directory))
-    checkpoint_path = directory / CHECKPOINT_NAME
+    checkpoint_path = directory / checkpoint_name
     if checkpoint_path.exists():
         db, last_seq = read_checkpoint(checkpoint_path)
         report.checkpoint_found = True
         report.last_seq = last_seq
     else:
-        db = LazyXMLDatabase(mode=mode, keep_text=keep_text)
+        db = LazyXMLDatabase(
+            mode=mode,
+            keep_text=keep_text,
+            sid_start=sid_start,
+            sid_stride=sid_stride,
+        )
     scan: JournalScan = read_journal(directory / JOURNAL_NAME)
     report.torn_tail = scan.torn_tail
     report.journal_valid_bytes = scan.valid_bytes

@@ -30,6 +30,8 @@ __all__ = [
     "Busy",
     "CircuitOpenError",
     "ServiceClosed",
+    "ShardError",
+    "WorkerLost",
 ]
 
 
@@ -160,3 +162,15 @@ class CircuitOpenError(ServiceError):
 
 class ServiceClosed(ServiceError):
     """Raised when a request reaches a service that has been shut down."""
+
+
+class ShardError(ServiceError):
+    """Base class for errors raised by the sharded execution layer
+    (:mod:`repro.shard`)."""
+
+
+class WorkerLost(ShardError):
+    """Raised when a shard worker process dies (or its pipe breaks) while a
+    query is in flight.  The query fails fast with this typed error; the
+    executor marks the worker dead and later queries run degraded
+    (in-process on the coordinator's authoritative shard) until respawn."""

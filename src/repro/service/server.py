@@ -19,7 +19,14 @@ Composes the pieces of :mod:`repro.service` into one operational surface:
   top-level, no nesting, no tombstones — the state a compact leaves
   behind), ``algorithm="auto"`` joins skip the lazy cross-segment
   machinery entirely and run the repacked fast path, one in-segment
-  Stack-Tree-Desc per shared segment.
+  Stack-Tree-Desc per shared segment;
+- **sharded primaries** (:class:`~repro.shard.database.ShardedDatabase`
+  and its durable subclass) are served natively: reads scatter-gather
+  through the shard executor's worker replicas instead of pinning epoch
+  snapshots (the coordinator's shard lock plus per-worker replicas *are*
+  the isolation mechanism), writes route through the coordinator's
+  virtual-coordinate methods, and pressure is sampled per shard with the
+  worst level governing degradation.
 
 ``python -m repro serve`` wraps this class in a line-oriented shell (see
 :mod:`repro.service.shell`).
@@ -49,6 +56,8 @@ from repro.service.breaker import CircuitBreaker
 from repro.service.context import QueryContext
 from repro.service.pressure import (
     LEVEL_CRITICAL,
+    LEVEL_ELEVATED,
+    LEVEL_OK,
     PressureMonitor,
     PressureReport,
     PressureThresholds,
@@ -125,6 +134,27 @@ class ServiceConfig:
     shed_writes_when_degraded: bool = True
 
 
+#: Severity order for merging per-shard pressure levels.
+_LEVEL_ORDER = {LEVEL_OK: 0, LEVEL_ELEVATED: 1, LEVEL_CRITICAL: 2}
+
+
+class _DirectView:
+    """`snapshot()` stand-in for sharded primaries: a context-managed
+    handle on the coordinator itself (no epoch pinning to release)."""
+
+    def __init__(self, db):
+        self.db = db
+
+    def release(self) -> None:
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
 def log_is_clean(db) -> bool:
     """True when the update log carries no structural debt: every segment
     is a top-level document with no nested segments and no tombstones —
@@ -190,16 +220,34 @@ class DatabaseService:
         config: ServiceConfig | None = None,
         clock=time.monotonic,
     ):
+        # Local import: repro.shard.executor needs repro.service.context,
+        # so a module-level import here would be circular.
+        from repro.shard.database import ShardedDatabase
+        from repro.shard.durable import ShardedDurableDatabase
+
         self.config = config or ServiceConfig()
         self.primary = primary
-        # The raw LazyXMLDatabase behind a durable wrapper (or the primary
-        # itself): what replicas are cloned from and pressure is sampled on.
-        self._base: LazyXMLDatabase = getattr(primary, "db", primary)
-        self._durable = self._base is not primary
+        self._sharded = isinstance(primary, ShardedDatabase)
+        if self._sharded:
+            # The coordinator is the read/write surface; its worker
+            # replicas (or the shard lock, in-process) isolate readers.
+            self._base = primary
+            self._durable = isinstance(primary, ShardedDurableDatabase)
+        else:
+            # The raw LazyXMLDatabase behind a durable wrapper (or the
+            # primary itself): what replicas are cloned from and pressure
+            # is sampled on.
+            self._base: LazyXMLDatabase = getattr(primary, "db", primary)
+            self._durable = self._base is not primary
         self._clock = clock
         self._base.prepare_for_query()
-        self._epochs = EpochManager(
-            self._base, drain_timeout=self.config.drain_timeout
+        # Sharded primaries skip the epoch store: reads fan out to worker
+        # replicas kept current by lazy op forwarding, so there is no
+        # single replica to publish epochs over.
+        self._epochs = (
+            None
+            if self._sharded
+            else EpochManager(self._base, drain_timeout=self.config.drain_timeout)
         )
         self._admission = AdmissionController(
             {
@@ -260,8 +308,14 @@ class DatabaseService:
 
     def snapshot(self) -> Snapshot:
         """Pin the current epoch directly (no admission, no deadline) —
-        for diagnostics and invariant checks; release it promptly."""
+        for diagnostics and invariant checks; release it promptly.
+
+        Sharded primaries have no epoch store; the returned handle views
+        the coordinator directly (reads take the shard lock per call).
+        """
         self._ensure_open()
+        if self._epochs is None:
+            return _DirectView(self._base)
         return self._epochs.pin()
 
     # ------------------------------------------------------------------
@@ -277,18 +331,26 @@ class DatabaseService:
         self._ensure_open()
         wait = self.config.admission_wait if wait_timeout is None else wait_timeout
         with self._admission.admit("read", wait_timeout=wait):
+            ctx = context if context is not None else self.make_context()
+            if self._epochs is None:
+                # Sharded: scatter-gather against the coordinator (worker
+                # replicas are the snapshot; the shard lock orders reads
+                # against the single writer).
+                return self._run_read(fn, self._base, ctx)
             with self._epochs.pin() as snap:
-                ctx = context if context is not None else self.make_context()
-                try:
-                    result = fn(snap.db, ctx)
-                except DeadlineExceeded:
-                    self._count("deadline_aborts")
-                    raise
-                except ResourceExhausted:
-                    self._count("resource_aborts")
-                    raise
-                self._count("queries")
-                return result
+                return self._run_read(fn, snap.db, ctx)
+
+    def _run_read(self, fn, db, ctx):
+        try:
+            result = fn(db, ctx)
+        except DeadlineExceeded:
+            self._count("deadline_aborts")
+            raise
+        except ResourceExhausted:
+            self._count("resource_aborts")
+            raise
+        self._count("queries")
+        return result
 
     def query(self, expression: str, *, bindings: bool = False, context=None,
               wait_timeout=None):
@@ -320,7 +382,10 @@ class DatabaseService:
 
         def run(db, ctx):
             if algorithm == "auto":
-                if log_is_clean(db):
+                # Sharded coordinators have no single log to test for
+                # cleanliness; the scatter plan *is* the fast path there
+                # (per-shard joins already skip shards the catalog prunes).
+                if not self._sharded and log_is_clean(db):
                     self._count("fast_path_joins")
                     return clean_segment_join(db, tag_a, tag_d, axis, context=ctx)
                 self._count("lazy_joins")
@@ -421,10 +486,12 @@ class DatabaseService:
 
         Durable primaries dispatch through their journaled methods — the
         op is fsynced before it is applied, so pressure-triggered repacks
-        journal exactly like user writes; plain primaries use the shared
-        validate/apply dispatcher.
+        journal exactly like user writes; sharded primaries dispatch
+        through the coordinator's virtual-coordinate methods (which route
+        to the owning shard and forward to its worker); plain primaries
+        use the shared validate/apply dispatcher.
         """
-        if self._durable:
+        if self._durable or self._sharded:
             kind = op["op"]
             if kind == "insert":
                 return self.primary.insert(
@@ -452,7 +519,12 @@ class DatabaseService:
         The primary is already committed — readers must not be left on a
         stale epoch forever — so the epoch store is rebuilt from a fresh
         clone of the primary.
+
+        Sharded primaries publish nothing here: the coordinator already
+        forwarded the committed op to the owning shard's worker replica.
         """
+        if self._epochs is None:
+            return
         try:
             self._epochs.publish(ops)
         except Exception:
@@ -484,13 +556,46 @@ class DatabaseService:
         either way, no ER-tree or tag-list walk.
         """
         with self._writer_lock:
-            if METRICS.enabled:
-                self._base.log.publish_gauges()
-            report = self._monitor.sample(
-                self._base, from_registry=METRICS.enabled
-            )
+            if self._sharded:
+                report = self._sample_sharded()
+            else:
+                if METRICS.enabled:
+                    self._base.log.publish_gauges()
+                report = self._monitor.sample(
+                    self._base, from_registry=METRICS.enabled
+                )
         self._last_pressure = report
         return report
+
+    def _sample_sharded(self) -> PressureReport:
+        """Per-shard pressure, merged: worst level governs, plans concatenate.
+
+        Each shard's log is sampled from its own O(1) trackers (the
+        registry's ``log.*`` gauges aggregate all shards and cannot be
+        attributed).  Repack plans carry lattice sids, which the sharded
+        dispatcher routes to the owning shard; a compact anywhere collapses
+        to one global compact (the coordinator compacts every shard).
+        """
+        merged = PressureReport(segments=0, depth=0, fanout=0)
+        want_compact = False
+        for shard, db in enumerate(self.primary.shards):
+            report = self._monitor.sample(getattr(db, "db", db))
+            merged.segments += report.segments
+            merged.depth = max(merged.depth, report.depth)
+            merged.fanout = max(merged.fanout, report.fanout)
+            if _LEVEL_ORDER[report.level] > _LEVEL_ORDER[merged.level]:
+                merged.level = report.level
+            merged.reasons.extend(
+                f"shard {shard}: {reason}" for reason in report.reasons
+            )
+            for op in report.plan:
+                if op["op"] == "compact":
+                    want_compact = True
+                else:
+                    merged.plan.append(op)
+        if want_compact:
+            merged.plan.append({"op": "compact"})
+        return merged
 
     def run_maintenance(self) -> PressureReport:
         """Sample pressure and execute the recommended plan, if any.
@@ -578,8 +683,8 @@ class DatabaseService:
         else:
             status = "ok"
         log_stats = self._base.stats()
-        epochs = self._epochs.metrics()
-        return {
+        epochs = self._epochs.metrics() if self._epochs is not None else None
+        payload = {
             "status": status,
             "mode": self._base.mode,
             "durable": self._durable,
@@ -593,9 +698,23 @@ class DatabaseService:
             "epochs": epochs,
             # The published replica's compiled read-path cache — the one
             # read queries actually hit (reads run on pinned snapshots).
-            "readpath": epochs.get("readpath"),
+            "readpath": epochs.get("readpath") if epochs is not None else None,
             "counters": dict(self._counters),
         }
+        if self._sharded:
+            executor = self.primary.executor
+            payload["shards"] = {
+                "count": self.primary.n_shards,
+                "executor": executor.kind,
+                "documents": [
+                    self.primary.docmap.docs_on(s)
+                    for s in range(self.primary.n_shards)
+                ],
+                "workers_alive": [
+                    executor.alive(s) for s in range(self.primary.n_shards)
+                ],
+            }
+        return payload
 
     def stats(self) -> dict:
         """:meth:`health` minus derived status, plus the full metric
@@ -623,8 +742,9 @@ class DatabaseService:
             self._maintenance_thread.join(timeout=5.0)
             self._maintenance_thread = None
         self._admission.close()
-        self._epochs.close()
-        if self._durable:
+        if self._epochs is not None:
+            self._epochs.close()
+        if self._durable or self._sharded:
             self.primary.close()
 
     def __enter__(self) -> "DatabaseService":

@@ -153,10 +153,12 @@ class ServiceShell:
 
     def _cmd_compact(self, rest: str) -> None:
         result = self.service.compact()
-        self._print(
-            f"ok compacted {result.segments_before} -> "
-            f"{result.segments_after} segment(s)"
-        )
+        # A sharded primary compacts every shard and returns one
+        # CompactionResult per shard; report the aggregate.
+        results = result if isinstance(result, list) else [result]
+        before = sum(r.segments_before for r in results)
+        after = sum(r.segments_after for r in results)
+        self._print(f"ok compacted {before} -> {after} segment(s)")
 
     def _cmd_maintain(self, rest: str) -> None:
         report = self.service.run_maintenance()

@@ -74,6 +74,11 @@ def dumps(db: LazyXMLDatabase) -> str:
         "next_sid": db.log.ertree._next_sid,
         "segments": segments,
     }
+    # Sid-namespace keys are emitted only when non-default so snapshots
+    # from unsharded databases stay byte-compatible with older readers.
+    if db.log.ertree.sid_start != 1 or db.log.ertree.sid_stride != 1:
+        payload["sid_start"] = db.log.ertree.sid_start
+        payload["sid_stride"] = db.log.ertree.sid_stride
     return json.dumps(payload)
 
 
@@ -121,6 +126,14 @@ def _validate_payload(payload: dict) -> None:
         isinstance(payload["next_sid"], int) and not isinstance(payload["next_sid"], bool),
         "next_sid must be an integer",
     )
+    for key in ("sid_start", "sid_stride"):
+        if key in payload:
+            _expect(
+                isinstance(payload[key], int)
+                and not isinstance(payload[key], bool)
+                and payload[key] >= 1,
+                f"{key} must be a positive integer",
+            )
     _expect(isinstance(payload["segments"], list), "segments must be a list")
     for index, entry in enumerate(payload["segments"]):
         where = f"segments[{index}]"
@@ -183,7 +196,10 @@ def loads(data: str) -> LazyXMLDatabase:
         raise SnapshotError(f"unsupported snapshot format: {found!r}")
     _validate_payload(payload)
     db = LazyXMLDatabase(
-        mode=payload["mode"], keep_text=payload["keep_text"]
+        mode=payload["mode"],
+        keep_text=payload["keep_text"],
+        sid_start=payload.get("sid_start", 1),
+        sid_stride=payload.get("sid_stride", 1),
     )
     # Reconstruction is not an update: suppress mutation-path metrics while
     # the structures are rebuilt (restored below).

@@ -31,7 +31,9 @@ from repro.xml.parser import parse_fragment
 __all__ = [
     "ReferenceDatabase",
     "ReplayResult",
+    "ShardedReplayResult",
     "replay_random_sequence",
+    "replay_sharded_sequence",
     "safe_insert_positions",
 ]
 
@@ -199,4 +201,108 @@ def replay_random_sequence(
             ref.insert(fragment, position)
             result.inserts += 1
             result.ops.append(f"insert at {position} len={len(fragment)}")
+    return result
+
+
+# ----------------------------------------------------------------------
+# sharded replay: the same op stream against ShardedDatabase(N), a single
+# LazyXMLDatabase, and the string-splice reference
+
+
+@dataclass
+class ShardedReplayResult:
+    """One seeded sharded replay: all three implementations plus a trace."""
+
+    sharded: "object"  # ShardedDatabase (annotation avoids an import cycle)
+    single: LazyXMLDatabase
+    reference: ReferenceDatabase
+    tags: list[str]
+    ops: list[str] = field(default_factory=list)
+
+
+def _sharded_removal(single: LazyXMLDatabase, sharded, rng, tags):
+    """A span removable on *all three* implementations.
+
+    Ops are expressed as virtual-global character spans, the coordinate
+    system the implementations share.  The sharded update model restricts
+    removals to spans inside one document or whole-document runs, so the
+    candidates are whole top-level documents and whole elements (an
+    element never crosses its document).
+    """
+    if rng.random() < 0.4:
+        docs = sharded._doc_table()
+        if docs:
+            doc = rng.choice(docs)
+            count = 1 + rng.randrange(min(2, len(docs) - doc.index))
+            run = docs[doc.index : doc.index + count]
+            return run[0].vstart, run[-1].vend - run[0].vstart
+    tag = rng.choice(tags)
+    spans = [(e.start, e.end) for e in single.global_elements(tag)]
+    if not spans:
+        return None
+    start, end = rng.choice(spans)
+    return start, end - start
+
+
+def replay_sharded_sequence(
+    seed: int,
+    n_shards: int,
+    *,
+    n_ops: int = 8,
+    n_tags: int = 4,
+    fragment_elements: int = 5,
+    executor: str = "inprocess",
+    step_hook=None,
+):
+    """Drive one seeded update stream through a :class:`ShardedDatabase`,
+    a single :class:`LazyXMLDatabase`, and the re-parse reference.
+
+    Every op is a virtual-global splice all three accept; ``step_hook``
+    (called as ``step_hook(result)`` after every op) lets the caller
+    interleave query-parity checks with the updates.
+    """
+    from repro.shard import ShardedDatabase
+
+    rng = random.Random(seed)
+    tags = tag_pool(n_tags)
+    sharded = ShardedDatabase(n_shards, executor=executor)
+    single = LazyXMLDatabase()
+    ref = ReferenceDatabase()
+    result = ShardedReplayResult(
+        sharded=sharded, single=single, reference=ref, tags=tags
+    )
+
+    def apply_insert(fragment: str, position: int | None) -> None:
+        sharded.insert(fragment, position)
+        single.insert(fragment, position)
+        ref.insert(fragment, position)
+        result.ops.append(f"insert at {position} len={len(fragment)}")
+
+    def apply_remove(position: int, length: int) -> None:
+        sharded.remove(position, length)
+        single.remove(position, length)
+        ref.remove(position, length)
+        result.ops.append(f"remove [{position}, {position + length})")
+
+    # Seed with several documents so every shard starts populated.
+    for _ in range(max(2, n_shards)):
+        apply_insert(
+            generate_fragment(fragment_elements, tags, rng=rng, max_depth=3),
+            None,
+        )
+
+    for _ in range(n_ops):
+        removal = None
+        if rng.random() < 0.3 and ref.text:
+            removal = _sharded_removal(single, sharded, rng, tags)
+        if removal is not None:
+            apply_remove(*removal)
+        else:
+            fragment = generate_fragment(
+                1 + rng.randrange(fragment_elements), tags, rng=rng, max_depth=3
+            )
+            position = rng.choice(safe_insert_positions(ref.text))
+            apply_insert(fragment, position)
+        if step_hook is not None:
+            step_hook(result)
     return result

@@ -1,0 +1,318 @@
+"""Core sharding tests: routing, document map, catalog, shard affinity.
+
+The load-bearing property is the routing invariant (a segment never
+crosses the document it was inserted into, so updates route to exactly
+one shard and per-shard join answers union to the global answer).  These
+tests exercise its bookkeeping directly — the sid lattice, the document
+map, boundary vs inside insert routing, whole-document removal
+decomposition — plus the PR 4 interaction the partitioning exists to
+protect: a write to one shard must leave every *other* shard's version
+counters (and therefore its compiled read-path memos) untouched.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.database import LazyXMLDatabase
+from repro.errors import InvalidSegmentError
+from repro.shard import DocumentMap, ShardedDatabase, TagCatalog
+
+DOCS = [
+    "<a><b><c>x</c></b><c>y</c></a>",
+    "<a><b>z</b></a>",
+    "<b><c>q</c></b>",
+    "<a><c>r</c><b><c>s</c></b></a>",
+]
+
+
+def sharded_with_docs(n_shards: int, docs=DOCS) -> ShardedDatabase:
+    db = ShardedDatabase(n_shards)
+    for doc in docs:
+        db.insert(doc)
+    return db
+
+
+class TestDocumentMap:
+    def test_insert_remove_ordinals(self):
+        docmap = DocumentMap()
+        docmap.insert_doc(0, 0)
+        docmap.insert_doc(1, 1)
+        docmap.insert_doc(1, 0)  # displaces the shard-1 doc to index 2
+        assert docmap.docs == [0, 0, 1]
+        assert docmap.docs_on(0) == 2
+        assert docmap.ordinal(1) == 1  # second shard-0 document
+        assert docmap.remove_doc(1) == 0
+        assert docmap.docs == [0, 1]
+
+    def test_roundtrip(self):
+        docmap = DocumentMap([0, 2, 1, 2])
+        assert DocumentMap(docmap.to_list()).docs == [0, 2, 1, 2]
+
+
+class TestRouting:
+    def test_sid_lattice_names_the_shard(self):
+        db = sharded_with_docs(3)
+        for shard, shard_db in enumerate(db.shards):
+            for node in shard_db.log.ertree.root.children:
+                assert (node.sid - 1) % 3 == shard
+                assert db.shard_of_sid(node.sid) == shard
+
+    def test_boundary_inserts_round_robin(self):
+        db = sharded_with_docs(2)
+        assert db.docmap.docs == [0, 1, 0, 1]
+        assert db.docmap.docs_on(0) == 2
+
+    def test_inside_insert_routes_to_owning_shard(self):
+        db = sharded_with_docs(2)
+        table = db._doc_table()
+        doc = table[1]  # owned by shard 1
+        before = [db.shards[s].segment_count for s in range(2)]
+        db.insert("<c>new</c>", doc.vstart + len("<a>"))
+        after = [db.shards[s].segment_count for s in range(2)]
+        assert after[0] == before[0]
+        assert after[1] == before[1] + 1
+
+    def test_text_and_counts_aggregate_in_document_order(self):
+        db = sharded_with_docs(3)
+        single = LazyXMLDatabase()
+        for doc in DOCS:
+            single.insert(doc)
+        assert db.text == single.text == "".join(DOCS)
+        assert db.document_length == single.document_length
+        assert db.element_count == single.element_count
+        assert db.segment_count == len(DOCS)
+        db.check_invariants()
+
+    def test_cross_document_removal_is_refused_typed(self):
+        db = sharded_with_docs(2)
+        first_len = len(DOCS[0])
+        with pytest.raises(InvalidSegmentError, match="crosses the boundary"):
+            db.remove(first_len - 3, 6)
+
+    def test_whole_document_run_removal_decomposes(self):
+        db = sharded_with_docs(2)
+        single = LazyXMLDatabase()
+        for doc in DOCS:
+            single.insert(doc)
+        start = len(DOCS[0])
+        length = len(DOCS[1]) + len(DOCS[2])
+        outcome = db.remove(start, length)
+        single.remove(start, length)
+        assert len(outcome.outcomes) == 2
+        assert db.text == single.text
+        assert db.docmap.docs == [0, 1]
+        db.check_invariants()
+
+    def test_remove_segment_updates_docmap(self):
+        db = sharded_with_docs(2)
+        sid = db.shards[1].log.ertree.root.children[0].sid
+        db.remove_segment(sid)
+        assert db.docmap.docs == [0, 0, 1]
+        db.check_invariants()
+
+    def test_repack_and_compact_route(self):
+        db = sharded_with_docs(2)
+        table = db._doc_table()
+        db.insert("<c>nested</c>", table[0].vstart + len("<a>"))
+        top_sid = db.shards[0].log.ertree.root.children[0].sid
+        db.repack(top_sid)
+        results = db.compact()
+        assert len(results) == 2
+        db.check_invariants()
+
+    def test_from_database_partitions_by_document(self):
+        single = LazyXMLDatabase()
+        for doc in DOCS:
+            single.insert(doc)
+        db = ShardedDatabase.from_database(single, 2)
+        assert db.text == single.text
+        assert db.docmap.docs == [0, 1, 0, 1]
+        got = sorted(
+            (a.gspan, d.gspan) for a, d in db.structural_join("a", "c")
+        )
+        want = sorted(
+            (single.global_span(a), single.global_span(d))
+            for a, d in single.structural_join("a", "c")
+        )
+        assert got == want
+
+
+class TestCatalog:
+    def test_counts_match_shards(self):
+        db = sharded_with_docs(2)
+        catalog = TagCatalog(db.shards)
+        assert catalog.count("c") == 5
+        assert catalog.count_on(0, "c") + catalog.count_on(1, "c") == 5
+        assert catalog.count("nope") == 0
+
+    def test_scatter_prunes_shards_without_the_tags(self):
+        db = ShardedDatabase(2)
+        db.insert("<only0><c>x</c></only0>")  # shard 0
+        db.insert("<only1><c>y</c></only1>")  # shard 1
+        assert db.catalog.shards_for("only0") == [0]
+        assert db.catalog.shards_for("only1", "c") == [1]
+        assert db.catalog.shards_for("only0", "only1") == []
+        # An empty target list short-circuits without touching the executor.
+        assert db.structural_join("only0", "only1") == []
+        pairs = db.structural_join("only0", "c")
+        assert [(a.shard, d.shard) for a, d in pairs] == [(0, 0)]
+
+
+class _CountingExecutor:
+    """Wraps an executor, recording which shards each scatter contacted."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.contacted: list[list[int]] = []
+
+    def scatter(self, requests, *, timeout=None):
+        self.contacted.append([shard for shard, _, _ in requests])
+        return self.inner.scatter(requests, timeout=timeout)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class TestScatterCache:
+    """The coordinator's version-token scatter cache (rides PR 4's idea)."""
+
+    def _build(self):
+        db = sharded_with_docs(2)
+        counting = _CountingExecutor(db.executor)
+        db._executor = counting
+        return db, counting
+
+    def test_repeat_query_skips_the_executor_entirely(self):
+        db, counting = self._build()
+        first = db.structural_join("a", "c")
+        second = db.structural_join("a", "c")
+        assert [(a.gspan, d.gspan) for a, d in first] == [
+            (a.gspan, d.gspan) for a, d in second
+        ]
+        assert counting.contacted[-1] == [], "merged-result hit still scattered"
+
+    def test_write_invalidates_only_the_owning_shard(self):
+        db, counting = self._build()
+        db.structural_join("a", "c")
+        doc = next(d for d in db._doc_table() if d.shard == 1)
+        db.insert("<c>w</c>", doc.vstart + len("<a>"))
+        db.structural_join("a", "c")
+        assert counting.contacted[-1] == [1], (
+            "only the written shard should be re-contacted"
+        )
+
+    def test_cached_rows_track_layout_shifts_from_other_shards(self):
+        db, counting = self._build()
+        single = LazyXMLDatabase()
+        for doc in DOCS:
+            single.insert(doc)
+        db.structural_join("a", "c")
+        # Grow a shard-0 document: every later document's virtual start
+        # shifts, but shard 1's cached rows must follow without being
+        # recomputed (their document cells move instead).
+        doc = next(d for d in db._doc_table() if d.shard == 0)
+        db.insert("<c>w</c>", doc.vstart + len("<a>"))
+        single.insert("<c>w</c>", doc.vstart + len("<a>"))
+        got = sorted((a.gspan, d.gspan) for a, d in db.structural_join("a", "c"))
+        want = sorted(
+            (single.global_span(a), single.global_span(d))
+            for a, d in single.structural_join("a", "c")
+        )
+        assert got == want
+        assert counting.contacted[-1] == [0]
+
+    def test_stats_request_forces_full_fanout(self):
+        from repro.core.join import JoinStatistics
+
+        db, counting = self._build()
+        db.structural_join("a", "c")
+        db.structural_join("a", "c", stats=JoinStatistics())
+        assert set(counting.contacted[-1]) == {0, 1}
+
+    def test_flush_caches_forces_cold_scatter(self):
+        db, counting = self._build()
+        db.structural_join("a", "c")
+        db.flush_caches()
+        db.structural_join("a", "c")
+        assert set(counting.contacted[-1]) == {0, 1}
+
+
+class TestShardAffinity:
+    """Satellite 4: writers on distinct shards never invalidate each
+    other's compiled read-path memos."""
+
+    N = 4
+    WRITES = 12
+
+    def _build(self):
+        db = ShardedDatabase(self.N)
+        for i in range(self.N):
+            db.insert(f"<t{i}><c>x</c><b><c>y</c></b></t{i}>")
+        return db
+
+    def test_concurrent_writers_leave_other_shards_versions_untouched(self):
+        db = self._build()
+        # Warm every shard's compiled read path.
+        for i in range(self.N):
+            db.structural_join(f"t{i}", "c")
+        before = db.version_counters(detail=True)["shards"]
+
+        def writer(shard: int):
+            for _ in range(self.WRITES):
+                table = db._doc_table()
+                doc = next(d for d in table if d.shard == shard)
+                db.insert("<c>w</c>", doc.vstart + len(f"<t{shard}>"))
+
+        threads = [
+            threading.Thread(target=writer, args=(shard,)) for shard in (0, 1)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        after = db.version_counters(detail=True)["shards"]
+        # The written shards moved; the untouched shards are bit-identical.
+        for shard in (0, 1):
+            assert after[shard] != before[shard]
+        for shard in (2, 3):
+            assert after[shard] == before[shard], (
+                f"shard {shard} version counters changed without a write"
+            )
+        db.check_invariants()
+
+    def test_untouched_shards_memos_still_hit_warm(self):
+        db = self._build()
+        for i in range(self.N):
+            db.structural_join(f"t{i}", "c")
+        base2 = db.shards[2]
+        hits_before = base2.readpath.hits
+        # Write to shards 0 and 1 only.
+        for shard in (0, 1):
+            table = db._doc_table()
+            doc = next(d for d in table if d.shard == shard)
+            db.insert("<c>w</c>", doc.vstart + len(f"<t{shard}>"))
+        # Layer 1: shard 2's op token never moved, so the coordinator's
+        # scatter cache answers without contacting the shard at all.
+        pairs = db.structural_join("t2", "c")
+        assert len(pairs) == 2
+        assert base2.readpath.hits == hits_before
+        # Layer 2: force a cold scatter — the shard's own compiled read
+        # path memo is still warm (its versions never moved).
+        db.flush_caches()
+        pairs = db.structural_join("t2", "c")
+        assert len(pairs) == 2
+        assert base2.readpath.hits > hits_before
+
+    def test_writes_bump_only_the_owning_shards_counters(self):
+        db = self._build()
+        before = [db.version_counters(detail=True)["shards"][s] for s in range(self.N)]
+        table = db._doc_table()
+        doc = next(d for d in table if d.shard == 3)
+        db.insert("<c>w</c>", doc.vstart + len("<t3>"))
+        after = [db.version_counters(detail=True)["shards"][s] for s in range(self.N)]
+        assert after[3] != before[3]
+        assert after[:3] == before[:3]
