@@ -1,0 +1,255 @@
+"""Replication benchmark: catch-up throughput, follower reads, failover.
+
+Measures the replication subsystem (`repro.replication.ReplicationCluster`)
+along the three axes an operator cares about:
+
+- **catch-up throughput** — a partitioned follower rejoins and drains the
+  primary's journal tail; records applied per second;
+- **follower read latency** — epoch-pinned reads (pin + A//D structural
+  join + release) against a caught-up follower, p50/p99;
+- **failover time-to-promote** — kill the primary, promote a follower
+  under a fenced higher term, and commit the first write on the new
+  primary; wall-clock per round.
+
+Results print as `repro.bench.harness.Table`s and are recorded to
+``BENCH_replication.json`` at the repository root (``--smoke`` shrinks
+the workload and writes ``BENCH_replication.smoke.json``).
+
+``--fault-drill`` runs an acceptance drill instead: a stale fenced
+primary races the new term, its acked-but-unreplicated write must be
+detected and reported on rejoin, and every surviving node must converge
+to identical text and A//D join answers.  Exits nonzero on any failure.
+
+Run:  python benchmarks/bench_replication.py [--smoke] [--fault-drill]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.bench.harness import Table, write_envelope
+from repro.errors import FencedError
+from repro.replication import ReplicationCluster
+
+TAG_A, TAG_D = "person", "interest"
+_MS = 1e3
+
+
+def _fragment(k: int) -> str:
+    return f'<person k="{k}"><profile><interest>t{k}</interest></profile></person>'
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return float("nan")
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+# ----------------------------------------------------------------------
+# scenarios
+
+
+def bench_catch_up(root: Path, ops: int) -> dict:
+    """Partition a follower, write ``ops`` records, time the rejoin."""
+    with ReplicationCluster(root, 2) as cluster:
+        cluster.insert(_fragment(0))
+        cluster.partition(1)
+        for k in range(1, ops + 1):
+            cluster.insert(_fragment(k))
+        behind = cluster.primary.last_seq - cluster.nodes[1].last_seq
+        started = time.perf_counter()
+        cluster.heal(1)
+        elapsed = time.perf_counter() - started
+        lag_after = cluster.status()["lag"][1]
+        return {
+            "records": behind,
+            "elapsed_s": elapsed,
+            "throughput_rps": behind / elapsed if elapsed > 0 else 0.0,
+            "lag_after": lag_after,
+        }
+
+
+def bench_follower_reads(root: Path, docs: int, pins: int) -> dict:
+    """Epoch-pinned read latency (pin + A//D join + release) on a
+    caught-up follower, with the primary's answer as the correctness
+    reference."""
+    with ReplicationCluster(root, 2) as cluster:
+        for k in range(docs):
+            cluster.insert(_fragment(k))
+        top = cluster.primary.last_seq
+        with cluster.nodes[cluster.primary_id].pin() as snap:
+            pairs_primary = len(snap.db.structural_join(TAG_A, TAG_D))
+        samples = []
+        pairs_follower = 0
+        for _ in range(pins):
+            begin = time.perf_counter()
+            with cluster.pin_follower(1, min_seq=top) as snap:
+                pairs_follower = len(snap.db.structural_join(TAG_A, TAG_D))
+            samples.append(time.perf_counter() - begin)
+        samples.sort()
+        return {
+            "pins": pins,
+            "p50_ms": _percentile(samples, 0.50) * _MS,
+            "p99_ms": _percentile(samples, 0.99) * _MS,
+            "pairs_primary": pairs_primary,
+            "pairs_follower": pairs_follower,
+        }
+
+
+def bench_failover(root: Path, rounds: int, docs: int) -> dict:
+    """Kill the primary; time promote + first committed write on the new
+    primary, one fresh cluster per round."""
+    times = []
+    for r in range(rounds):
+        with ReplicationCluster(root / f"round-{r}", 2) as cluster:
+            for k in range(docs):
+                cluster.insert(_fragment(k))
+            cluster.kill(0)
+            begin = time.perf_counter()
+            cluster.promote(1)
+            cluster.insert(_fragment(docs))
+            times.append(time.perf_counter() - begin)
+            assert cluster.status()["term"] > 1
+    times.sort()
+    return {
+        "rounds": rounds,
+        "rounds_ms": [t * _MS for t in times],
+        "p50_ms": _percentile(times, 0.50) * _MS,
+        "max_ms": times[-1] * _MS,
+    }
+
+
+# ----------------------------------------------------------------------
+# fault drill (acceptance; exit nonzero on failure)
+
+
+def fault_drill() -> int:
+    """Stale fenced primary vs new term; lost-write detection; convergence."""
+    with tempfile.TemporaryDirectory(prefix="repl-drill-") as tmp:
+        cluster = ReplicationCluster(Path(tmp) / "cluster", 2)
+        try:
+            acked = []
+            for k in range(3):
+                cluster.insert(_fragment(k))
+                acked.append(k)
+            cluster.partition(0)
+            cluster.promote(1)
+            for k in (3, 4):
+                cluster.insert(_fragment(k))
+                acked.append(k)
+            stale = {"op": "insert", "fragment": _fragment(99), "position": 0}
+            try:
+                cluster.commit_from(0, dict(stale))
+            except FencedError as exc:
+                print(f"[bench_replication] stale primary fenced at term {exc.term}")
+            else:
+                print("[bench_replication] FAIL: stale primary was not fenced")
+                return 1
+            cluster.kill(0)
+            report = cluster.restart(0)
+            if report is None or report.lost != 1:
+                print(f"[bench_replication] FAIL: lost write not reported ({report})")
+                return 1
+            print(
+                f"[bench_replication] rejoin reported {report.lost} lost "
+                f"write(s) at seqs {report.lost_seqs}"
+            )
+            cluster.heartbeat_all()
+            expected_text = "".join(_fragment(k) for k in acked)
+            answers = set()
+            for node_id, node in cluster.nodes.items():
+                db = node.durable.db
+                if db.text != expected_text:
+                    print(f"[bench_replication] FAIL: node {node_id} text diverged")
+                    return 1
+                pairs = db.structural_join(TAG_A, TAG_D)
+                answers.add(
+                    tuple(
+                        sorted(
+                            (db.global_span(a), db.global_span(d))
+                            for a, d in pairs
+                        )
+                    )
+                )
+            if len(answers) != 1 or len(next(iter(answers))) != len(acked):
+                print("[bench_replication] FAIL: A//D answers diverged across nodes")
+                return 1
+            print(
+                f"[bench_replication] {len(cluster.nodes)} nodes converged: "
+                f"{len(acked)} docs, identical A//D answers; drill OK"
+            )
+            return 0
+        finally:
+            cluster.close()
+
+
+# ----------------------------------------------------------------------
+# driver
+
+
+def main() -> int:
+    smoke = "--smoke" in sys.argv
+    if "--fault-drill" in sys.argv:
+        return fault_drill()
+    catch_up_ops = 48 if smoke else 256
+    read_docs = 24 if smoke else 96
+    read_pins = 40 if smoke else 200
+    failover_rounds = 3 if smoke else 5
+
+    with tempfile.TemporaryDirectory(prefix="repl-bench-") as tmp:
+        root = Path(tmp)
+        catch_up = bench_catch_up(root / "catchup", catch_up_ops)
+        reads = bench_follower_reads(root / "reads", read_docs, read_pins)
+        failover = bench_failover(root / "failover", failover_rounds, 8)
+
+    table = Table(
+        "replication: catch-up / follower reads / failover",
+        ["scenario", "n", "p50 ms", "p99/max ms", "rate"],
+    )
+    table.add_row(
+        ["catch-up", catch_up["records"], "-", "-",
+         f"{catch_up['throughput_rps']:.0f} rec/s"]
+    )
+    table.add_row(
+        ["follower read", reads["pins"], f"{reads['p50_ms']:.3f}",
+         f"{reads['p99_ms']:.3f}", "-"]
+    )
+    table.add_row(
+        ["failover", failover["rounds"], f"{failover['p50_ms']:.2f}",
+         f"{failover['max_ms']:.2f}", "-"]
+    )
+    table.print()
+
+    results = {
+        "catch_up": catch_up,
+        "follower_reads": reads,
+        "failover": failover,
+        "summary": {
+            "catch_up_rps": catch_up["throughput_rps"],
+            "follower_read_p50_ms": reads["p50_ms"],
+            "failover_p50_ms": failover["p50_ms"],
+        },
+    }
+    name = "BENCH_replication.smoke.json" if smoke else "BENCH_replication.json"
+    write_envelope(
+        Path(__file__).resolve().parent.parent / name,
+        "replication",
+        params={
+            "followers": 2,
+            "catch_up_ops": catch_up_ops,
+            "read_docs": read_docs,
+            "read_pins": read_pins,
+            "failover_rounds": failover_rounds,
+        },
+        tables=[table],
+        results=results,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,16 @@ dispatching on the envelope's ``benchmark`` name:
   recompilation;
 - the summary's A//D warm speedups exist and are positive.
 
+``replication`` (``BENCH_replication.smoke.json``):
+
+- the catch-up scenario drained every record the partition withheld
+  (post-heal lag must be zero — a positive lag means the healed
+  follower silently serves stale reads) at a positive rate;
+- follower pinned-read latency percentiles are sane (p99 >= p50 > 0)
+  and the follower's A//D join answered *identically* to the primary's
+  — a pair-count mismatch means replication changed the answers;
+- every advertised failover round recorded a positive time-to-promote.
+
 ``shard_scatter`` (``BENCH_shard.smoke.json``):
 
 - results exist for every advertised shard count with sane latency
@@ -47,6 +57,9 @@ def check(path: Path) -> None:
     benchmark = doc["benchmark"]
     if benchmark == "shard_scatter":
         check_shard(doc)
+        return
+    if benchmark == "replication":
+        check_replication(doc)
         return
     assert benchmark == "joins_readpath", f"unknown benchmark {benchmark!r}"
 
@@ -93,6 +106,44 @@ def check_shard(doc: dict) -> None:
         f"[check_smoke_envelope] OK: shard_scatter, {len(counts)} shard "
         f"counts, identical answers, N=4 speedup "
         f"{summary['speedup_n4']:.2f}x"
+    )
+
+
+def check_replication(doc: dict) -> None:
+    params = doc["params"]
+    results = doc["results"]
+
+    catch_up = results["catch_up"]
+    assert catch_up["records"] == params["catch_up_ops"], (
+        f"catch-up moved {catch_up['records']} records, expected "
+        f"{params['catch_up_ops']}"
+    )
+    assert catch_up["lag_after"] == 0, (
+        f"healed follower still lags by {catch_up['lag_after']} records"
+    )
+    assert catch_up["throughput_rps"] > 0
+
+    reads = results["follower_reads"]
+    assert reads["pins"] == params["read_pins"]
+    assert 0 < reads["p50_ms"] <= reads["p99_ms"], "bad read percentiles"
+    assert reads["pairs_follower"] == reads["pairs_primary"], (
+        f"follower answered {reads['pairs_follower']} pairs, primary "
+        f"{reads['pairs_primary']}: replication changed the answers"
+    )
+
+    failover = results["failover"]
+    assert failover["rounds"] == params["failover_rounds"]
+    assert len(failover["rounds_ms"]) == failover["rounds"]
+    assert all(t > 0 for t in failover["rounds_ms"])
+
+    summary = results["summary"]
+    assert summary["catch_up_rps"] > 0
+    assert summary["failover_p50_ms"] > 0
+    print(
+        f"[check_smoke_envelope] OK: replication, catch-up "
+        f"{summary['catch_up_rps']:.0f} rec/s, follower read p50 "
+        f"{summary['follower_read_p50_ms']:.3f} ms, failover p50 "
+        f"{summary['failover_p50_ms']:.2f} ms, identical answers"
     )
 
 

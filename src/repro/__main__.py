@@ -40,6 +40,20 @@ startup and fans queries out to persistent worker processes:
     python -m repro --durable state/ load doc.xml --shards 4
     python -m repro --durable state/ serve --executor process
     python -m repro serve db.json --shards 4
+
+**Replication** (:mod:`repro.replication`): ``serve --replicas N`` on an
+unsharded durable directory streams every committed journal record to N
+follower directories under ``<durable>/replicas/`` and adds the
+``repl-status`` / ``promote <node>`` shell commands.  Offline, the same
+verbs inspect and fail over a cluster that is not being served:
+
+    python -m repro --durable state/ serve --replicas 2
+    python -m repro repl-status state/
+    python -m repro promote state/replicas/node-1
+
+Offline ``promote`` performs the fenced term bump (persisted in the
+node's replication manifest *before* it may accept writes); a stale
+primary that comes back sees the higher term and refuses appends.
 """
 
 from __future__ import annotations
@@ -71,6 +85,8 @@ _POSITIONALS = {
     "fsck": ("db",),
     "checkpoint": ("db",),
     "serve": ("db",),
+    "repl-status": ("db",),
+    "promote": ("db",),
 }
 
 
@@ -199,6 +215,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="sharded query execution: persistent worker processes "
         "(default) or in-process on the coordinator",
     )
+    cmd.add_argument(
+        "--replicas", type=int, default=0,
+        help="replicate every committed record to N follower directories "
+        "under <durable>/replicas/ (requires an unsharded --durable DIR)",
+    )
+
+    cmd = commands.add_parser(
+        "repl-status",
+        help="print replication manifests, terms and seqs for a cluster "
+        "directory (a served --durable dir or a cluster root)",
+    )
+    cmd.add_argument("db", nargs="?", default=None)
+
+    cmd = commands.add_parser(
+        "promote",
+        help="fail over to the given node directory: persist a fenced, "
+        "strictly higher term in its replication manifest",
+    )
+    cmd.add_argument("db", nargs="?", default=None)
+    cmd.add_argument(
+        "--term", type=int, default=None,
+        help="explicit new term (default: one above the highest term "
+        "found across the node's replication group)",
+    )
     return parser
 
 
@@ -280,6 +320,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_fsck(args)
     if args.command == "checkpoint":
         return _cmd_checkpoint(args)
+    if args.command == "repl-status":
+        return _cmd_repl_status(args)
+    if args.command == "promote":
+        return _cmd_promote(args)
 
     db, persist = _open(args)
 
@@ -506,6 +550,29 @@ def _cmd_serve(args: argparse.Namespace, db, persist) -> int:
             )
             persist = lambda: None  # noqa: E731 - deliberate shadowing
 
+    replication = None
+    if args.replicas:
+        from repro.replication import ReplicationCluster
+
+        if args.replicas < 1:
+            raise ReproError("serve --replicas needs a positive count")
+        if not args.durable:
+            raise ReproError("serve --replicas requires --durable DIR")
+        if isinstance(db, ShardedDatabase):
+            raise ReproError(
+                "serve --replicas requires an unsharded durable directory "
+                "(per-shard chains live in repro.shard.replication)"
+            )
+        # The cluster owns the durable handle; reopen the directory as the
+        # primary node (node 0) with followers under <durable>/replicas/.
+        db.close()
+        replication = ReplicationCluster(
+            Path(args.durable) / "replicas",
+            args.replicas,
+            primary_dir=Path(args.durable),
+        )
+        db = None
+
     config = ServiceConfig(
         read_limit=args.readers,
         default_timeout=args.timeout,
@@ -514,7 +581,7 @@ def _cmd_serve(args: argparse.Namespace, db, persist) -> int:
             max_segments=args.max_segments, max_depth=args.max_depth
         ),
     )
-    service = DatabaseService(db, config=config)
+    service = DatabaseService(db, config=config, replication=replication)
     if args.maintenance_interval > 0:
         service.start_maintenance(args.maintenance_interval)
     health = service.health()
@@ -524,10 +591,17 @@ def _cmd_serve(args: argparse.Namespace, db, persist) -> int:
         if "shards" in health
         else ""
     )
+    replicas = (
+        f", {len(health['replication']['nodes']) - 1} replica(s) "
+        f"at term {health['replication']['term']}"
+        if "replication" in health
+        else ""
+    )
     print(
         f"serving {health['segments']} segment(s), "
         f"{health['elements']} element(s) "
-        f"[{'durable' if health['durable'] else 'snapshot'} mode]{sharding}; "
+        f"[{'durable' if health['durable'] else 'snapshot'} mode]"
+        f"{sharding}{replicas}; "
         "type 'help' for commands",
         file=sys.stderr,
     )
@@ -668,6 +742,137 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
     print(
         f"checkpoint written at seq {db.last_seq} "
         f"(journal {before} B -> {after} B)"
+    )
+    return 0
+
+
+def _replication_group(directory: Path) -> list[Path]:
+    """Node directories of the replication group ``directory`` belongs to.
+
+    Covers both on-disk layouts: a served durable dir with followers under
+    ``<dir>/replicas/node-*`` (the dir itself is node 0), and a bare
+    cluster root whose nodes are ``<dir>/node-*`` — plus the view from
+    inside one node directory (siblings, and the ``replicas/`` parent's
+    owner).  Only directories holding a replication manifest qualify.
+    """
+    from repro.replication import read_replication_manifest
+
+    candidates = [directory]
+    candidates += sorted(directory.glob("node-*"))
+    candidates += sorted((directory / "replicas").glob("node-*"))
+    candidates += sorted(directory.parent.glob("node-*"))
+    if directory.parent.name == "replicas":
+        candidates.append(directory.parent.parent)
+    group, seen = [], set()
+    for path in candidates:
+        key = path.resolve()
+        if key in seen or not path.is_dir():
+            continue
+        seen.add(key)
+        try:
+            manifest = read_replication_manifest(path)
+        except ReproError:
+            continue
+        if manifest is not None:
+            group.append(path)
+    return group
+
+
+def _node_replication_status(directory: Path) -> dict:
+    """One node's manifest plus its durable seqs, read without opening
+    (and thereby recovering) the database — safe on a live node."""
+    import json
+
+    from repro.durability.recovery import CHECKPOINT_NAME, JOURNAL_NAME
+    from repro.durability.wal import read_journal
+    from repro.replication import read_replication_manifest
+
+    manifest = read_replication_manifest(directory)
+    checkpoint_seq = 0
+    checkpoint = directory / CHECKPOINT_NAME
+    if checkpoint.exists():
+        try:
+            envelope = json.loads(checkpoint.read_text(encoding="utf-8"))
+            checkpoint_seq = int(envelope.get("last_seq", 0))
+        except (ValueError, TypeError):
+            checkpoint_seq = -1  # unreadable checkpoint: flagged, not fatal
+    scan = read_journal(directory / JOURNAL_NAME)
+    last_seq = max(
+        checkpoint_seq, *(r["seq"] for r in scan.records), 0
+    ) if scan.records else max(checkpoint_seq, 0)
+    return {
+        "directory": str(directory),
+        "node": manifest["node"],
+        "term": manifest["term"],
+        "role": manifest["role"],
+        "checkpoint_seq": checkpoint_seq,
+        "last_seq": last_seq,
+        "journal_records": len(scan.records),
+        "torn_tail": scan.torn_tail,
+    }
+
+
+def _cmd_repl_status(args: argparse.Namespace) -> int:
+    import json
+
+    directory = Path(args.durable) if args.durable else None
+    if directory is None:
+        _require(args, "db")
+        directory = Path(args.db)
+    if not directory.is_dir():
+        raise OSError(f"{str(directory)!r} is not a directory")
+    group = _replication_group(directory)
+    if not group:
+        print(
+            f"error: no replication manifests under {directory} "
+            "(serve with --replicas N first)",
+            file=sys.stderr,
+        )
+        return 1
+    nodes = [_node_replication_status(path) for path in group]
+    nodes.sort(key=lambda entry: entry["node"])
+    top_seq = max(entry["last_seq"] for entry in nodes)
+    payload = {
+        "term": max(entry["term"] for entry in nodes),
+        "primary": [
+            entry["node"] for entry in nodes if entry["role"] == "primary"
+        ],
+        "lag": {
+            str(entry["node"]): top_seq - entry["last_seq"] for entry in nodes
+        },
+        "nodes": nodes,
+    }
+    print(json.dumps(payload, sort_keys=True))
+    return 0
+
+
+def _cmd_promote(args: argparse.Namespace) -> int:
+    from repro.replication import advance_term, read_replication_manifest
+
+    directory = Path(args.durable) if args.durable else None
+    if directory is None:
+        _require(args, "db")
+        directory = Path(args.db)
+    if not directory.is_dir():
+        raise OSError(f"{str(directory)!r} is not a directory")
+    manifest = read_replication_manifest(directory)
+    if manifest is None:
+        raise ReproError(
+            f"{directory} has no replication manifest; promote targets a "
+            "replica node directory (e.g. <durable>/replicas/node-1)"
+        )
+    group = _replication_group(directory)
+    highest = max(
+        read_replication_manifest(path)["term"] for path in group
+    )
+    new_term = args.term if args.term is not None else highest + 1
+    advance_term(
+        directory, node=manifest["node"], new_term=new_term, role="primary"
+    )
+    print(
+        f"node {manifest['node']} promoted to primary at term {new_term} "
+        f"(was {manifest['role']} at term {manifest['term']}; "
+        f"group high term was {highest})"
     )
     return 0
 

@@ -90,6 +90,7 @@ class DurableDatabase:
             sid_stride=sid_stride,
         )
         self._last_seq = self.recovery_report.last_seq
+        self._checkpoint_seq = self.recovery_report.checkpoint_seq
         journal_path = self.directory / JOURNAL_NAME
         journal_existed = journal_path.exists()
         # Physically trim a torn tail before appending past it: O_APPEND
@@ -135,9 +136,30 @@ class DurableDatabase:
         return self._last_seq
 
     @property
+    def checkpoint_seq(self) -> int:
+        """Sequence number folded into the current checkpoint (0 = none).
+
+        A replication follower uses this as a journal-generation marker:
+        every checkpoint truncates the journal, so when the primary's
+        ``checkpoint_seq`` changes, the follower's cached tail offset is
+        stale and must be reset to 0.
+        """
+        return self._checkpoint_seq
+
+    @property
     def journal_size(self) -> int:
         """Current journal length in bytes."""
         return self._journal.size()
+
+    @property
+    def journal_path(self) -> Path:
+        """Path of the journal file (for replication tail shipping)."""
+        return self.directory / JOURNAL_NAME
+
+    @property
+    def checkpoint_path(self) -> Path:
+        """Path of the current checkpoint file (for replica full resync)."""
+        return self.directory / self._checkpoint_name
 
     def _commit(self, op: dict):
         if self._poisoned is not None:
@@ -170,6 +192,7 @@ class DurableDatabase:
         write_checkpoint(
             self.db, self.directory / self._checkpoint_name, self._last_seq
         )
+        self._checkpoint_seq = self._last_seq
         self._journal.truncate()
         hooks.fire("checkpoint.after_truncate")
         self._ops_since_checkpoint = 0
@@ -189,12 +212,22 @@ class DurableDatabase:
     def confirm_checkpoint(self) -> None:
         """Phase 2 of a coordinated checkpoint: the manifest now names the
         new epoch, so the journal (folded into it) can be truncated."""
+        self._checkpoint_seq = self._last_seq
         self._journal.truncate()
         hooks.fire("checkpoint.after_truncate")
         self._ops_since_checkpoint = 0
 
     # ------------------------------------------------------------------
     # journaled structural operations
+
+    def commit(self, op: dict):
+        """Journal and apply one op record (the replication entry point).
+
+        A follower re-commits each shipped record through this, so its own
+        journal mirrors the primary's with aligned sequence numbers; the op
+        passes the same validate → journal → apply protocol as a local call.
+        """
+        return self._commit(dict(op))
 
     def insert(
         self, fragment: str, position: int | None = None, *, validate: str = "fragment"

@@ -59,6 +59,7 @@ class RecoveryReport:
 
     directory: str
     checkpoint_found: bool = False
+    checkpoint_seq: int = 0  # last_seq folded into the checkpoint (0 = none)
     last_seq: int = 0
     ops_replayed: int = 0
     ops_skipped: int = 0  # records replay rejected (live call raised pre-mutation)
@@ -161,6 +162,7 @@ def recover(
     if checkpoint_path.exists():
         db, last_seq = read_checkpoint(checkpoint_path)
         report.checkpoint_found = True
+        report.checkpoint_seq = last_seq
         report.last_seq = last_seq
     else:
         db = LazyXMLDatabase(

@@ -1,0 +1,97 @@
+"""Replication channels: the transport between primary and followers.
+
+The default :class:`InProcessChannel` is a synchronous call to a bound
+handler — the same shape as the executor pipe transport (request dict in,
+response dict out, exceptions propagate), so the fault drills exercise
+the identical control flow a process transport would.  What makes it a
+*replication* channel is the built-in partition machinery:
+
+- :meth:`cut` / :meth:`heal` — hard partition: every call raises
+  :class:`~repro.errors.ChannelCut` until healed;
+- :meth:`cut_after` — partition **at a record boundary**: the next ``n``
+  calls are delivered, then the channel cuts itself.  The drill matrix
+  sweeps ``n`` over every boundary of a write burst, so "the stream died
+  after exactly k records" is a first-class, reproducible scenario.
+
+A cut never corrupts a record: the message either reaches the handler
+whole or not at all (the sender's journal stays the source of truth, and
+the follower recovers the gap from the journal tail, not the channel).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ChannelCut
+
+__all__ = ["InProcessChannel"]
+
+
+class InProcessChannel:
+    """A synchronous message channel with partition fault injection."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._handler: Callable[[dict], dict] | None = None
+        self._cut = False
+        self._deliveries_left: int | None = None
+        self.sent = 0  # messages actually delivered to the handler
+
+    # ------------------------------------------------------------------
+    # wiring
+
+    def bind(self, handler: Callable[[dict], dict]) -> "InProcessChannel":
+        """Attach the receiving side; returns self for chaining."""
+        self._handler = handler
+        return self
+
+    # ------------------------------------------------------------------
+    # transport
+
+    def call(self, message: dict) -> dict:
+        """Deliver ``message`` to the bound handler and return its reply.
+
+        Raises :class:`~repro.errors.ChannelCut` when the channel is cut
+        (or unbound); handler exceptions propagate to the caller —
+        including :class:`~repro.errors.FencedError` refusals.
+        """
+        if self._cut:
+            raise ChannelCut(f"replication channel {self.name or '?'} is cut")
+        if self._deliveries_left is not None:
+            if self._deliveries_left <= 0:
+                self._cut = True
+                self._deliveries_left = None
+                raise ChannelCut(
+                    f"replication channel {self.name or '?'} partitioned "
+                    "at a record boundary"
+                )
+            self._deliveries_left -= 1
+        if self._handler is None:
+            raise ChannelCut(
+                f"replication channel {self.name or '?'} has no bound peer"
+            )
+        self.sent += 1
+        return self._handler(message)
+
+    # ------------------------------------------------------------------
+    # fault injection
+
+    @property
+    def is_cut(self) -> bool:
+        return self._cut
+
+    def cut(self) -> None:
+        """Partition the channel: every call fails until :meth:`heal`."""
+        self._cut = True
+
+    def heal(self) -> None:
+        """Restore the channel (and clear any pending ``cut_after``)."""
+        self._cut = False
+        self._deliveries_left = None
+
+    def cut_after(self, deliveries: int) -> None:
+        """Deliver ``deliveries`` more messages, then cut at the boundary."""
+        if deliveries < 0:
+            raise ValueError("deliveries must be >= 0")
+        self._cut = False
+        self._deliveries_left = deliveries

@@ -39,6 +39,18 @@ _H_WAIT = METRICS.histogram(
     site="AdmissionController.admit (queued waits only)",
     boundaries=LATENCY_BUCKETS,
 )
+_M_RETRY_ATTEMPTS = METRICS.counter(
+    "service.retry.attempts", unit="retries", site="retry_with_backoff"
+)
+_M_RETRY_GIVEUPS = METRICS.counter(
+    "service.retry.giveups", unit="requests", site="retry_with_backoff"
+)
+_H_RETRY_SLEEP = METRICS.histogram(
+    "service.retry.sleep_seconds",
+    unit="seconds",
+    site="retry_with_backoff",
+    boundaries=LATENCY_BUCKETS,
+)
 
 #: Default per-class concurrency limits: many readers, one writer (the
 #: snapshot protocol is single-writer), one maintenance job at a time.
@@ -226,6 +238,11 @@ def retry_with_backoff(
     Retries only exceptions in ``retry_on`` (default: ``Busy``), up to
     ``policy.retries`` times; the final failure propagates.  ``sleep`` is
     injectable so tests can run instantaneously.
+
+    Each retry bumps the ``service.retry.attempts`` counter and records its
+    sleep in the ``service.retry.sleep_seconds`` histogram; exhausting the
+    policy bumps ``service.retry.giveups`` — retry storms show up in
+    ``stats`` instead of only as latency.
     """
     if policy is None:
         policy = BackoffPolicy()
@@ -235,6 +252,12 @@ def retry_with_backoff(
             return fn()
         except retry_on:
             if attempt >= policy.retries:
+                if METRICS.enabled:
+                    _M_RETRY_GIVEUPS.inc()
                 raise
-            sleep(policy.delay(attempt))
+            delay = policy.delay(attempt)
+            if METRICS.enabled:
+                _M_RETRY_ATTEMPTS.inc()
+                _H_RETRY_SLEEP.observe(delay)
+            sleep(delay)
             attempt += 1

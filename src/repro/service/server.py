@@ -219,6 +219,7 @@ class DatabaseService:
         *,
         config: ServiceConfig | None = None,
         clock=time.monotonic,
+        replication=None,
     ):
         # Local import: repro.shard.executor needs repro.service.context,
         # so a module-level import here would be circular.
@@ -226,6 +227,9 @@ class DatabaseService:
         from repro.shard.durable import ShardedDurableDatabase
 
         self.config = config or ServiceConfig()
+        self._replication = replication
+        if replication is not None and primary is None:
+            primary = replication.primary.durable
         self.primary = primary
         self._sharded = isinstance(primary, ShardedDatabase)
         if self._sharded:
@@ -351,6 +355,24 @@ class DatabaseService:
             raise
         self._count("queries")
         return result
+
+    def follower_read(self, fn, *, min_seq=None, context=None, wait_timeout=None):
+        """Run ``fn(db, context)`` against an epoch-pinned *follower* snapshot.
+
+        Offloads reads from the primary when a replication cluster is
+        attached (falls back to :meth:`read` otherwise).  ``min_seq``
+        demands read-your-writes at a replicated sequence number: the
+        follower catches up first, and :class:`~repro.errors
+        .LaggingReplica` propagates if it still cannot reach it.
+        """
+        self._ensure_open()
+        if self._replication is None:
+            return self.read(fn, context=context, wait_timeout=wait_timeout)
+        wait = self.config.admission_wait if wait_timeout is None else wait_timeout
+        with self._admission.admit("read", wait_timeout=wait):
+            ctx = context if context is not None else self.make_context()
+            with self._replication.pin_follower(min_seq=min_seq) as snap:
+                return self._run_read(fn, snap.db, ctx)
 
     def query(self, expression: str, *, bindings: bool = False, context=None,
               wait_timeout=None):
@@ -490,7 +512,16 @@ class DatabaseService:
         through the coordinator's virtual-coordinate methods (which route
         to the owning shard and forward to its worker); plain primaries
         use the shared validate/apply dispatcher.
+
+        With a replication cluster attached, the write goes through the
+        cluster instead: commit on the primary node, ship the record to
+        every follower, fence on a stale term
+        (:class:`~repro.errors.FencedError` propagates to the caller).
         """
+        if self._replication is not None:
+            return self._replication.commit_from(
+                self._replication.primary_id, dict(op)
+            )
         if self._durable or self._sharded:
             kind = op["op"]
             if kind == "insert":
@@ -534,6 +565,46 @@ class DatabaseService:
                 self._base, drain_timeout=self.config.drain_timeout
             )
             old.close()
+
+    # ------------------------------------------------------------------
+    # replication / failover
+
+    @property
+    def replication(self):
+        """The attached :class:`~repro.replication.cluster
+        .ReplicationCluster` (None when standalone)."""
+        return self._replication
+
+    def promote(self, node_id: int):
+        """Fail over to ``node_id`` and rewire the service's authority.
+
+        The cluster persists the new fenced term before the node accepts
+        a write; the service then re-seeds its epoch store from the new
+        primary's database so subsequent reads and writes flow through it.
+        """
+        from repro.errors import ReplicationError
+
+        if self._replication is None:
+            raise ReplicationError("service has no replication cluster")
+        with self._writer_lock:
+            node = self._replication.promote(node_id)
+            self.primary = node.durable
+            self._base = node.durable.db
+            self._base.prepare_for_query()
+            old = self._epochs
+            self._epochs = EpochManager(
+                self._base, drain_timeout=self.config.drain_timeout
+            )
+            if old is not None:
+                old.close()
+        return node
+
+    def replication_status(self) -> dict | None:
+        """The cluster's :meth:`~repro.replication.cluster
+        .ReplicationCluster.status` (None when standalone)."""
+        if self._replication is None:
+            return None
+        return self._replication.status()
 
     # ------------------------------------------------------------------
     # pressure-driven maintenance & degradation
@@ -701,6 +772,8 @@ class DatabaseService:
             "readpath": epochs.get("readpath") if epochs is not None else None,
             "counters": dict(self._counters),
         }
+        if self._replication is not None:
+            payload["replication"] = self._replication.status()
         if self._sharded:
             executor = self.primary.executor
             payload["shards"] = {
@@ -744,7 +817,9 @@ class DatabaseService:
         self._admission.close()
         if self._epochs is not None:
             self._epochs.close()
-        if self._durable or self._sharded:
+        if self._replication is not None:
+            self._replication.close()
+        elif self._durable or self._sharded:
             self.primary.close()
 
     def __enter__(self) -> "DatabaseService":

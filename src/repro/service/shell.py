@@ -20,6 +20,8 @@ Commands::
     repack <sid> | compact           breaker-guarded maintenance
     maintain                         sample pressure, run the plan
     pressure | health | stats        JSON status output
+    repl-status                      replication term/lag/role per node
+    promote <node>                   fail over to a follower (fenced term)
     help | quit | exit
 """
 
@@ -37,7 +39,8 @@ _HELP = (
     "insert <pos|end> <xml> | remove <pos> <len> | "
     "trace query <expr> | trace join <anc> <desc> [algo] | "
     "repack <sid> | compact | "
-    "maintain | pressure | health | stats | help | quit"
+    "maintain | pressure | health | stats | "
+    "repl-status | promote <node> | help | quit"
 )
 
 
@@ -69,7 +72,8 @@ class ServiceShell:
             self._print("ok bye")
             return False
         try:
-            handler = getattr(self, f"_cmd_{verb}", None)
+            # Dashed verbs (repl-status) map to underscored handlers.
+            handler = getattr(self, f"_cmd_{verb.replace('-', '_')}", None)
             if handler is None:
                 self._print(f"error unknown command {verb!r}; try 'help'")
             else:
@@ -174,6 +178,20 @@ class ServiceShell:
 
     def _cmd_stats(self, rest: str) -> None:
         self._print("ok " + json.dumps(self.service.stats(), sort_keys=True))
+
+    def _cmd_repl_status(self, rest: str) -> None:
+        status = self.service.replication_status()
+        if status is None:
+            self._print("ok replication disabled (serve with --replicas N)")
+        else:
+            self._print("ok " + json.dumps(status, sort_keys=True))
+
+    def _cmd_promote(self, rest: str) -> None:
+        if not rest:
+            raise ValueError("promote needs: <node id>")
+        node = self.service.promote(int(rest))
+        self._print(f"ok node {node.node_id} promoted to primary "
+                    f"at term {node.term}")
 
     def _print(self, text: str) -> None:
         print(text, file=self._out, flush=True)

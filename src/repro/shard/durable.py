@@ -16,10 +16,13 @@ document removal) first appends a meta record to ``docmap.wal`` carrying
 the *shard journal seq the shard op is about to get* — then commits on
 the shard (validate -> shard journal fsync -> apply).  Recovery replays a
 meta record only when the shard's recovered journal actually reached that
-seq; a dangling record can only be the tail (one op in flight at a time)
-and is discarded, reproducing the pre-op state.  A dangling record
-anywhere else means the directory was tampered with — a typed
-:class:`~repro.storage.SnapshotError`.
+seq; a record whose seq the manifest already covers was folded into the
+manifest's document list at checkpoint time and is skipped.  A dangling
+(unreached) record can only be the tail (one op in flight at a time) and
+is discarded *durably* — rewritten out of ``docmap.wal``, since a later
+commit reaching the predicted seq would otherwise resurrect it as a
+phantom document.  A dangling record anywhere else means the directory
+was tampered with — a typed :class:`~repro.storage.SnapshotError`.
 
 **Coordinated checkpoint (all-or-nothing).**  Phase 1 writes every
 shard's snapshot under the *next* epoch's name (journals untouched — the
@@ -43,6 +46,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.durability import hooks
 from repro.durability.atomic import atomic_write_text
 from repro.durability.recovery import validate_op
 from repro.durability.database import DurableDatabase
@@ -175,7 +179,9 @@ class ShardedDurableDatabase(ShardedDatabase):
                     sid_stride=n_shards,
                 )
             )
-        docs, meta_seq, meta_scan = self._replay_docmap(durables, docs)
+        docs, meta_seq, meta_scan, dangling = self._replay_docmap(
+            durables, docs, entries
+        )
         super().__init__(
             n_shards,
             mode=mode,
@@ -184,10 +190,23 @@ class ShardedDurableDatabase(ShardedDatabase):
             shards=durables,
             docmap=DocumentMap(docs),
         )
-        self._meta_journal = Journal(
-            self.directory / DOCMAP_JOURNAL_NAME,
-            truncate_to=meta_scan.valid_bytes if meta_scan.torn_tail else None,
-        )
+        meta_path = self.directory / DOCMAP_JOURNAL_NAME
+        if dangling:
+            # The discard must be durable: a later commit will reach the
+            # seq the dangling record predicted, and an on-disk copy would
+            # then be replayed as a phantom document on the next open.
+            self._meta_journal = Journal(meta_path, truncate_to=0)
+            self._meta_journal.append_all(
+                (rec["seq"], {k: v for k, v in rec.items() if k != "seq"})
+                for rec in meta_scan.records[:-1]
+            )
+        else:
+            self._meta_journal = Journal(
+                meta_path,
+                truncate_to=(
+                    meta_scan.valid_bytes if meta_scan.torn_tail else None
+                ),
+            )
         self._meta_seq = meta_seq
         self._checkpoint_every = checkpoint_every
         self._ops_since_checkpoint = 0
@@ -236,17 +255,27 @@ class ShardedDurableDatabase(ShardedDatabase):
                 "refused"
             )
 
-    def _replay_docmap(self, durables: list[DurableDatabase], docs: list[int]):
+    def _replay_docmap(
+        self,
+        durables: list[DurableDatabase],
+        docs: list[int],
+        entries: list[dict],
+    ):
         """Fold ``docmap.wal`` into the manifest's document list.
 
-        A record is applied only when its shard's recovered journal
+        A record whose ``shard_seq`` the manifest entry already covers was
+        folded into the manifest's document list by the coordinated
+        checkpoint and is skipped — a crash between the manifest swap and
+        the meta-journal truncation leaves such records behind.  Otherwise
+        a record is applied only when its shard's recovered journal
         reached the seq the record predicted; an unreached record is legal
         only as the tail (the crash window between the meta append and the
-        shard commit).
+        shard commit) and is reported for durable discard.
         """
         scan = read_journal(self.directory / DOCMAP_JOURNAL_NAME)
         docs = list(docs)
         meta_seq = 0
+        dangling = False
         for position, record in enumerate(scan.records):
             meta_seq = record["seq"]
             shard = record.get("shard")
@@ -261,6 +290,8 @@ class ShardedDurableDatabase(ShardedDatabase):
                 raise SnapshotError(
                     f"malformed docmap.wal record at seq {record.get('seq')}"
                 )
+            if shard_seq <= entries[shard]["last_seq"]:
+                continue
             if durables[shard].last_seq >= shard_seq:
                 index = record["index"]
                 if kind == "doc_insert":
@@ -273,8 +304,9 @@ class ShardedDurableDatabase(ShardedDatabase):
                     f"{shard} seq {shard_seq}, which the shard journal "
                     "never reached — inconsistent sharded directory"
                 )
-            # else: dangling tail — the crash window; discard.
-        return docs, meta_seq, scan
+            else:
+                dangling = True
+        return docs, meta_seq, scan, dangling
 
     def _drop_stale_checkpoints(self) -> None:
         """Delete snapshot files from other epochs (crashed phase 1s)."""
@@ -374,7 +406,9 @@ class ShardedDurableDatabase(ShardedDatabase):
             "docs": self.docmap.to_list(),
             "shards": entries,
         }
+        hooks.fire("manifest.before_write")
         atomic_write_text(self.directory / MANIFEST_NAME, json.dumps(manifest))
+        hooks.fire("manifest.after_write")
 
     # ------------------------------------------------------------------
     # introspection / lifecycle

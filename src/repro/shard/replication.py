@@ -1,0 +1,219 @@
+"""Per-shard replica chains: WAL shipping for a sharded primary.
+
+A :class:`~repro.shard.durable.ShardedDurableDatabase` is N independent
+durable journals plus a docmap meta-journal — so its replication unit is
+the *shard*: each shard gets its own chain of follower
+:class:`~repro.replication.node.ReplicaNode` directories
+(``<root>/shard-<i>/node-<j>``) that catch up from that shard's journal
+tail through the same offset-cached incremental scan the unsharded
+cluster uses.  Shipping is pull-based (:meth:`ShardedReplicationCluster
+.sync` tails every shard after a write burst), which matches the sharded
+write path: ops land on different shard journals in arbitrary
+interleavings, and the per-shard seq — not a global order — is the
+replication coordinate.
+
+The document *map* is not streamed: a follower shard replays exactly its
+shard's op stream, and the map is a pure function of the docmap
+meta-journal on the primary.  Parity is therefore asserted per shard:
+follower text/seq must equal its primary shard's at matching seqs
+(:meth:`ShardedReplicationCluster.verify_parity`).
+
+The whole group shares one fencing term, persisted in every follower's
+replication manifest; :meth:`ShardedReplicationCluster.fence_check`
+refuses syncs once a higher term has been observed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import FencedError, ReplicaDiverged
+from repro.obs.metrics import METRICS
+from repro.replication.node import ReplicaNode
+from repro.shard.durable import ShardedDurableDatabase
+
+__all__ = ["ShardedReplicationCluster"]
+
+_G_SHARD_LAG = METRICS.gauge(
+    "repl.shard.lag.max",
+    unit="records",
+    site="ShardedReplicationCluster.status",
+)
+
+
+class _ShardPrimaryView:
+    """Primary-view adapter over one shard's :class:`DurableDatabase`.
+
+    Satisfies the protocol :meth:`ReplicaNode.catch_up` expects
+    (``journal_path`` / ``checkpoint_path`` / ``checkpoint_seq`` /
+    ``last_seq`` / ``term``); the checkpoint path tracks the coordinated
+    epoch naming (``checkpoint-<epoch>.json``) automatically because it
+    delegates to the live durable handle.
+    """
+
+    def __init__(self, durable, cluster: "ShardedReplicationCluster"):
+        self._durable = durable
+        self._cluster = cluster
+
+    @property
+    def journal_path(self) -> Path:
+        return self._durable.journal_path
+
+    @property
+    def checkpoint_path(self) -> Path:
+        return self._durable.checkpoint_path
+
+    @property
+    def checkpoint_seq(self) -> int:
+        return self._durable.checkpoint_seq
+
+    @property
+    def last_seq(self) -> int:
+        return self._durable.last_seq
+
+    @property
+    def term(self) -> int:
+        return self._cluster.term
+
+
+class ShardedReplicationCluster:
+    """Follower chains for every shard of a sharded durable primary.
+
+    Parameters
+    ----------
+    primary:
+        The live :class:`ShardedDurableDatabase` to replicate.
+    root:
+        Root for follower directories (one ``shard-<i>/node-<j>`` durable
+        directory per shard per follower).
+    n_followers:
+        Followers per shard.
+    """
+
+    def __init__(
+        self,
+        primary: ShardedDurableDatabase,
+        root: str | Path,
+        n_followers: int = 1,
+        *,
+        term: int = 1,
+    ):
+        if n_followers < 1:
+            raise ValueError("n_followers must be >= 1")
+        self.primary = primary
+        self.root = Path(root)
+        self.term = term
+        self._fenced = False
+        self.views = [
+            _ShardPrimaryView(durable, self) for durable in primary.shards
+        ]
+        # node_id encodes (shard, follower) so manifests are unambiguous.
+        self.chains: list[list[ReplicaNode]] = [
+            [
+                ReplicaNode(
+                    self.root / f"shard-{shard:02d}" / f"node-{follower}",
+                    shard * n_followers + follower,
+                    role="follower",
+                    term=term,
+                    mode=primary.mode,
+                )
+                for follower in range(n_followers)
+            ]
+            for shard in range(primary.n_shards)
+        ]
+        self.sync()
+
+    # ------------------------------------------------------------------
+
+    def fence_check(self) -> None:
+        if self._fenced:
+            err = FencedError(
+                f"sharded replication group fenced at term {self.term}"
+            )
+            err.term = self.term
+            raise err
+
+    def observe_term(self, term: int) -> None:
+        """A higher term fences the whole group (one failover domain)."""
+        if term > self.term:
+            self.term = term
+            self._fenced = True
+
+    def sync(self) -> int:
+        """Tail every shard journal into its followers; returns records
+        applied across all chains (O(new records) per follower)."""
+        self.fence_check()
+        applied = 0
+        for shard, chain in enumerate(self.chains):
+            view = self.views[shard]
+            for node in chain:
+                applied += node.catch_up(view)
+        return applied
+
+    # ------------------------------------------------------------------
+    # reads / parity
+
+    def pin_shard(self, shard: int, follower: int = 0, *, min_seq: int | None = None):
+        """Pin an epoch snapshot on one shard's follower."""
+        node = self.chains[shard][follower]
+        if min_seq is not None and node.last_seq < min_seq:
+            node.catch_up(self.views[shard])
+        return node.pin(min_seq)
+
+    def verify_parity(self) -> None:
+        """Assert every follower matches its primary shard at its seq.
+
+        A follower equal in seq must be byte-identical in text; one that
+        is behind is *lagging*, never divergent — anything else raises
+        :class:`~repro.errors.ReplicaDiverged`.
+        """
+        for shard, chain in enumerate(self.chains):
+            primary_durable = self.primary.shards[shard]
+            for node in chain:
+                if node.last_seq > primary_durable.last_seq:
+                    raise ReplicaDiverged(
+                        f"shard {shard} follower {node.node_id} ran ahead: "
+                        f"seq {node.last_seq} > primary "
+                        f"{primary_durable.last_seq}"
+                    )
+                if (
+                    node.last_seq == primary_durable.last_seq
+                    and node.durable.db.text != primary_durable.db.text
+                ):
+                    raise ReplicaDiverged(
+                        f"shard {shard} follower {node.node_id} diverged at "
+                        f"seq {node.last_seq}"
+                    )
+
+    def status(self) -> dict:
+        lags = [
+            [
+                self.primary.shards[shard].last_seq - node.last_seq
+                for node in chain
+            ]
+            for shard, chain in enumerate(self.chains)
+        ]
+        if METRICS.enabled:
+            _G_SHARD_LAG.set(max((max(l) for l in lags if l), default=0))
+        return {
+            "term": self.term,
+            "fenced": self._fenced,
+            "n_shards": self.primary.n_shards,
+            "followers_per_shard": len(self.chains[0]) if self.chains else 0,
+            "primary_seqs": self.primary.last_seqs,
+            "follower_seqs": [
+                [node.last_seq for node in chain] for chain in self.chains
+            ],
+            "lag": lags,
+        }
+
+    def close(self) -> None:
+        for chain in self.chains:
+            for node in chain:
+                node.close()
+
+    def __enter__(self) -> "ShardedReplicationCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

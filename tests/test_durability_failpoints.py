@@ -169,8 +169,11 @@ def test_crash_during_auto_checkpoint_after_op(tmp_path, op_name):
 
 def test_every_declared_failpoint_reachable(tmp_path):
     """Each failpoint in the registry fires during a normal durable session
-    (guards against declared-but-never-fired names rotting the matrix)."""
+    (guards against declared-but-never-fired names rotting the matrix).
+    The ``manifest.*`` points belong to the sharded coordinated checkpoint,
+    so a sharded session runs alongside the single-DB one."""
     from repro.durability import hooks
+    from repro.shard.durable import ShardedDurableDatabase
 
     fired: set[str] = set()
     for name in hooks.FAILPOINT_NAMES:
@@ -179,6 +182,12 @@ def test_every_declared_failpoint_reachable(tmp_path):
         with DurableDatabase(tmp_path / "state") as dd:
             dd.insert("<a/>")
             dd.checkpoint()
+        sharded = ShardedDurableDatabase(tmp_path / "sharded", 2)
+        try:
+            sharded.insert("<a/>")
+            sharded.checkpoint()
+        finally:
+            sharded.close()
     finally:
         hooks.clear_all_failpoints()
     assert fired == set(hooks.FAILPOINT_NAMES)

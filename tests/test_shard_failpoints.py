@@ -1,0 +1,256 @@
+"""Sharded crash drills: the docmap meta-journal and the two-phase checkpoint.
+
+Two fault families the single-database matrix
+(``test_durability_failpoints.py``) cannot reach:
+
+1. **Docmap meta-journal boundaries.**  An op that changes the document
+   map appends a predicted-seq record to ``docmap.wal`` *before* the
+   shard commit, so a docmap-changing op crosses every WAL-append
+   failpoint twice — hit 1 is the meta append, hit 2 is the shard
+   journal append.  Killing at each (failpoint, hit) must leave a
+   directory that recovers to *exactly* the pre-op or post-op docmap
+   state (text and document list), never a third one.
+
+2. **Worker loss during the coordinated checkpoint.**  Phase 1 writes
+   each shard's snapshot (the per-shard worker's contribution); the
+   manifest replace is the single commit point; phase 2 truncates.
+   Killing at any boundary — a worker dying mid-export, the coordinator
+   dying around the manifest swap or mid-truncation — must leave a
+   manifest that never references a half-written epoch, and recovery
+   must refuse a mixed-epoch checkpoint set with a typed
+   :class:`~repro.storage.SnapshotError` rather than silently load it.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.shard.durable import ShardedDurableDatabase, read_manifest
+from repro.storage import SnapshotError
+from tests.failpoints import SimulatedCrash, crash_at
+from tests.test_durability_failpoints import WAL_APPEND_POINTS
+
+
+def seed(directory) -> ShardedDurableDatabase:
+    """History on both sides of a coordinated checkpoint: four documents,
+    checkpoint (epoch 1), then one more document left in the journals."""
+    db = ShardedDurableDatabase(directory, 2)
+    for k in range(4):
+        db.insert(f"<doc><item>d{k}</item></doc>")
+    db.checkpoint()
+    db.insert("<doc><item>tail</item></doc>")
+    return db
+
+
+def fingerprint(db: ShardedDurableDatabase) -> tuple:
+    return (db.text, tuple(db.docmap.to_list()))
+
+
+def run_docmap_op(db: ShardedDurableDatabase, op_name: str) -> None:
+    if op_name == "doc_insert":
+        db.insert("<doc><item>victim</item></doc>")
+    else:
+        doc = db._doc_table()[-1]
+        db.remove(doc.vstart, doc.vend - doc.vstart)
+
+
+def reopen_and_verify(directory, pre, post) -> None:
+    """Recovery must land on exactly pre or post, stay writable, and keep
+    the post-recovery write durable across another reopen."""
+    recovered = ShardedDurableDatabase(directory)
+    got = fingerprint(recovered)
+    assert got in (pre, post), (
+        "recovery produced a third docmap state "
+        f"(pre={got == pre}, post={got == post})"
+    )
+    recovered.check_invariants()
+    recovered.insert("<doc><item>post-recovery</item></doc>")
+    recovered.close()
+    reopened = ShardedDurableDatabase(directory)
+    assert "post-recovery" in reopened.text
+    reopened.check_invariants()
+    reopened.close()
+
+
+# ----------------------------------------------------------------------
+# family 1: docmap meta-journal append boundaries
+
+
+@pytest.mark.parametrize("hit", [1, 2])
+@pytest.mark.parametrize("failpoint", WAL_APPEND_POINTS)
+@pytest.mark.parametrize("op_name", ["doc_insert", "doc_remove"])
+def test_docmap_crash_matrix(tmp_path, op_name, failpoint, hit):
+    directory = tmp_path / "state"
+    db = seed(directory)
+    db.close()
+
+    # Expected post-op state, computed on a byte-identical shadow copy.
+    shadow_dir = tmp_path / "shadow"
+    shutil.copytree(directory, shadow_dir)
+    shadow = ShardedDurableDatabase(shadow_dir)
+    run_docmap_op(shadow, op_name)
+    post = fingerprint(shadow)
+    shadow.close()
+
+    db = ShardedDurableDatabase(directory)
+    pre = fingerprint(db)
+    crashed = False
+    try:
+        with crash_at(failpoint, hit=hit):
+            run_docmap_op(db, op_name)
+    except SimulatedCrash:
+        crashed = True
+    assert crashed, f"{op_name} never crossed {failpoint} (hit {hit})"
+    db.close()
+    reopen_and_verify(directory, pre, post)
+
+
+def test_docmap_meta_append_without_shard_commit_is_discarded(tmp_path):
+    """The exact crash window the protocol exists for: the meta record is
+    durable but the shard journal never got the op — recovery must land
+    on the pre-op docmap, not insert a phantom document."""
+    directory = tmp_path / "state"
+    db = seed(directory)
+    pre = fingerprint(db)
+    try:
+        # Hit 1 after-fsync: the meta record is fully durable; the crash
+        # happens before the shard journal append even starts.
+        with crash_at("wal.append.after_fsync", hit=1):
+            db.insert("<doc><item>phantom</item></doc>")
+    except SimulatedCrash:
+        pass
+    db.close()
+    recovered = ShardedDurableDatabase(directory)
+    assert fingerprint(recovered) == pre
+    assert "phantom" not in recovered.text
+    recovered.close()
+
+
+# ----------------------------------------------------------------------
+# family 2: worker loss during the two-phase coordinated checkpoint
+
+#: (failpoint, hit) pairs covering every boundary of the coordinated
+#: checkpoint: per-shard exports (hits 1-2 of the checkpoint/atomic
+#: points — a worker dying mid-snapshot), the manifest swap (atomic hit 3
+#: and the manifest.* points — the coordinator dying at the commit
+#: point), and phase-2 truncations (shard journals, then docmap.wal).
+COORDINATED_POINTS = [
+    ("checkpoint.before_write", 1),
+    ("checkpoint.before_write", 2),
+    ("checkpoint.after_write", 1),
+    ("checkpoint.after_write", 2),
+    ("atomic.before_tmp_write", 1),
+    ("atomic.before_tmp_write", 2),
+    ("atomic.before_tmp_write", 3),
+    ("atomic.after_tmp_write", 1),
+    ("atomic.after_tmp_write", 3),
+    ("atomic.after_tmp_fsync", 2),
+    ("atomic.after_tmp_fsync", 3),
+    ("atomic.after_replace", 1),
+    ("atomic.after_replace", 3),
+    ("atomic.after_dir_fsync", 3),
+    ("manifest.before_write", 1),
+    ("manifest.after_write", 1),
+    ("wal.truncate.before", 1),
+    ("wal.truncate.before", 3),
+    ("wal.truncate.after", 2),
+    ("wal.truncate.after", 3),
+    ("checkpoint.after_truncate", 1),
+    ("checkpoint.after_truncate", 2),
+]
+
+
+def assert_manifest_honest(directory: Path) -> None:
+    """The manifest may only name checkpoint files that exist, in full,
+    with matching seq and crc — never a half-written epoch."""
+    manifest = read_manifest(directory)
+    epoch = manifest["epoch"]
+    for entry in manifest["shards"]:
+        if entry["crc32"] is None:
+            continue
+        path = (
+            directory
+            / f"shard-{entry['index']:02d}"
+            / f"checkpoint-{epoch}.json"
+        )
+        assert path.exists(), (
+            f"manifest names epoch {epoch} but shard {entry['index']} has "
+            "no such checkpoint"
+        )
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        assert envelope["crc32"] == entry["crc32"]
+        assert envelope["last_seq"] == entry["last_seq"]
+
+
+@pytest.mark.parametrize("failpoint,hit", COORDINATED_POINTS)
+def test_worker_loss_during_coordinated_checkpoint(tmp_path, failpoint, hit):
+    directory = tmp_path / "state"
+    db = seed(directory)
+    pre = fingerprint(db)
+    old_epoch = db.epoch
+    try:
+        with crash_at(failpoint, hit=hit):
+            db.checkpoint()
+    except SimulatedCrash:
+        pass
+    db.close()
+
+    # The commit point is atomic: the surviving manifest names either the
+    # complete old epoch or the complete new one, with every referenced
+    # per-shard checkpoint fully written and matching.
+    manifest = read_manifest(directory)
+    assert manifest["epoch"] in (old_epoch, old_epoch + 1)
+    assert_manifest_honest(directory)
+
+    # A checkpoint changes no logical state: recovery lands on pre.
+    reopen_and_verify(directory, pre, pre)
+
+
+def test_missing_epoch_checkpoint_refused(tmp_path):
+    directory = tmp_path / "state"
+    db = seed(directory)
+    epoch = db.epoch
+    db.close()
+    (directory / "shard-01" / f"checkpoint-{epoch}.json").unlink()
+    with pytest.raises(SnapshotError, match="mixed-epoch"):
+        ShardedDurableDatabase(directory)
+
+
+def test_mismatched_epoch_checkpoint_refused(tmp_path):
+    directory = tmp_path / "state"
+    db = seed(directory)
+    epoch = db.epoch
+    db.close()
+    # A checkpoint file whose envelope disagrees with the manifest (wrong
+    # crc/seq — e.g. a stray file from another epoch renamed into place)
+    # must be refused, not loaded.
+    victim = directory / "shard-01" / f"checkpoint-{epoch}.json"
+    envelope = json.loads(victim.read_text(encoding="utf-8"))
+    envelope["crc32"] = (envelope["crc32"] or 0) ^ 0xDEADBEEF
+    victim.write_text(json.dumps(envelope), encoding="utf-8")
+    with pytest.raises(SnapshotError, match="mixed-epoch"):
+        ShardedDurableDatabase(directory)
+
+
+def test_crashed_phase_one_files_are_reclaimed(tmp_path):
+    """A crash before the manifest swap leaves next-epoch snapshot files
+    behind; reopening at the old epoch deletes them (no unbounded junk)."""
+    directory = tmp_path / "state"
+    db = seed(directory)
+    old_epoch = db.epoch
+    try:
+        with crash_at("manifest.before_write"):
+            db.checkpoint()
+    except SimulatedCrash:
+        pass
+    db.close()
+    stale = list(directory.glob(f"shard-*/checkpoint-{old_epoch + 1}.json"))
+    assert stale, "phase 1 should have written next-epoch snapshots"
+    recovered = ShardedDurableDatabase(directory)
+    assert recovered.epoch == old_epoch
+    recovered.close()
+    assert not list(directory.glob(f"shard-*/checkpoint-{old_epoch + 1}.json"))
