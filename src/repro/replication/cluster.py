@@ -17,6 +17,9 @@ follower synchronously:
 - :class:`~repro.errors.ChannelCut` — the record is *acked but
   unreplicated to that follower*; its seq is tracked in the per-follower
   ``missed`` set (visible in :meth:`status`) until catch-up drains it;
+  once **every** follower has confirmed a seq, the primary persists it as
+  its fully-replicated watermark (``replicated_seq`` in the manifest),
+  which bounds the indeterminate band a later rejoin must report;
 - :class:`~repro.errors.FencedError` — the follower has seen a higher
   term: the stale primary **self-fences** (refusing all further writes
   before touching its journal) and the error propagates to the caller.
@@ -154,6 +157,12 @@ class ReplicationCluster:
         self._rebind_heartbeats()
         for nid in self.follower_ids():
             self.nodes[nid].catch_up(self.primary)
+        # Highest seq each node has confirmed durably applying (of the
+        # current primary's lineage) — the min over the others is the
+        # primary's fully-replicated watermark.
+        self._acked: dict[int, int] = {
+            nid: node.last_seq for nid, node in self.nodes.items()
+        }
         if METRICS.enabled:
             _G_TERM.set(self.primary.term)
 
@@ -243,12 +252,26 @@ class ReplicationCluster:
                 self.nodes[other_id].catch_up(sender)
             shipped += 1
             applied_upto = self.nodes[other_id].last_seq
+            self._note_acked(other_id, applied_upto)
             self.missed[other_id] = {
                 s for s in self.missed[other_id] if s > applied_upto
             }
         if METRICS.enabled and shipped:
             _M_SHIPPED.inc(shipped)
+        if node_id == self.primary_id:
+            # The ack map only tracks the current primary's lineage, so a
+            # stale sender must never advance its watermark from it.
+            watermark = min(
+                (self._acked.get(o, 0) for o in self.nodes if o != node_id),
+                default=seq,
+            )
+            sender.note_replicated(min(watermark, seq))
         return result
+
+    def _note_acked(self, node_id: int, seq: int) -> None:
+        previous = self._acked.get(node_id, 0)
+        if seq > previous:
+            self._acked[node_id] = seq
 
     # ------------------------------------------------------------------
     # reads
@@ -266,8 +289,13 @@ class ReplicationCluster:
         node = self.nodes[node_id]
         if node_id in self._dead:
             raise ReplicationError(f"node {node_id} is down")
-        if min_seq is not None and node.last_seq < min_seq:
+        if (
+            min_seq is not None
+            and node.last_seq < min_seq
+            and self.primary_id not in self._dead
+        ):
             node.catch_up(self.primary)
+            self._note_acked(node_id, node.last_seq)
         return node.pin(min_seq)
 
     # ------------------------------------------------------------------
@@ -288,6 +316,13 @@ class ReplicationCluster:
                 pass
         node.promote(new_term)
         self.primary_id = node_id
+        # Acks and missed seqs recorded past the new primary's tail
+        # belong to the old lineage; clamp so they can never advance the
+        # new watermark or linger as phantom unreplicated entries.
+        for nid in self._acked:
+            self._acked[nid] = min(self._acked[nid], node.last_seq)
+        for nid in self.missed:
+            self.missed[nid] = {s for s in self.missed[nid] if s <= node.last_seq}
         self._rebind_heartbeats()
         if METRICS.enabled:
             _G_TERM.set(new_term)
@@ -303,10 +338,13 @@ class ReplicationCluster:
     def restart(self, node_id: int) -> RejoinReport | None:
         """Recover a killed node from its directory and re-join the group.
 
-        A restarted deposed primary (or any node whose journal runs past
-        the current primary's) goes through :meth:`~repro.replication.node
-        .ReplicaNode.rejoin` — returning the lost-write report; a plain
-        lagging follower just catches up (returns ``None``).
+        A restarted deposed primary — or any node whose journal runs past
+        the current primary's *or conflicts with it at a shared seq*
+        (``diverges_from`` compares record content, catching a fork whose
+        ``last_seq`` happens to equal the primary's) — goes through
+        :meth:`~repro.replication.node.ReplicaNode.rejoin`, returning the
+        lost-write report; a plain lagging follower just catches up
+        (returns ``None``).
         """
         if node_id not in self._dead:
             raise ReplicationError(f"node {node_id} is not down")
@@ -323,10 +361,21 @@ class ReplicationCluster:
         if node_id == self.primary_id:
             # The primary came back and was never deposed.
             self._rebind_heartbeats()
-        elif node.role == "primary" or node.last_seq > self.primary.last_seq:
+        elif self.primary_id in self._dead:
+            # No live primary to compare against: the node comes back
+            # as-is and converges after the next promote/heal — its
+            # journal must not be read off a crashed primary's disk.
+            pass
+        elif (
+            node.role == "primary"
+            or node.last_seq > self.primary.last_seq
+            or node.diverges_from(self.primary)
+        ):
             report = node.rejoin(self.primary)
+            self._note_acked(node_id, node.last_seq)
         else:
             node.catch_up(self.primary)
+            self._note_acked(node_id, node.last_seq)
         self.missed[node_id] = {
             s for s in self.missed.get(node_id, set()) if s > node.last_seq
         }
@@ -343,12 +392,24 @@ class ReplicationCluster:
         self.heartbeat_channels[node_id].cut()
 
     def heal(self, node_id: int) -> None:
-        """Heal the partition and let the follower catch up."""
+        """Heal the partition and let the follower catch up.
+
+        Catch-up is skipped while the primary is down: it reads the
+        primary's journal file directly, which a real transport could not
+        do off a crashed process — pulling acked-but-unreplicated records
+        from a dead primary's disk would mask lost-write scenarios.  The
+        follower converges after the next promote/restart instead.
+        """
         self.append_channels[node_id].heal()
         self.heartbeat_channels[node_id].heal()
-        if node_id not in self._dead and node_id != self.primary_id:
+        if (
+            node_id not in self._dead
+            and node_id != self.primary_id
+            and self.primary_id not in self._dead
+        ):
             node = self.nodes[node_id]
             node.catch_up(self.primary)
+            self._note_acked(node_id, node.last_seq)
             self.missed[node_id] = {
                 s for s in self.missed[node_id] if s > node.last_seq
             }
@@ -364,8 +425,9 @@ class ReplicationCluster:
                 policy=self._heartbeat_policy,
                 sleep=self._sleep,
             )
-            if reply["last_seq"] > node.last_seq:
+            if reply["last_seq"] > node.last_seq and self.primary_id not in self._dead:
                 node.catch_up(self.primary)
+                self._note_acked(nid, node.last_seq)
                 self.missed[nid] = {
                     s for s in self.missed[nid] if s > node.last_seq
                 }

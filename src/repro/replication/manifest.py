@@ -4,7 +4,7 @@ Each replication node directory holds a ``replication.json`` next to its
 checkpoint and journal::
 
     {"format": "repro-replication-manifest", "version": 1,
-     "node": 2, "term": 4, "role": "primary"}
+     "node": 2, "term": 4, "role": "primary", "replicated_seq": 17}
 
 The **term** is the fencing epoch of the failover protocol.  The single
 invariant everything else rests on: *a node's persisted term never
@@ -15,6 +15,17 @@ append stamped with a lower term is refused with
 :class:`~repro.errors.FencedError` by whoever sees it.  A stale primary
 cannot "win back" leadership by restarting: its manifest still carries the
 old term, and :func:`advance_term` refuses to move it backwards.
+
+**replicated_seq** is the node's fully-replicated watermark: the highest
+sequence number it has, *as primary*, confirmed durably applied by every
+other group member.  It only matters after deposition — a rejoining
+node's own journal records at or below its watermark provably reached
+the whole group (including whichever follower now leads), so they need
+no record-by-record verification against a journal the new primary may
+have since truncated.  The watermark is conservative by construction: it
+advances only on confirmed acks and is never required to be current, so
+a stale value yields extra ``indeterminate`` entries in a rejoin report,
+never a silently-kept lost write.
 
 The manifest is written with the same atomic replace + directory fsync
 discipline as checkpoints, so a crash mid-write leaves the old manifest
@@ -67,16 +78,26 @@ def read_replication_manifest(directory: str | Path) -> dict | None:
         or manifest.get("role") not in _ROLES
     ):
         raise ReplicationError(f"replication manifest {path} has ill-typed fields")
+    watermark = manifest.setdefault("replicated_seq", 0)
+    if not isinstance(watermark, int) or watermark < 0:
+        raise ReplicationError(f"replication manifest {path} has ill-typed fields")
     return manifest
 
 
 def write_replication_manifest(
-    directory: str | Path, *, node: int, term: int, role: str
+    directory: str | Path,
+    *,
+    node: int,
+    term: int,
+    role: str,
+    replicated_seq: int | None = None,
 ) -> dict:
     """Atomically persist the node's ``(term, role)``; returns the manifest.
 
     Refuses to move the persisted term backwards (the fencing invariant) —
     use :func:`advance_term` when the intent is an explicit promotion.
+    ``replicated_seq`` left as ``None`` preserves the persisted watermark
+    (0 on a fresh manifest); it is never moved backwards either.
     """
     if role not in _ROLES:
         raise ReplicationError(f"unknown replication role {role!r}")
@@ -86,12 +107,16 @@ def write_replication_manifest(
             f"refusing to lower persisted term {existing['term']} -> {term} "
             f"for node {node} (fencing invariant)"
         )
+    persisted_watermark = existing["replicated_seq"] if existing is not None else 0
+    if replicated_seq is None:
+        replicated_seq = persisted_watermark
     manifest = {
         "format": MANIFEST_FORMAT,
         "version": MANIFEST_VERSION,
         "node": node,
         "term": term,
         "role": role,
+        "replicated_seq": max(replicated_seq, persisted_watermark),
     }
     atomic_write_text(
         Path(directory) / REPLICATION_MANIFEST_NAME, json.dumps(manifest)

@@ -22,8 +22,12 @@ per poll.  The offset cache is keyed by the primary's ``checkpoint_seq``
 — a checkpoint truncates the journal, so a changed ``checkpoint_seq``
 invalidates the offset (reset to 0).  A follower that fell behind a
 checkpoint (``last_seq < checkpoint_seq``) cannot be served by any
-journal tail and performs a **full resync**: atomically install a copy of
-the primary's checkpoint, reopen through recovery, then tail the rest.
+journal tail and performs a **full resync**: discard the local journal,
+atomically install a copy of the primary's checkpoint, reopen through
+recovery, then tail the rest.  The journal is removed *first* — in the
+rejoin path it can hold records with seqs past the installed
+checkpoint's, which recovery would otherwise replay on top of it,
+silently resurrecting the very writes the rejoin report discarded.
 
 **Fencing**: every inbound message carries the sender's term.  A lower
 term is refused with :class:`~repro.errors.FencedError` *before* the
@@ -75,6 +79,9 @@ _M_RECONNECTS = METRICS.counter(
 _M_LOST = METRICS.counter(
     "repl.lost_writes", unit="records", site="ReplicaNode.rejoin"
 )
+_M_INDETERMINATE = METRICS.counter(
+    "repl.indeterminate_writes", unit="records", site="ReplicaNode.rejoin"
+)
 
 #: Epoch→seq entries kept per node (old epochs' pins drain quickly).
 _EPOCH_MAP_KEEP = 64
@@ -86,20 +93,38 @@ class RejoinReport:
 
     ``lost_seqs``/``lost_ops`` are the acknowledged-but-unreplicated
     writes: records the old primary journaled (and acked to its client)
-    that the new primary's history does not contain — either past the new
-    primary's ``last_seq``, or conflicting at a matching seq.  Detection
-    is the contract; the data is reported, then discarded by the resync.
+    that the new primary's history provably does not contain — either
+    past the new primary's ``last_seq``, or conflicting at a matching
+    seq in its journal.
+
+    ``indeterminate_seqs``/``indeterminate_ops`` are own records whose
+    seqs the new primary has folded into its checkpoint (journal
+    truncated) and that lie above this node's fully-replicated watermark
+    (``replicated_seq``): they can no longer be verified record-by-record,
+    so they are reported rather than silently presumed replicated — the
+    new primary may have committed its *own* conflicting history at those
+    seqs before checkpointing.
+
+    Detection is the contract; both classes are reported, then discarded
+    by the resync.  ``reported_seqs`` unions them.
     """
 
     node: int
     new_term: int
     lost_seqs: list[int] = field(default_factory=list)
     lost_ops: list[dict] = field(default_factory=list)
+    indeterminate_seqs: list[int] = field(default_factory=list)
+    indeterminate_ops: list[dict] = field(default_factory=list)
     resynced: bool = False
 
     @property
     def lost(self) -> int:
         return len(self.lost_seqs)
+
+    @property
+    def reported_seqs(self) -> list[int]:
+        """Every seq the rejoin could not prove replicated (lost ∪ indeterminate)."""
+        return sorted({*self.lost_seqs, *self.indeterminate_seqs})
 
 
 class ReplicaNode:
@@ -133,6 +158,7 @@ class ReplicaNode:
             )
         self.term: int = manifest["term"]
         self.role: str = manifest["role"]
+        self.replicated_seq: int = manifest["replicated_seq"]
         self._fenced = False
         self._mode = mode
         self._keep_text = keep_text
@@ -208,6 +234,25 @@ class ReplicaNode:
             # Learn (in memory) of the term that fenced us; the durable
             # manifest is rewritten at rejoin, as a follower.
             self.term = observed_term
+
+    def note_replicated(self, seq: int) -> None:
+        """Advance the persisted fully-replicated watermark to ``seq``.
+
+        Called by the shipping layer once every other group member has
+        confirmed durably applying everything up to ``seq``.  Monotone
+        and conservative: a missed advance only widens the indeterminate
+        band a later :meth:`rejoin` reports, never hides a lost write.
+        """
+        if seq <= self.replicated_seq:
+            return
+        self.replicated_seq = seq
+        write_replication_manifest(
+            self.directory,
+            node=self.node_id,
+            term=self.term,
+            role=self.role,
+            replicated_seq=seq,
+        )
 
     def promote(self, new_term: int) -> None:
         """Become primary at ``new_term`` — persisted before any write.
@@ -352,19 +397,27 @@ class ReplicaNode:
         return applied
 
     def _full_resync(self, view) -> None:
-        """Install a copy of the primary's checkpoint and reopen.
+        """Discard local history, install the primary's checkpoint, reopen.
 
-        Crash-safe ordering: the checkpoint is replaced atomically first;
-        any stale journal records carry seqs ≤ the new checkpoint's
-        ``last_seq`` (resync only runs when the node is behind it), so a
-        crash between the two steps recovers to exactly the checkpoint
-        state.  The post-reopen local checkpoint folds and truncates.
+        The local journal is unlinked *before* the checkpoint install: in
+        the rejoin path it holds the discarded fork — records whose seqs
+        can run past the installed checkpoint's ``last_seq`` — and a
+        reopen with both in place would replay that fork on top of the
+        new checkpoint, silently resurrecting the writes the rejoin
+        report just declared lost (and pushing ``last_seq`` past the
+        primary's, so catch-up would mistake real future records for
+        duplicates).  Crash-safe ordering: a crash between the unlink and
+        the install leaves the node on its own previous checkpoint — a
+        clean older state whose next catch-up simply resyncs again.  The
+        post-reopen local checkpoint folds the installed state and
+        recreates an empty journal.
         """
         self.resyncs += 1
         if METRICS.enabled:
             _M_RESYNCS.inc()
         self.epochs.close()
         self.durable.close()
+        (self.directory / "journal.wal").unlink(missing_ok=True)
         ckpt_path = Path(view.checkpoint_path)
         if ckpt_path.exists():
             atomic_write_text(
@@ -374,7 +427,6 @@ class ReplicaNode:
         else:
             # The primary has no checkpoint: start over from scratch.
             (self.directory / "checkpoint.json").unlink(missing_ok=True)
-            (self.directory / "journal.wal").unlink(missing_ok=True)
         self.durable = DurableDatabase(
             self.directory,
             mode=self._mode,
@@ -438,13 +490,24 @@ class ReplicaNode:
     def rejoin(self, view) -> RejoinReport:
         """Rejoin under a newer primary, reporting lost acked writes.
 
-        Compares the node's own journal against the new primary's at
-        matching seqs: records past the new primary's ``last_seq``, or
-        conflicting at a shared seq, were acknowledged here but never
-        replicated — they are **reported** (never silently dropped), then
-        the local history is discarded by a full resync.  Records already
-        folded into the new primary's checkpoint cannot conflict: they
-        were replicated before the checkpoint existed.
+        Classifies every record in the node's own journal against the new
+        primary's history:
+
+        - **kept** — it matches the primary's journal at the same seq, or
+          its seq is at or below this node's persisted fully-replicated
+          watermark (``replicated_seq``): the write provably reached the
+          whole group, including whichever node now leads;
+        - **lost** — it lies past the primary's ``last_seq``, or conflicts
+          with the primary's record at a shared seq: acknowledged here,
+          never replicated;
+        - **indeterminate** — its seq was folded into the primary's
+          checkpoint (journal truncated) while above the watermark, so it
+          cannot be verified record-by-record — the new primary may have
+          committed its own conflicting history there before
+          checkpointing.
+
+        Lost and indeterminate records are **reported** (never silently
+        dropped), then the local history is discarded by a full resync.
         """
         theirs = {
             record["seq"]: {
@@ -454,14 +517,27 @@ class ReplicaNode:
         }
         lost_seqs: list[int] = []
         lost_ops: list[dict] = []
+        indeterminate_seqs: list[int] = []
+        indeterminate_ops: list[dict] = []
         for record in read_journal(self.durable.journal_path).records:
             seq = record["seq"]
             op = {key: value for key, value in record.items() if key != "seq"}
-            if seq > view.last_seq or (seq in theirs and theirs[seq] != op):
+            if seq in theirs:
+                if theirs[seq] != op:
+                    lost_seqs.append(seq)
+                    lost_ops.append(op)
+            elif seq > view.last_seq:
                 lost_seqs.append(seq)
                 lost_ops.append(op)
-        if lost_seqs and METRICS.enabled:
-            _M_LOST.inc(len(lost_seqs))
+            elif seq > self.replicated_seq:
+                # Folded into the primary's checkpoint: unverifiable.
+                indeterminate_seqs.append(seq)
+                indeterminate_ops.append(op)
+        if METRICS.enabled:
+            if lost_seqs:
+                _M_LOST.inc(len(lost_seqs))
+            if indeterminate_seqs:
+                _M_INDETERMINATE.inc(len(indeterminate_seqs))
         self.role = "follower"
         self.term = max(self.term, view.term)
         self._fenced = False
@@ -475,8 +551,36 @@ class ReplicaNode:
             new_term=view.term,
             lost_seqs=lost_seqs,
             lost_ops=lost_ops,
+            indeterminate_seqs=indeterminate_seqs,
+            indeterminate_ops=indeterminate_ops,
             resynced=True,
         )
+
+    def diverges_from(self, view) -> bool:
+        """True when this node's journal conflicts with ``view``'s history.
+
+        Catches forks invisible to seq comparison alone — in particular a
+        node whose ``last_seq`` *equals* the primary's but whose records
+        differ (it caught up from a stale primary that wrote the same
+        number of records as the new one).  A record past the view's
+        ``last_seq`` or a differing op at a shared seq is a fork; records
+        already folded into the view's checkpoint are not comparable here
+        (:meth:`rejoin` classifies those as indeterminate).
+        """
+        theirs = {
+            record["seq"]: {
+                key: value for key, value in record.items() if key != "seq"
+            }
+            for record in read_journal(view.journal_path).records
+        }
+        for record in read_journal(self.durable.journal_path).records:
+            seq = record["seq"]
+            if seq > view.last_seq:
+                return True
+            op = {key: value for key, value in record.items() if key != "seq"}
+            if seq in theirs and theirs[seq] != op:
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -498,6 +602,7 @@ class ReplicaNode:
             "fenced": self._fenced,
             "last_seq": self.last_seq,
             "checkpoint_seq": self.checkpoint_seq,
+            "replicated_seq": self.replicated_seq,
             "published_seq": self._published_seq,
             "heartbeats": self.heartbeats,
             "reconnects": self.reconnects,

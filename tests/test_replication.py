@@ -78,6 +78,36 @@ class TestManifest:
         with pytest.raises(ReplicationError):
             read_replication_manifest(tmp_path)
 
+    def test_replicated_seq_roundtrip_and_monotone(self, tmp_path):
+        written = write_replication_manifest(
+            tmp_path, node=1, term=1, role="primary", replicated_seq=9
+        )
+        assert written["replicated_seq"] == 9
+        assert read_replication_manifest(tmp_path)["replicated_seq"] == 9
+        # Omitting the watermark preserves it, and it never moves back.
+        write_replication_manifest(tmp_path, node=1, term=2, role="follower")
+        assert read_replication_manifest(tmp_path)["replicated_seq"] == 9
+        write_replication_manifest(
+            tmp_path, node=1, term=2, role="follower", replicated_seq=4
+        )
+        assert read_replication_manifest(tmp_path)["replicated_seq"] == 9
+
+    def test_manifest_without_watermark_defaults_to_zero(self, tmp_path):
+        (tmp_path / REPLICATION_MANIFEST_NAME).write_text(
+            json.dumps({"format": "repro-replication-manifest", "version": 1,
+                        "node": 0, "term": 1, "role": "primary"})
+        )
+        assert read_replication_manifest(tmp_path)["replicated_seq"] == 0
+
+    def test_ill_typed_watermark_refused(self, tmp_path):
+        (tmp_path / REPLICATION_MANIFEST_NAME).write_text(
+            json.dumps({"format": "repro-replication-manifest", "version": 1,
+                        "node": 0, "term": 1, "role": "primary",
+                        "replicated_seq": -2})
+        )
+        with pytest.raises(ReplicationError):
+            read_replication_manifest(tmp_path)
+
 
 # ----------------------------------------------------------------------
 # channel: partitions at record boundaries
@@ -349,6 +379,32 @@ class TestRetryMetrics:
                 sleep=lambda d: None,
             )
         assert giveups.value - before == 1
+
+
+# ----------------------------------------------------------------------
+# the fully-replicated watermark (bounds rejoin's indeterminate band)
+
+
+class TestReplicatedWatermark:
+    def test_advances_only_on_full_acks_and_persists(self, tmp_path):
+        with ReplicationCluster(tmp_path / "c", 2) as cluster:
+            cluster.insert("<a/>")
+            assert cluster.primary.replicated_seq == 1
+            cluster.partition(2)
+            cluster.insert("<b/>")
+            # One follower missed the record: the watermark must stall.
+            assert cluster.primary.replicated_seq == 1
+            cluster.heal(2)
+            cluster.insert("<c/>")
+            assert cluster.primary.replicated_seq == 3
+            manifest = read_replication_manifest(cluster.nodes[0].directory)
+            assert manifest["replicated_seq"] == 3
+            assert cluster.nodes[0].status()["replicated_seq"] == 3
+
+    def test_followers_do_not_advance_a_watermark(self, tmp_path):
+        with ReplicationCluster(tmp_path / "c", 1) as cluster:
+            cluster.insert("<a/>")
+            assert cluster.nodes[1].replicated_seq == 0
 
 
 # ----------------------------------------------------------------------

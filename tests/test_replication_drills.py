@@ -378,6 +378,127 @@ def test_racing_promotions_cannot_both_lead(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# family 5: rejoin vs the new primary's checkpoint, dead-primary disk
+# isolation, and equal-seq forks
+
+
+def test_deposed_primary_rejoin_across_new_primary_checkpoint(tmp_path):
+    """A deposed primary whose unreplicated tail the new primary has
+    checkpointed over must discard that fork (the resync removes the
+    local journal before installing the checkpoint, so recovery can
+    never replay it on top) and report every unreplicated write: seqs
+    folded into the new primary's checkpoint as indeterminate, seqs past
+    its tail as lost.  Seqs at or below the persisted fully-replicated
+    watermark are provably shared and stay unreported."""
+    cluster = ReplicationCluster(tmp_path / "c", 2)
+    try:
+        acked: list[dict] = []
+        for op in scripted_ops(3):
+            commit(cluster, acked, op)
+        assert cluster.primary.replicated_seq == 3  # watermark persisted
+        cluster.partition(1)
+        cluster.partition(2)
+        for op in scripted_ops(4, salt=60):
+            cluster.commit_from(cluster.primary_id, dict(op))  # acked, unshipped
+        assert cluster.primary.last_seq == 7
+        assert cluster.primary.replicated_seq == 3  # stalled by the partition
+        cluster.kill(0)
+        cluster.promote(1)
+        for op in scripted_ops(2, salt=70):
+            commit(cluster, acked, op)
+        cluster.checkpoint()  # folds seqs 4-5, truncating the journal
+        assert cluster.primary.checkpoint_seq == 5
+
+        report = cluster.restart(0)
+        node = cluster.nodes[0]
+        assert report is not None and report.resynced
+        # Every unreplicated write (seqs 4-7) is reported — none silently
+        # dropped just because the new primary's journal was truncated.
+        assert report.indeterminate_seqs == [4, 5]
+        assert report.lost_seqs == [6, 7]
+        assert report.reported_seqs == [4, 5, 6, 7]
+        assert report.indeterminate_ops + report.lost_ops  # ops travel too
+        # The fork is discarded, not resurrected: recovery must not have
+        # replayed the old journal on top of the installed checkpoint.
+        assert node.last_seq == cluster.primary.last_seq == 5
+        assert node.durable.db.text == cluster.primary.durable.db.text
+        cluster.heal(2)
+        assert_converged(cluster, acked)
+    finally:
+        cluster.close()
+
+
+def test_heal_while_primary_dead_does_not_pull_from_its_disk(tmp_path):
+    """Healing a partition while the primary is down must not catch the
+    follower up from the dead primary's journal file — a real transport
+    cannot read a crashed process's disk, and doing so would replicate
+    acked-but-unreplicated records, masking the lost-write report."""
+    cluster = ReplicationCluster(tmp_path / "c", 2)
+    try:
+        acked: list[dict] = []
+        for op in scripted_ops(2):
+            commit(cluster, acked, op)
+        cluster.partition(1)
+        cluster.partition(2)
+        for op in scripted_ops(3, salt=80):
+            cluster.commit_from(cluster.primary_id, dict(op))  # acked, unshipped
+        cluster.kill(0)
+        cluster.heal(1)
+        cluster.heal(2)
+        # The dead primary's unreplicated tail stayed on its own disk.
+        assert cluster.nodes[1].last_seq == 2
+        assert cluster.nodes[2].last_seq == 2
+        cluster.promote(1)
+        report = cluster.restart(0)
+        assert report is not None
+        assert report.lost_seqs == [3, 4, 5]
+        assert_converged(cluster, acked)
+    finally:
+        cluster.close()
+
+
+def test_restart_routes_equal_seq_divergent_follower_through_rejoin(tmp_path):
+    """A restarted follower whose ``last_seq`` equals the primary's but
+    whose journal holds a different record at a shared seq (it applied a
+    stale primary's write before the group lost it) is a fork, not a
+    lagging follower: restart must detect the content mismatch and route
+    it through rejoin, reporting the conflicting record."""
+    cluster = ReplicationCluster(tmp_path / "c", 2)
+    try:
+        acked: list[dict] = []
+        for op in scripted_ops(2):
+            commit(cluster, acked, op)
+        cluster.partition(2)
+        # Follower 1 applies the doomed primary's seq-3 write; follower 2
+        # never sees it and will lead the new term at the same seq count.
+        stale_op = {"op": "insert", "fragment": _fragment(91), "position": 0}
+        cluster.commit_from(cluster.primary_id, dict(stale_op))
+        assert cluster.nodes[1].last_seq == 3
+        cluster.kill(0)
+        cluster.kill(1)
+        cluster.heal(2)
+        cluster.promote(2)
+        new_op = {"op": "insert", "fragment": _fragment(92), "position": 0}
+        cluster.commit_from(cluster.primary_id, dict(new_op))
+        acked.append(new_op)
+        assert cluster.primary.last_seq == 3  # same seq, different history
+
+        report = cluster.restart(1)
+        assert report is not None, "equal-seq fork must be detected"
+        assert report.lost_seqs == [3]
+        assert report.lost_ops == [stale_op]
+        node = cluster.nodes[1]
+        assert node.last_seq == 3
+        assert node.durable.db.text == cluster.primary.durable.db.text
+        # The deposed primary reports the same acked write on its rejoin.
+        report0 = cluster.restart(0)
+        assert report0 is not None and report0.lost_seqs == [3]
+        assert_converged(cluster, acked)
+    finally:
+        cluster.close()
+
+
+# ----------------------------------------------------------------------
 # checkpoint interplay: resync from checkpoint + journal tail
 
 
