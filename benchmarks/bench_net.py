@@ -1,0 +1,336 @@
+"""Network front-end benchmark: open-loop load, saturation, typed sheds.
+
+Drives a real :class:`~repro.net.server.TcpServer` over loopback TCP and
+measures what an operator sizing the front end needs:
+
+- **open-loop latency** — requests arrive on a fixed schedule (the
+  arrival clock never waits for responses, so coordinated omission
+  cannot hide queueing); p50/p95/p99 per arrival rate across ≥64
+  concurrent pipelined connections, with typed sheds counted separately;
+- **saturation throughput** — closed-loop burst across all connections:
+  the ceiling the open-loop rates are judged against;
+- **overload drill** — arrival rate far above a deliberately tiny
+  in-flight budget: every refusal must be a *typed*
+  :class:`~repro.errors.Overloaded`/:class:`~repro.errors.Busy`, never a
+  hang, never an untyped failure, and the server must still answer a
+  fresh connection afterwards.
+
+Results print as tables and are recorded to ``BENCH_net.json`` at the
+repository root (``--smoke`` shrinks rates/durations and writes
+``BENCH_net.smoke.json``).
+
+Run:  python benchmarks/bench_net.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.harness import Sweep, Table, write_envelope
+from repro.core.database import LazyXMLDatabase
+from repro.errors import Busy, Overloaded, ReproError
+from repro.net.client import connect
+from repro.net.server import NetServerConfig, TcpServer
+from repro.service.server import DatabaseService
+from repro.workloads.scenarios import registration_stream
+
+_MS = 1e3
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return float("nan")
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+def make_service(docs: int = 50) -> DatabaseService:
+    db = LazyXMLDatabase()
+    for fragment in registration_stream(docs):
+        db.insert(fragment)
+    db.prepare_for_query()
+    return DatabaseService(db)
+
+
+async def _connect_all(port: int, conns: int):
+    clients = await asyncio.gather(
+        *(connect("127.0.0.1", port) for _ in range(conns))
+    )
+    return list(clients)
+
+
+async def _close_all(clients) -> None:
+    await asyncio.gather(
+        *(c.close(goodbye=False) for c in clients), return_exceptions=True
+    )
+
+
+# ----------------------------------------------------------------------
+# scenarios
+
+
+async def open_loop(port: int, conns: int, rate: float, duration: float) -> dict:
+    """Fixed-rate arrivals round-robined over ``conns`` connections.
+
+    Latency is measured from the *scheduled* arrival time, not the send
+    time, so server-side queueing during overload shows up in the tail
+    instead of silently stretching the arrival clock.
+    """
+    clients = await _connect_all(port, conns)
+    loop = asyncio.get_running_loop()
+    latencies: list[float] = []
+    sheds = 0
+    errors = 0
+    total = int(rate * duration)
+    start = loop.time() + 0.05  # headroom so arrival 0 is never late
+
+    async def fire(i: int) -> None:
+        nonlocal sheds, errors
+        scheduled = start + i / rate
+        delay = scheduled - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        try:
+            if i % 10 == 9:
+                await clients[i % conns].request(
+                    "insert",
+                    fragment=(
+                        f"<registration><name>b{i}</name></registration>"
+                    ),
+                )
+            else:
+                await clients[i % conns].request(
+                    "query", expr="name", limit=10
+                )
+            latencies.append(loop.time() - scheduled)
+        except (Overloaded, Busy):
+            sheds += 1
+        except ReproError:
+            errors += 1
+
+    began = time.perf_counter()
+    await asyncio.gather(*(fire(i) for i in range(total)))
+    elapsed = time.perf_counter() - began
+    await _close_all(clients)
+    latencies.sort()
+    completed = len(latencies)
+    return {
+        "rate_rps": rate,
+        "offered": total,
+        "completed": completed,
+        "sheds": sheds,
+        "errors": errors,
+        "achieved_rps": completed / elapsed if elapsed > 0 else 0.0,
+        "p50_ms": _percentile(latencies, 0.50) * _MS,
+        "p95_ms": _percentile(latencies, 0.95) * _MS,
+        "p99_ms": _percentile(latencies, 0.99) * _MS,
+    }
+
+
+async def saturation(port: int, conns: int, duration: float, depth: int) -> dict:
+    """Closed-loop ceiling: ``conns`` connections, ``depth`` outstanding
+    requests each, as fast as responses come back."""
+    clients = await _connect_all(port, conns)
+    loop = asyncio.get_running_loop()
+    stop_at = loop.time() + duration
+    completed = 0
+    sheds = 0
+
+    async def worker(client) -> None:
+        nonlocal completed, sheds
+        while loop.time() < stop_at:
+            try:
+                await client.request("query", expr="name", limit=10)
+                completed += 1
+            except (Overloaded, Busy):
+                sheds += 1
+            except ReproError:
+                pass
+
+    began = time.perf_counter()
+    await asyncio.gather(
+        *(worker(c) for c in clients for _ in range(depth))
+    )
+    elapsed = time.perf_counter() - began
+    await _close_all(clients)
+    return {
+        "connections": conns,
+        "depth": depth,
+        "completed": completed,
+        "sheds": sheds,
+        "elapsed_s": elapsed,
+        "throughput_rps": completed / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+async def overload_drill(
+    service: DatabaseService, conns: int, duration: float
+) -> dict:
+    """Offered load far over a tiny in-flight budget: overload must
+    degrade into typed sheds, and only typed sheds."""
+    config = NetServerConfig(
+        port=0, max_inflight=4, max_inflight_per_conn=2, max_conns=conns + 8,
+    )
+    server = TcpServer(service, config)
+    await server.start()
+    clients = await _connect_all(server.port, conns)
+    loop = asyncio.get_running_loop()
+    stop_at = loop.time() + duration
+    completed = 0
+    sheds = 0
+    untyped = 0
+
+    async def worker(client) -> None:
+        nonlocal completed, sheds, untyped
+        while loop.time() < stop_at:
+            try:
+                await client.request("query", expr="name", limit=10)
+                completed += 1
+            except (Overloaded, Busy):
+                sheds += 1
+            except ReproError:
+                sheds += 1  # other typed refusals still count as typed
+            except Exception:
+                untyped += 1
+
+    await asyncio.gather(
+        *(worker(c) for c in clients for _ in range(4))
+    )
+    await _close_all(clients)
+    # Liveness after the storm: a fresh connection is served.
+    probe = await connect("127.0.0.1", server.port)
+    alive = (await probe.ping())["pong"] is True
+    await probe.close()
+    status = server.status()
+    await server.drain(grace=2.0)
+    return {
+        "connections": conns,
+        "completed": completed,
+        "sheds": sheds,
+        "untyped_failures": untyped,
+        "alive_after": alive,
+        "server_sheds": status["counters"]["sheds"],
+    }
+
+
+# ----------------------------------------------------------------------
+# driver
+
+
+async def run(smoke: bool) -> dict:
+    conns = 64
+    rates = [100.0, 300.0, 600.0] if smoke else [200.0, 500.0, 1000.0, 2000.0]
+    duration = 1.5 if smoke else 4.0
+    sat_duration = 1.0 if smoke else 3.0
+    overload_duration = 0.8 if smoke else 2.0
+
+    service = make_service()
+    server = TcpServer(service, NetServerConfig(port=0, max_conns=conns + 8))
+    await server.start()
+    port = server.port
+
+    sat = await saturation(port, conns, sat_duration, depth=2)
+    rate_results = []
+    for rate in rates:
+        rate_results.append(await open_loop(port, conns, rate, duration))
+    await server.drain(grace=2.0)
+
+    drill_service = make_service()
+    drill = await overload_drill(drill_service, conns, overload_duration)
+    drill_service.close()
+    service.close()
+
+    return {
+        "conns": conns,
+        "rates": rates,
+        "duration": duration,
+        "saturation": sat,
+        "open_loop": rate_results,
+        "overload": drill,
+    }
+
+
+def main() -> int:
+    smoke = "--smoke" in sys.argv
+    out = asyncio.run(run(smoke))
+
+    sweep = Sweep("rate_rps")
+    table = Table(
+        "net: open-loop latency by arrival rate "
+        f"({out['conns']} connections)",
+        ["rate rps", "achieved rps", "p50 ms", "p95 ms", "p99 ms",
+         "sheds", "errors"],
+    )
+    for r in out["open_loop"]:
+        table.add_row([
+            f"{r['rate_rps']:.0f}", f"{r['achieved_rps']:.0f}",
+            f"{r['p50_ms']:.3f}", f"{r['p95_ms']:.3f}", f"{r['p99_ms']:.3f}",
+            r["sheds"], r["errors"],
+        ])
+        sweep.add(
+            r["rate_rps"],
+            achieved_rps=r["achieved_rps"],
+            p50_ms=r["p50_ms"], p95_ms=r["p95_ms"], p99_ms=r["p99_ms"],
+            sheds=float(r["sheds"]),
+        )
+    table.print()
+
+    sat = out["saturation"]
+    drill = out["overload"]
+    extra = Table(
+        "net: saturation and overload drill",
+        ["scenario", "completed", "sheds", "untyped", "rate rps"],
+    )
+    extra.add_row([
+        "saturation", sat["completed"], sat["sheds"], 0,
+        f"{sat['throughput_rps']:.0f}",
+    ])
+    extra.add_row([
+        "overload", drill["completed"], drill["sheds"],
+        drill["untyped_failures"], "-",
+    ])
+    extra.print()
+
+    results = {
+        "saturation": sat,
+        "open_loop": out["open_loop"],
+        "overload": drill,
+        "summary": {
+            "saturation_rps": sat["throughput_rps"],
+            "p50_ms_at_lowest_rate": out["open_loop"][0]["p50_ms"],
+            "p99_ms_at_highest_rate": out["open_loop"][-1]["p99_ms"],
+            "overload_sheds": drill["sheds"],
+            "overload_untyped": drill["untyped_failures"],
+        },
+    }
+    name = "BENCH_net.smoke.json" if smoke else "BENCH_net.json"
+    write_envelope(
+        Path(__file__).resolve().parent.parent / name,
+        "net_service",
+        params={
+            "connections": out["conns"],
+            "rates_rps": out["rates"],
+            "duration_s": out["duration"],
+            "smoke": smoke,
+        },
+        tables=[table, extra],
+        sweeps=[sweep],
+        results=results,
+    )
+    if drill["untyped_failures"]:
+        print(
+            f"[bench_net] FAIL: {drill['untyped_failures']} untyped "
+            "failures under overload"
+        )
+        return 1
+    if not drill["alive_after"]:
+        print("[bench_net] FAIL: server unresponsive after overload")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,18 @@ dispatching on the envelope's ``benchmark`` name:
   — a pair-count mismatch means replication changed the answers;
 - every advertised failover round recorded a positive time-to-promote.
 
+``net_service`` (``BENCH_net.smoke.json``):
+
+- the open-loop sweep covers at least 3 arrival rates over at least 64
+  connections, each with sane latency percentiles
+  (p99 >= p95 >= p50 > 0) and a positive achieved rate;
+- the closed-loop saturation ceiling is positive;
+- the overload drill recorded typed sheds (a zero means the drill never
+  actually overloaded the server and proves nothing) and **zero untyped
+  failures** — overload must degrade into typed ``Overloaded``/``Busy``
+  refusals, never hangs or raw socket errors — and the server answered a
+  fresh connection afterwards.
+
 ``shard_scatter`` (``BENCH_shard.smoke.json``):
 
 - results exist for every advertised shard count with sane latency
@@ -60,6 +72,9 @@ def check(path: Path) -> None:
         return
     if benchmark == "replication":
         check_replication(doc)
+        return
+    if benchmark == "net_service":
+        check_net(doc)
         return
     assert benchmark == "joins_readpath", f"unknown benchmark {benchmark!r}"
 
@@ -144,6 +159,46 @@ def check_replication(doc: dict) -> None:
         f"{summary['catch_up_rps']:.0f} rec/s, follower read p50 "
         f"{summary['follower_read_p50_ms']:.3f} ms, failover p50 "
         f"{summary['failover_p50_ms']:.2f} ms, identical answers"
+    )
+
+
+def check_net(doc: dict) -> None:
+    params = doc["params"]
+    results = doc["results"]
+    assert params["connections"] >= 64, (
+        f"only {params['connections']} connections; the acceptance "
+        "criteria require >= 64"
+    )
+    rates = params["rates_rps"]
+    assert len(rates) >= 3, f"only {len(rates)} arrival rates; need >= 3"
+
+    runs = results["open_loop"]
+    assert len(runs) == len(rates), "missing open-loop runs"
+    for run in runs:
+        label = f"rate={run['rate_rps']:.0f}rps"
+        assert run["achieved_rps"] > 0, f"{label}: zero throughput"
+        assert 0 < run["p50_ms"] <= run["p95_ms"] <= run["p99_ms"], (
+            f"{label}: bad percentiles"
+        )
+        assert run["completed"] + run["sheds"] + run["errors"] == (
+            run["offered"]
+        ), f"{label}: requests unaccounted for (lost, not shed)"
+
+    assert results["saturation"]["throughput_rps"] > 0
+
+    drill = results["overload"]
+    assert drill["sheds"] > 0, (
+        "overload drill shed nothing: the server was never overloaded"
+    )
+    assert drill["untyped_failures"] == 0, (
+        f"{drill['untyped_failures']} untyped failures under overload"
+    )
+    assert drill["alive_after"], "server unresponsive after overload"
+    print(
+        f"[check_smoke_envelope] OK: net_service, {len(rates)} rates x "
+        f"{params['connections']} conns, saturation "
+        f"{results['saturation']['throughput_rps']:.0f} rps, "
+        f"{drill['sheds']} typed sheds, 0 untyped"
     )
 
 

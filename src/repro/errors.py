@@ -37,6 +37,14 @@ __all__ = [
     "ChannelCut",
     "ReplicaDiverged",
     "LaggingReplica",
+    "Draining",
+    "NetError",
+    "ProtocolError",
+    "FrameError",
+    "FrameTooLarge",
+    "FrameCorrupt",
+    "Overloaded",
+    "ConnectionLost",
 ]
 
 
@@ -214,3 +222,55 @@ class LaggingReplica(ReplicationError):
     """Raised when a read demands a minimum replicated sequence number a
     follower has not applied yet and cannot catch up to (primary
     unreachable).  Safe to retry after the follower reconnects."""
+
+
+class Draining(ServiceError):
+    """Raised when a request reaches a service that is draining for
+    shutdown: in-flight work is being finished or aborted, no new work is
+    accepted.  Unlike :class:`Busy` this is not transient on this endpoint
+    — clients should reconnect elsewhere (or wait for a restart)."""
+
+
+class NetError(ServiceError):
+    """Base class for errors raised by the network front end
+    (:mod:`repro.net`)."""
+
+
+class ProtocolError(NetError):
+    """Raised on a wire-protocol violation that is not a framing defect:
+    unsupported protocol version, a message type that is invalid in the
+    current connection state (e.g. a request before the handshake), or a
+    semantically malformed request payload."""
+
+
+class FrameError(ProtocolError):
+    """Base class for framing defects (the byte stream cannot be sliced
+    into frames).  Framing errors are fatal to the *connection* — once the
+    stream loses sync there is no way to find the next frame boundary —
+    but never to the server process."""
+
+
+class FrameTooLarge(FrameError):
+    """Raised when a frame header declares a payload longer than the
+    configured cap; the frame is rejected before any payload is buffered,
+    so an adversarial length field cannot balloon server memory."""
+
+
+class FrameCorrupt(FrameError):
+    """Raised when frame bytes fail validation: bad magic, or a payload
+    whose CRC32 does not match the header checksum."""
+
+
+class Overloaded(NetError):
+    """Typed load-shed response: the server is at a connection or
+    in-flight cap and refuses the request *immediately* instead of
+    queueing it unboundedly.  Safe to retry with backoff (see
+    :func:`repro.service.retry.retry_with_backoff`)."""
+
+
+class ConnectionLost(NetError):
+    """Raised by the client library when the transport drops with
+    requests still in flight; each unanswered request fails with this
+    error.  Whether a lost write actually committed is unknown to the
+    client — exactly-once is the caller's concern (idempotent ops are
+    safe to retry)."""

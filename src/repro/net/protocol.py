@@ -1,0 +1,306 @@
+"""Request/response model spoken inside :mod:`repro.net.frame` frames.
+
+Payloads are JSON objects (dependency-free, schema-light).  A request is
+``{"cmd": <verb>, ...args}`` plus optional per-request budgets
+(``timeout_ms``, ``max_rows``) that are threaded into the
+:class:`~repro.service.context.QueryContext` — the deadline a client
+sends is the deadline the join loops enforce.  A success response is the
+verb's payload; a failure is ``{"error": <type name>, "message": ...}``
+where the type name is the :mod:`repro.errors` class, so the client can
+re-raise the *same* typed exception the server caught
+(:func:`error_payload` / :func:`raise_error_payload`).
+
+:func:`execute_request` is deliberately synchronous: the database service
+is thread-safe and blocking, so the asyncio server runs each request on a
+bounded worker pool and the protocol layer stays testable without an
+event loop.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import errors as _errors
+from repro.errors import NetError, ProtocolError, ReproError
+
+__all__ = [
+    "SessionState",
+    "decode_payload",
+    "encode_payload",
+    "error_payload",
+    "raise_error_payload",
+    "execute_request",
+    "COMMANDS",
+]
+
+#: Upper bound on spans returned inline by one query response; larger
+#: results report their count plus a truncation marker instead of
+#: breaching the frame cap.
+MAX_RESPONSE_SPANS = 10_000
+
+
+def encode_payload(obj: dict) -> bytes:
+    """JSON-encode a payload dict to wire bytes (compact separators)."""
+    return json.dumps(obj, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+def decode_payload(data: bytes) -> dict:
+    """Decode wire bytes; malformed JSON is a typed protocol error."""
+    try:
+        obj = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed JSON payload: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"payload must be a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+# ----------------------------------------------------------------------
+# typed errors over the wire
+
+
+def error_payload(exc: Exception) -> dict:
+    """Serialize an exception as a typed error payload."""
+    return {"error": type(exc).__name__, "message": str(exc)}
+
+
+#: Every repro error class addressable by name (for client re-raising).
+_ERROR_CLASSES = {
+    name: getattr(_errors, name)
+    for name in _errors.__all__
+    if isinstance(getattr(_errors, name), type)
+    and issubclass(getattr(_errors, name), BaseException)
+}
+
+
+def raise_error_payload(payload: dict) -> None:
+    """Re-raise a typed error payload as its original exception class.
+
+    Unknown names degrade to :class:`~repro.errors.NetError` — a newer
+    server never crashes an older client with an unmappable type.
+    """
+    name = payload.get("error", "NetError")
+    message = payload.get("message", "server reported an error")
+    cls = _ERROR_CLASSES.get(name)
+    if cls is None or not issubclass(cls, ReproError):
+        raise NetError(f"{name}: {message}")
+    raise cls(message)
+
+
+# ----------------------------------------------------------------------
+# per-connection session state
+
+
+class SessionState:
+    """What one connection remembers between requests.
+
+    - ``pinned``: an explicitly pinned epoch snapshot (``pin`` command),
+      giving the connection repeatable reads across requests.  Released
+      on ``unpin``, on connection loss, and on server drain — the fault
+      drills assert no pin outlives its connection.
+    - ``inflight``: ids of requests currently executing, each mapped to
+      its :class:`~repro.service.context.QueryContext` so a dying
+      connection can cooperatively cancel its own work.
+    """
+
+    __slots__ = ("session_id", "pinned", "inflight")
+
+    def __init__(self, session_id: int):
+        self.session_id = session_id
+        self.pinned = None
+        self.inflight: dict[int, object] = {}
+
+    def release(self) -> None:
+        """Drop the pinned snapshot (idempotent)."""
+        if self.pinned is not None:
+            self.pinned.release()
+            self.pinned = None
+
+    def cancel_inflight(self, reason: str) -> None:
+        """Cooperatively cancel every in-flight request's context."""
+        for ctx in list(self.inflight.values()):
+            ctx.cancel(reason)
+
+
+# ----------------------------------------------------------------------
+# request execution
+
+
+def _spans(db, records, limit: int):
+    rows = []
+    for record in records[:limit]:
+        if hasattr(record, "gstart"):  # sharded: virtual-global span
+            rows.append([record.gstart, record.gend, record.sid, record.level])
+        else:
+            start, end = db.global_span(record)
+            rows.append([start, end, record.sid, record.level])
+    return rows
+
+
+def _context(service, request: dict):
+    """A QueryContext honoring the request's own budgets."""
+    overrides = {}
+    if request.get("timeout_ms") is not None:
+        overrides["timeout"] = float(request["timeout_ms"]) / 1e3
+    if request.get("max_rows") is not None:
+        overrides["max_result_rows"] = int(request["max_rows"])
+    return service.make_context(**overrides)
+
+
+def _cmd_ping(service, session, request, ctx):
+    return {"pong": True}
+
+
+def _cmd_query(service, session, request, ctx):
+    expr = request.get("expr")
+    if not expr or not isinstance(expr, str):
+        raise ProtocolError("query needs a string 'expr'")
+    limit = int(request.get("limit", MAX_RESPONSE_SPANS))
+    if session.pinned is not None:
+        records = session.pinned.db.path_query(expr, context=ctx)
+        db = session.pinned.db
+    else:
+
+        def run(db, context):
+            return db.path_query(expr, context=context), db
+
+        records, db = service.read(run, context=ctx)
+    return {
+        "count": len(records),
+        "spans": _spans(db, records, limit),
+        "truncated": len(records) > limit,
+    }
+
+
+def _cmd_join(service, session, request, ctx):
+    tag_a, tag_d = request.get("ancestor"), request.get("descendant")
+    if not tag_a or not tag_d:
+        raise ProtocolError("join needs 'ancestor' and 'descendant'")
+    algorithm = request.get("algorithm", "auto")
+    axis = request.get("axis", "descendant")
+    if session.pinned is not None:
+        pairs = session.pinned.db.structural_join(
+            tag_a, tag_d, axis,
+            algorithm="lazy" if algorithm == "auto" else algorithm,
+            context=ctx,
+        )
+    else:
+        pairs = service.join(
+            tag_a, tag_d, axis, algorithm=algorithm, context=ctx
+        )
+    return {"pairs": len(pairs)}
+
+
+def _cmd_insert(service, session, request, ctx):
+    fragment = request.get("fragment")
+    if not fragment or not isinstance(fragment, str):
+        raise ProtocolError("insert needs a string 'fragment'")
+    receipt = service.insert(fragment, request.get("position"))
+    return {"sid": receipt.sid, "gp": receipt.gp}
+
+
+def _cmd_remove(service, session, request, ctx):
+    if "position" not in request or "length" not in request:
+        raise ProtocolError("remove needs 'position' and 'length'")
+    outcome = service.remove(int(request["position"]), int(request["length"]))
+    return {"elements_removed": outcome.elements_removed}
+
+
+def _cmd_remove_segment(service, session, request, ctx):
+    if "sid" not in request:
+        raise ProtocolError("remove_segment needs 'sid'")
+    outcome = service.remove_segment(int(request["sid"]))
+    return {"elements_removed": outcome.elements_removed}
+
+
+def _cmd_repack(service, session, request, ctx):
+    if "sid" not in request:
+        raise ProtocolError("repack needs 'sid'")
+    service.repack(int(request["sid"]))
+    return {"repacked": True}
+
+
+def _cmd_compact(service, session, request, ctx):
+    result = service.compact()
+    results = result if isinstance(result, list) else [result]
+    return {
+        "segments_before": sum(r.segments_before for r in results),
+        "segments_after": sum(r.segments_after for r in results),
+    }
+
+
+def _cmd_maintain(service, session, request, ctx):
+    report = service.run_maintenance()
+    return {"pressure": report.level}
+
+
+def _cmd_pressure(service, session, request, ctx):
+    return service.check_pressure().as_dict()
+
+
+def _cmd_health(service, session, request, ctx):
+    return service.health()
+
+
+def _cmd_stats(service, session, request, ctx):
+    return service.stats()
+
+
+def _cmd_pin(service, session, request, ctx):
+    """Pin the current epoch for this session (repeatable reads)."""
+    if session.pinned is None:
+        session.pinned = service.snapshot()
+    return {"epoch": getattr(session.pinned, "epoch", None)}
+
+
+def _cmd_unpin(service, session, request, ctx):
+    had = session.pinned is not None
+    session.release()
+    return {"unpinned": had}
+
+
+COMMANDS = {
+    "ping": _cmd_ping,
+    "query": _cmd_query,
+    "join": _cmd_join,
+    "insert": _cmd_insert,
+    "remove": _cmd_remove,
+    "remove_segment": _cmd_remove_segment,
+    "repack": _cmd_repack,
+    "compact": _cmd_compact,
+    "maintain": _cmd_maintain,
+    "pressure": _cmd_pressure,
+    "health": _cmd_health,
+    "stats": _cmd_stats,
+    "pin": _cmd_pin,
+    "unpin": _cmd_unpin,
+}
+
+
+def execute_request(
+    service, session: SessionState, request: dict, context=None
+) -> dict:
+    """Run one decoded request against the service; returns the success
+    payload (exceptions propagate, to be serialized by the caller).
+
+    Reads honor the session's pinned snapshot; writes and maintenance go
+    through the service's admission/journal/publish machinery unchanged.
+    ``context`` lets the caller pre-build (and retain) the QueryContext —
+    the TCP server registers it in ``session.inflight`` so a dead
+    connection can cancel its own work; omitted, one is derived from the
+    request's ``timeout_ms``/``max_rows`` budgets.
+    """
+    cmd = request.get("cmd")
+    handler = COMMANDS.get(cmd)
+    if handler is None:
+        raise ProtocolError(f"unknown command {cmd!r}")
+    if context is None:
+        context = _context(service, request)
+    try:
+        return handler(service, session, request, context)
+    except (TypeError, ValueError) as exc:
+        # Bad argument shapes become typed protocol errors, never a
+        # traceback that kills the connection handler.
+        raise ProtocolError(f"bad arguments for {cmd!r}: {exc}") from None

@@ -44,7 +44,7 @@ from repro.obs.metrics import METRICS
 from repro.replication.channel import InProcessChannel
 from repro.replication.manifest import read_replication_manifest
 from repro.replication.node import RejoinReport, ReplicaNode
-from repro.service.admission import BackoffPolicy
+from repro.service.retry import BackoffPolicy
 
 __all__ = ["ReplicationCluster"]
 

@@ -56,7 +56,7 @@ from repro.replication.manifest import (
     read_replication_manifest,
     write_replication_manifest,
 )
-from repro.service.admission import BackoffPolicy, retry_with_backoff
+from repro.service.retry import BackoffPolicy, retry_with_backoff
 from repro.service.snapshot import EpochManager, Snapshot
 
 __all__ = ["ReplicaNode", "RejoinReport"]

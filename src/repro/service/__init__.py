@@ -9,8 +9,12 @@ makes that trade safe to operate under concurrent load:
   the join algorithms;
 - :mod:`repro.service.snapshot` — epoch-based snapshot isolation (single
   writer, many readers, readers never block the writer);
-- :mod:`repro.service.admission` — bounded per-class admission control with
-  jittered-backoff retry for transient :class:`~repro.errors.Busy`;
+- :mod:`repro.service.admission` — bounded per-class admission control
+  that sheds over-limit requests with a transient :class:`~repro.errors
+  .Busy`;
+- :mod:`repro.service.retry` — the shared capped-jittered backoff policy
+  (sync and async) used by admission callers, the replication heartbeat,
+  and the network client;
 - :mod:`repro.service.breaker` — a circuit breaker guarding automatic
   maintenance;
 - :mod:`repro.service.pressure` — update-log pressure monitoring and
@@ -19,10 +23,15 @@ makes that trade safe to operate under concurrent load:
   it all together (wired to ``python -m repro serve``).
 """
 
-from repro.service.admission import AdmissionController, BackoffPolicy, retry_with_backoff
+from repro.service.admission import AdmissionController
 from repro.service.breaker import CircuitBreaker
 from repro.service.context import QueryContext
 from repro.service.pressure import PressureMonitor, PressureReport, PressureThresholds
+from repro.service.retry import (
+    BackoffPolicy,
+    retry_with_backoff,
+    retry_with_backoff_async,
+)
 from repro.service.server import DatabaseService, ServiceConfig
 from repro.service.snapshot import EpochManager, Snapshot
 
@@ -39,4 +48,5 @@ __all__ = [
     "ServiceConfig",
     "Snapshot",
     "retry_with_backoff",
+    "retry_with_backoff_async",
 ]

@@ -10,20 +10,20 @@ request over both limits is rejected *immediately* with the transient
 admitted counts are exported as metrics.
 
 Callers that can wait should wrap their attempt in
-:func:`retry_with_backoff`, which retries ``Busy`` with capped exponential
-backoff and full jitter (the AWS-style policy: sleeping a uniform random
-fraction of the cap de-correlates retry storms).
+:func:`~repro.service.retry.retry_with_backoff` (re-exported here), which
+retries ``Busy`` with capped exponential backoff and full jitter — the
+shared policy in :mod:`repro.service.retry`, also used by the replication
+heartbeat and the network client.
 """
 
 from __future__ import annotations
 
-import random
 import threading
 import time
-from dataclasses import dataclass, field
 
 from repro.errors import Busy, ServiceClosed
 from repro.obs.metrics import LATENCY_BUCKETS, METRICS
+from repro.service.retry import BackoffPolicy, retry_with_backoff
 
 __all__ = ["AdmissionController", "Ticket", "BackoffPolicy", "retry_with_backoff"]
 
@@ -37,18 +37,6 @@ _H_WAIT = METRICS.histogram(
     "service.admission.wait_seconds",
     unit="seconds",
     site="AdmissionController.admit (queued waits only)",
-    boundaries=LATENCY_BUCKETS,
-)
-_M_RETRY_ATTEMPTS = METRICS.counter(
-    "service.retry.attempts", unit="retries", site="retry_with_backoff"
-)
-_M_RETRY_GIVEUPS = METRICS.counter(
-    "service.retry.giveups", unit="requests", site="retry_with_backoff"
-)
-_H_RETRY_SLEEP = METRICS.histogram(
-    "service.retry.sleep_seconds",
-    unit="seconds",
-    site="retry_with_backoff",
     boundaries=LATENCY_BUCKETS,
 )
 
@@ -205,59 +193,3 @@ class AdmissionController:
                 }
                 for name, state in self._classes.items()
             }
-
-
-@dataclass
-class BackoffPolicy:
-    """Capped exponential backoff with full jitter.
-
-    Attempt ``n`` (0-based) sleeps ``uniform(0, min(max_delay,
-    base_delay * multiplier**n))`` seconds.
-    """
-
-    retries: int = 5
-    base_delay: float = 0.01
-    max_delay: float = 0.5
-    multiplier: float = 2.0
-    rng: random.Random = field(default_factory=random.Random)
-
-    def delay(self, attempt: int) -> float:
-        cap = min(self.max_delay, self.base_delay * self.multiplier**attempt)
-        return self.rng.uniform(0.0, cap)
-
-
-def retry_with_backoff(
-    fn,
-    *,
-    policy: BackoffPolicy | None = None,
-    retry_on=(Busy,),
-    sleep=time.sleep,
-):
-    """Call ``fn()``; on a transient rejection, back off and retry.
-
-    Retries only exceptions in ``retry_on`` (default: ``Busy``), up to
-    ``policy.retries`` times; the final failure propagates.  ``sleep`` is
-    injectable so tests can run instantaneously.
-
-    Each retry bumps the ``service.retry.attempts`` counter and records its
-    sleep in the ``service.retry.sleep_seconds`` histogram; exhausting the
-    policy bumps ``service.retry.giveups`` — retry storms show up in
-    ``stats`` instead of only as latency.
-    """
-    if policy is None:
-        policy = BackoffPolicy()
-    attempt = 0
-    while True:
-        try:
-            return fn()
-        except retry_on:
-            if attempt >= policy.retries:
-                if METRICS.enabled:
-                    _M_RETRY_GIVEUPS.inc()
-                raise
-            delay = policy.delay(attempt)
-            if METRICS.enabled:
-                _M_RETRY_ATTEMPTS.inc()
-                _H_RETRY_SLEEP.observe(delay)
-            sleep(delay)
-            attempt += 1

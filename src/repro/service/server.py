@@ -44,6 +44,7 @@ from repro.errors import (
     Busy,
     CircuitOpenError,
     DeadlineExceeded,
+    Draining,
     QueryError,
     ResourceExhausted,
     ServiceClosed,
@@ -275,6 +276,7 @@ class DatabaseService:
         self._writes_since_check = 0
         self._last_pressure: PressureReport | None = None
         self._closed = False
+        self._draining = False
         self._stop_maintenance = threading.Event()
         self._maintenance_thread: threading.Thread | None = None
         self._counters = {
@@ -747,6 +749,8 @@ class DatabaseService:
         breaker_state = self._breaker.state
         if self._closed:
             status = "closed"
+        elif self._draining:
+            status = "draining"
         elif self.is_degraded:
             status = "degraded"
         elif breaker_state != "closed" or (last is not None and last.level != "ok"):
@@ -801,6 +805,28 @@ class DatabaseService:
     def _ensure_open(self) -> None:
         if self._closed:
             raise ServiceClosed("service has been closed")
+        if self._draining:
+            raise Draining(
+                "service is draining for shutdown; no new requests accepted"
+            )
+
+    @property
+    def draining(self) -> bool:
+        """True after :meth:`begin_drain` (and before :meth:`close`)."""
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Enter the draining state: refuse *new* requests with a typed
+        :class:`~repro.errors.Draining` while requests already admitted
+        (and pinned snapshots already taken) finish normally.
+
+        The first half of graceful shutdown, shared by the TCP front end
+        (SIGTERM / ``shutdown``) and the line-protocol shell (EOF /
+        KeyboardInterrupt); :meth:`close` completes it once in-flight work
+        has ended.  Idempotent; a no-op on a closed service.
+        """
+        self._draining = True
+        self._stop_maintenance.set()
 
     def close(self) -> None:
         """Stop maintenance, refuse new requests, release the epoch store.

@@ -22,6 +22,7 @@ Commands::
     pressure | health | stats        JSON status output
     repl-status                      replication term/lag/role per node
     promote <node>                   fail over to a follower (fenced term)
+    shutdown                         graceful drain, then exit
     help | quit | exit
 """
 
@@ -40,7 +41,7 @@ _HELP = (
     "trace query <expr> | trace join <anc> <desc> [algo] | "
     "repack <sid> | compact | "
     "maintain | pressure | health | stats | "
-    "repl-status | promote <node> | help | quit"
+    "repl-status | promote <node> | shutdown | help | quit"
 )
 
 
@@ -58,9 +59,33 @@ class ServiceShell:
         self._out = out_stream
 
     def run(self) -> None:
-        for line in self._in:
-            if not self.handle(line):
-                break
+        """Serve until EOF, ``quit``/``shutdown``, or Ctrl-C.
+
+        Every exit path ends in :meth:`drain`: the service refuses new
+        requests with a typed :class:`~repro.errors.Draining` while
+        admitted work (background maintenance included) finishes — the
+        same graceful-drain contract as the TCP front end, and never a
+        raw traceback on the operator's terminal.
+        """
+        try:
+            for line in self._in:
+                if not self.handle(line):
+                    break
+        except KeyboardInterrupt:
+            self._print("ok interrupted; draining")
+        finally:
+            self.drain()
+
+    def drain(self) -> None:
+        """Stop accepting new work; in-flight requests finish normally.
+
+        Safe to call repeatedly and on an already-closed service (the
+        caller owns the final ``close()``).
+        """
+        try:
+            self.service.begin_drain()
+        except Exception:  # pragma: no cover - nothing to drain
+            pass
 
     def handle(self, line: str) -> bool:
         line = line.strip()
@@ -70,6 +95,10 @@ class ServiceShell:
         verb = verb.lower()
         if verb in ("quit", "exit"):
             self._print("ok bye")
+            return False
+        if verb == "shutdown":
+            self.drain()
+            self._print("ok draining; bye")
             return False
         try:
             # Dashed verbs (repl-status) map to underscored handlers.

@@ -1,0 +1,50 @@
+"""Shared helpers for the network front-end test suites."""
+
+from __future__ import annotations
+
+import contextlib
+import time
+
+from repro.core.database import LazyXMLDatabase
+from repro.net.protocol import COMMANDS
+from repro.service.server import DatabaseService
+from repro.workloads.scenarios import registration_stream
+
+
+def make_db(n: int = 5) -> LazyXMLDatabase:
+    """A query-ready database over ``n`` registration documents."""
+    db = LazyXMLDatabase()
+    for fragment in registration_stream(n):
+        db.insert(fragment)
+    db.prepare_for_query()
+    return db
+
+
+def make_service(n: int = 5, **service_kwargs) -> DatabaseService:
+    """A DatabaseService over ``n`` registration documents, query-ready."""
+    return DatabaseService(make_db(n), **service_kwargs)
+
+
+def _cmd_slowop(service, session, request, ctx):
+    """Test-only verb: busy-wait ``seconds`` at cooperative checkpoints.
+
+    Exercises exactly what a long join exercises — the QueryContext
+    deadline/cancel machinery — but with a controllable duration, so
+    shed/cancel/drain tests are deterministic instead of racing real
+    query latencies.
+    """
+    deadline = time.monotonic() + float(request.get("seconds", 0.5))
+    while time.monotonic() < deadline:
+        ctx.check_deadline()
+        time.sleep(0.005)
+    return {"slept": float(request.get("seconds", 0.5))}
+
+
+@contextlib.contextmanager
+def slowop_installed():
+    """Temporarily register the ``slowop`` verb in the protocol table."""
+    COMMANDS["slowop"] = _cmd_slowop
+    try:
+        yield
+    finally:
+        COMMANDS.pop("slowop", None)

@@ -1,0 +1,478 @@
+"""Integration tests for the asyncio TCP front end (happy paths + limits).
+
+Each test runs a real :class:`~repro.net.server.TcpServer` on an
+ephemeral loopback port inside ``asyncio.run`` — no mocks between the
+client and the database service.  Connection *faults* (corruption,
+resets, half-closes) live in ``test_net_faults.py``; this file covers
+the contractual behavior: request execution, pipelining, typed errors,
+session pinning, deadlines, load shedding, and graceful drain.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import (
+    Draining,
+    Overloaded,
+    ProtocolError,
+    QueryCancelled,
+    QueryError,
+    DeadlineExceeded,
+)
+from repro.net.client import connect
+from repro.net.server import NetServerConfig, TcpServer
+from tests.net_util import make_service, slowop_installed
+
+pytestmark = pytest.mark.timeout(60)
+
+
+def run_server_test(coro_fn, *, config=None, n=5, **service_kwargs):
+    """Boilerplate: service + started server + drain/close, around a
+    coroutine ``coro_fn(service, server, port)``."""
+
+    async def main():
+        service = make_service(n, **service_kwargs)
+        server = TcpServer(service, config or NetServerConfig())
+        await server.start()
+        try:
+            return await coro_fn(service, server, server.port)
+        finally:
+            await server.drain(grace=2.0)
+            service.close()
+
+    return asyncio.run(main())
+
+
+class TestRequestExecution:
+    def test_core_verbs_round_trip(self):
+        async def scenario(service, server, port):
+            async with await connect("127.0.0.1", port) as client:
+                assert (await client.ping())["pong"] is True
+                q = await client.query("name")
+                assert q["count"] == 5 and len(q["spans"]) == 5
+                assert not q["truncated"]
+                j = await client.join("registration", "name")
+                assert j["pairs"] == 5
+                r = await client.insert(
+                    "<registration><name>net</name></registration>"
+                )
+                assert r["sid"] > 0
+                assert (await client.query("name"))["count"] == 6
+                h = await client.health()
+                assert h["status"] in ("ok", "warning", "degraded")
+                assert h["net"]["connections_open"] == 1
+                s = await client.stats()
+                assert s["net"]["counters"]["requests"] >= 5
+
+        run_server_test(scenario)
+
+    def test_span_limit_truncates_not_errors(self):
+        async def scenario(service, server, port):
+            async with await connect("127.0.0.1", port) as client:
+                q = await client.query("name", limit=2)
+                assert q["count"] == 5
+                assert len(q["spans"]) == 2
+                assert q["truncated"]
+
+        run_server_test(scenario)
+
+    def test_pipelining_many_requests_one_connection(self):
+        async def scenario(service, server, port):
+            async with await connect("127.0.0.1", port) as client:
+                results = await asyncio.gather(
+                    *(client.query("name") for _ in range(50))
+                )
+                assert all(r["count"] == 5 for r in results)
+
+        run_server_test(scenario)
+
+    def test_typed_errors_reraise_client_side(self):
+        async def scenario(service, server, port):
+            async with await connect("127.0.0.1", port) as client:
+                with pytest.raises(QueryError):
+                    await client.query("//absolute-not-allowed")
+                with pytest.raises(ProtocolError, match="unknown command"):
+                    await client.request("frobnicate")
+                with pytest.raises(ProtocolError, match="expr"):
+                    await client.request("query")
+                # The connection survives every typed failure.
+                assert (await client.ping())["pong"] is True
+
+        run_server_test(scenario)
+
+    def test_request_deadline_propagates_to_context(self):
+        async def scenario(service, server, port):
+            with slowop_installed():
+                async with await connect("127.0.0.1", port) as client:
+                    with pytest.raises(DeadlineExceeded):
+                        await client.request(
+                            "slowop", seconds=5.0, timeout_ms=50
+                        )
+                    assert (await client.ping())["pong"] is True
+
+        run_server_test(scenario)
+
+
+class TestSessionPinning:
+    def test_pinned_session_has_repeatable_reads(self):
+        async def scenario(service, server, port):
+            pinned = await connect("127.0.0.1", port)
+            writer = await connect("127.0.0.1", port)
+            try:
+                assert (await pinned.pin())["epoch"] >= 0
+                before = (await pinned.query("name"))["count"]
+                await writer.insert(
+                    "<registration><name>new</name></registration>"
+                )
+                # The writer sees its own write; the pinned session does
+                # not — repeatable reads against the pinned epoch.
+                assert (await writer.query("name"))["count"] == before + 1
+                assert (await pinned.query("name"))["count"] == before
+                assert (await pinned.unpin())["unpinned"] is True
+                assert (await pinned.query("name"))["count"] == before + 1
+            finally:
+                await pinned.close()
+                await writer.close()
+
+        run_server_test(scenario)
+
+    def test_pin_released_on_clean_close(self):
+        async def scenario(service, server, port):
+            client = await connect("127.0.0.1", port)
+            await client.pin()
+            assert service.health()["epochs"]["active_pins"] >= 1
+            await client.close()
+            for _ in range(200):
+                if not server.status()["connections_open"]:
+                    break
+                await asyncio.sleep(0.01)
+            assert service.health()["epochs"]["active_pins"] == 0
+
+        run_server_test(scenario)
+
+
+class TestLoadShedding:
+    def test_per_connection_inflight_cap_sheds_typed(self):
+        config = NetServerConfig(max_inflight_per_conn=2)
+
+        async def scenario(service, server, port):
+            with slowop_installed():
+                async with await connect("127.0.0.1", port) as client:
+                    slow = [
+                        asyncio.ensure_future(
+                            client.request("slowop", seconds=1.0)
+                        )
+                        for _ in range(2)
+                    ]
+                    await asyncio.sleep(0.1)  # both dispatched, running
+                    with pytest.raises(Overloaded, match="connection"):
+                        await client.request("slowop", seconds=1.0)
+                    done = await asyncio.gather(*slow)
+                    assert all(r["slept"] == 1.0 for r in done)
+            assert server.status()["counters"]["sheds"] >= 1
+
+        run_server_test(scenario, config=config)
+
+    def test_global_inflight_cap_sheds_typed(self):
+        config = NetServerConfig(max_inflight=2, max_inflight_per_conn=2)
+
+        async def scenario(service, server, port):
+            with slowop_installed():
+                busy = await connect("127.0.0.1", port)
+                bystander = await connect("127.0.0.1", port)
+                try:
+                    slow = [
+                        asyncio.ensure_future(
+                            busy.request("slowop", seconds=1.0)
+                        )
+                        for _ in range(2)
+                    ]
+                    await asyncio.sleep(0.1)
+                    with pytest.raises(Overloaded, match="server"):
+                        await bystander.request("slowop", seconds=1.0)
+                    await asyncio.gather(*slow)
+                    # Capacity freed: the bystander is served now.
+                    assert (await bystander.ping())["pong"] is True
+                finally:
+                    await busy.close()
+                    await bystander.close()
+
+        run_server_test(scenario, config=config)
+
+    def test_connection_cap_sheds_at_the_door(self):
+        config = NetServerConfig(max_conns=1)
+
+        async def scenario(service, server, port):
+            async with await connect("127.0.0.1", port) as first:
+                with pytest.raises(Overloaded, match="connection limit"):
+                    await connect("127.0.0.1", port)
+                # The admitted connection is unaffected by the shed.
+                assert (await first.ping())["pong"] is True
+            for _ in range(200):
+                if not server.status()["connections_open"]:
+                    break
+                await asyncio.sleep(0.01)
+            async with await connect("127.0.0.1", port) as again:
+                assert (await again.ping())["pong"] is True
+
+        run_server_test(scenario, config=config)
+
+
+class TestGracefulDrain:
+    def test_drain_refuses_new_lets_inflight_finish(self):
+        config = NetServerConfig(drain_grace=3.0)
+
+        async def scenario(service, server, port):
+            with slowop_installed():
+                client = await connect("127.0.0.1", port)
+                inflight = asyncio.ensure_future(
+                    client.request("slowop", seconds=0.3)
+                )
+                await asyncio.sleep(0.05)
+                drain = asyncio.ensure_future(server.drain())
+                await asyncio.sleep(0.05)
+                # In-flight work finishes normally inside the grace.
+                assert (await inflight)["slept"] == 0.3
+                summary = await drain
+                assert summary["drained"] is True
+                assert summary["aborted"] == 0
+                assert client.goodbye is not None
+                assert client.goodbye["reason"] == "draining"
+                await client.close(goodbye=False)
+
+        run_server_test(scenario, config=config)
+
+    def test_drain_cancels_stragglers_after_grace(self):
+        config = NetServerConfig(drain_grace=0.1)
+
+        async def scenario(service, server, port):
+            with slowop_installed():
+                client = await connect("127.0.0.1", port)
+                inflight = asyncio.ensure_future(
+                    client.request("slowop", seconds=30.0)
+                )
+                await asyncio.sleep(0.05)
+                summary = await server.drain()
+                assert summary["aborted"] == 1
+                with pytest.raises(QueryCancelled):
+                    await inflight
+                await client.close(goodbye=False)
+            # No pins, no in-flight leaked through the forced abort.
+            assert service.health()["epochs"]["active_pins"] == 0
+            assert server.status()["inflight"] == 0
+
+        run_server_test(scenario, config=config)
+
+    def test_draining_server_refuses_requests_typed(self):
+        async def scenario(service, server, port):
+            client = await connect("127.0.0.1", port)
+            await server.drain(grace=0.1)
+            # Connected-before-drain client gets typed refusals... if the
+            # drain closed the connection already, ConnectionLost is the
+            # other legal outcome.
+            try:
+                await client.ping()
+            except (Draining, Exception):
+                pass
+            # ...and fresh connections cannot be made at all.
+            with pytest.raises(Exception):
+                await connect("127.0.0.1", port, connect_timeout=0.5)
+            await client.close(goodbye=False)
+
+        run_server_test(scenario)
+
+    def test_shutdown_command_triggers_drain(self):
+        async def scenario(service, server, port):
+            async with await connect("127.0.0.1", port) as client:
+                reply = await client.shutdown_server()
+                assert reply["draining"] is True
+            for _ in range(300):
+                if server.draining:
+                    break
+                await asyncio.sleep(0.01)
+            assert server.draining
+            assert service.draining
+
+        run_server_test(scenario)
+
+
+class TestHandshake:
+    def test_wire_version_mismatch_refused_typed(self):
+        async def scenario(service, server, port):
+            from repro.net import frame as wire
+            from repro.net.frame import FrameDecoder, encode_frame
+            from repro.net.protocol import decode_payload, encode_payload
+
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(encode_frame(
+                wire.T_HELLO, 1, encode_payload({"version": 99}),
+            ))
+            await writer.drain()
+            decoder = FrameDecoder()
+            frames = []
+            while not frames:
+                data = await reader.read(65536)
+                assert data, "server closed without a typed refusal"
+                frames = decoder.feed(data)
+            assert frames[0].type == wire.T_ERROR
+            payload = decode_payload(frames[0].payload)
+            assert payload["error"] == "ProtocolError"
+            assert "version" in payload["message"]
+            writer.close()
+            await writer.wait_closed()
+
+        run_server_test(scenario)
+
+    def test_first_frame_must_be_hello(self):
+        async def scenario(service, server, port):
+            from repro.net import frame as wire
+            from repro.net.frame import FrameDecoder, encode_frame
+            from repro.net.protocol import decode_payload, encode_payload
+
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(encode_frame(
+                wire.T_REQUEST, 1, encode_payload({"cmd": "ping"}),
+            ))
+            await writer.drain()
+            decoder = FrameDecoder()
+            frames = []
+            while not frames:
+                data = await reader.read(65536)
+                assert data
+                frames = decoder.feed(data)
+            payload = decode_payload(frames[0].payload)
+            assert frames[0].type == wire.T_ERROR
+            assert "hello" in payload["message"]
+            writer.close()
+            await writer.wait_closed()
+
+        run_server_test(scenario)
+
+    def test_handshake_timeout_closes_silent_connections(self):
+        config = NetServerConfig(handshake_timeout=0.2)
+
+        async def scenario(service, server, port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            data = await asyncio.wait_for(reader.read(65536), 5.0)
+            assert data == b""  # server gave up on us
+            writer.close()
+            await writer.wait_closed()
+            assert server.status()["counters"]["timeouts"] >= 1
+            assert server.status()["connections_open"] == 0
+
+        run_server_test(scenario, config=config)
+
+    def test_idle_timeout_closes_with_goodbye(self):
+        config = NetServerConfig(idle_timeout=0.2)
+
+        async def scenario(service, server, port):
+            from repro.net import frame as wire
+            from repro.net.protocol import decode_payload
+
+            client = await connect("127.0.0.1", port)
+            assert (await client.ping())["pong"] is True
+            for _ in range(300):
+                if client.goodbye is not None:
+                    break
+                await asyncio.sleep(0.02)
+            assert client.goodbye is not None
+            assert "idle" in client.goodbye["reason"]
+            await client.close(goodbye=False)
+            assert server.status()["counters"]["timeouts"] >= 1
+
+        run_server_test(scenario, config=config)
+
+    def test_inflight_work_defers_idle_timeout(self):
+        config = NetServerConfig(idle_timeout=0.15)
+
+        async def scenario(service, server, port):
+            with slowop_installed():
+                async with await connect("127.0.0.1", port) as client:
+                    # Takes several idle windows; the connection must
+                    # survive because work is in flight for it.
+                    reply = await client.request("slowop", seconds=0.6)
+                    assert reply["slept"] == 0.6
+
+        run_server_test(scenario, config=config)
+
+
+class TestServeTcpCli:
+    """``python -m repro serve DB --tcp`` wires the server into the CLI:
+    banner advertises the bound port, SIGTERM and the ``shutdown``
+    request both drain to a clean exit 0."""
+
+    @pytest.fixture()
+    def snapshot(self, tmp_path):
+        from repro.storage import save
+        from tests.net_util import make_db
+
+        path = tmp_path / "db.json"
+        save(make_db(5), str(path))
+        return path
+
+    def _spawn(self, snapshot, *extra):
+        import re
+        import subprocess
+        import sys
+        import time
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", str(snapshot),
+                "--tcp", "127.0.0.1:0", *extra,
+            ],
+            cwd=root,
+            env={"PYTHONPATH": str(root / "src")},
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        port = None
+        deadline = time.monotonic() + 20
+        try:
+            while time.monotonic() < deadline:
+                line = proc.stderr.readline()
+                if not line:
+                    break
+                found = re.search(r"listening on 127\.0\.0\.1:(\d+)", line)
+                if found:
+                    port = int(found.group(1))
+                    break
+            assert port is not None, "server never printed its port"
+        except BaseException:
+            proc.kill()
+            proc.wait()
+            raise
+        return proc, port
+
+    def test_sigterm_drains_to_exit_zero(self, snapshot):
+        import signal
+
+        proc, _port = self._spawn(snapshot, "--drain-grace", "2")
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=20) == 0
+        proc.stderr.close()
+
+    def test_shutdown_request_serves_then_drains(self, snapshot):
+        proc, port = self._spawn(snapshot)
+
+        async def drive():
+            client = await connect("127.0.0.1", port)
+            assert (await client.ping())["pong"] is True
+            reply = await client.query("name")
+            assert reply["count"] == 5
+            await client.request("shutdown")
+            await client.close(goodbye=False)
+
+        try:
+            asyncio.run(drive())
+            assert proc.wait(timeout=20) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+            proc.stderr.close()
