@@ -29,6 +29,7 @@ __all__ = [
     "encode_payload",
     "error_payload",
     "raise_error_payload",
+    "request_context",
     "execute_request",
     "COMMANDS",
 ]
@@ -128,6 +129,43 @@ class SessionState:
 # request execution
 
 
+def _int_field(request: dict, key: str, default=None):
+    """Coerce a request field to ``int``; absent fields return ``default``
+    and a value that will not coerce is the *client's* fault
+    (:class:`~repro.errors.ProtocolError`), never an internal error."""
+    value = request.get(key, default)
+    if value is None:
+        return None
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        raise ProtocolError(
+            f"field {key!r} must be an integer, got {value!r}"
+        ) from None
+
+
+def _float_field(request: dict, key: str, default=None):
+    """Coerce a request field to ``float`` (same contract as
+    :func:`_int_field`)."""
+    value = request.get(key, default)
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise ProtocolError(
+            f"field {key!r} must be a number, got {value!r}"
+        ) from None
+
+
+def _str_field(request: dict, key: str, cmd: str):
+    """A required, non-empty string field."""
+    value = request.get(key)
+    if not value or not isinstance(value, str):
+        raise ProtocolError(f"{cmd} needs a string {key!r}")
+    return value
+
+
 def _spans(db, records, limit: int):
     rows = []
     for record in records[:limit]:
@@ -139,13 +177,17 @@ def _spans(db, records, limit: int):
     return rows
 
 
-def _context(service, request: dict):
-    """A QueryContext honoring the request's own budgets."""
+def request_context(service, request: dict):
+    """A QueryContext honoring the request's own budgets (validated:
+    unusable budget values are the client's fault, typed as
+    :class:`~repro.errors.ProtocolError`)."""
     overrides = {}
-    if request.get("timeout_ms") is not None:
-        overrides["timeout"] = float(request["timeout_ms"]) / 1e3
-    if request.get("max_rows") is not None:
-        overrides["max_result_rows"] = int(request["max_rows"])
+    timeout_ms = _float_field(request, "timeout_ms")
+    if timeout_ms is not None:
+        overrides["timeout"] = timeout_ms / 1e3
+    max_rows = _int_field(request, "max_rows")
+    if max_rows is not None:
+        overrides["max_result_rows"] = max_rows
     return service.make_context(**overrides)
 
 
@@ -154,32 +196,31 @@ def _cmd_ping(service, session, request, ctx):
 
 
 def _cmd_query(service, session, request, ctx):
-    expr = request.get("expr")
-    if not expr or not isinstance(expr, str):
-        raise ProtocolError("query needs a string 'expr'")
-    limit = int(request.get("limit", MAX_RESPONSE_SPANS))
+    expr = _str_field(request, "expr", "query")
+    limit = _int_field(request, "limit", MAX_RESPONSE_SPANS)
+
+    # The span rows are computed *inside* the read closure, while the
+    # epoch pin is held: once service.read() returns, a drained snapshot
+    # buffer becomes the publish spare and is mutated in place by the
+    # next write, so neither `db` nor `records` may escape the pin.
+    def run(db, context):
+        records = db.path_query(expr, context=context)
+        return len(records), _spans(db, records, limit)
+
     if session.pinned is not None:
-        records = session.pinned.db.path_query(expr, context=ctx)
-        db = session.pinned.db
+        count, rows = run(session.pinned.db, ctx)
     else:
-
-        def run(db, context):
-            return db.path_query(expr, context=context), db
-
-        records, db = service.read(run, context=ctx)
-    return {
-        "count": len(records),
-        "spans": _spans(db, records, limit),
-        "truncated": len(records) > limit,
-    }
+        count, rows = service.read(run, context=ctx)
+    return {"count": count, "spans": rows, "truncated": count > limit}
 
 
 def _cmd_join(service, session, request, ctx):
-    tag_a, tag_d = request.get("ancestor"), request.get("descendant")
-    if not tag_a or not tag_d:
-        raise ProtocolError("join needs 'ancestor' and 'descendant'")
+    tag_a = _str_field(request, "ancestor", "join")
+    tag_d = _str_field(request, "descendant", "join")
     algorithm = request.get("algorithm", "auto")
     axis = request.get("axis", "descendant")
+    if not isinstance(algorithm, str) or not isinstance(axis, str):
+        raise ProtocolError("join 'algorithm' and 'axis' must be strings")
     if session.pinned is not None:
         pairs = session.pinned.db.structural_join(
             tag_a, tag_d, axis,
@@ -194,31 +235,31 @@ def _cmd_join(service, session, request, ctx):
 
 
 def _cmd_insert(service, session, request, ctx):
-    fragment = request.get("fragment")
-    if not fragment or not isinstance(fragment, str):
-        raise ProtocolError("insert needs a string 'fragment'")
-    receipt = service.insert(fragment, request.get("position"))
+    fragment = _str_field(request, "fragment", "insert")
+    receipt = service.insert(fragment, _int_field(request, "position"))
     return {"sid": receipt.sid, "gp": receipt.gp}
 
 
 def _cmd_remove(service, session, request, ctx):
     if "position" not in request or "length" not in request:
         raise ProtocolError("remove needs 'position' and 'length'")
-    outcome = service.remove(int(request["position"]), int(request["length"]))
+    outcome = service.remove(
+        _int_field(request, "position"), _int_field(request, "length")
+    )
     return {"elements_removed": outcome.elements_removed}
 
 
 def _cmd_remove_segment(service, session, request, ctx):
     if "sid" not in request:
         raise ProtocolError("remove_segment needs 'sid'")
-    outcome = service.remove_segment(int(request["sid"]))
+    outcome = service.remove_segment(_int_field(request, "sid"))
     return {"elements_removed": outcome.elements_removed}
 
 
 def _cmd_repack(service, session, request, ctx):
     if "sid" not in request:
         raise ProtocolError("repack needs 'sid'")
-    service.repack(int(request["sid"]))
+    service.repack(_int_field(request, "sid"))
     return {"repacked": True}
 
 
@@ -293,14 +334,13 @@ def execute_request(
     request's ``timeout_ms``/``max_rows`` budgets.
     """
     cmd = request.get("cmd")
-    handler = COMMANDS.get(cmd)
+    handler = COMMANDS.get(cmd) if isinstance(cmd, str) else None
     if handler is None:
         raise ProtocolError(f"unknown command {cmd!r}")
     if context is None:
-        context = _context(service, request)
-    try:
-        return handler(service, session, request, context)
-    except (TypeError, ValueError) as exc:
-        # Bad argument shapes become typed protocol errors, never a
-        # traceback that kills the connection handler.
-        raise ProtocolError(f"bad arguments for {cmd!r}: {exc}") from None
+        context = request_context(service, request)
+    # Argument validation happens at the top of each handler (typed
+    # ProtocolError); an unexpected TypeError/ValueError from deeper in
+    # the database layer is an internal defect and propagates as one —
+    # blaming it on the client would mask the bug.
+    return handler(service, session, request, context)

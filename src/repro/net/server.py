@@ -17,7 +17,9 @@ Robustness contract (each clause is drilled by ``tests/test_net_faults``):
   cap the read loop *stops reading* (counted in
   ``net.backpressure.pauses``) until the buffer drains, so a client that
   never reads can never balloon server memory — its TCP window fills
-  instead.
+  instead.  A client whose buffer does not drain within ``write_timeout``
+  is declared dead and aborted, returning its in-flight slots to the
+  pool rather than parking them behind an unbounded drain wait.
 - **Shedding, not queueing.**  A connection over ``max_conns``, or a
   request over the per-connection / global in-flight caps, is refused
   immediately with a typed :class:`~repro.errors.Overloaded` response
@@ -62,6 +64,7 @@ from repro.net.protocol import (
     encode_payload,
     error_payload,
     execute_request,
+    request_context,
 )
 from repro.obs.metrics import LATENCY_BUCKETS, METRICS
 
@@ -138,6 +141,11 @@ class NetServerConfig:
     #: makes the app-level cap bind sooner (tests use this to drill
     #: slow-reader behavior deterministically).
     so_sndbuf: int | None = None
+    #: Seconds a write may wait for a slow client's buffer to drain
+    #: before the connection is declared dead and aborted.  Without this
+    #: bound, a client that stops reading would park its in-flight
+    #: requests (and their global slots) behind an unbounded drain wait.
+    write_timeout: float = 30.0
     #: Seconds a new connection may take to send its HELLO.
     handshake_timeout: float = 5.0
     #: Seconds a connection may sit idle (no frames, nothing in flight).
@@ -146,6 +154,28 @@ class NetServerConfig:
     drain_grace: float = 5.0
     #: Socket read chunk size.
     read_chunk: int = 64 * 1024
+
+
+class _ReservedSlot:
+    """Placeholder registered in ``session.inflight`` at dispatch time,
+    before the request's real :class:`QueryContext` exists.
+
+    The in-flight caps are enforced against state mutated *synchronously*
+    in ``_dispatch_frame``: a pipelined burst decoded from one read chunk
+    dispatches every frame without yielding to the event loop, so a
+    reservation taken inside the spawned task would let the whole burst
+    bypass the caps and queue in the worker pool.  The placeholder
+    remembers a cancellation that lands in the dispatch-to-execute window
+    so it can be transferred onto the real context.
+    """
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self):
+        self.cancelled: str | None = None
+
+    def cancel(self, reason: str) -> None:
+        self.cancelled = reason
 
 
 class _Connection:
@@ -494,7 +524,8 @@ class TcpServer:
                 if METRICS.enabled:
                     _M_BP_PAUSES.inc()
                 async with conn.write_lock:
-                    await conn.writer.drain()
+                    if not await self._drain_writer(conn):
+                        return  # client never read; connection aborted
                 continue
             try:
                 data = await asyncio.wait_for(
@@ -586,6 +617,13 @@ class TcpServer:
                 )),
             )
             return True
+        # Reserve the slots *now*, before yielding: every frame of a
+        # pipelined burst is dispatched from one read chunk without the
+        # spawned tasks getting a chance to run, so counting in-flight
+        # inside _run_request would let the burst bypass both caps.
+        # _run_request's finally releases the reservation on every path.
+        conn.session.inflight[frame.request_id] = _ReservedSlot()
+        self._inflight += 1
         task = asyncio.get_running_loop().create_task(
             self._run_request(conn, frame)
         )
@@ -594,7 +632,12 @@ class TcpServer:
         return True
 
     async def _run_request(self, conn: _Connection, frame: Frame) -> None:
-        """Decode, execute on the worker pool, respond; typed end to end."""
+        """Decode, execute on the worker pool, respond; typed end to end.
+
+        The in-flight slots were reserved synchronously by
+        ``_dispatch_frame``; the ``finally`` here is the single release
+        point for every path through the request.
+        """
         started = time.perf_counter()
         self._counters["requests"] += 1
         if METRICS.enabled:
@@ -602,24 +645,33 @@ class TcpServer:
         request_id = frame.request_id
         session = conn.session
         try:
-            request = decode_payload(frame.payload)
-        except ProtocolError as exc:
-            await self._send(
-                conn, wire.T_ERROR, request_id, error_payload(exc)
-            )
-            return
-        if request.get("cmd") == "shutdown":
-            # Operator drain over the wire: acknowledge, then drain in a
-            # separate task (this response must still flush).
-            await self._send(
-                conn, wire.T_RESPONSE, request_id, {"draining": True}
-            )
-            self.request_drain()
-            return
-        ctx = self._request_context(request)
-        session.inflight[request_id] = ctx
-        self._inflight += 1
-        try:
+            try:
+                request = decode_payload(frame.payload)
+            except ProtocolError as exc:
+                await self._send(
+                    conn, wire.T_ERROR, request_id, error_payload(exc)
+                )
+                return
+            if request.get("cmd") == "shutdown":
+                # Operator drain over the wire: acknowledge, then drain
+                # in a separate task (this response must still flush).
+                await self._send(
+                    conn, wire.T_RESPONSE, request_id, {"draining": True}
+                )
+                self.request_drain()
+                return
+            try:
+                ctx = request_context(self.service, request)
+            except ProtocolError as exc:
+                await self._send(
+                    conn, wire.T_ERROR, request_id, error_payload(exc)
+                )
+                return
+            reserved = session.inflight.get(request_id)
+            if isinstance(reserved, _ReservedSlot) and reserved.cancelled:
+                # Cancelled (connection death, drain) before we got here.
+                ctx.cancel(reserved.cancelled)
+            session.inflight[request_id] = ctx
             loop = asyncio.get_running_loop()
             result = await loop.run_in_executor(
                 self._executor,
@@ -653,16 +705,39 @@ class TcpServer:
             if METRICS.enabled:
                 _H_REQUEST_SECONDS.observe(time.perf_counter() - started)
 
-    def _request_context(self, request: dict):
-        overrides = {}
-        if request.get("timeout_ms") is not None:
-            overrides["timeout"] = float(request["timeout_ms"]) / 1e3
-        if request.get("max_rows") is not None:
-            overrides["max_result_rows"] = int(request["max_rows"])
-        return self.service.make_context(**overrides)
-
     # ------------------------------------------------------------------
     # writes & teardown
+
+    async def _drain_writer(
+        self, conn: _Connection, timeout: float | None = None
+    ) -> bool:
+        """Wait (bounded) for the connection's write buffer to drain.
+
+        A client that stops reading must not park the waiter forever —
+        the read loop's idle timeout cannot fire while a write holds the
+        connection's write lock, so an unbounded drain would let a few
+        slow readers pin their in-flight slots and starve
+        ``max_inflight`` globally.  On timeout the connection is declared
+        dead and aborted (no lingering FIN handshake against a full
+        buffer); returns ``False`` so the caller stops using it.
+        """
+        timeout = self.config.write_timeout if timeout is None else timeout
+        try:
+            await asyncio.wait_for(conn.writer.drain(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            self._counters["timeouts"] += 1
+            if METRICS.enabled:
+                _M_TIMEOUTS.inc()
+            conn.closed = True
+            try:
+                conn.writer.transport.abort()
+            except Exception:  # pragma: no cover - transport already gone
+                pass
+            return False
+        except (ConnectionError, RuntimeError):
+            conn.closed = True
+            return False
 
     async def _send(
         self, conn: _Connection, type_: int, request_id: int, payload: dict
@@ -701,11 +776,12 @@ class TcpServer:
                     # The client is consuming slower than we produce:
                     # this write waits (holding the connection's write
                     # lock, which also parks its request intake) until
-                    # the buffer drains below the low-water mark.
+                    # the buffer drains below the low-water mark — or
+                    # until write_timeout declares the client dead.
                     self._counters["backpressure_pauses"] += 1
                     if METRICS.enabled:
                         _M_BP_PAUSES.inc()
-                    await conn.writer.drain()
+                    await self._drain_writer(conn)
             except (ConnectionError, RuntimeError):
                 conn.closed = True  # reset mid-write; teardown reaps it
 
@@ -716,8 +792,16 @@ class TcpServer:
         try:
             async with conn.write_lock:
                 try:
-                    await conn.writer.drain()
-                except (ConnectionError, RuntimeError):
+                    # Best-effort flush, bounded: a closing connection
+                    # must never stall shutdown behind a reader that
+                    # stopped reading.
+                    await asyncio.wait_for(
+                        conn.writer.drain(),
+                        min(self.config.write_timeout, 5.0),
+                    )
+                except (
+                    ConnectionError, RuntimeError, asyncio.TimeoutError,
+                ):
                     pass
             conn.writer.close()
             try:

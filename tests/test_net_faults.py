@@ -320,6 +320,56 @@ class TestConnectionDeaths:
             service.close()
 
 
+class TestPipelinedBurst:
+    def test_single_chunk_burst_cannot_bypass_inflight_caps(self):
+        """Every frame of a burst that arrives in one read chunk is
+        dispatched without yielding to the event loop, so the in-flight
+        caps must be reserved synchronously at dispatch — otherwise the
+        whole burst bypasses the caps and queues in the worker pool,
+        violating shed-never-queue."""
+        service = make_service()
+        config = NetServerConfig(max_inflight=2, max_inflight_per_conn=2)
+        n = 10
+        try:
+            with slowop_installed(), ServerHarness(
+                service, config
+            ) as harness:
+                with FaultyClient("127.0.0.1", harness.port) as client:
+                    burst = b"".join(
+                        encode_frame(
+                            wire.T_REQUEST, 100 + i,
+                            encode_payload(
+                                {"cmd": "slowop", "seconds": 0.5}
+                            ),
+                        )
+                        for i in range(n)
+                    )
+                    client.send_bytes(burst)  # one segment, one chunk
+                    replies = {}
+                    while len(replies) < n:
+                        reply = client.recv_frame()
+                        replies[reply.request_id] = reply
+                    ok = [
+                        r for r in replies.values()
+                        if r.type == wire.T_RESPONSE
+                    ]
+                    shed = [
+                        r for r in replies.values() if r.type == wire.T_ERROR
+                    ]
+                    # Exactly the reserved budget executes; the rest of
+                    # the burst sheds typed, immediately.
+                    assert len(ok) == 2
+                    assert len(shed) == n - 2
+                    for r in shed:
+                        assert decode_payload(r.payload)["error"] == (
+                            "Overloaded"
+                        )
+                assert harness.status()["counters"]["sheds"] >= n - 2
+                wait_quiescent(harness, service)
+        finally:
+            service.close()
+
+
 class TestBackpressure:
     def test_slow_reader_pauses_intake_and_loses_nothing(self):
         """A client that pipelines queries but stops reading forces the
@@ -375,6 +425,36 @@ class TestBackpressure:
                 status = harness.status()
                 assert status["counters"]["backpressure_pauses"] >= 1
                 wait_quiescent(harness, service)
+        finally:
+            service.close()
+
+    def test_client_that_never_reads_is_aborted_not_parked(self):
+        """A client that pipelines work and then never reads a byte must
+        not park its in-flight slots forever: the read loop's idle
+        timeout cannot fire while a response write holds the connection
+        write lock, so the *bounded* write wait is what declares the
+        client dead, aborts the connection, and reclaims every slot and
+        pin for the rest of the fleet."""
+        service = make_service(200)
+        config = NetServerConfig(
+            write_buffer_cap=2048, max_inflight_per_conn=4,
+            so_sndbuf=4096, write_timeout=0.5,
+        )
+        try:
+            with ServerHarness(service, config) as harness:
+                client = FaultyClient(
+                    "127.0.0.1", harness.port, rcvbuf=4096
+                )
+                for _ in range(12):
+                    client.send_request("query", expr="name")
+                # ...and never read.  Responses fill the client's receive
+                # window, then the server's buffers, then the write wait
+                # times out and the connection is aborted — far sooner
+                # than the 300s idle timeout.
+                wait_quiescent(harness, service, timeout=15.0)
+                assert harness.status()["counters"]["timeouts"] >= 1
+                assert_alive(harness)
+                client.close()
         finally:
             service.close()
 

@@ -80,6 +80,13 @@ class TestRequestExecution:
         run_server_test(scenario)
 
     def test_pipelining_many_requests_one_connection(self):
+        # The in-flight caps are enforced eagerly (reserved at dispatch),
+        # so a pipelining client must stay within the budget the WELCOME
+        # advertises — this test sizes the budget to the burst; staying
+        # under a smaller cap via shed-and-retry is TestLoadShedding's
+        # territory.
+        config = NetServerConfig(max_inflight_per_conn=64)
+
         async def scenario(service, server, port):
             async with await connect("127.0.0.1", port) as client:
                 results = await asyncio.gather(
@@ -87,7 +94,7 @@ class TestRequestExecution:
                 )
                 assert all(r["count"] == 5 for r in results)
 
-        run_server_test(scenario)
+        run_server_test(scenario, config=config)
 
     def test_typed_errors_reraise_client_side(self):
         async def scenario(service, server, port):
@@ -114,6 +121,101 @@ class TestRequestExecution:
                     assert (await client.ping())["pong"] is True
 
         run_server_test(scenario)
+
+
+class TestProtocolDiscipline:
+    """Unit-level contracts of the request handlers themselves."""
+
+    def test_query_spans_computed_under_the_snapshot_pin(self):
+        """Regression: span rows must be built while the read's epoch pin
+        is held.  The moment ``service.read()`` returns, a drained
+        snapshot buffer can be recycled as the publish spare and mutated
+        in place — so this test hands the handler a revocable proxy and
+        revokes it the instant the read returns."""
+        from repro.net.protocol import SessionState, execute_request
+
+        service = make_service(5)
+        real_read = service.read
+
+        class RevocableDb:
+            def __init__(self, db):
+                self.__dict__["_db"] = db
+                self.__dict__["_live"] = True
+
+            def __getattr__(self, name):
+                if not self.__dict__["_live"]:
+                    raise AssertionError(
+                        f"snapshot used after its pin was released: .{name}"
+                    )
+                return getattr(self.__dict__["_db"], name)
+
+        def revoking_read(fn, *, context=None, **kwargs):
+            box = {}
+
+            def wrapper(db, ctx):
+                box["proxy"] = RevocableDb(db)
+                return fn(box["proxy"], ctx)
+
+            result = real_read(wrapper, context=context, **kwargs)
+            box["proxy"].__dict__["_live"] = False  # pin released: recycled
+            return result
+
+        service.read = revoking_read
+        try:
+            session = SessionState(1)
+            reply = execute_request(
+                service, session, {"cmd": "query", "expr": "name"}
+            )
+            assert reply["count"] == 5
+            assert len(reply["spans"]) == 5
+            assert not reply["truncated"]
+        finally:
+            service.close()
+
+    def test_bad_field_types_are_protocol_errors(self):
+        """A field that will not coerce is the client's fault — typed
+        ProtocolError naming the field, raised before any work runs."""
+        from repro.net.protocol import SessionState, execute_request
+
+        service = make_service(2)
+        try:
+            session = SessionState(1)
+            with pytest.raises(ProtocolError, match="limit"):
+                execute_request(
+                    service, session,
+                    {"cmd": "query", "expr": "name", "limit": "lots"},
+                )
+            with pytest.raises(ProtocolError, match="timeout_ms"):
+                execute_request(
+                    service, session, {"cmd": "ping", "timeout_ms": "fast"}
+                )
+            with pytest.raises(ProtocolError, match="position"):
+                execute_request(
+                    service, session,
+                    {"cmd": "insert", "fragment": "<a>x</a>",
+                     "position": "end-ish"},
+                )
+        finally:
+            service.close()
+
+    def test_internal_bugs_are_not_blamed_on_the_client(self):
+        """A TypeError thrown by a defect deep in a handler must NOT be
+        converted into a client-blamed 'bad arguments' ProtocolError —
+        it propagates, for the server to report as an internal error."""
+        from repro.net.protocol import COMMANDS, SessionState, execute_request
+
+        def _cmd_buggy(service, session, request, ctx):
+            return len(None)  # an internal defect, not a client mistake
+
+        service = make_service(2)
+        COMMANDS["buggy"] = _cmd_buggy
+        try:
+            session = SessionState(1)
+            with pytest.raises(TypeError):
+                execute_request(service, session, {"cmd": "buggy"})
+        finally:
+            COMMANDS.pop("buggy", None)
+            service.close()
 
 
 class TestSessionPinning:
