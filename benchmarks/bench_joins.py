@@ -24,6 +24,7 @@ job and writes to ``BENCH_joins.smoke.json`` instead.
 
 from __future__ import annotations
 
+import json
 import statistics
 import sys
 from pathlib import Path
@@ -32,6 +33,7 @@ from repro.bench.experiments import _xmark_chop_ops, spine_document
 from repro.bench.harness import Table, measure, write_envelope
 from repro.core.database import LazyXMLDatabase
 from repro.core.join import JoinStatistics
+from repro.joins import kernels
 from repro.workloads.chopper import apply_chop, chop_text
 from repro.workloads.join_mix import build_join_mix, sweep_configs
 from repro.workloads.xmark import XMARK_QUERIES, XMarkConfig, generate_site
@@ -169,12 +171,140 @@ def bench_fig14(smoke: bool) -> tuple[Table, dict]:
     return table, timed
 
 
+def bench_kernels(smoke: bool) -> tuple[Table, dict]:
+    """Compiled-regime Stack-Tree joins per kernel backend.
+
+    Every available backend (``legacy``, ``python`` and — when numpy is
+    importable — ``numpy``) runs the same joins over memoized compiled
+    columns with the result memo bypassed, so the measured delta *is* the
+    merge kernel, not segment-list compilation.  Workloads: the fig12/
+    fig13 representatives (many small per-segment merges — the kernels'
+    size floor keeps backends close) and two single-segment stress shapes
+    where merges are large enough for the column kernels to matter —
+    ``alternating`` (4000 one-child ancestors: worst case for run
+    detection, best case for vectorized range expansion) and ``runs``
+    (200 ancestors x 50 children: long same-stack descendant runs).
+    Pair counts must be identical across backends (the parity contract);
+    per-backend speedups vs ``legacy`` are recorded.
+    """
+    repeat = 3 if smoke else 7
+    workloads = []
+    config = sweep_configs(20 if smoke else 50, "balanced", [0.5])[0]
+    db12 = LazyXMLDatabase(keep_text=False)
+    build_join_mix(db12, config)
+    workloads.append(("fig12/balanced-0.5", db12, "a", "d"))
+    text = spine_document(60 if smoke else 200, 3)
+    db13, _ = chop_text(text, 20 if smoke else 160, "nested")
+    workloads.append(("fig13/nested", db13, "t0", "t1"))
+    n_alt = 800 if smoke else 4000
+    db_alt = LazyXMLDatabase(keep_text=False)
+    db_alt.insert(
+        "<r>" + "".join(f"<a><d>x{i}</d></a>" for i in range(n_alt)) + "</r>"
+    )
+    workloads.append(("stress/alternating", db_alt, "a", "d"))
+    n_runs = 40 if smoke else 200
+    db_runs = LazyXMLDatabase(keep_text=False)
+    db_runs.insert(
+        "<r>" + ("<a>" + "<d>y</d>" * 50 + "</a>") * n_runs + "</r>"
+    )
+    workloads.append(("stress/runs", db_runs, "a", "d"))
+
+    backends = ["legacy", "python"]
+    if kernels.numpy_available():
+        backends.append("numpy")
+    table = Table(
+        "join kernels — compiled-regime Stack-Tree per backend",
+        ["workload", "backend", "pairs", "ad_ms", "da_ms",
+         "speedup_vs_legacy"],
+    )
+    results: dict = {"backends": backends, "regime": "compiled"}
+    for label, db, tag_a, tag_d in workloads:
+        db.prepare_for_query()
+        len(db.structural_join(tag_a, tag_d))  # compile pass
+        per: dict = {}
+        for backend in backends:
+            with kernels.use_backend(backend):
+                t_ad = measure(
+                    lambda: db.structural_join(
+                        tag_a, tag_d, stats=JoinStatistics()
+                    ),
+                    repeat=repeat,
+                )
+                t_da = measure(
+                    lambda: db.structural_join(
+                        tag_d, tag_a, stats=JoinStatistics()
+                    ),
+                    repeat=repeat,
+                )
+                pairs = len(db.structural_join(tag_a, tag_d))
+            per[backend] = {
+                "pairs": pairs,
+                "ad_ms": t_ad * _MS,
+                "da_ms": t_da * _MS,
+            }
+        base = per["legacy"]["ad_ms"]
+        for backend in backends:
+            rec = per[backend]
+            rec["speedup_vs_legacy"] = (
+                base / rec["ad_ms"] if rec["ad_ms"] > 0 else float("inf")
+            )
+            table.add_row(
+                [label, backend, rec["pairs"], rec["ad_ms"],
+                 rec["da_ms"], rec["speedup_vs_legacy"]]
+            )
+        per["identical_pairs"] = len({per[b]["pairs"] for b in backends}) == 1
+        results[label] = per
+    return table, results
+
+
+def _baseline_cold_speedups(root: Path, new_results: dict) -> dict | None:
+    """Per-row cold (uncached) speedups vs the committed full-run baseline.
+
+    Compares the fresh fig12/fig13 uncached times against the matching
+    rows of the previously-committed ``BENCH_joins.json`` (the pre-kernel
+    numbers) so the envelope records how much the vectorized read path
+    moved the cold regime.  Returns ``None`` when no comparable baseline
+    exists (first run, or the baseline was a smoke envelope).
+    """
+    path = root / "BENCH_joins.json"
+    if not path.exists():
+        return None
+    try:
+        old = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if old.get("params", {}).get("smoke"):
+        return None
+    rows: dict[str, float] = {}
+    for fig in ("fig12", "fig13"):
+        for key, workload in old.get("results", {}).get(fig, {}).items():
+            for qlabel, rec in workload.items():
+                if qlabel == "cache" or not isinstance(rec, dict):
+                    continue
+                new_rec = new_results.get(fig, {}).get(key, {}).get(qlabel)
+                if not new_rec or not new_rec.get("uncached_ms"):
+                    continue
+                rows[f"{fig}/{key}/{qlabel}"] = (
+                    rec["uncached_ms"] / new_rec["uncached_ms"]
+                )
+    if not rows:
+        return None
+    vals = list(rows.values())
+    return {
+        "min": min(vals),
+        "median": statistics.median(vals),
+        "max": max(vals),
+        "rows": rows,
+    }
+
+
 def main() -> None:
     smoke = "--smoke" in sys.argv
     t12, r12, ad12 = bench_fig12(smoke)
     t13, r13, ad13 = bench_fig13(smoke)
     t14, r14 = bench_fig14(smoke)
-    for table in (t12, t13, t14):
+    tk, rk = bench_kernels(smoke)
+    for table in (t12, t13, t14, tk):
         table.print()
     ad_speedups = ad12 + ad13
     summary = {
@@ -182,20 +312,33 @@ def main() -> None:
         "ad_speedup_median": statistics.median(ad_speedups),
         "ad_speedup_max": max(ad_speedups),
         "meets_2x_warm_target": min(ad_speedups) >= 2.0,
+        "kernel_backends": rk["backends"],
     }
+    root = Path(__file__).resolve().parent.parent
+    baseline = None if smoke else _baseline_cold_speedups(root, {"fig12": r12, "fig13": r13})
+    if baseline is not None:
+        summary["cold_speedup_vs_baseline"] = baseline
+        print(f"[bench_joins] cold speedup vs committed baseline: "
+              f"min {baseline['min']:.2f}x, median {baseline['median']:.2f}x, "
+              f"max {baseline['max']:.2f}x")
     print(f"[bench_joins] A//D warm speedups: min {summary['ad_speedup_min']:.2f}x, "
           f"median {summary['ad_speedup_median']:.2f}x, "
           f"max {summary['ad_speedup_max']:.2f}x")
     name = "BENCH_joins.smoke.json" if smoke else "BENCH_joins.json"
     write_envelope(
-        Path(__file__).resolve().parent.parent / name,
+        root / name,
         "joins_readpath",
-        params={"smoke": smoke, "repeat": 2 if smoke else 5},
-        tables=[t12, t13, t14],
+        params={
+            "smoke": smoke,
+            "repeat": 2 if smoke else 5,
+            "kernel_backends": rk["backends"],
+        },
+        tables=[t12, t13, t14, tk],
         results={
             "fig12": r12,
             "fig13": r13,
             "fig14": r14,
+            "kernels": rk,
             "summary": summary,
         },
     )

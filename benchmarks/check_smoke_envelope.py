@@ -11,7 +11,12 @@ dispatching on the envelope's ``benchmark`` name:
   (second-and-later) passes actually hit the cache — a zero hit count
   means the memo keys broke and every "warm" number silently measured
   recompilation;
-- the summary's A//D warm speedups exist and are positive.
+- the summary's A//D warm speedups exist and are positive;
+- the kernel-backend series covers at least the ``legacy`` and ``python``
+  backends (``numpy`` rides along when importable), every backend
+  produced an **identical pair count** per workload — a mismatch means a
+  vectorized kernel changed the answers, making its timing meaningless —
+  and each backend recorded positive compiled-regime timings.
 
 ``replication`` (``BENCH_replication.smoke.json``):
 
@@ -90,12 +95,35 @@ def check(path: Path) -> None:
         assert cache["enabled"], f"{label}: cache was disabled"
         assert cache["hits"] > 0, f"{label}: warm passes never hit the cache"
 
+    kernels = results["kernels"]
+    backends = kernels["backends"]
+    assert {"legacy", "python"} <= set(backends), (
+        f"kernel series missing core backends: {backends}"
+    )
+    n_workloads = 0
+    for label, per in kernels.items():
+        if label in ("backends", "regime"):
+            continue
+        n_workloads += 1
+        assert per["identical_pairs"], (
+            f"kernels/{label}: pair counts differ across backends — a "
+            f"vectorized kernel changed the answers"
+        )
+        for backend in backends:
+            rec = per[backend]
+            assert rec["ad_ms"] > 0 and rec["da_ms"] > 0, (
+                f"kernels/{label}/{backend}: non-positive timing"
+            )
+            assert rec["speedup_vs_legacy"] > 0
+    assert n_workloads > 0, "kernel series recorded no workloads"
+
     summary = results["summary"]
     assert summary["ad_speedup_min"] > 0
     print(
         f"[check_smoke_envelope] OK: {len(caches)} workloads warm, "
         f"A//D speedups {summary['ad_speedup_min']:.2f}x..."
-        f"{summary['ad_speedup_max']:.2f}x"
+        f"{summary['ad_speedup_max']:.2f}x, kernel parity over "
+        f"{n_workloads} workloads x {len(backends)} backends"
     )
 
 

@@ -288,6 +288,30 @@ class BPlusTree:
                 idx += 1
             leaf, idx = leaf.next, 0
 
+    def range_keys(self, lo=None, hi=None) -> list:
+        """Keys with ``lo <= key < hi`` (default bounds) as one list.
+
+        The bulk form of :meth:`range` for key-only scans: whole-leaf list
+        slices replace per-key generator resumption, so the cost is one
+        Python-level step per *leaf* rather than per key.  This is what the
+        cold read path compiles element columns from — every uncached join
+        re-extracts whole segments, making the per-key constant the bill.
+        """
+        if lo is None:
+            leaf: _Leaf | None = self._first_leaf()
+            idx = 0
+        else:
+            leaf, idx = self._find(lo)
+        out: list = []
+        while leaf is not None:
+            keys = leaf.keys
+            if hi is not None and keys and keys[-1] >= hi:
+                out.extend(keys[idx : bisect_left(keys, hi, idx)])
+                return out
+            out.extend(keys[idx:] if idx else keys)
+            leaf, idx = leaf.next, 0
+        return out
+
     def count_range(self, lo=None, hi=None, *, inclusive=(True, False)) -> int:
         """Count keys in the range without materializing the pairs."""
         return sum(1 for _ in self.range(lo, hi, inclusive=inclusive))

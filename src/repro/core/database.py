@@ -543,6 +543,23 @@ class LazyXMLDatabase:
 
         return compact_database(self)
 
+    def apply_batch(self, ops: list[dict]) -> list:
+        """Apply several structural op records in order; per-op results.
+
+        The in-memory face of the batched ingestion path: op records use
+        the journal dialect (``{"op": "insert", "fragment": ..., ...}``)
+        and run through the recovery dispatcher, so the non-durable and
+        durable databases batch identically (minus the journal record).  A
+        sub-op whose preconditions fail mid-batch yields ``None`` in its
+        result slot instead of aborting the rest.
+        """
+        # Local import: repro.durability.recovery imports this module.
+        from repro.durability.recovery import apply_op, validate_op
+
+        record = {"op": "batch", "ops": [dict(sub) for sub in ops]}
+        validate_op(self, record)
+        return apply_op(self, record)
+
     # ------------------------------------------------------------------
     # verification helpers (used heavily by the test suite)
 

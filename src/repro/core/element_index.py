@@ -19,8 +19,10 @@ leaf scan, which is the access pattern Lazy-Join's cost model charges as
 
 from __future__ import annotations
 
+from array import array
 from collections import Counter
 from collections.abc import Iterable, Iterator
+from operator import itemgetter
 from typing import NamedTuple
 
 from repro.btree import BPlusTree
@@ -53,6 +55,14 @@ class ElementRecord(NamedTuple):
     start: int
     end: int
     level: int
+
+
+# Index keys are ``(tid, sid, start, end, level)``; the tail after ``tid``
+# is exactly an ElementRecord, which the bulk column extraction exploits.
+_KEY_TAIL = itemgetter(slice(1, None))
+_KEY_START = itemgetter(2)
+_KEY_END = itemgetter(3)
+_KEY_LEVEL = itemgetter(4)
 
 
 class ElementIndex:
@@ -124,6 +134,27 @@ class ElementIndex:
             _M_READS.inc()
             _M_RECORDS_READ.inc(len(records))
         return records
+
+    def segment_columns(
+        self, tid: int, sid: int
+    ) -> tuple[tuple[ElementRecord, ...], array, array, array]:
+        """Column-at-a-time form of :meth:`elements_list`.
+
+        Returns ``(records, starts, ends, levels)`` — the records tuple plus
+        the parallel ``array('q')`` columns the compiled read path serves,
+        extracted with bulk leaf slicing and C-level ``map`` passes over the
+        raw index keys instead of a per-element generator.  Same contents
+        and order as :meth:`elements_list`.
+        """
+        keys = self._tree.range_keys((tid, sid), (tid, sid + 1))
+        records = tuple(map(ElementRecord._make, map(_KEY_TAIL, keys)))
+        starts = array("q", map(_KEY_START, keys))
+        ends = array("q", map(_KEY_END, keys))
+        levels = array("q", map(_KEY_LEVEL, keys))
+        if METRICS.enabled:
+            _M_READS.inc()
+            _M_RECORDS_READ.inc(len(records))
+        return records, starts, ends, levels
 
     def all_elements(self, tid: int) -> Iterator[ElementRecord]:
         """Every element of tag ``tid`` across all segments.

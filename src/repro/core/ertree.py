@@ -236,6 +236,13 @@ class ERNode:
                 f"offset {gp} outside segment {self.sid} span "
                 f"[{self.gp}, {self.end})"
             )
+        if gp == self.end and not self._tombstones:
+            # Append point: past every child and own character, so the
+            # event scan below would consume everything and land on the
+            # own-text length — skip compiling the event list.  (With a
+            # trailing tombstone the scan instead collapses to the hole's
+            # virtual start, so tombstoned nodes take the general path.)
+            return self._own_length()
         actual = self.gp  # actual offset reached so far
         virtual = 0
         events = self._events()
@@ -513,26 +520,34 @@ class ERTree:
             self._next_sid = self.sid_start + steps * self.sid_stride
 
         # Step 1: global position shift (inclusive — see module docstring).
+        # Appends skip the walk: segment lengths are strictly positive, so
+        # every existing node starts at least one character before the
+        # super-document end and nothing can sit at or past ``gp``.
+        is_append = gp == self.root.length
         shifted = 0
-        for node in self.root.iter_subtree():
-            if node.gp >= gp and node is not self.root:
-                node.gp += length
-                shifted += 1
+        if not is_append:
+            for node in self.root.iter_subtree():
+                if node.gp >= gp and node is not self.root:
+                    node.gp += length
+                    shifted += 1
 
         # Step 2: descend to the parent, growing ancestors on the way.
         # Each grown ancestor's compiled read state depends on child
         # lengths, so the whole chain is touched — O(depth), the
-        # "invalidation is O(touched structures)" contract.
+        # "invalidation is O(touched structures)" contract.  An append's
+        # parent is always the root: no existing child's span can extend
+        # past the old super-document end, so none strictly contains gp.
         parent = self.root
         parent.length += length
         parent._touch()
-        while True:
-            child = self._child_strictly_containing(parent, gp)
-            if child is None:
-                break
-            parent = child
-            parent.length += length
-            parent._touch()
+        if not is_append:
+            while True:
+                child = self._child_strictly_containing(parent, gp)
+                if child is None:
+                    break
+                parent = child
+                parent.length += length
+                parent._touch()
 
         # Step 3: splice the new leaf in, keeping children sorted by gp,
         # and compute its local position.  ``to_local`` implements
@@ -541,10 +556,17 @@ class ERTree:
         new = ERNode(sid, gp=gp, length=length, lp=0, parent=parent)
         # to_local above the insert compiles the parent's read state, so
         # the child splice must re-touch it or the cache would miss ``new``.
-        new.lp = parent.to_local(gp)
-        gps = [c.gp for c in parent.children]
-        idx = bisect_right(gps, gp)
-        parent.children.insert(idx, new)
+        if is_append and not parent._tombstones:
+            # The append point in the (already grown) parent's virtual
+            # space is the end of its own text — subtract the growth
+            # instead of compiling the child-event list.
+            new.lp = parent._own_length() - length
+            parent.children.append(new)
+        else:
+            new.lp = parent.to_local(gp)
+            gps = [c.gp for c in parent.children]
+            idx = bisect_right(gps, gp)
+            parent.children.insert(idx, new)
         parent._touch()
         self._nodes[sid] = new
         self._track_add(new)

@@ -48,8 +48,14 @@ moves exploit the compiled layouts:
 
 from __future__ import annotations
 
+import gc
+import os
+import threading
+from array import array
 from bisect import bisect_left, bisect_right
+from contextlib import contextmanager
 from dataclasses import dataclass
+from itertools import accumulate, product
 from operator import attrgetter
 from time import perf_counter
 
@@ -58,6 +64,7 @@ from repro.core.ertree import ERNode
 from repro.core.readpath import ReadPathCache
 from repro.core.update_log import UpdateLog
 from repro.errors import QueryError
+from repro.joins import kernels
 from repro.joins.stack_tree import AXIS_CHILD, AXIS_DESCENDANT, stack_tree_desc
 from repro.obs.metrics import LATENCY_BUCKETS, METRICS, SIZE_BUCKETS
 
@@ -110,6 +117,40 @@ __all__ = ["LazyJoiner", "JoinPair", "JoinStatistics"]
 
 _AXES = (AXIS_DESCENDANT, AXIS_CHILD)
 
+# A join allocates tens of thousands of result tuples that all *survive*
+# into the returned list, so every generation-0 collection triggered by
+# that allocation burst scans live data and frees nothing — pure overhead,
+# measured at ~25% of a large cold join.  Joins therefore pause automatic
+# collection for their duration (nesting-safe across threads; the pause
+# window is bounded by one join and restores the caller's GC state).
+# ``REPRO_JOIN_GC_PAUSE=0`` opts out.
+_GC_PAUSE = os.environ.get("REPRO_JOIN_GC_PAUSE", "1") != "0"
+_gc_lock = threading.Lock()
+_gc_depth = 0
+_gc_was_enabled = False
+
+
+@contextmanager
+def _gc_paused():
+    """Scoped pause of automatic garbage collection (see module note)."""
+    global _gc_depth, _gc_was_enabled
+    if not _GC_PAUSE:
+        yield
+        return
+    with _gc_lock:
+        if _gc_depth == 0:
+            _gc_was_enabled = gc.isenabled()
+            if _gc_was_enabled:
+                gc.disable()
+        _gc_depth += 1
+    try:
+        yield
+    finally:
+        with _gc_lock:
+            _gc_depth -= 1
+            if _gc_depth == 0 and _gc_was_enabled:
+                gc.enable()
+
 _node_gp = attrgetter("gp")
 
 
@@ -158,10 +199,20 @@ class _Frame:
     ``cached_branch`` is the paper's auxiliary data structure (Section 4.3):
     while a frame is covered by a deeper frame, every descendant segment
     reaches it through the same child, so its branch position is computed
-    once at push time instead of per descendant segment.
+    once at push time instead of per descendant segment.  ``covered_prefix``
+    extends the same argument to the whole candidate cascade: every frame
+    below the top is covered, with frozen columns *and* a frozen branch, so
+    its matching elements — and therefore the concatenation of matches over
+    all covered frames — are invariant until the stack changes.  Each frame
+    stores that concatenation for the frames strictly below it, computed
+    incrementally at push time; the per-descendant-segment cascade then
+    touches only the top frame instead of walking the whole stack.
     """
 
-    __slots__ = ("node", "records", "starts", "ends", "maxends", "cached_branch")
+    __slots__ = (
+        "node", "records", "starts", "ends", "maxends",
+        "cached_branch", "covered_prefix",
+    )
 
     def __init__(self, node: ERNode, records, starts, ends, maxends):
         self.node = node
@@ -170,6 +221,9 @@ class _Frame:
         self.ends = ends
         self.maxends = maxends
         self.cached_branch: int | None = None
+        #: Concatenated cross-match candidates of every frame below this
+        #: one (all covered, hence frozen); set at push time.
+        self.covered_prefix: tuple = ()
 
 
 class LazyJoiner:
@@ -269,16 +323,18 @@ class LazyJoiner:
         start = perf_counter() if enabled else 0.0
         trace = context.trace if context is not None else None
         if trace is None:
-            results = self._join_impl(
-                tag_a, tag_d, axis, optimize_push, trim_top,
-                branch_strategy, stats, context,
-            )
-        else:
-            with trace.span("lazy_join", a=tag_a, d=tag_d, axis=axis) as span:
+            with _gc_paused():
                 results = self._join_impl(
                     tag_a, tag_d, axis, optimize_push, trim_top,
                     branch_strategy, stats, context,
                 )
+        else:
+            with trace.span("lazy_join", a=tag_a, d=tag_d, axis=axis) as span:
+                with _gc_paused():
+                    results = self._join_impl(
+                        tag_a, tag_d, axis, optimize_push, trim_top,
+                        branch_strategy, stats, context,
+                    )
                 span.annotate(
                     pairs=stats.pairs,
                     cross_pairs=stats.cross_pairs,
@@ -333,6 +389,43 @@ class LazyJoiner:
         if tid_a is None or tid_d is None:
             return []
         rp = self._readpath
+        if rp.enabled:
+            get_elements = rp.elements
+            get_push = rp.push_elements
+        else:
+            # Kill-switch mode: nothing survives this call, but *within*
+            # one join a segment's element columns are fetched up to three
+            # times (push filter, in-segment join, descendant fetch), so a
+            # call-local scratch memo dedupes the recompiles.  Same for
+            # the (immutable) lp resolutions behind the branch function.
+            elem_memo: dict = {}
+            rp_elements = rp.elements
+
+            def get_elements(tid, sid):
+                key = (tid, sid)
+                compiled = elem_memo.get(key)
+                if compiled is None:
+                    compiled = rp_elements(tid, sid)
+                    elem_memo[key] = compiled
+                return compiled
+
+            compile_push = rp.compile_push_from
+
+            def get_push(tid, node):
+                return compile_push(get_elements(tid, node.sid), node)
+
+            if branch_strategy == "path":
+                lp_memo: dict = {}
+                rp_lp = rp.lp_of
+
+                def branch_fn(frame_node, target):
+                    child_sid = target.path[frame_node.depth + 1]
+                    lp = lp_memo.get(child_sid)
+                    if lp is None:
+                        lp = rp_lp(child_sid)
+                        lp_memo[child_sid] = lp
+                    return lp
+
         csl_a = rp.segment_list(tid_a)
         csl_d = rp.segment_list(tid_d)
         if not csl_a.entries or not csl_d.entries:
@@ -341,6 +434,9 @@ class LazyJoiner:
         nodes_a = csl_a.nodes
         sid_index_a = csl_a.sid_index
         child_only = axis == AXIS_CHILD
+        # One backend decision per join call: the candidate-scan kernel
+        # for the Step 3 cascade (identical results on every backend).
+        select_open = kernels.open_selector()
         results: list[JoinPair] = []
         stack: list[_Frame] = []
         ai = 0
@@ -362,25 +458,35 @@ class LazyJoiner:
             # other members are galloped over untested.
             if ai < a_count and nodes_a[ai].gp < sd.gp:
                 nxt = bisect_left(nodes_a, sd.gp, ai, a_count, key=_node_gp)
+                # Mapped path indices increase along the path (path order
+                # and nodes_a are both ascending in gp), so probing the
+                # path deepest-first stops at the first already-merged
+                # index: the run's candidates are a suffix of the mapped
+                # path, found in O(new candidates) instead of O(depth).
                 candidates = []
-                for psid in sd.path[:-1]:
-                    idx = sid_index_a.get(psid)
-                    if idx is not None and ai <= idx < nxt:
+                path = sd.path
+                for k in range(len(path) - 2, -1, -1):
+                    idx = sid_index_a.get(path[k])
+                    if idx is None:
+                        continue
+                    if idx < ai:
+                        break
+                    if idx < nxt:
                         candidates.append(idx)
-                candidates.sort()
+                candidates.reverse()
                 pushed_in_run = 0
                 for idx in candidates:
                     sa = nodes_a[idx]
                     if not (sa.gp < sd.gp and sa.end > sd.end):
                         continue
                     if optimize_push:
-                        push = rp.push_elements(tid_a, sa)
+                        push = get_push(tid_a, sa)
                         records = push.records
                         starts = push.starts
                         ends = push.ends
                         maxends = push.maxends
                     else:
-                        compiled = rp.elements(tid_a, sa.sid)
+                        compiled = get_elements(tid_a, sa.sid)
                         records = compiled.records
                         starts = compiled.starts
                         ends = compiled.ends
@@ -388,14 +494,26 @@ class LazyJoiner:
                     if trim_top and stack:
                         self._trim_frame(stack[-1], sa, stats, branch_fn)
                     if records:
+                        frame = _Frame(sa, records, starts, ends, maxends)
                         if stack:
                             # The covered frame's branch toward everything
                             # below the new top goes through the new top's
-                            # chain.
-                            stack[-1].cached_branch = branch_fn(
-                                stack[-1].node, sa
-                            )
-                        stack.append(_Frame(sa, records, starts, ends, maxends))
+                            # chain — so its match set freezes here too,
+                            # and the new frame's covered prefix is the
+                            # old prefix plus that frozen set.
+                            top = stack[-1]
+                            branch = branch_fn(top.node, sa)
+                            top.cached_branch = branch
+                            hi = bisect_left(top.starts, branch)
+                            if hi and top.maxends[hi - 1] > branch:
+                                merged = list(top.covered_prefix)
+                                select_open(
+                                    top.records, top.ends, hi, branch, merged
+                                )
+                                frame.covered_prefix = tuple(merged)
+                            else:
+                                frame.covered_prefix = top.covered_prefix
+                        stack.append(frame)
                         if context is not None:
                             context.charge_depth(len(stack))
                         stats.segments_pushed += 1
@@ -419,29 +537,40 @@ class LazyJoiner:
             if not stack and not in_segment:
                 stats.segments_skipped += 1
                 continue
-            if child_only:
-                matched = self._cross_matches_child(stack, sd)
+            if not stack:
+                prefix: tuple = ()
+                live: list = []
+            elif child_only:
+                prefix = ()
+                live = self._cross_matches_child(stack, sd, select_open)
             else:
-                matched = self._cross_matches_descendant(stack, sd, branch_fn)
-            if not matched and not in_segment:
+                prefix, live = self._cross_matches_descendant(
+                    stack, sd, branch_fn, select_open
+                )
+            n_matched = len(prefix) + len(live)
+            if not n_matched and not in_segment:
                 stats.d_fetches_avoided += 1
                 continue
-            d_records = rp.elements(tid_d, sd.sid).records
+            d_compiled = get_elements(tid_d, sd.sid)
+            d_records = d_compiled.records
             cross_before = len(results)
-            if d_records:
+            if d_records and n_matched:
                 if child_only:
-                    for a_elem in matched:
+                    for a_elem in live:
                         for d_elem in d_records:
                             if d_elem.level == a_elem.level + 1:
                                 results.append((a_elem, d_elem))
                                 stats.cross_pairs += 1
                 else:
-                    n_d = len(d_records)
-                    for a_elem in matched:
-                        results.extend(
-                            (a_elem, d_elem) for d_elem in d_records
-                        )
-                        stats.cross_pairs += n_d
+                    # Two C-level cross products — ``product`` emits
+                    # ancestor-major with descendants in document order,
+                    # and the frozen prefix precedes the top frame's live
+                    # matches, exactly the per-element loops' order.
+                    if prefix:
+                        results.extend(product(prefix, d_records))
+                    if live:
+                        results.extend(product(live, d_records))
+                    stats.cross_pairs += n_matched * len(d_records)
             if context is not None:
                 context.charge_rows(len(results) - cross_before)
             if in_segment:
@@ -449,10 +578,17 @@ class LazyJoiner:
                 # positions (computed before the segment is ever pushed,
                 # so no pairs are lost — Section 4.2).  The nested
                 # Stack-Tree-Desc checkpoints and charges rows through the
-                # same context.
-                a_records = rp.elements(tid_a, sd.sid).records
+                # same context; the compiled columns ride along so the
+                # column kernels skip re-deriving them.
+                a_compiled = get_elements(tid_a, sd.sid)
                 in_pairs = stack_tree_desc(
-                    a_records, d_records, axis=axis, context=context
+                    a_compiled.records,
+                    d_records,
+                    axis=axis,
+                    context=context,
+                    a_starts=a_compiled.starts,
+                    a_ends=a_compiled.ends,
+                    d_starts=d_compiled.starts,
                 )
                 results.extend(in_pairs)
                 stats.in_segment_pairs += len(in_pairs)
@@ -521,41 +657,42 @@ class LazyJoiner:
         stats.elements_trimmed += trimmed
         records = frame.records
         starts = frame.starts
+        # Rebuilt columns keep the ``array('q')`` layout so the column
+        # kernels can take zero-copy views of trimmed frames too.
         frame.records = [records[i] for i in kept]
-        frame.starts = [starts[i] for i in kept]
-        frame.ends = [ends[i] for i in kept]
+        frame.starts = array("q", [starts[i] for i in kept])
+        frame.ends = array("q", [ends[i] for i in kept])
         frame.maxends = _prefix_max(frame.ends)
 
     def _cross_matches_descendant(
-        self, stack: list[_Frame], sd: ERNode, branch_fn
-    ) -> list[ElementRecord]:
+        self, stack: list[_Frame], sd: ERNode, branch_fn, select_open
+    ) -> tuple[tuple, list]:
         """Step 3 cross candidates: frame A-elements joining segment ``sd``.
 
-        Per frame, ``a.start < P < a.end`` candidates lie in the bisected
-        prefix ``starts < P``; a frame whose prefix-max end there does not
-        exceed ``P`` contributes nothing and is dismissed in O(log n).
-        Returned in frame order then element order — the emission order of
-        the uncompiled merge.
+        Only the top frame is scanned live: every covered frame's matches
+        are frozen into the top's ``covered_prefix`` at push time, so the
+        cascade is one branch resolution, one bisect and one
+        ``select_open`` column scan regardless of stack depth.  Candidates
+        for ``a.start < P < a.end`` lie in the bisected prefix
+        ``starts < P``; a top frame whose prefix-max end there does not
+        exceed ``P`` contributes nothing beyond the frozen prefix.
+
+        Returns ``(frozen_prefix, top_matches)`` — kept as two pieces so
+        the caller can emit both cross products without concatenating per
+        descendant segment; prefix pairs precede top pairs, matching the
+        frame-then-element emission order of the uncompiled merge.
         """
-        matched: list[ElementRecord] = []
-        top_index = len(stack) - 1
-        for index, frame in enumerate(stack):
-            if index == top_index or frame.cached_branch is None:
-                branch = branch_fn(frame.node, sd)
-            else:
-                branch = frame.cached_branch
-            hi = bisect_left(frame.starts, branch)
-            if hi == 0 or frame.maxends[hi - 1] <= branch:
-                continue
-            ends = frame.ends
-            records = frame.records
-            for i in range(hi):
-                if ends[i] > branch:
-                    matched.append(records[i])
-        return matched
+        top = stack[-1]
+        branch = branch_fn(top.node, sd)
+        hi = bisect_left(top.starts, branch)
+        if hi == 0 or top.maxends[hi - 1] <= branch:
+            return top.covered_prefix, []
+        live: list[ElementRecord] = []
+        select_open(top.records, top.ends, hi, branch, live)
+        return top.covered_prefix, live
 
     def _cross_matches_child(
-        self, stack: list[_Frame], sd: ERNode
+        self, stack: list[_Frame], sd: ERNode, select_open
     ) -> list[ElementRecord]:
         """Parent/child cross candidates: only ``sd``'s parent segment.
 
@@ -574,20 +711,14 @@ class LazyJoiner:
         hi = bisect_left(top.starts, branch)
         if hi == 0 or top.maxends[hi - 1] <= branch:
             return []
-        ends = top.ends
-        records = top.records
-        return [records[i] for i in range(hi) if ends[i] > branch]
+        matched: list[ElementRecord] = []
+        select_open(top.records, top.ends, hi, branch, matched)
+        return matched
 
 
 def _prefix_max(values) -> list[int]:
     """Running maximum of ``values`` (the frame-dismissal column)."""
-    out = []
-    acc = 0
-    for v in values:
-        if v > acc:
-            acc = v
-        out.append(acc)
-    return out
+    return list(accumulate(values, max))
 
 
 def _elements_containing_a_child(

@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import os
 from array import array
+from itertools import accumulate
 
 from repro.obs.metrics import METRICS
 
@@ -116,6 +117,21 @@ class CompiledElements:
         self.ends = array("q", (r.end for r in self.records))
         self.levels = array("q", (r.level for r in self.records))
 
+    @classmethod
+    def from_columns(cls, records, starts, ends, levels) -> "CompiledElements":
+        """Adopt pre-extracted columns (``ElementIndex.segment_columns``).
+
+        The bulk-extraction path: the index hands over the records tuple
+        and parallel columns in one pass, so compilation never touches the
+        elements one at a time — the cold read path's dominant cost.
+        """
+        self = cls.__new__(cls)
+        self.records = records
+        self.starts = starts
+        self.ends = ends
+        self.levels = levels
+        return self
+
     def __len__(self) -> int:
         return len(self.records)
 
@@ -137,13 +153,7 @@ class CompiledPushList:
         self.records = records
         self.starts = starts
         self.ends = ends
-        maxends = []
-        acc = 0
-        for e in ends:
-            if e > acc:
-                acc = e
-            maxends.append(acc)
-        self.maxends = maxends
+        self.maxends = list(accumulate(ends, max))
 
     def __len__(self) -> int:
         return len(self.records)
@@ -224,7 +234,9 @@ class ReadPathCache:
     def elements(self, tid: int, sid: int) -> CompiledElements:
         """The compiled element arrays for ``(tid, sid)``."""
         if not self.enabled:
-            return CompiledElements(self._index.elements_list(tid, sid))
+            return CompiledElements.from_columns(
+                *self._index.segment_columns(tid, sid)
+            )
         key = (tid, sid)
         version = self._index.version(sid)
         cached = self._elements.get(key)
@@ -240,7 +252,9 @@ class ReadPathCache:
         self.misses += 1
         if METRICS.enabled:
             _M_EL_MISSES.inc()
-        compiled = CompiledElements(self._index.elements_list(tid, sid))
+        compiled = CompiledElements.from_columns(
+            *self._index.segment_columns(tid, sid)
+        )
         self._elements[key] = (version, compiled)
         return compiled
 
@@ -270,23 +284,45 @@ class ReadPathCache:
         return compiled
 
     def _compile_push(self, tid: int, node) -> CompiledPushList:
-        from bisect import bisect_right
+        return self.compile_push_from(self.elements(tid, node.sid), node)
 
-        full = self.elements(tid, node.sid)
+    @staticmethod
+    def compile_push_from(full: CompiledElements, node) -> CompiledPushList:
+        """Optimization-(i) filter over already compiled element columns.
+
+        An element survives iff the first child insertion point past its
+        start lies inside its span.  Starts ascend, so that insertion
+        point is found by advancing a single cursor over the (sorted)
+        child lps — one O(n + m) merge scan instead of a bisect per
+        element.  When every element survives, the compiled columns are
+        shared outright (compiled artifacts are immutable; the join's
+        trim path already copies on write).
+        """
         lps = [child.lp for child in node.children]
         if not lps:
             return CompiledPushList((), array("q"), array("q"))
-        records = []
-        starts = array("q")
-        ends = array("q")
+        f_records = full.records
+        f_starts = full.starts
+        f_ends = full.ends
         n_lps = len(lps)
-        for i, record in enumerate(full.records):
-            idx = bisect_right(lps, record.start)
-            if idx < n_lps and lps[idx] < full.ends[i]:
-                records.append(record)
-                starts.append(full.starts[i])
-                ends.append(full.ends[i])
-        return CompiledPushList(tuple(records), starts, ends)
+        li = 0
+        kept = []
+        for i, start in enumerate(f_starts):
+            while li < n_lps and lps[li] <= start:
+                li += 1
+            if li == n_lps:
+                # Later elements start even further right: no child lp
+                # can fall inside any of their spans either.
+                break
+            if lps[li] < f_ends[i]:
+                kept.append(i)
+        if len(kept) == len(f_records):
+            return CompiledPushList(f_records, f_starts, f_ends)
+        return CompiledPushList(
+            tuple(map(f_records.__getitem__, kept)),
+            array("q", map(f_starts.__getitem__, kept)),
+            array("q", map(f_ends.__getitem__, kept)),
+        )
 
     def segment_list(self, tid: int) -> CompiledSegmentList:
         """The compiled segment list (``SL`` of Lazy-Join) for ``tid``."""

@@ -108,6 +108,7 @@ class DurableDatabase:
         self._checkpoint_every = checkpoint_every
         self._ops_since_checkpoint = 0
         self._poisoned: str | None = None
+        self._deferred: list[dict] | None = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -167,6 +168,15 @@ class DurableDatabase:
                 f"database is read-only after a journal failure "
                 f"({self._poisoned}); reopen {self.directory} to recover"
             )
+        if self._deferred is not None:
+            # Deferred journaling (the sharded coordinator's batching
+            # hook): validate and apply now — later ops' routing depends
+            # on this op's effects — and buffer the record; the journal
+            # write happens once, at :meth:`flush_deferred`.
+            validate_op(self.db, op)
+            result = apply_op(self.db, op)
+            self._deferred.append(dict(op))
+            return result
         validate_op(self.db, op)
         seq = self._last_seq + 1
         try:
@@ -255,6 +265,87 @@ class DurableDatabase:
     def compact(self):
         """Journaled :meth:`LazyXMLDatabase.compact`."""
         return self._commit({"op": "compact"})
+
+    def apply_batch(self, ops: list[dict]) -> list:
+        """Journal and apply several structural ops as **one** commit.
+
+        The whole batch is a single CRC-framed journal record appended and
+        fsynced once — the fsync is the only commit point, so a crash
+        anywhere leaves either none of the batch durable (record absent or
+        torn) or all of it (record complete): recovery can never observe a
+        partially committed batch.  Sub-ops apply in order through the
+        recovery dispatcher; one whose preconditions fail mid-batch is
+        skipped (``None`` in the returned result list), identically live
+        and in replay.  Counts as one op toward ``checkpoint_every``.
+        """
+        return self._commit(
+            {"op": "batch", "ops": [dict(sub) for sub in ops]}
+        )
+
+    # ------------------------------------------------------------------
+    # deferred journaling (the sharded coordinator's batching hook)
+
+    def begin_deferred(self) -> None:
+        """Buffer subsequent commits instead of journaling them per op.
+
+        Each commit still validates and applies immediately (later ops may
+        depend on its effects); the journal write is deferred until
+        :meth:`flush_deferred` appends the whole buffer as **one** batch
+        record with one fsync.  Until that flush the buffered ops are
+        applied in memory but not durable — callers must not acknowledge
+        them before flushing.
+        """
+        self._deferred = []
+
+    def suspend_deferred(self) -> None:
+        """Journal per op again until :meth:`resume_deferred`.
+
+        Only legal with an empty buffer (flush first): the sharded
+        coordinator uses this for document-map-changing ops, whose meta
+        record predicts the exact next journal seq.
+        """
+        if self._deferred:
+            raise JournalError(
+                "cannot suspend deferred journaling with buffered ops; "
+                "flush first"
+            )
+        self._deferred = None
+
+    def resume_deferred(self) -> None:
+        """Re-enter deferred journaling after :meth:`suspend_deferred`."""
+        self._deferred = []
+
+    def flush_deferred(self, *, end: bool = False) -> None:
+        """Append the buffered ops as one batch journal record (one fsync).
+
+        The buffered ops are already applied in memory, so the record is
+        journaled *without* re-applying.  ``end=True`` also leaves
+        deferred mode.  An append failure poisons the handle exactly like
+        a per-op commit: the applied-but-unjournaled suffix can no longer
+        be proven durable through this handle.
+        """
+        ops = self._deferred or []
+        self._deferred = None if end else []
+        if not ops:
+            return
+        if self._poisoned is not None:
+            raise JournalError(
+                f"database is read-only after a journal failure "
+                f"({self._poisoned}); reopen {self.directory} to recover"
+            )
+        seq = self._last_seq + 1
+        try:
+            self._journal.append(seq, {"op": "batch", "ops": ops})
+        except Exception as exc:
+            self._poisoned = f"append of seq {seq} failed: {exc}"
+            raise
+        self._last_seq = seq
+        self._ops_since_checkpoint += 1
+        if (
+            self._checkpoint_every is not None
+            and self._ops_since_checkpoint >= self._checkpoint_every
+        ):
+            self.checkpoint()
 
     # ------------------------------------------------------------------
     # read-side delegation

@@ -51,6 +51,13 @@ FAILPOINT_NAMES = frozenset(
         # point of the two-phase protocol (fired only by sharded sessions).
         "manifest.before_write",  # phase-1 snapshots durable, manifest old
         "manifest.after_write",  # manifest names the new epoch, journals untruncated
+        # Batched apply: the batch record is already durable (the journal
+        # fsync is the single commit point), these bracket the in-memory
+        # application of its sub-ops.  A crash at any of them must recover
+        # to the *post*-batch state — never a partially applied one.
+        "batch.before_apply",  # record durable, no sub-op applied yet
+        "batch.mid_apply",  # first sub-op applied, the rest pending
+        "batch.after_apply",  # every sub-op applied in memory
     }
 )
 

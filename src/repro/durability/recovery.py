@@ -28,6 +28,7 @@ from pathlib import Path
 from repro.core.database import LazyXMLDatabase
 from repro.core.maintenance import require_repackable
 from repro.core.segment import DUMMY_ROOT_SID
+from repro.durability import hooks
 from repro.durability.checkpoint import read_checkpoint
 from repro.durability.wal import JournalScan, read_journal
 from repro.errors import (
@@ -40,17 +41,25 @@ from repro.xml.parser import parse_fragment
 __all__ = [
     "CHECKPOINT_NAME",
     "JOURNAL_NAME",
+    "BATCH_KIND",
+    "OP_KINDS",
     "RecoveryReport",
     "recover",
     "apply_op",
     "validate_op",
+    "validate_batch_ops",
 ]
 
 CHECKPOINT_NAME = "checkpoint.json"
 JOURNAL_NAME = "journal.wal"
 
-#: Operation kinds a journal record may carry.
+#: Operation kinds a journal record may carry as a single record.
 OP_KINDS = ("insert", "remove", "remove_segment", "repack", "compact")
+
+#: The batched-record kind: one journal record carrying a list of
+#: :data:`OP_KINDS` sub-ops, committed by a single fsync and applied under
+#: one version-bump epoch.  Batches never nest.
+BATCH_KIND = "batch"
 
 
 @dataclass
@@ -88,11 +97,19 @@ def validate_op(db: LazyXMLDatabase, op: dict) -> None:
     the same checks, keeping the two paths in lockstep.
     """
     kind = op.get("op")
+    if kind == BATCH_KIND:
+        _validate_batch(db, op)
+        return
     if kind not in OP_KINDS:
         raise RecoveryError(f"unknown journal operation {kind!r}")
     if kind == "insert":
         fragment = op["fragment"]
-        position = op["position"]
+        # An omitted position means append (mirrors the insert() API);
+        # batch sub-ops rely on this since the append point shifts with
+        # every preceding sub-op.
+        position = op.get("position")
+        if position is None:
+            position = db.document_length
         parse_fragment(fragment)
         if not 0 <= position <= db.document_length:
             raise InvalidSegmentError(
@@ -118,12 +135,129 @@ def validate_op(db: LazyXMLDatabase, op: dict) -> None:
         pass
 
 
+def _validate_batch(db: LazyXMLDatabase, op: dict) -> None:
+    """Pre-journal checks for a batch record.
+
+    Sub-ops apply sequentially, so later bounds depend on earlier effects;
+    the checks that *can* run against pre-batch state do (shape, sub-kinds,
+    fragment syntax, splice bounds against the simulated document length).
+    Checks that need state only the application itself produces (segment
+    ids minted mid-batch, repackability after an earlier sub-op) are
+    deferred to apply time, where a failing sub-op is deterministically
+    skipped — identically live and in replay.
+    """
+    validate_batch_ops(op.get("ops"), db.document_length)
+
+
+def validate_batch_ops(ops, doc_len: int) -> None:
+    """The batch checks that run against a (simulated) document length.
+
+    Shared by the single-database batch validation above and the sharded
+    coordinator (which validates against its virtual super-document
+    length), so a malformed batch is rejected *whole* — before any sub-op
+    applies — identically at every layer.
+    """
+    if not isinstance(ops, list) or not ops:
+        raise RecoveryError("batch record must carry a non-empty ops list")
+    for index, sub in enumerate(ops):
+        if not isinstance(sub, dict):
+            raise RecoveryError(f"batch op {index} is not an op record")
+        sub_kind = sub.get("op")
+        if sub_kind not in OP_KINDS:
+            # Unknown kinds and nested batches alike: never journaled.
+            raise RecoveryError(
+                f"batch op {index}: invalid operation {sub_kind!r} "
+                f"(must be one of {OP_KINDS})"
+            )
+        if sub_kind == "insert":
+            fragment = sub.get("fragment")
+            if not isinstance(fragment, str):
+                raise RecoveryError(
+                    f"batch op {index}: insert needs a string 'fragment'"
+                )
+            position = sub.get("position")
+            if position is None:
+                position = doc_len  # omitted position = append
+            elif not isinstance(position, int):
+                raise RecoveryError(
+                    f"batch op {index}: insert 'position' must be an integer"
+                )
+            parse_fragment(fragment)
+            if not 0 <= position <= doc_len:
+                raise InvalidSegmentError(
+                    f"batch op {index}: insert position {position} outside "
+                    f"super document [0, {doc_len}]"
+                )
+            doc_len += len(fragment)
+        elif sub_kind == "remove":
+            position, length = sub.get("position"), sub.get("length")
+            if not isinstance(position, int) or not isinstance(length, int):
+                raise RecoveryError(
+                    f"batch op {index}: remove needs integer 'position' "
+                    f"and 'length'"
+                )
+            if length <= 0:
+                raise InvalidSegmentError(
+                    f"batch op {index}: removal length must be positive, "
+                    f"got {length}"
+                )
+            if position < 0 or position + length > doc_len:
+                raise InvalidSegmentError(
+                    f"batch op {index}: removal span "
+                    f"[{position}, {position + length}) outside super "
+                    f"document [0, {doc_len})"
+                )
+            doc_len -= length
+        elif sub_kind in ("remove_segment", "repack"):
+            if not isinstance(sub.get("sid"), int):
+                raise RecoveryError(
+                    f"batch op {index}: {sub_kind} needs an integer 'sid'"
+                )
+
+
+def _apply_batch(db: LazyXMLDatabase, op: dict) -> list:
+    """Apply a batch record's sub-ops in order; returns per-op results.
+
+    This is the *only* application path for batches — the live commit and
+    crash replay both dispatch here, so a sub-op that fails its apply-time
+    validation is skipped identically in both histories (its result slot
+    is ``None``).  The ``batch.*`` failpoints bracket the in-memory
+    application: by the time the first fires, the record is already
+    durable, so every crash drill must recover to the post-batch state.
+    """
+    hooks.fire("batch.before_apply")
+    results: list = []
+    for index, sub in enumerate(op["ops"]):
+        if index == 1:
+            hooks.fire("batch.mid_apply")
+        try:
+            # No validate_op pre-pass: every op method validates its own
+            # preconditions before the first mutation (insert additionally
+            # rolls back), so a failing sub-op raises the same typed error
+            # without leaving partial state — and skipping the redundant
+            # fragment re-parse is what makes large ingest batches cheap.
+            results.append(apply_op(db, sub))
+        except RecoveryError:
+            raise
+        except ReproError:
+            # The sub-op's preconditions failed against mid-batch state;
+            # the skip is deterministic because this same dispatcher runs
+            # during replay against the same mid-batch state.
+            results.append(None)
+    hooks.fire("batch.after_apply")
+    return results
+
+
 def apply_op(db: LazyXMLDatabase, op: dict):
     """Apply one journal operation to ``db``; returns the op's result."""
     kind = op.get("op")
+    if kind == BATCH_KIND:
+        return _apply_batch(db, op)
     if kind == "insert":
         return db.insert(
-            op["fragment"], op["position"], validate=op.get("validate", "fragment")
+            op["fragment"],
+            op.get("position"),
+            validate=op.get("validate", "fragment"),
         )
     if kind == "remove":
         return db.remove(op["position"], op["length"])

@@ -1,0 +1,417 @@
+"""Column-at-a-time join kernels: the vectorized inner loops of the joins.
+
+The compiled read path (:mod:`repro.core.readpath`) already freezes each
+segment's element lists into flat, start-sorted ``array('q')`` columns.
+The original join loops nevertheless walked Python frames per element:
+Stack-Tree-Desc touched every descendant individually, and the
+cross-segment cascade scanned candidate ends one index at a time.  This
+module provides the same computations as *whole-run* kernels:
+
+- :func:`std_pairs_python` — Stack-Tree-Desc where the unit of work is a
+  *run* of consecutive descendants sharing one ancestor stack.  The run's
+  extent is found with two bisects over the start column (the next
+  ancestor push and the top-of-stack expiry are the only stack events),
+  and the run's pairs are emitted with a single C-level comprehension
+  instead of a per-descendant interpreter loop.
+- :func:`std_pairs_numpy` — the same join as pure column arithmetic: for
+  a laminar (tree-shaped) interval family, ancestor ``a`` joins exactly
+  the contiguous descendant range ``a.start < d.start < a.end``, so two
+  ``searchsorted`` calls produce every per-ancestor range, ``repeat`` /
+  ``cumsum`` expand them to index pairs, and one ``lexsort`` restores the
+  (descendant, ancestor-start) emission order of the frame walk.
+- :func:`select_open_python` / :func:`select_open_numpy` — the Step 3
+  cross-segment candidate scan (``ends[i] > branch`` over a bisected
+  prefix), as one comprehension over zipped column slices or one numpy
+  compare + take.
+
+**Parity contract.** Every kernel consumes start-sorted element sequences
+from a tree labeling: intervals are laminar (no partial overlap), starts
+are unique within one list, and ``end > start``.  On that domain each
+kernel returns the byte-identical pair list — same pairs, same order —
+as the legacy frame-walking loop, which `tests/test_join_kernels.py`
+asserts property-style across adversarial layouts.  ``JoinStatistics``
+is unaffected: the kernels replace only emission loops, never the
+counters' control flow.
+
+**Backend selection.** ``REPRO_JOIN_KERNEL`` picks the process default:
+``python`` (default), ``numpy`` (vectorized, requires numpy), or
+``legacy`` (the original loops, kept as the parity reference).  numpy is
+strictly optional — requesting it without numpy installed degrades
+silently to ``python``, as does an unrecognized value: a typo may change
+which identical-result kernel runs, never the results.  Budget
+*enforcement points* are backend-dependent (a run or a whole kernel call
+is one cancellation checkpoint instead of one descendant), but charged
+totals and completed results are identical.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_left, bisect_right
+from contextlib import contextmanager
+from itertools import chain, repeat
+
+from repro.errors import QueryError
+
+__all__ = [
+    "KERNEL_ENV",
+    "BACKENDS",
+    "current_backend",
+    "numpy_available",
+    "normalize_backend",
+    "set_backend",
+    "use_backend",
+    "std_pairs_python",
+    "std_pairs_numpy",
+    "select_open_python",
+    "select_open_numpy",
+    "open_selector",
+]
+
+#: Environment variable naming the default kernel backend.
+KERNEL_ENV = "REPRO_JOIN_KERNEL"
+
+#: Recognized backend names, in "most conservative first" order.
+BACKENDS = ("legacy", "python", "numpy")
+
+_np = None
+_np_checked = False
+
+
+def _numpy():
+    """The numpy module, or ``None`` — checked once, never required."""
+    global _np, _np_checked
+    if not _np_checked:
+        _np_checked = True
+        try:
+            import numpy  # noqa: F401 — optional accelerator
+
+            _np = numpy
+        except Exception:  # pragma: no cover - environment-dependent
+            _np = None
+    return _np
+
+
+def numpy_available() -> bool:
+    """Whether the optional numpy backend can actually run."""
+    return _numpy() is not None
+
+
+def normalize_backend(name: str) -> str:
+    """Validate an explicitly requested backend name (typed error)."""
+    if name not in BACKENDS:
+        raise QueryError(
+            f"join kernel must be one of {BACKENDS}, got {name!r}"
+        )
+    return name
+
+
+_forced: str | None = None
+
+
+def current_backend() -> str:
+    """The active backend: override, else ``REPRO_JOIN_KERNEL``, else python.
+
+    ``numpy`` without numpy installed and unrecognized environment values
+    both degrade to ``python`` — results never depend on the selection.
+    """
+    name = _forced
+    if name is None:
+        name = os.environ.get(KERNEL_ENV, "python")
+    if name not in BACKENDS:
+        name = "python"
+    if name == "numpy" and not numpy_available():
+        return "python"
+    return name
+
+
+def set_backend(name: str | None) -> None:
+    """Force a backend process-wide (``None`` restores env resolution)."""
+    global _forced
+    _forced = None if name is None else normalize_backend(name)
+
+
+@contextmanager
+def use_backend(name: str | None):
+    """Scoped :func:`set_backend` — the parity tests' switch."""
+    global _forced
+    previous = _forced
+    set_backend(name)
+    try:
+        yield
+    finally:
+        _forced = previous
+
+
+# ----------------------------------------------------------------------
+# Stack-Tree-Desc kernels
+
+
+def _column(values, records, attr):
+    """An indexable int column: the caller's precompiled one, or derived."""
+    if values is not None:
+        return values
+    return [getattr(record, attr) for record in records]
+
+
+def std_pairs_python(
+    ancestors,
+    descendants,
+    *,
+    child_only: bool = False,
+    context=None,
+    a_starts=None,
+    a_ends=None,
+    d_starts=None,
+) -> list[tuple]:
+    """Run-at-a-time Stack-Tree-Desc over start-sorted laminar lists.
+
+    Between two stack events — the next ancestor push (first descendant
+    starting strictly after the next unpushed ancestor) and the top
+    frame's expiry (first descendant starting at or after the top's end,
+    the minimal end on a nested stack) — every descendant sees the same
+    stack, so its extent is two bisects and its pairs one comprehension.
+    Column arguments are optional precompiled ``array('q')`` columns;
+    omitted, they are derived from the records.
+    """
+    n_a = len(ancestors)
+    n_d = len(descendants)
+    if not n_a or not n_d:
+        return []
+    a_starts = _column(a_starts, ancestors, "start")
+    a_ends = _column(a_ends, ancestors, "end")
+    d_starts = _column(d_starts, descendants, "start")
+    results: list[tuple] = []
+    stack_recs: list = []
+    stack_ends: list[int] = []
+    ai = 0
+    di = 0
+    while di < n_d:
+        if context is not None:
+            context.tick()
+        ds = d_starts[di]
+        if not stack_recs:
+            if ai >= n_a:
+                break
+            nxt = a_starts[ai]
+            if ds <= nxt:
+                # No pair is possible before the next ancestor starts:
+                # gallop the whole descendant run with one bisect.
+                di = bisect_right(d_starts, nxt, di, n_d)
+                continue
+        # Push every ancestor starting strictly before this descendant.
+        while ai < n_a and a_starts[ai] < ds:
+            a_end = a_ends[ai]
+            if a_end <= ds:
+                # Expires before any remaining descendant starts (starts
+                # ascend): it can never contain one, so it would only be
+                # pushed and immediately expired.  Skip the frame churn —
+                # this is what makes disjoint inputs a pure counting scan.
+                ai += 1
+                continue
+            a_start = a_starts[ai]
+            while stack_ends and stack_ends[-1] <= a_start:
+                stack_ends.pop()
+                stack_recs.pop()
+            stack_recs.append(ancestors[ai])
+            stack_ends.append(a_end)
+            ai += 1
+        if context is not None:
+            context.charge_depth(len(stack_recs))
+        # Expire frames that end at or before this descendant's start.
+        while stack_ends and stack_ends[-1] <= ds:
+            stack_ends.pop()
+            stack_recs.pop()
+        if not stack_recs:
+            continue
+        # The run: descendants before the top frame expires (nested stack
+        # means the top holds the minimal end) and not past the next
+        # ancestor's start (a push happens only for d.start > a.start).
+        # Single-descendant runs (alternating shapes) are detected with
+        # two comparisons instead of two bisects: descendant ``di`` is
+        # always inside the run, so it is alone in it exactly when the
+        # next start already crosses one of the run bounds.
+        ndi = di + 1
+        if ndi >= n_d or d_starts[ndi] >= stack_ends[-1] or (
+            ai < n_a and d_starts[ndi] > a_starts[ai]
+        ):
+            d = descendants[di]
+            if child_only:
+                top = stack_recs[-1]
+                if top.level + 1 == d.level:
+                    results.append((top, d))
+                    if context is not None:
+                        context.charge_rows(1)
+            elif len(stack_recs) == 1:
+                results.append((stack_recs[0], d))
+                if context is not None:
+                    context.charge_rows(1)
+            else:
+                results.extend(zip(stack_recs, repeat(d)))
+                if context is not None:
+                    context.charge_rows(len(stack_recs))
+            di = ndi
+            continue
+        hi = bisect_left(d_starts, stack_ends[-1], ndi, n_d)
+        if ai < n_a:
+            cap = bisect_right(d_starts, a_starts[ai], ndi, n_d)
+            if cap < hi:
+                hi = cap
+        run = descendants[di:hi]
+        if child_only:
+            top = stack_recs[-1]
+            want = top.level + 1
+            emitted = [(top, d) for d in run if d.level == want]
+            if emitted:
+                results.extend(emitted)
+                if context is not None:
+                    context.charge_rows(len(emitted))
+        else:
+            # Descendant-major emission, ancestors ascending by start
+            # (stack order) within each descendant — all C-level: one
+            # zip per descendant for deep stacks, one zip total for the
+            # common single-ancestor stack.
+            if len(stack_recs) == 1:
+                results.extend(zip(repeat(stack_recs[0]), run))
+            else:
+                srecs = stack_recs
+                results.extend(
+                    chain.from_iterable(
+                        [zip(srecs, repeat(d)) for d in run]
+                    )
+                )
+            if context is not None:
+                context.charge_rows(len(stack_recs) * len(run))
+        di = hi
+    return results
+
+
+def std_pairs_numpy(
+    ancestors,
+    descendants,
+    *,
+    child_only: bool = False,
+    context=None,
+    a_starts=None,
+    a_ends=None,
+    d_starts=None,
+) -> list[tuple]:
+    """Fully vectorized Stack-Tree-Desc (descendant axis).
+
+    Laminar intervals make containment a pure range condition per
+    ancestor (``a.start < d.start < a.end`` over start-sorted
+    descendants), so the whole join is two ``searchsorted`` calls, a
+    ``repeat``/``cumsum`` range expansion, and one ``lexsort`` back into
+    frame-walk emission order.  The child axis (and a missing numpy)
+    delegate to :func:`std_pairs_python` — child emission is bounded by
+    one pair per descendant, which the run kernel already handles without
+    materializing the full containment relation.
+    """
+    np = _numpy()
+    if np is None or child_only:
+        return std_pairs_python(
+            ancestors,
+            descendants,
+            child_only=child_only,
+            context=context,
+            a_starts=a_starts,
+            a_ends=a_ends,
+            d_starts=d_starts,
+        )
+    n_a = len(ancestors)
+    n_d = len(descendants)
+    if not n_a or not n_d:
+        return []
+    if context is not None:
+        context.tick()
+    a_s = _np_column(np, a_starts, ancestors, "start")
+    a_e = _np_column(np, a_ends, ancestors, "end")
+    d_s = _np_column(np, d_starts, descendants, "start")
+    lo = np.searchsorted(d_s, a_s, side="right")
+    hi = np.searchsorted(d_s, a_e, side="left")
+    counts = hi - lo  # >= 0: start < end makes lo <= hi
+    total = int(counts.sum())
+    if total == 0:
+        return []
+    prefix = np.cumsum(counts) - counts
+    a_idx = np.repeat(np.arange(n_a, dtype=np.int64), counts)
+    d_idx = np.arange(total, dtype=np.int64) - np.repeat(prefix - lo, counts)
+    if context is not None:
+        # The frame walk's budgets, charged wholesale: the deepest
+        # containment nesting and every emitted row.
+        context.charge_depth(int(np.bincount(d_idx, minlength=1).max()))
+        context.charge_rows(total)
+    order = np.lexsort((a_idx, d_idx))  # descendant-major, ancestor minor
+    a_get = ancestors.__getitem__
+    d_get = descendants.__getitem__
+    return list(
+        zip(map(a_get, a_idx[order].tolist()), map(d_get, d_idx[order].tolist()))
+    )
+
+
+def _np_column(np, values, records, attr):
+    """A contiguous int64 view/copy of a column for searchsorted."""
+    if values is None:
+        return np.fromiter(
+            (getattr(record, attr) for record in records),
+            dtype=np.int64,
+            count=len(records),
+        )
+    try:
+        # array('q') (and any 8-byte int buffer): zero-copy view.
+        return np.frombuffer(values, dtype=np.int64)
+    except (TypeError, ValueError, BufferError):
+        return np.asarray(values, dtype=np.int64)
+
+
+# ----------------------------------------------------------------------
+# cross-segment candidate-scan kernels (the Step 3 bisect cascade)
+
+
+def select_open_python(records, ends, hi: int, branch: int, out: list) -> None:
+    """Append ``records[i]`` for ``i < hi`` with ``ends[i] > branch``.
+
+    One C-level column slice plus a zipped comprehension — the caller has
+    already bisected ``hi`` (count of starts below the branch point) and
+    pre-screened the frame via its prefix-max column.
+    """
+    out.extend(
+        [record for record, end in zip(records, ends[:hi]) if end > branch]
+    )
+
+
+def select_open_numpy(records, ends, hi: int, branch: int, out: list) -> None:
+    """numpy variant of :func:`select_open_python` (same contract).
+
+    Below ``_NUMPY_SELECT_MIN`` candidates the array round-trip costs more
+    than the zipped comprehension, so short prefixes take the python path
+    — the selected records are identical either way.
+    """
+    np = _numpy()
+    if np is None or hi < _NUMPY_SELECT_MIN:
+        return select_open_python(records, ends, hi, branch, out)
+    try:
+        column = np.frombuffer(ends, dtype=np.int64)[:hi]
+    except (TypeError, ValueError, BufferError):
+        column = np.asarray(ends[:hi], dtype=np.int64)
+    matches = np.nonzero(column > branch)[0]
+    if matches.size:
+        out.extend(map(records.__getitem__, matches.tolist()))
+
+
+#: Candidate-prefix length below which numpy setup dominates the scan.
+_NUMPY_SELECT_MIN = 64
+
+#: Combined input size below which the run kernel beats full
+#: vectorization for Stack-Tree-Desc (dispatcher heuristic only —
+#: explicitly requested kernels are always honored).
+NUMPY_STD_MIN = 64
+
+
+def open_selector(backend: str | None = None):
+    """The candidate-scan kernel for ``backend`` (default: current)."""
+    if backend is None:
+        backend = current_backend()
+    if backend == "numpy" and numpy_available():
+        return select_open_numpy
+    return select_open_python

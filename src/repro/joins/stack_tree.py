@@ -13,6 +13,11 @@ the variant the paper extends.
 
 Works over any objects exposing ``start``, ``end`` (end-exclusive) and
 ``level`` attributes, e.g. :class:`~repro.core.element_index.ElementRecord`.
+
+:func:`stack_tree_desc` is a dispatcher over the column-at-a-time kernels
+of :mod:`repro.joins.kernels` (selected by ``REPRO_JOIN_KERNEL`` or the
+``kernel`` argument); the original frame-walking loop is kept verbatim as
+the ``legacy`` backend and the parity-testing reference.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ from collections.abc import Sequence
 from operator import attrgetter
 
 from repro.errors import QueryError
+from repro.joins import kernels
 from repro.obs.metrics import METRICS
 
 _start_of = attrgetter("start")
@@ -48,6 +54,10 @@ def stack_tree_desc(
     axis: str = AXIS_DESCENDANT,
     *,
     context=None,
+    a_starts=None,
+    a_ends=None,
+    d_starts=None,
+    kernel: str | None = None,
 ) -> list[tuple]:
     """Join two start-sorted element lists on containment.
 
@@ -58,9 +68,10 @@ def stack_tree_desc(
     ``descendant.level == ancestor.level + 1``.
 
     ``context`` is an optional
-    :class:`~repro.service.context.QueryContext`: the descendant loop is a
-    cooperative cancellation checkpoint, emitted pairs are charged against
-    the row budget and stack pushes against the depth budget.  The join is
+    :class:`~repro.service.context.QueryContext`: the descendant loop (a
+    run of descendants, in the column kernels) is a cooperative
+    cancellation checkpoint, emitted pairs are charged against the row
+    budget and stack pushes against the depth budget.  The join is
     read-only, so an abort leaves no trace.
 
     Self-joins are safe: an element never pairs with itself because
@@ -72,10 +83,55 @@ def stack_tree_desc(
     whole run (and an empty stack with the ancestors exhausted ends the
     merge outright).  Emission order is unchanged — skipped descendants
     emitted nothing in the plain merge either.
+
+    ``a_starts``/``a_ends``/``d_starts`` are optional precompiled integer
+    columns parallel to the record sequences (the read-path cache's
+    ``array('q')`` layouts); omitted, the kernels derive them.  ``kernel``
+    pins a :mod:`repro.joins.kernels` backend for this call (the parity
+    suite's switch); by default ``REPRO_JOIN_KERNEL`` decides.  Every
+    backend returns the identical pair list.
     """
     if axis not in _AXES:
         raise QueryError(f"axis must be one of {_AXES}, got {axis!r}")
     child_only = axis == AXIS_CHILD
+    if kernel is None:
+        backend = kernels.current_backend()
+        # Auto mode: full vectorization only pays off past a size floor;
+        # the run kernel wins on small inputs (identical results).
+        if (
+            backend == "numpy"
+            and len(ancestors) + len(descendants) < kernels.NUMPY_STD_MIN
+        ):
+            backend = "python"
+    else:
+        backend = kernels.normalize_backend(kernel)
+    if backend == "numpy":
+        results = kernels.std_pairs_numpy(
+            ancestors, descendants, child_only=child_only, context=context,
+            a_starts=a_starts, a_ends=a_ends, d_starts=d_starts,
+        )
+    elif backend == "python":
+        results = kernels.std_pairs_python(
+            ancestors, descendants, child_only=child_only, context=context,
+            a_starts=a_starts, a_ends=a_ends, d_starts=d_starts,
+        )
+    else:
+        results = _stack_tree_desc_legacy(
+            ancestors, descendants, child_only, context
+        )
+    if METRICS.enabled:
+        _M_CALLS.inc()
+        _M_PAIRS.inc(len(results))
+    return results
+
+
+def _stack_tree_desc_legacy(
+    ancestors: Sequence,
+    descendants: Sequence,
+    child_only: bool,
+    context,
+) -> list[tuple]:
+    """The original per-descendant frame walk — the parity reference."""
     results: list[tuple] = []
     stack: list = []
     a_index = 0
@@ -123,9 +179,6 @@ def stack_tree_desc(
             if context is not None:
                 context.charge_rows(len(stack))
         d_index += 1
-    if METRICS.enabled:
-        _M_CALLS.inc()
-        _M_PAIRS.inc(len(results))
     return results
 
 

@@ -317,6 +317,14 @@ class NetClient:
             "insert", fragment=fragment, position=position, **args
         )
 
+    async def batch(self, ops: list, **args) -> dict:
+        """Apply op records as one commit; see the ``batch`` command.
+
+        Like any write, a lost ack leaves the (whole) batch possibly
+        durable — retry only when re-applying is acceptable.
+        """
+        return await self.request("batch", ops=ops, **args)
+
     async def pin(self) -> dict:
         return await self.request("pin")
 

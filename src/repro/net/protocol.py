@@ -240,6 +240,41 @@ def _cmd_insert(service, session, request, ctx):
     return {"sid": receipt.sid, "gp": receipt.gp}
 
 
+def _batch_slot(sub: dict, result) -> dict | None:
+    """One batch sub-op's wire summary (None = skipped sub-op)."""
+    if result is None:
+        return None
+    kind = sub.get("op")
+    if kind == "insert":
+        return {"sid": result.sid, "gp": result.gp}
+    if kind in ("remove", "remove_segment"):
+        return {"elements_removed": result.elements_removed}
+    if kind == "repack":
+        return {"repacked": True}
+    results = result if isinstance(result, list) else [result]
+    return {
+        "segments_before": sum(r.segments_before for r in results),
+        "segments_after": sum(r.segments_after for r in results),
+    }
+
+
+def _cmd_batch(service, session, request, ctx):
+    """Apply a list of op records as one commit (one fsync, one epoch)."""
+    ops = request.get("ops")
+    if (
+        not isinstance(ops, list)
+        or not ops
+        or not all(isinstance(sub, dict) for sub in ops)
+    ):
+        raise ProtocolError("batch needs a non-empty 'ops' list of op records")
+    results = service.apply_batch(ops)
+    return {
+        "results": [_batch_slot(sub, res) for sub, res in zip(ops, results)],
+        "applied": sum(1 for res in results if res is not None),
+        "skipped": sum(1 for res in results if res is None),
+    }
+
+
 def _cmd_remove(service, session, request, ctx):
     if "position" not in request or "length" not in request:
         raise ProtocolError("remove needs 'position' and 'length'")
@@ -307,6 +342,7 @@ COMMANDS = {
     "query": _cmd_query,
     "join": _cmd_join,
     "insert": _cmd_insert,
+    "batch": _cmd_batch,
     "remove": _cmd_remove,
     "remove_segment": _cmd_remove_segment,
     "repack": _cmd_repack,

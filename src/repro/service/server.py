@@ -483,6 +483,21 @@ class DatabaseService:
         """Operator-requested compact (maintenance class, breaker-guarded)."""
         return self._maintenance_op({"op": "compact"}, wait_timeout=wait_timeout)
 
+    def apply_batch(self, ops: list[dict], *, wait_timeout=None):
+        """Apply several structural ops as **one** write; per-op results.
+
+        The batch is one admission ticket, one primary commit (durable
+        primaries journal it as a single CRC-framed record with a single
+        fsync) and one epoch publish — read-path caches invalidate once
+        per batch rather than once per op.  Sub-ops use the journal
+        dialect; one whose preconditions fail mid-batch yields ``None``
+        in its result slot.
+        """
+        return self._write(
+            {"op": "batch", "ops": [dict(sub) for sub in ops]},
+            wait_timeout=wait_timeout,
+        )
+
     def _write(self, op: dict, *, wait_timeout=None, request_class: str = "write"):
         self._ensure_open()
         if (
@@ -526,6 +541,8 @@ class DatabaseService:
             )
         if self._durable or self._sharded:
             kind = op["op"]
+            if kind == "batch":
+                return self.primary.apply_batch(op["ops"])
             if kind == "insert":
                 return self.primary.insert(
                     op["fragment"],

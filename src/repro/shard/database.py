@@ -40,6 +40,7 @@ from __future__ import annotations
 import heapq
 import threading
 from bisect import bisect_right
+from contextlib import contextmanager
 from dataclasses import dataclass, fields
 from typing import NamedTuple
 
@@ -49,8 +50,8 @@ from repro.core.join import JoinStatistics
 from repro.core.query import parse_path
 from repro.core.segment import DUMMY_ROOT_SID
 from repro.core.update_log import LogStats
-from repro.durability.recovery import apply_op
-from repro.errors import InvalidSegmentError, QueryError
+from repro.durability.recovery import OP_KINDS, apply_op, validate_batch_ops
+from repro.errors import InvalidSegmentError, QueryError, RecoveryError, ReproError
 from repro.joins.stack_tree import AXIS_DESCENDANT
 from repro.obs.metrics import METRICS, SIZE_BUCKETS
 from repro.shard.catalog import TagCatalog
@@ -636,6 +637,68 @@ class ShardedDatabase:
         with self._lock:
             targets = range(self._n) if shard is None else [shard]
             return [self._commit(s, {"op": "compact"}) for s in targets]
+
+    def apply_batch(self, ops: list[dict]) -> list:
+        """Apply a batch of virtual-coordinate op records in order.
+
+        Each record uses the journal dialect with *virtual-global*
+        positions; the coordinator routes every sub-op to its shard under
+        one lock acquisition, so no reader interleaves mid-batch.  A
+        sub-op whose preconditions fail against mid-batch state yields
+        ``None`` in its result slot, mirroring the single-database skip
+        semantics.  The durable subclass turns each shard's share of the
+        batch into a single journal record (atomicity is per shard there —
+        see :class:`~repro.shard.durable.ShardedDurableDatabase`).
+        """
+        results: list = []
+        with self._lock:
+            # Whole-batch validation against the virtual super-document
+            # length first, so a malformed batch is rejected before any
+            # sub-op applies — identically to the single database.
+            validate_batch_ops(
+                list(ops),
+                sum(self._base(i).document_length for i in range(self._n)),
+            )
+            with self._batched_commits():
+                for sub in ops:
+                    kind = sub.get("op")
+                    try:
+                        if kind == "insert":
+                            results.append(
+                                self.insert(
+                                    sub["fragment"],
+                                    sub.get("position"),
+                                    validate=sub.get("validate", "fragment"),
+                                )
+                            )
+                        elif kind == "remove":
+                            results.append(
+                                self.remove(sub["position"], sub["length"])
+                            )
+                        elif kind == "remove_segment":
+                            results.append(self.remove_segment(sub["sid"]))
+                        elif kind == "repack":
+                            results.append(self.repack(sub["sid"]))
+                        elif kind == "compact":
+                            results.append(self.compact())
+                        else:  # pragma: no cover - caught by validation
+                            raise RecoveryError(
+                                f"invalid batch operation {kind!r} "
+                                f"(must be one of {OP_KINDS})"
+                            )
+                    except RecoveryError:
+                        raise
+                    except ReproError:
+                        # Apply-time precondition failure against
+                        # mid-batch state: deterministic skip, matching
+                        # the single-database batch dispatcher.
+                        results.append(None)
+        return results
+
+    @contextmanager
+    def _batched_commits(self):
+        """Hook for the durable layer's per-shard journal batching."""
+        yield
 
     # ------------------------------------------------------------------
     # scatter-gather queries

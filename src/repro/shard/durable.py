@@ -44,6 +44,7 @@ but not atomic as a set.
 from __future__ import annotations
 
 import json
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro.durability import hooks
@@ -210,6 +211,7 @@ class ShardedDurableDatabase(ShardedDatabase):
         self._meta_seq = meta_seq
         self._checkpoint_every = checkpoint_every
         self._ops_since_checkpoint = 0
+        self._in_batch = False
         try:
             self.check_invariants()
         except AssertionError as exc:
@@ -339,14 +341,80 @@ class ShardedDurableDatabase(ShardedDatabase):
         )
 
     def _commit(self, shard: int, op: dict, doc_change=None):
-        result = super()._commit(shard, op, doc_change)
+        if self._in_batch and doc_change is not None:
+            # Document-map changes keep the per-op meta protocol: the meta
+            # record predicts the exact shard journal seq the commit is
+            # about to take, so every pending batch buffer must flush
+            # first (per-shard journal order == live apply order) and the
+            # op itself journals immediately instead of riding the batch.
+            self._flush_deferred()
+            durable = self._shards[shard]
+            durable.suspend_deferred()
+            try:
+                result = super()._commit(shard, op, doc_change)
+            finally:
+                durable.resume_deferred()
+        else:
+            result = super()._commit(shard, op, doc_change)
         self._ops_since_checkpoint += 1
         if (
-            self._checkpoint_every is not None
+            not self._in_batch
+            and self._checkpoint_every is not None
             and self._ops_since_checkpoint >= self._checkpoint_every
         ):
+            # A coordinated checkpoint mid-batch would snapshot applied-
+            # but-unjournaled sub-ops under a last_seq that does not cover
+            # them (their later batch record would then replay on top —
+            # a double apply); the trigger is re-checked at batch end.
             self.checkpoint()
         return result
+
+    # ------------------------------------------------------------------
+    # batched commits (one journal record per shard share)
+
+    @contextmanager
+    def _batched_commits(self):
+        """Per-shard deferred journaling for the span of one apply_batch.
+
+        Every shard buffers its share of the batch and flushes it as a
+        single CRC-framed journal record with one fsync — so the batch
+        costs one fsync *per touched shard* instead of one per op, and
+        recovery sees each shard's share apply all-or-nothing.  Atomicity
+        is per shard: a crash between two shard flushes durably keeps one
+        shard's share and not the other's (same caveat as multi-document
+        removals, DESIGN.md §4f).  The flush runs even when a sub-op
+        raises, keeping disk in lockstep with the already-applied prefix.
+        """
+        for durable in self._shards:
+            durable.begin_deferred()
+        self._in_batch = True
+        try:
+            yield
+        finally:
+            self._in_batch = False
+            self._flush_deferred(end=True)
+            if (
+                self._checkpoint_every is not None
+                and self._ops_since_checkpoint >= self._checkpoint_every
+            ):
+                self.checkpoint()
+
+    def _flush_deferred(self, end: bool = False) -> None:
+        """Flush every shard's buffer; first failure re-raised at the end.
+
+        A failing shard poisons its own handle (its applied suffix can no
+        longer be proven durable there), but the other shards' buffers
+        still flush — their in-memory state must stay provably on disk.
+        """
+        first_error: Exception | None = None
+        for durable in self._shards:
+            try:
+                durable.flush_deferred(end=end)
+            except Exception as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
 
     # ------------------------------------------------------------------
     # coordinated checkpoint

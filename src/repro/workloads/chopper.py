@@ -32,7 +32,14 @@ from repro.errors import UpdateError
 from repro.xml.model import XMLDocument, XMLElement
 from repro.xml.parser import parse
 
-__all__ = ["InsertOp", "choose_segment_roots", "chop", "apply_chop", "chop_text"]
+__all__ = [
+    "InsertOp",
+    "choose_segment_roots",
+    "chop",
+    "chop_records",
+    "apply_chop",
+    "chop_text",
+]
 
 _SHAPES = ("nested", "balanced")
 
@@ -154,9 +161,26 @@ def chop(document: XMLDocument, roots: list[XMLElement]) -> list[InsertOp]:
     return ops
 
 
+def chop_records(ops: list[InsertOp]) -> list[dict]:
+    """Insertion ops as journal-dialect records (``apply_batch`` input)."""
+    return [
+        {"op": "insert", "fragment": op.fragment, "position": op.position}
+        for op in ops
+    ]
+
+
 def apply_chop(db: LazyXMLDatabase, ops: list[InsertOp]) -> list[int]:
-    """Execute insertion ops in order; return the created sids."""
-    return [db.insert(op.fragment, op.position).sid for op in ops]
+    """Execute insertion ops as **one batch**; return the created sids.
+
+    Every bulk load (XMark/DBLP chops, the CLI ``load`` command, bench
+    harnesses) funnels through here, so durable targets pay one journal
+    fsync for the whole document and services invalidate read-path epochs
+    once instead of once per segment.
+    """
+    if not ops:
+        return []
+    receipts = db.apply_batch(chop_records(ops))
+    return [receipt.sid for receipt in receipts]
 
 
 def chop_text(

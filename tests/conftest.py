@@ -13,6 +13,30 @@ def rng():
     return random.Random(0xC0FFEE)
 
 
+@pytest.fixture(scope="session")
+def xmark_text():
+    """Session-cached XMark document texts, keyed by (scale, seed, opts).
+
+    Generating an XMark site dominates several integration tests'
+    runtime; the generator is deterministic per configuration and the
+    returned text is an immutable str, so one copy can safely serve every
+    test that asks for the same configuration.
+    """
+    from repro.workloads.xmark import XMarkConfig, generate_site
+
+    cache: dict = {}
+
+    def build(scale: float = 0.01, seed: int = 1, **options) -> str:
+        key = (scale, seed, tuple(sorted(options.items())))
+        if key not in cache:
+            cache[key] = generate_site(
+                XMarkConfig(scale=scale, seed=seed, **options)
+            ).to_xml()
+        return cache[key]
+
+    return build
+
+
 @pytest.fixture(autouse=True)
 def _no_leaked_failpoints():
     """Keep durability failpoints from leaking between tests."""

@@ -32,8 +32,10 @@ __all__ = [
     "ReferenceDatabase",
     "ReplayResult",
     "ShardedReplayResult",
+    "BatchedReplayResult",
     "replay_random_sequence",
     "replay_sharded_sequence",
+    "replay_batched_sequence",
     "safe_insert_positions",
 ]
 
@@ -303,6 +305,142 @@ def replay_sharded_sequence(
             )
             position = rng.choice(safe_insert_positions(ref.text))
             apply_insert(fragment, position)
+        if step_hook is not None:
+            step_hook(result)
+    return result
+
+
+# ----------------------------------------------------------------------
+# batched replay: the same op stream, grouped into apply_batch calls on
+# one side and applied one commit at a time on the other
+
+
+@dataclass
+class BatchedReplayResult:
+    """One seeded batched replay: batch-path and serial-path databases of
+    the same type, the string-splice reference, and the op trace."""
+
+    batched: "object"  # LazyXMLDatabase or ShardedDatabase
+    serial: "object"
+    reference: ReferenceDatabase
+    tags: list[str]
+    batches: int = 0
+    batched_ops: int = 0
+    singles: int = 0
+    removes: int = 0
+    ops: list[str] = field(default_factory=list)
+
+
+def _global_spans(db, tag) -> list[tuple[int, int]]:
+    """Per-tag global spans for either a single or a sharded database."""
+    spans = []
+    for element in db.global_elements(tag):
+        if hasattr(element, "gspan"):
+            spans.append(element.gspan)
+        else:
+            spans.append((element.start, element.end))
+    spans.sort()
+    return spans
+
+
+def _batched_removal(serial, rng, tags, sharded: bool):
+    """A removable span valid on both paths: a whole element, or (for the
+    sharded model, occasionally) a whole top-level document."""
+    if sharded and rng.random() < 0.25:
+        docs = serial._doc_table()
+        if docs:
+            doc = rng.choice(docs)
+            return doc.vstart, doc.vend - doc.vstart
+    tag = rng.choice(tags)
+    spans = _global_spans(serial, tag)
+    if not spans:
+        return None
+    start, end = rng.choice(spans)
+    return start, end - start
+
+
+def replay_batched_sequence(
+    seed: int,
+    *,
+    n_shards: int | None = None,
+    n_steps: int = 6,
+    n_tags: int = 4,
+    fragment_elements: int = 5,
+    step_hook=None,
+) -> BatchedReplayResult:
+    """Drive one seeded update stream through ``apply_batch`` on one
+    database and op-at-a-time commits on an identical twin.
+
+    Each step either groups 2-4 ops into a single ``apply_batch`` call on
+    the batched side or applies one op through the normal method — the
+    serial twin and the string-splice reference always advance one op at a
+    time, so every record's position is chosen against exactly the state
+    the batch will have reached when that sub-op executes.  With
+    ``n_shards`` set, both twins are ``ShardedDatabase(n_shards)`` and the
+    stream includes whole-document removals (doc-map changes mid-batch).
+    ``step_hook(result)`` runs after every step for interleaved
+    query-parity checks.
+    """
+    from repro.shard import ShardedDatabase
+
+    rng = random.Random(seed)
+    tags = tag_pool(n_tags)
+    if n_shards is None:
+        batched, serial = LazyXMLDatabase(), LazyXMLDatabase()
+    else:
+        batched = ShardedDatabase(n_shards)
+        serial = ShardedDatabase(n_shards)
+    ref = ReferenceDatabase()
+    result = BatchedReplayResult(
+        batched=batched, serial=serial, reference=ref, tags=tags
+    )
+
+    def generate_record() -> dict:
+        """Mint the next op record and advance serial + reference."""
+        removal = None
+        if rng.random() < 0.3 and ref.text:
+            removal = _batched_removal(serial, rng, tags, n_shards is not None)
+        if removal is not None:
+            position, length = removal
+            record = {"op": "remove", "position": position, "length": length}
+            serial.remove(position, length)
+            ref.remove(position, length)
+            result.removes += 1
+            result.ops.append(f"remove [{position}, {position + length})")
+        else:
+            fragment = generate_fragment(
+                1 + rng.randrange(fragment_elements), tags, rng=rng, max_depth=3
+            )
+            position = rng.choice(safe_insert_positions(ref.text))
+            record = {"op": "insert", "fragment": fragment, "position": position}
+            serial.insert(fragment, position)
+            ref.insert(fragment, position)
+            result.ops.append(f"insert at {position} len={len(fragment)}")
+        return record
+
+    # Seed both twins identically (two documents when sharded, so every
+    # routing path starts populated).
+    for _ in range(2 if n_shards else 1):
+        fragment = generate_fragment(fragment_elements, tags, rng=rng, max_depth=3)
+        for target in (batched, serial):
+            target.insert(fragment)
+        ref.insert(fragment)
+        result.ops.append(f"seed len={len(fragment)}")
+
+    for _ in range(n_steps):
+        if rng.random() < 0.55:
+            group = [generate_record() for _ in range(2 + rng.randrange(3))]
+            batched.apply_batch(group)
+            result.batches += 1
+            result.batched_ops += len(group)
+            result.ops.append(f"batch x{len(group)}")
+        else:
+            record = generate_record()
+            if record["op"] == "insert":
+                batched.insert(record["fragment"], record["position"])
+            else:
+                batched.remove(record["position"], record["length"])
+            result.singles += 1
         if step_hook is not None:
             step_hook(result)
     return result

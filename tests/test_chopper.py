@@ -91,8 +91,8 @@ class TestChopRoundTrip:
         db.check_invariants()
 
     @pytest.mark.parametrize("n", [1, 4, 12, 25])
-    def test_roundtrip_xmark(self, n):
-        text = generate_site(XMarkConfig(scale=0.004, seed=5)).to_xml()
+    def test_roundtrip_xmark(self, n, xmark_text):
+        text = xmark_text(scale=0.004, seed=5)
         db, _ = chop_text(text, n, "balanced", seed=7)
         assert db.text == text
 

@@ -181,6 +181,10 @@ def test_every_declared_failpoint_reachable(tmp_path):
     try:
         with DurableDatabase(tmp_path / "state") as dd:
             dd.insert("<a/>")
+            dd.apply_batch(
+                [{"op": "insert", "fragment": "<b/>"},
+                 {"op": "insert", "fragment": "<c/>"}]
+            )  # fires the batch.* application bracket
             dd.checkpoint()
         sharded = ShardedDurableDatabase(tmp_path / "sharded", 2)
         try:

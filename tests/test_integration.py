@@ -156,14 +156,14 @@ class TestScenarioIntegration:
         assert_join_matches_oracle(db, "registration", "interest")
         assert_join_matches_oracle(db, "preferences", "interest", axis="child")
 
-    def test_xmark_chopped_all_queries(self):
-        text = generate_site(XMarkConfig(scale=0.01, seed=11)).to_xml()
+    def test_xmark_chopped_all_queries(self, xmark_text):
+        text = xmark_text(scale=0.01, seed=11)
         db, _ = chop_text(text, 20, "balanced", seed=3)
         for _, tag_a, tag_d in XMARK_QUERIES:
             assert_join_matches_oracle(db, tag_a, tag_d)
 
-    def test_xmark_then_updates(self):
-        text = generate_site(XMarkConfig(scale=0.005, seed=12)).to_xml()
+    def test_xmark_then_updates(self, xmark_text):
+        text = xmark_text(scale=0.005, seed=12)
         db, _ = chop_text(text, 8, "balanced")
         # new person registers
         from repro.workloads.xmark import generate_person

@@ -1,0 +1,349 @@
+"""Kernel-parity property suite: python == numpy == legacy, bit for bit.
+
+The column-at-a-time kernels (:mod:`repro.joins.kernels`) rewrite the
+correctness-critical inner loops of Stack-Tree-Desc and the cross-segment
+candidate scan.  This suite is their contract: on every input from the
+kernels' domain — start-sorted laminar interval families — each backend
+returns the *byte-identical* pair list, and a whole structural join run
+under each backend returns identical rows **and** identical
+:class:`~repro.core.join.JoinStatistics` ground truth.
+
+Layout generation is adversarial by construction: the Hypothesis tree
+strategy draws zero-width close tags (maxend ties: a child's end equals
+its parent's), zero gaps (an ancestor's end equals the next element's
+start), deep single-child chains (fully-nested spines), empty and
+singleton role lists, and overlapping A/D roles (duplicate starts across
+the two lists, i.e. self-join inputs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from array import array
+from typing import NamedTuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.join import JoinStatistics
+from repro.errors import QueryError
+from repro.joins import kernels
+from repro.joins.stack_tree import stack_tree_desc
+from repro.workloads.chopper import chop_text
+from repro.xml.parser import parse
+
+
+class El(NamedTuple):
+    """Minimal element shape the kernels consume."""
+
+    start: int
+    end: int
+    level: int
+
+
+ALL_BACKENDS = ("legacy", "python", "numpy")
+
+
+def _pairs(ancestors, descendants, axis, backend, *, columns, context=None):
+    kwargs = {}
+    if columns:
+        kwargs = {
+            "a_starts": array("q", (a.start for a in ancestors)),
+            "a_ends": array("q", (a.end for a in ancestors)),
+            "d_starts": array("q", (d.start for d in descendants)),
+        }
+    return stack_tree_desc(
+        ancestors, descendants, axis, kernel=backend, context=context, **kwargs
+    )
+
+
+# ----------------------------------------------------------------------
+# laminar-family strategy
+
+
+@st.composite
+def laminar_roles(draw):
+    """A random laminar interval family plus two (possibly overlapping)
+    start-sorted role subsets — the ancestor and descendant lists.
+
+    Intervals come from a random tree labeling: open tags are 1 wide
+    (unique starts), close tags are 0 or 1 wide (0 ⇒ a node's end ties
+    with its last child's end), sibling gaps are 0..2 (0 ⇒ an element's
+    end ties with the next sibling's start).
+    """
+    elements: list[El] = []
+
+    def build(cursor: int, level: int, fuel: int) -> int:
+        n_children = draw(st.integers(0, 3)) if fuel > 0 else 0
+        for _ in range(n_children):
+            cursor += draw(st.integers(0, 2))  # sibling gap (0 = adjacency)
+            start = cursor
+            cursor += 1  # open tag: starts stay unique
+            cursor += draw(st.integers(0, 3))  # text content
+            cursor = build(cursor, level + 1, fuel - 1)
+            cursor += draw(st.integers(0, 1))  # close tag (0 = maxend tie)
+            end = max(cursor, start + 1)
+            cursor = end
+            elements.append(El(start, end, level))
+        return cursor
+
+    build(0, 1, draw(st.integers(0, 4)))
+    elements.sort(key=lambda e: e.start)
+    n = len(elements)
+    a_idx = draw(st.lists(st.integers(0, n - 1), unique=True)) if n else []
+    d_idx = draw(st.lists(st.integers(0, n - 1), unique=True)) if n else []
+    ancestors = [elements[i] for i in sorted(a_idx)]
+    descendants = [elements[i] for i in sorted(d_idx)]
+    return ancestors, descendants
+
+
+class _RecordingContext:
+    """Counts the budget charges a kernel makes (totals must agree)."""
+
+    def __init__(self):
+        self.rows = 0
+        self.ticks = 0
+        self.max_depth = 0
+
+    def tick(self):
+        self.ticks += 1
+
+    def charge_rows(self, n):
+        self.rows += n
+
+    def charge_depth(self, n):
+        self.max_depth = max(self.max_depth, n)
+
+
+# ----------------------------------------------------------------------
+# kernel-level parity
+
+
+@settings(max_examples=200, deadline=None)
+@given(roles=laminar_roles(), axis=st.sampled_from(["descendant", "child"]))
+def test_kernel_parity_generated(roles, axis):
+    ancestors, descendants = roles
+    reference = _pairs(ancestors, descendants, axis, "legacy", columns=False)
+    for backend in ("python", "numpy"):
+        for columns in (False, True):
+            assert (
+                _pairs(ancestors, descendants, axis, backend, columns=columns)
+                == reference
+            ), f"{backend} (columns={columns}) diverged from legacy"
+
+
+@settings(max_examples=100, deadline=None)
+@given(roles=laminar_roles(), axis=st.sampled_from(["descendant", "child"]))
+def test_kernel_row_charges_agree(roles, axis):
+    """Charged row totals are backend-independent (enforcement points may
+    differ, the accounted work may not)."""
+    ancestors, descendants = roles
+    totals = {}
+    for backend in ALL_BACKENDS:
+        ctx = _RecordingContext()
+        _pairs(ancestors, descendants, axis, backend, columns=True, context=ctx)
+        totals[backend] = ctx.rows
+    assert totals["python"] == totals["legacy"]
+    assert totals["numpy"] == totals["legacy"]
+
+
+CHAIN = [El(i, 400 - i, i + 1) for i in range(200)]  # fully nested spine
+
+ADVERSARIAL = [
+    # (name, ancestors, descendants)
+    ("both empty", [], []),
+    ("empty ancestors", [], [El(0, 2, 1)]),
+    ("empty descendants", [El(0, 2, 1)], []),
+    ("singletons disjoint", [El(0, 2, 1)], [El(5, 6, 1)]),
+    ("singleton contains", [El(0, 9, 1)], [El(3, 4, 2)]),
+    ("duplicate start across lists", [El(0, 9, 1)], [El(0, 4, 1)]),
+    ("identical lists (self-join)", [El(0, 9, 1), El(2, 5, 2)],
+     [El(0, 9, 1), El(2, 5, 2)]),
+    ("maxend tie parent/child", [El(0, 6, 1)], [El(3, 6, 2)]),
+    ("adjacency tie end==start", [El(0, 3, 1), El(3, 6, 1)], [El(4, 5, 2)]),
+    ("fully nested chain", CHAIN[0::2], CHAIN[1::2]),
+    ("chain self-join", CHAIN, CHAIN),
+    ("disjoint runs gallop", [El(100 + 4 * i, 102 + 4 * i, 1) for i in range(50)],
+     [El(4 * i, 2 + 4 * i, 1) for i in range(25)]
+     + [El(300 + 4 * i, 301 + 4 * i, 2) for i in range(25)]),
+    ("one ancestor over long run", [El(0, 1000, 1)],
+     [El(1 + 2 * i, 2 + 2 * i, 2) for i in range(80)]),
+]
+
+
+@pytest.mark.parametrize("axis", ["descendant", "child"])
+@pytest.mark.parametrize(
+    "name,ancestors,descendants", ADVERSARIAL, ids=[c[0] for c in ADVERSARIAL]
+)
+def test_kernel_parity_adversarial(name, ancestors, descendants, axis):
+    reference = _pairs(ancestors, descendants, axis, "legacy", columns=False)
+    for backend in ("python", "numpy"):
+        for columns in (False, True):
+            assert (
+                _pairs(ancestors, descendants, axis, backend, columns=columns)
+                == reference
+            )
+
+
+# ----------------------------------------------------------------------
+# cross-segment candidate-scan parity
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    ends=st.lists(st.integers(0, 40), min_size=0, max_size=200),
+    branch=st.integers(-1, 45),
+    data=st.data(),
+)
+def test_select_open_parity(ends, branch, data):
+    """python and numpy candidate scans select identical records, on both
+    sides of the numpy size floor (lists past 64 take the array path)."""
+    ends.sort()  # prefix-max columns are non-decreasing
+    records = [El(i, e, 1) for i, e in enumerate(ends)]
+    column = array("q", ends)
+    hi = data.draw(st.integers(0, len(ends)))
+    out_py: list = []
+    kernels.select_open_python(records, column, hi, branch, out_py)
+    out_np: list = []
+    kernels.select_open_numpy(records, column, hi, branch, out_np)
+    assert out_np == out_py
+    assert out_py == [r for r in records[:hi] if r.end > branch]
+
+
+# ----------------------------------------------------------------------
+# whole-join parity: rows AND JoinStatistics
+
+SPINE = (
+    "<t0>" * 30 + "<t1>x</t1>" + "</t0>" * 30
+)  # fully-nested chain document
+
+MIXED = (
+    "<doc>"
+    + "".join(
+        f"<sec><a><d>p{i}</d><x/><d>q{i}</d></a><d>r{i}</d></sec>"
+        for i in range(12)
+    )
+    + "<empty1/><empty2/>"  # segments with neither tag: empty runs
+    + "<a><a><a><d>deep</d></a></a></a>"  # nested same-tag chain
+    + "</doc>"
+)
+
+JOIN_CASES = [
+    # (text, n_segments, shape, tag_a, tag_d)
+    (MIXED, 1, "balanced", "a", "d"),
+    (MIXED, 4, "balanced", "a", "d"),
+    (MIXED, 5, "nested", "a", "d"),
+    (MIXED, 4, "balanced", "d", "a"),  # reversed: zero-pair direction
+    (MIXED, 4, "balanced", "a", "missing"),  # absent descendant tag
+    (MIXED, 4, "balanced", "a", "a"),  # self-join
+    (SPINE, 6, "nested", "t0", "t1"),
+    (SPINE, 6, "nested", "t0", "t0"),  # duplicate starts / deep chain
+]
+
+
+def _join_all_backends(text, n_segments, shape, tag_a, tag_d, axis):
+    out = {}
+    for backend in ALL_BACKENDS:
+        with kernels.use_backend(backend):
+            db, _ = chop_text(text, n_segments, shape, seed=7)
+            db.prepare_for_query()
+            stats = JoinStatistics()
+            rows = db.structural_join(tag_a, tag_d, axis, stats=stats)
+            out[backend] = (rows, dataclasses.asdict(stats))
+    return out
+
+
+@pytest.mark.parametrize("axis", ["descendant", "child"])
+@pytest.mark.parametrize(
+    "text,n,shape,tag_a,tag_d",
+    JOIN_CASES,
+    ids=[f"{i}-{c[3]}-{c[4]}-n{c[1]}" for i, c in enumerate(JOIN_CASES)],
+)
+def test_structural_join_parity(text, n, shape, tag_a, tag_d, axis):
+    results = _join_all_backends(text, n, shape, tag_a, tag_d, axis)
+    ref_rows, ref_stats = results["legacy"]
+    for backend in ("python", "numpy"):
+        rows, stats = results[backend]
+        assert rows == ref_rows, f"{backend} rows diverged"
+        assert stats == ref_stats, f"{backend} JoinStatistics diverged"
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    fragments=st.lists(
+        st.sampled_from(
+            [
+                "<a><d>x</d></a>",
+                "<a><a><d>y</d></a></a>",
+                "<d><a/></d>",
+                "<x>gap</x>",
+                "<a/>",
+                "<d/>",
+            ]
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+    n_segments=st.sampled_from([1, 3]),
+    axis=st.sampled_from(["descendant", "child"]),
+)
+def test_structural_join_parity_generated(fragments, n_segments, axis):
+    text = "<r>" + "".join(fragments) + "</r>"
+    n = min(n_segments, len(parse(text).elements))
+    results = _join_all_backends(text, n, "balanced", "a", "d", axis)
+    ref_rows, ref_stats = results["legacy"]
+    for backend in ("python", "numpy"):
+        assert results[backend] == (ref_rows, ref_stats)
+
+
+# ----------------------------------------------------------------------
+# backend selection semantics
+
+
+def test_normalize_backend_rejects_unknown():
+    with pytest.raises(QueryError):
+        kernels.normalize_backend("fortran")
+    with pytest.raises(QueryError):
+        stack_tree_desc([], [], kernel="fortran")
+
+
+def test_env_resolution(monkeypatch):
+    monkeypatch.delenv(kernels.KERNEL_ENV, raising=False)
+    with kernels.use_backend(None):
+        assert kernels.current_backend() == "python"
+        monkeypatch.setenv(kernels.KERNEL_ENV, "legacy")
+        assert kernels.current_backend() == "legacy"
+        monkeypatch.setenv(kernels.KERNEL_ENV, "no-such-kernel")
+        assert kernels.current_backend() == "python"  # typo-safe degrade
+
+
+def test_numpy_absent_degrades(monkeypatch):
+    """numpy requested but unavailable: silently the python kernel, with
+    identical results — the no-numpy CI leg runs the whole suite this way."""
+    monkeypatch.setattr(kernels, "_np", None)
+    monkeypatch.setattr(kernels, "_np_checked", True)
+    assert not kernels.numpy_available()
+    with kernels.use_backend("numpy"):
+        assert kernels.current_backend() == "python"
+    ancestors = [El(0, 9, 1), El(2, 5, 2)]
+    descendants = [El(3, 4, 3)]
+    assert kernels.std_pairs_numpy(ancestors, descendants) == (
+        kernels.std_pairs_python(ancestors, descendants)
+    )
+    out: list = []
+    kernels.select_open_numpy(
+        [El(0, 5, 1)] * 100, array("q", [5] * 100), 100, 3, out
+    )
+    assert len(out) == 100
+    assert kernels.open_selector("numpy") is kernels.select_open_python
+
+
+def test_use_backend_restores_previous():
+    kernels.set_backend("legacy")
+    try:
+        with kernels.use_backend("python"):
+            assert kernels.current_backend() == "python"
+        assert kernels.current_backend() == "legacy"
+    finally:
+        kernels.set_backend(None)

@@ -42,7 +42,7 @@ from repro.net.testing import FaultyClient, ServerHarness
 from tests.net_util import make_service, slowop_installed
 from tests.oracle import ReferenceDatabase
 
-pytestmark = pytest.mark.timeout(120)
+pytestmark = [pytest.mark.timeout(120), pytest.mark.slow]
 
 
 def wait_quiescent(harness, service, timeout: float = 5.0) -> dict:

@@ -28,6 +28,8 @@ import pytest
 
 from repro.obs.metrics import METRICS
 from repro.replication import ReplicationCluster
+
+pytestmark = pytest.mark.slow
 from tests.failpoints import SimulatedCrash, crash_at
 from tests.oracle import ReferenceDatabase, safe_insert_positions
 from tests.test_durability_failpoints import WAL_APPEND_POINTS

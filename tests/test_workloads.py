@@ -105,8 +105,8 @@ class TestXMark:
         config = XMarkConfig(scale=0.005, seed=2)
         assert generate_site(config).to_xml() == generate_site(config).to_xml()
 
-    def test_schema_tags_present(self):
-        doc = parse(generate_site(XMarkConfig(scale=0.01, seed=1)).to_xml())
+    def test_schema_tags_present(self, xmark_text):
+        doc = parse(xmark_text(scale=0.01, seed=1))
         tags = doc.tags()
         for needed in (
             "site", "regions", "people", "person", "profile", "watches",
@@ -114,8 +114,8 @@ class TestXMark:
         ):
             assert needed in tags, needed
 
-    def test_query_tags_meaningful(self):
-        doc = parse(generate_site(XMarkConfig(scale=0.02, seed=4)).to_xml())
+    def test_query_tags_meaningful(self, xmark_text):
+        doc = parse(xmark_text(scale=0.02, seed=4))
         by_tag = doc.elements_by_tag()
         for _, tag_a, tag_d in XMARK_QUERIES:
             assert by_tag.get(tag_a), tag_a
