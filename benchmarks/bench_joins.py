@@ -16,10 +16,12 @@ Two query classes are measured per workload:
   the measured cost *is* the read path, the regime updates-then-queries
   services live in when most probes miss.
 
-Run:  python benchmarks/bench_joins.py [--smoke]
+Run:  python benchmarks/bench_joins.py [--smoke] [--profile]
 
 ``--smoke`` shrinks the workloads to seconds-total for the CI perf-smoke
-job and writes to ``BENCH_joins.smoke.json`` instead.
+job and writes to ``BENCH_joins.smoke.json`` instead.  ``--profile``
+additionally runs the uncached fig12 representative under cProfile and
+attaches the top hotspots to the envelope's ``results.profile`` branch.
 """
 
 from __future__ import annotations
@@ -257,6 +259,128 @@ def bench_kernels(smoke: bool) -> tuple[Table, dict]:
     return table, results
 
 
+def bench_cold_compile(smoke: bool) -> tuple[Table, dict]:
+    """Bulk whole-tag compile vs per-segment compile, per backend.
+
+    The micro-bench for the vectorized cold path itself: building every
+    segment's compiled columns for a tag with one
+    :meth:`ElementIndex.tag_columns` pass (a single B+-tree range
+    slicing all leaves once) versus one :meth:`segment_columns` descent
+    per segment — the record-at-a-time shape the uncached join path had
+    before bulk compile.  Runs the bulk side under each compile backend
+    (``python`` always; ``numpy`` when importable) and checks the
+    parity contract inline: every bulk entry's columns must be
+    byte-identical to the per-segment reference.
+    """
+    repeat = 3 if smoke else 7
+    workloads = []
+    config = sweep_configs(20 if smoke else 50, "nested", [0.5])[0]
+    db12 = LazyXMLDatabase(keep_text=False)
+    build_join_mix(db12, config)
+    workloads.append(("fig12/nested-0.5", db12, ("a", "d")))
+    text = spine_document(60 if smoke else 200, 3)
+    db13, _ = chop_text(text, 20 if smoke else 160, "nested")
+    workloads.append(("fig13/nested", db13, ("t0", "t1")))
+
+    backends = ["python"]
+    if kernels.numpy_available():
+        backends.append("numpy")
+    table = Table(
+        "cold compile — bulk whole-tag vs per-segment",
+        ["workload", "tag", "backend", "segments", "elements",
+         "per_segment_ms", "bulk_ms", "bulk_speedup"],
+    )
+    results: dict = {"backends": backends}
+    for label, db, tags in workloads:
+        db.prepare_for_query()
+        per_workload: dict = {}
+        for tag in tags:
+            tid = db.log.tags.intern(tag)
+            reference = db.index.tag_columns(tid, backend="python")
+            sids = list(reference)
+            n_elements = sum(len(cols[1]) for cols in reference.values())
+
+            def per_segment() -> None:
+                for sid in sids:
+                    db.index.segment_columns(tid, sid)
+
+            t_ref = measure(per_segment, repeat=repeat)
+            entry: dict = {
+                "segments": len(sids),
+                "elements": n_elements,
+                "per_segment_ms": t_ref * _MS,
+                "per_backend": {},
+            }
+            for backend in backends:
+                bulk = db.index.tag_columns(tid, backend=backend)
+                identical = set(bulk) == set(reference) and all(
+                    bulk[sid][1].tobytes() == ref[1].tobytes()
+                    and bulk[sid][2].tobytes() == ref[2].tobytes()
+                    and bulk[sid][3].tobytes() == ref[3].tobytes()
+                    for sid, ref in reference.items()
+                )
+                t_bulk = measure(
+                    lambda backend=backend: db.index.tag_columns(
+                        tid, backend=backend
+                    ),
+                    repeat=repeat,
+                )
+                speedup = t_ref / t_bulk if t_bulk > 0 else float("inf")
+                entry["per_backend"][backend] = {
+                    "bulk_ms": t_bulk * _MS,
+                    "bulk_speedup": speedup,
+                    "identical_columns": identical,
+                }
+                table.add_row(
+                    [label, tag, backend, len(sids), n_elements,
+                     t_ref * _MS, t_bulk * _MS, speedup]
+                )
+            per_workload[tag] = entry
+        results[label] = per_workload
+    return table, results
+
+
+def profile_hotspots(smoke: bool, top: int = 20) -> dict:
+    """cProfile the uncached fig12 representative; top-``top`` hotspots.
+
+    Runs the cold (cache-disabled) join pair in both directions under
+    cProfile and returns the hottest functions by cumulative time, so a
+    regression hunt can start from the envelope instead of a re-run.
+    """
+    import cProfile
+    import pstats
+
+    config = sweep_configs(20 if smoke else 50, "nested", [0.5])[0]
+    db = LazyXMLDatabase(keep_text=False)
+    build_join_mix(db, config)
+    db.readpath.disable()
+    db.structural_join("a", "d")  # allocator / import warm-up pass
+    profiler = cProfile.Profile()
+    rounds = 2 if smoke else 5
+    profiler.enable()
+    for _ in range(rounds):
+        db.structural_join("a", "d")
+        db.structural_join("d", "a")
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    hotspots = []
+    ranked = sorted(
+        stats.stats.items(), key=lambda item: item[1][3], reverse=True
+    )
+    for (filename, lineno, name), (cc, nc, tt, ct, _callers) in ranked[:top]:
+        hotspots.append({
+            "function": f"{Path(filename).name}:{lineno}:{name}",
+            "ncalls": nc,
+            "tottime_ms": tt * _MS,
+            "cumtime_ms": ct * _MS,
+        })
+    return {
+        "workload": "fig12/nested-0.5 uncached, both directions",
+        "rounds": rounds,
+        "top": hotspots,
+    }
+
+
 def _baseline_cold_speedups(root: Path, new_results: dict) -> dict | None:
     """Per-row cold (uncached) speedups vs the committed full-run baseline.
 
@@ -300,11 +424,13 @@ def _baseline_cold_speedups(root: Path, new_results: dict) -> dict | None:
 
 def main() -> None:
     smoke = "--smoke" in sys.argv
+    profile = "--profile" in sys.argv
     t12, r12, ad12 = bench_fig12(smoke)
     t13, r13, ad13 = bench_fig13(smoke)
     t14, r14 = bench_fig14(smoke)
     tk, rk = bench_kernels(smoke)
-    for table in (t12, t13, t14, tk):
+    tcc, rcc = bench_cold_compile(smoke)
+    for table in (t12, t13, t14, tk, tcc):
         table.print()
     ad_speedups = ad12 + ad13
     summary = {
@@ -324,23 +450,33 @@ def main() -> None:
     print(f"[bench_joins] A//D warm speedups: min {summary['ad_speedup_min']:.2f}x, "
           f"median {summary['ad_speedup_median']:.2f}x, "
           f"max {summary['ad_speedup_max']:.2f}x")
+    results = {
+        "fig12": r12,
+        "fig13": r13,
+        "fig14": r14,
+        "kernels": rk,
+        "cold_compile": rcc,
+        "summary": summary,
+    }
+    if profile:
+        results["profile"] = profile_hotspots(smoke)
+        print("[bench_joins] cold-path hotspots (cumtime):")
+        for spot in results["profile"]["top"][:8]:
+            print(f"    {spot['cumtime_ms']:9.2f} ms  {spot['ncalls']:>8}  "
+                  f"{spot['function']}")
     name = "BENCH_joins.smoke.json" if smoke else "BENCH_joins.json"
     write_envelope(
         root / name,
         "joins_readpath",
         params={
             "smoke": smoke,
+            "profile": profile,
             "repeat": 2 if smoke else 5,
             "kernel_backends": rk["backends"],
+            "compile_backends": rcc["backends"],
         },
-        tables=[t12, t13, t14, tk],
-        results={
-            "fig12": r12,
-            "fig13": r13,
-            "fig14": r14,
-            "kernels": rk,
-            "summary": summary,
-        },
+        tables=[t12, t13, t14, tk, tcc],
+        results=results,
     )
 
 

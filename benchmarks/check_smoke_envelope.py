@@ -6,7 +6,13 @@ dispatching on the envelope's ``benchmark`` name:
 ``joins_readpath`` (``BENCH_joins.smoke.json``):
 
 - the envelope carries the current ``repro-bench/2`` schema with every
-  required section present;
+  required section present, including the ``meta`` block naming the
+  active join-kernel and compile backends (a ``numpy`` compile backend
+  claimed without numpy available is a contradiction and fails);
+- the ``cold_compile`` series exists, covers at least the ``python``
+  compile backend, and every bulk whole-tag compile produced columns
+  **byte-identical** to the per-segment reference — a mismatch means
+  the vectorized compile changed the answers;
 - each workload recorded its read-path cache counters and the measured
   (second-and-later) passes actually hit the cache — a zero hit count
   means the memo keys broke and every "warm" number silently measured
@@ -61,7 +67,8 @@ import sys
 from pathlib import Path
 
 REQUIRED_KEYS = {
-    "schema", "benchmark", "params", "tables", "sweeps", "results", "metrics",
+    "schema", "benchmark", "meta", "params", "tables", "sweeps", "results",
+    "metrics",
 }
 SCHEMA = "repro-bench/2"
 
@@ -71,6 +78,12 @@ def check(path: Path) -> None:
     assert doc.get("schema") == SCHEMA, f"schema {doc.get('schema')!r}"
     missing = REQUIRED_KEYS - set(doc)
     assert not missing, f"envelope missing sections: {sorted(missing)}"
+    meta = doc["meta"]
+    for key in ("join_kernel", "compile_backend", "numpy_available"):
+        assert key in meta, f"meta missing {key!r}"
+    assert not (
+        meta["compile_backend"] == "numpy" and not meta["numpy_available"]
+    ), "meta claims the numpy compile backend without numpy available"
     benchmark = doc["benchmark"]
     if benchmark == "shard_scatter":
         check_shard(doc)
@@ -117,13 +130,41 @@ def check(path: Path) -> None:
             assert rec["speedup_vs_legacy"] > 0
     assert n_workloads > 0, "kernel series recorded no workloads"
 
+    cold = results.get("cold_compile")
+    assert cold is not None, "envelope missing the cold_compile series"
+    compile_backends = cold["backends"]
+    assert "python" in compile_backends, (
+        f"cold_compile missing the python backend: {compile_backends}"
+    )
+    n_cold = 0
+    for label, per_workload in cold.items():
+        if label == "backends":
+            continue
+        for tag, entry in per_workload.items():
+            n_cold += 1
+            assert entry["segments"] > 0 and entry["elements"] > 0, (
+                f"cold_compile/{label}/{tag}: empty workload proves nothing"
+            )
+            assert entry["per_segment_ms"] > 0
+            for backend in compile_backends:
+                rec = entry["per_backend"][backend]
+                assert rec["identical_columns"], (
+                    f"cold_compile/{label}/{tag}/{backend}: bulk columns "
+                    f"differ from the per-segment reference — the "
+                    f"vectorized compile changed the answers"
+                )
+                assert rec["bulk_ms"] > 0
+    assert n_cold > 0, "cold_compile series recorded no workloads"
+
     summary = results["summary"]
     assert summary["ad_speedup_min"] > 0
     print(
         f"[check_smoke_envelope] OK: {len(caches)} workloads warm, "
         f"A//D speedups {summary['ad_speedup_min']:.2f}x..."
         f"{summary['ad_speedup_max']:.2f}x, kernel parity over "
-        f"{n_workloads} workloads x {len(backends)} backends"
+        f"{n_workloads} workloads x {len(backends)} backends, "
+        f"cold-compile parity over {n_cold} tags x "
+        f"{len(compile_backends)} compile backends"
     )
 
 

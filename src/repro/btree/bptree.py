@@ -288,28 +288,50 @@ class BPlusTree:
                 idx += 1
             leaf, idx = leaf.next, 0
 
-    def range_keys(self, lo=None, hi=None) -> list:
-        """Keys with ``lo <= key < hi`` (default bounds) as one list.
+    def leaf_slices(self, lo=None, hi=None) -> Iterator[list]:
+        """Yield per-leaf key chunks covering ``lo <= key < hi``, in order.
 
-        The bulk form of :meth:`range` for key-only scans: whole-leaf list
-        slices replace per-key generator resumption, so the cost is one
-        Python-level step per *leaf* rather than per key.  This is what the
-        cold read path compiles element columns from — every uncached join
-        re-extracts whole segments, making the per-key constant the bill.
+        The bulk leaf-scan primitive behind :meth:`range_keys` and the
+        element index's whole-tag column builder: one Python-level step
+        per *leaf*, each chunk produced by a C-level list slice (or the
+        leaf's whole key list when no trimming is needed).  Chunks may
+        alias live leaf storage — callers must not mutate a chunk or the
+        tree while consuming the iterator.
         """
         if lo is None:
             leaf: _Leaf | None = self._first_leaf()
             idx = 0
         else:
             leaf, idx = self._find(lo)
-        out: list = []
         while leaf is not None:
             keys = leaf.keys
             if hi is not None and keys and keys[-1] >= hi:
-                out.extend(keys[idx : bisect_left(keys, hi, idx)])
-                return out
-            out.extend(keys[idx:] if idx else keys)
+                chunk = keys[idx : bisect_left(keys, hi, idx)]
+                if chunk:
+                    yield chunk
+                return
+            if idx:
+                chunk = keys[idx:]
+                if chunk:
+                    yield chunk
+            elif keys:
+                yield keys
             leaf, idx = leaf.next, 0
+
+    def range_keys(self, lo=None, hi=None) -> list:
+        """Keys with ``lo <= key < hi`` (default bounds) as one list.
+
+        The bulk form of :meth:`range` for key-only scans: whole-leaf list
+        slices (:meth:`leaf_slices`) replace per-key generator resumption,
+        so the cost is one Python-level step per *leaf* rather than per
+        key.  This is what the cold read path compiles element columns
+        from — every uncached join re-extracts whole segments (or, on the
+        whole-tag bulk path, a tag's entire leaf run at once), making the
+        per-key constant the bill.
+        """
+        out: list = []
+        for chunk in self.leaf_slices(lo, hi):
+            out.extend(chunk)
         return out
 
     def count_range(self, lo=None, hi=None, *, inclusive=(True, False)) -> int:

@@ -20,17 +20,24 @@ leaf scan, which is the access pattern Lazy-Join's cost model charges as
 from __future__ import annotations
 
 from array import array
+from bisect import bisect_left
 from collections import Counter
 from collections.abc import Iterable, Iterator
+from itertools import chain
 from operator import itemgetter
 from typing import NamedTuple
 
 from repro.btree import BPlusTree
+from repro.joins import kernels
 from repro.obs.metrics import METRICS
 
-__all__ = ["ElementRecord", "ElementIndex"]
+__all__ = ["ElementRecord", "ElementIndex", "records_from_keys"]
 
 _ORDER = 64
+
+# Below this many whole-tag elements the numpy matrix round-trip costs more
+# than three plain map passes; mirrors the kernel-side NUMPY_STD_MIN floor.
+_NUMPY_COLUMNS_MIN = 64
 
 # Mutation-path instruments honor ElementIndex.observed (replica replay
 # guard); the read counters are query-path and ignore it.
@@ -57,12 +64,29 @@ class ElementRecord(NamedTuple):
     level: int
 
 
-# Index keys are ``(tid, sid, start, end, level)``; the tail after ``tid``
-# is exactly an ElementRecord, which the bulk column extraction exploits.
-_KEY_TAIL = itemgetter(slice(1, None))
-_KEY_START = itemgetter(2)
-_KEY_END = itemgetter(3)
-_KEY_LEVEL = itemgetter(4)
+# Index keys are ``(tid, record)`` two-tuples.  A NamedTuple compares
+# elementwise like any tuple, so the tree order is identical to the flat
+# ``(tid, sid, start, end, level)`` layout — but the stored record IS the
+# join-facing :class:`ElementRecord`, so "materializing" a segment's
+# records is one C-level ``itemgetter`` pass over stored objects with
+# zero per-element allocation.  Range bounds use tuple prefixes:
+# ``(tid, (sid,))`` sorts before every ``(tid, (sid, start, ...))``.
+_KEY_REC = itemgetter(1)
+_REC_START = itemgetter(1)
+_REC_END = itemgetter(2)
+_REC_LEVEL = itemgetter(3)
+
+
+def records_from_keys(keys) -> tuple[ElementRecord, ...]:
+    """Extract the stored :class:`ElementRecord` objects from index keys.
+
+    Records live inside the ``(tid, record)`` keys, so this is a single
+    reference-copying pass — no per-element tuple construction.  Building
+    record objects used to be the single most expensive step of compiling
+    a segment's elements; storing them in the key makes the compile path
+    column-extraction plus pointer copies.
+    """
+    return tuple(map(_KEY_REC, keys))
 
 
 class ElementIndex:
@@ -109,7 +133,10 @@ class ElementIndex:
         counts: Counter = Counter()
         inserted = 0
         for tid, start, end, level in records:
-            self._tree.insert((tid, sid, start, end, base_level + level), None)
+            self._tree.insert(
+                (tid, ElementRecord(sid, start, end, base_level + level)),
+                None,
+            )
             counts[tid] += 1
             inserted += 1
         if inserted:
@@ -123,9 +150,8 @@ class ElementIndex:
 
     def elements(self, tid: int, sid: int) -> Iterator[ElementRecord]:
         """Elements of tag ``tid`` in segment ``sid``, ascending by start."""
-        for key, _ in self._tree.range((tid, sid), (tid, sid + 1)):
-            _, _, start, end, level = key
-            yield ElementRecord(sid, start, end, level)
+        for key, _ in self._tree.range((tid, (sid,)), (tid, (sid + 1,))):
+            yield key[1]
 
     def elements_list(self, tid: int, sid: int) -> list[ElementRecord]:
         """:meth:`elements`, materialized."""
@@ -146,15 +172,102 @@ class ElementIndex:
         raw index keys instead of a per-element generator.  Same contents
         and order as :meth:`elements_list`.
         """
-        keys = self._tree.range_keys((tid, sid), (tid, sid + 1))
-        records = tuple(map(ElementRecord._make, map(_KEY_TAIL, keys)))
-        starts = array("q", map(_KEY_START, keys))
-        ends = array("q", map(_KEY_END, keys))
-        levels = array("q", map(_KEY_LEVEL, keys))
+        keys = self._tree.range_keys((tid, (sid,)), (tid, (sid + 1,)))
+        records = records_from_keys(keys)
+        starts = array("q", map(_REC_START, records))
+        ends = array("q", map(_REC_END, records))
+        levels = array("q", map(_REC_LEVEL, records))
         if METRICS.enabled:
             _M_READS.inc()
             _M_RECORDS_READ.inc(len(records))
         return records, starts, ends, levels
+
+    def segment_key_columns(
+        self, tid: int, sid: int
+    ) -> tuple[tuple[ElementRecord, ...], array, array, array]:
+        """:meth:`segment_columns`, serving the stored record objects.
+
+        Returns ``(records, starts, ends, levels)``.  The records tuple
+        is one ``itemgetter`` pass over the ``(tid, record)`` index keys
+        — reference copies of the stored NamedTuples, no per-element
+        construction — so the compiled read path pays only the column
+        extraction it actually scans with.
+        """
+        keys = self._tree.range_keys((tid, (sid,)), (tid, (sid + 1,)))
+        records = records_from_keys(keys)
+        starts = array("q", map(_REC_START, records))
+        ends = array("q", map(_REC_END, records))
+        levels = array("q", map(_REC_LEVEL, records))
+        if METRICS.enabled:
+            _M_READS.inc()
+            _M_RECORDS_READ.inc(len(records))
+        return records, starts, ends, levels
+
+    def tag_columns(
+        self, tid: int, *, backend: str | None = None
+    ) -> dict[int, tuple[list, array, array, array]]:
+        """Whole-tag bulk form of :meth:`segment_key_columns` — one pass.
+
+        Returns ``{sid: (keys, starts, ends, levels)}`` for *every*
+        segment holding at least one ``tid`` element, each entry's
+        columns byte-identical to the matching :meth:`segment_columns`
+        call (``keys`` are the raw index keys; records materialize
+        lazily via :func:`records_from_keys`).  The tag's leaves are
+        sliced once (:meth:`BPlusTree.leaf_slices` under
+        :meth:`~repro.btree.BPlusTree.range_keys`), the whole-tag columns
+        are built with single C-level passes, and per-segment views are
+        cut out with C-level slices located by tuple-prefix bisects — so
+        the cost is one tree descent plus O(elements) column work for the
+        entire tag, instead of one descent and one pass per ``(tid, sid)``.
+
+        ``backend`` picks the column builder (default:
+        ``REPRO_COMPILE_BACKEND``): ``python`` transposes the record run
+        with one ``zip(*records)`` pass; ``numpy`` flattens it into one
+        int64 matrix and slices columns out of it (worth it for large
+        tags; both produce byte-identical ``array('q')`` columns).
+        """
+        keys = self._tree.range_keys((tid,), (tid + 1,))
+        out: dict[int, tuple] = {}
+        n = len(keys)
+        if not n:
+            return out
+        records = records_from_keys(keys)
+        if backend is None:
+            backend = kernels.current_compile_backend()
+        np = kernels._numpy() if backend == "numpy" else None
+        if np is not None and n >= _NUMPY_COLUMNS_MIN:
+            mat = np.fromiter(
+                chain.from_iterable(records), dtype=np.int64, count=4 * n
+            ).reshape(n, 4)
+            starts_all = array("q")
+            starts_all.frombytes(np.ascontiguousarray(mat[:, 1]).tobytes())
+            ends_all = array("q")
+            ends_all.frombytes(np.ascontiguousarray(mat[:, 2]).tobytes())
+            levels_all = array("q")
+            levels_all.frombytes(np.ascontiguousarray(mat[:, 3]).tobytes())
+        else:
+            _, starts_t, ends_t, levels_t = zip(*records)
+            starts_all = array("q", starts_t)
+            ends_all = array("q", ends_t)
+            levels_all = array("q", levels_t)
+        lo = 0
+        while lo < n:
+            sid = records[lo][0]
+            # ``(sid + 1,)`` compares below every record of the next
+            # segment and above every record of this one — the same
+            # prefix bound the per-segment range lookups use.
+            hi = bisect_left(records, (sid + 1,), lo, n)
+            out[sid] = (
+                records[lo:hi],
+                starts_all[lo:hi],
+                ends_all[lo:hi],
+                levels_all[lo:hi],
+            )
+            lo = hi
+        if METRICS.enabled:
+            _M_READS.inc()
+            _M_RECORDS_READ.inc(n)
+        return out
 
     def all_elements(self, tid: int) -> Iterator[ElementRecord]:
         """Every element of tag ``tid`` across all segments.
@@ -163,16 +276,18 @@ class ElementIndex:
         derived global position before joining.
         """
         for key, _ in self._tree.range((tid,), (tid + 1,)):
-            _, sid, start, end, level = key
-            yield ElementRecord(sid, start, end, level)
+            yield key[1]
 
     def count(self, tid: int, sid: int) -> int:
         """Number of ``tid`` elements recorded for segment ``sid``."""
-        return self._tree.count_range((tid, sid), (tid, sid + 1))
+        return self._tree.count_range((tid, (sid,)), (tid, (sid + 1,)))
 
     def has_segment_tag(self, tid: int, sid: int) -> bool:
         """True when segment ``sid`` holds at least one ``tid`` element."""
-        return next(iter(self._tree.range((tid, sid), (tid, sid + 1))), None) is not None
+        return (
+            next(iter(self._tree.range((tid, (sid,)), (tid, (sid + 1,)))), None)
+            is not None
+        )
 
     # ------------------------------------------------------------------
     # removal
@@ -187,7 +302,10 @@ class ElementIndex:
         """
         counts: Counter = Counter()
         for tid in tids:
-            keys = [key for key, _ in self._tree.range((tid, sid), (tid, sid + 1))]
+            keys = [
+                key
+                for key, _ in self._tree.range((tid, (sid,)), (tid, (sid + 1,)))
+            ]
             for key in keys:
                 self._tree.delete(key)
             if keys:
@@ -213,10 +331,9 @@ class ElementIndex:
         for tid in tids:
             doomed = []
             for key, _ in self._tree.range(
-                (tid, sid, local_start), (tid, sid, local_end)
+                (tid, (sid, local_start)), (tid, (sid, local_end))
             ):
-                _, _, _, end, _ = key
-                if end <= local_end:
+                if key[1].end <= local_end:
                     doomed.append(key)
             for key in doomed:
                 self._tree.delete(key)

@@ -207,16 +207,23 @@ class _Frame:
     stores that concatenation for the frames strictly below it, computed
     incrementally at push time; the per-descendant-segment cascade then
     touches only the top frame instead of walking the whole stack.
+
+    ``source`` is the compiled artifact (push list or element columns)
+    the frame's records come from; the record tuple itself materializes
+    lazily on first access, because only frames that actually emit pairs
+    ever need the record objects — a pure-scan join works entirely on
+    the integer columns.
     """
 
     __slots__ = (
-        "node", "records", "starts", "ends", "maxends",
+        "node", "source", "_records", "starts", "ends", "maxends",
         "cached_branch", "covered_prefix",
     )
 
-    def __init__(self, node: ERNode, records, starts, ends, maxends):
+    def __init__(self, node: ERNode, source, starts, ends, maxends):
         self.node = node
-        self.records = records
+        self.source = source
+        self._records = None
         self.starts = starts
         self.ends = ends
         self.maxends = maxends
@@ -224,6 +231,13 @@ class _Frame:
         #: Concatenated cross-match candidates of every frame below this
         #: one (all covered, hence frozen); set at push time.
         self.covered_prefix: tuple = ()
+
+    @property
+    def records(self):
+        records = self._records
+        if records is None:
+            records = self._records = self.source.records
+        return records
 
 
 class LazyJoiner:
@@ -354,7 +368,7 @@ class LazyJoiner:
             _M_TRIMMED.inc(stats.elements_trimmed)
             _H_STACK.observe(stats.max_stack_depth)
             _H_SECONDS.observe(perf_counter() - start)
-        if memo_key is not None:
+        if memo_key is not None and self._readpath.enabled:
             self._readpath.store_join(*memo_key, tuple(results))
         return results
 
@@ -389,30 +403,64 @@ class LazyJoiner:
         if tid_a is None or tid_d is None:
             return []
         rp = self._readpath
+        lattice = None
         if rp.enabled:
+            # Segment-list misses are exact staleness signals: *any*
+            # element change to a tag bumps its tag-list version, so a
+            # fresh compiled segment list implies the tag's compiled
+            # element columns are fresh too.  Only on a miss is the tag
+            # warmed — one bulk whole-tag compile pass instead of
+            # segment-at-a-time misses — which keeps the fully-warm hot
+            # path at zero extra checks.
+            pre_misses = rp.misses
+            csl_a = rp.segment_list(tid_a)
+            a_stale = rp.misses != pre_misses
+            pre_misses = rp.misses
+            csl_d = rp.segment_list(tid_d)
+            d_stale = rp.misses != pre_misses
+            if not csl_a.entries or not csl_d.entries:
+                return []
+            if a_stale:
+                rp.warm_tag(tid_a, csl_a.nodes, push=optimize_push)
+            if d_stale and tid_d != tid_a:
+                rp.warm_tag(tid_d)
+            lattice = rp.path_lattice(tid_a, tid_d, csl_a, csl_d)
             get_elements = rp.elements
             get_push = rp.push_elements
         else:
+            csl_a = rp.segment_list(tid_a)
+            csl_d = rp.segment_list(tid_d)
+            if not csl_a.entries or not csl_d.entries:
+                return []
             # Kill-switch mode: nothing survives this call, but *within*
             # one join a segment's element columns are fetched up to three
-            # times (push filter, in-segment join, descendant fetch), so a
-            # call-local scratch memo dedupes the recompiles.  Same for
-            # the (immutable) lp resolutions behind the branch function.
+            # times (push filter, in-segment join, descendant fetch), and
+            # a compile-dominated cold join touches most segments of both
+            # tags — so each tag is bulk-compiled up front with a single
+            # whole-tag range pass into a call-local scratch memo.  Same
+            # memo idea for the (immutable) lp resolutions behind the
+            # branch function.
             elem_memo: dict = {}
             rp_elements = rp.elements
+            for bulk_tid in {tid_a, tid_d}:
+                for bulk_sid, compiled in rp.bulk_elements(bulk_tid).items():
+                    elem_memo[(bulk_tid, bulk_sid)] = compiled
 
             def get_elements(tid, sid):
+                # Misses only for (tid, sid) pairs with no recorded
+                # elements (the bulk pass emits occupied segments only):
+                # compile the empty columns once and memo them too.
                 key = (tid, sid)
                 compiled = elem_memo.get(key)
                 if compiled is None:
-                    compiled = rp_elements(tid, sid)
-                    elem_memo[key] = compiled
+                    compiled = elem_memo[key] = rp_elements(tid, sid)
                 return compiled
 
             compile_push = rp.compile_push_from
+            kept_fn = kernels.push_selector()
 
             def get_push(tid, node):
-                return compile_push(get_elements(tid, node.sid), node)
+                return compile_push(get_elements(tid, node.sid), node, kept_fn)
 
             if branch_strategy == "path":
                 lp_memo: dict = {}
@@ -426,23 +474,21 @@ class LazyJoiner:
                         lp_memo[child_sid] = lp
                     return lp
 
-        csl_a = rp.segment_list(tid_a)
-        csl_d = rp.segment_list(tid_d)
-        if not csl_a.entries or not csl_d.entries:
-            return []
-
         nodes_a = csl_a.nodes
         sid_index_a = csl_a.sid_index
         child_only = axis == AXIS_CHILD
         # One backend decision per join call: the candidate-scan kernel
-        # for the Step 3 cascade (identical results on every backend).
+        # for the Step 3 cascade and the in-segment STD backend (identical
+        # results on every backend; hoisted so the per-segment joins skip
+        # the environment lookup).
         select_open = kernels.open_selector()
+        std_backend = kernels.current_backend()
         results: list[JoinPair] = []
         stack: list[_Frame] = []
         ai = 0
         a_count = len(nodes_a)
 
-        for d_entry in csl_d.entries:
+        for di, d_entry in enumerate(csl_d.entries):
             if context is not None:
                 context.tick()
             sd = d_entry.node
@@ -458,43 +504,50 @@ class LazyJoiner:
             # other members are galloped over untested.
             if ai < a_count and nodes_a[ai].gp < sd.gp:
                 nxt = bisect_left(nodes_a, sd.gp, ai, a_count, key=_node_gp)
-                # Mapped path indices increase along the path (path order
-                # and nodes_a are both ascending in gp), so probing the
-                # path deepest-first stops at the first already-merged
-                # index: the run's candidates are a suffix of the mapped
-                # path, found in O(new candidates) instead of O(depth).
-                candidates = []
-                path = sd.path
-                for k in range(len(path) - 2, -1, -1):
-                    idx = sid_index_a.get(path[k])
-                    if idx is None:
-                        continue
-                    if idx < ai:
-                        break
-                    if idx < nxt:
-                        candidates.append(idx)
-                candidates.reverse()
+                if lattice is not None:
+                    # Compiled path lattice: sd's candidate row is already
+                    # resolved to ascending csl_a positions, so the run's
+                    # candidates are one row slice bounded by two bisects.
+                    row = lattice[di]
+                    lo = bisect_left(row, ai)
+                    candidates = row[lo:bisect_left(row, nxt, lo)]
+                else:
+                    # Mapped path indices increase along the path (path
+                    # order and nodes_a are both ascending in gp), so
+                    # probing the path deepest-first stops at the first
+                    # already-merged index: the run's candidates are a
+                    # suffix of the mapped path, found in O(new
+                    # candidates) instead of O(depth).
+                    candidates = []
+                    path = sd.path
+                    for k in range(len(path) - 2, -1, -1):
+                        idx = sid_index_a.get(path[k])
+                        if idx is None:
+                            continue
+                        if idx < ai:
+                            break
+                        if idx < nxt:
+                            candidates.append(idx)
+                    candidates.reverse()
                 pushed_in_run = 0
                 for idx in candidates:
                     sa = nodes_a[idx]
                     if not (sa.gp < sd.gp and sa.end > sd.end):
                         continue
                     if optimize_push:
-                        push = get_push(tid_a, sa)
-                        records = push.records
-                        starts = push.starts
-                        ends = push.ends
-                        maxends = push.maxends
+                        source = get_push(tid_a, sa)
+                        starts = source.starts
+                        ends = source.ends
+                        maxends = source.maxends
                     else:
-                        compiled = get_elements(tid_a, sa.sid)
-                        records = compiled.records
-                        starts = compiled.starts
-                        ends = compiled.ends
+                        source = get_elements(tid_a, sa.sid)
+                        starts = source.starts
+                        ends = source.ends
                         maxends = _prefix_max(ends)
                     if trim_top and stack:
                         self._trim_frame(stack[-1], sa, stats, branch_fn)
-                    if records:
-                        frame = _Frame(sa, records, starts, ends, maxends)
+                    if len(starts):
+                        frame = _Frame(sa, source, starts, ends, maxends)
                         if stack:
                             # The covered frame's branch toward everything
                             # below the new top goes through the new top's
@@ -517,7 +570,7 @@ class LazyJoiner:
                         if context is not None:
                             context.charge_depth(len(stack))
                         stats.segments_pushed += 1
-                        stats.elements_pushed += len(records)
+                        stats.elements_pushed += len(starts)
                         pushed_in_run += 1
                         if len(stack) > stats.max_stack_depth:
                             stats.max_stack_depth = len(stack)
@@ -552,9 +605,12 @@ class LazyJoiner:
                 stats.d_fetches_avoided += 1
                 continue
             d_compiled = get_elements(tid_d, sd.sid)
-            d_records = d_compiled.records
+            n_d = len(d_compiled)
             cross_before = len(results)
-            if d_records and n_matched:
+            if n_d and n_matched:
+                # Records materialize only here — on the emission path.
+                # Pure-scan traversals (no joining pairs) stay column-only.
+                d_records = d_compiled.records
                 if child_only:
                     for a_elem in live:
                         for d_elem in d_records:
@@ -570,7 +626,7 @@ class LazyJoiner:
                         results.extend(product(prefix, d_records))
                     if live:
                         results.extend(product(live, d_records))
-                    stats.cross_pairs += n_matched * len(d_records)
+                    stats.cross_pairs += n_matched * n_d
             if context is not None:
                 context.charge_rows(len(results) - cross_before)
             if in_segment:
@@ -582,13 +638,14 @@ class LazyJoiner:
                 # column kernels skip re-deriving them.
                 a_compiled = get_elements(tid_a, sd.sid)
                 in_pairs = stack_tree_desc(
-                    a_compiled.records,
-                    d_records,
+                    a_compiled,
+                    d_compiled,
                     axis=axis,
                     context=context,
                     a_starts=a_compiled.starts,
                     a_ends=a_compiled.ends,
                     d_starts=d_compiled.starts,
+                    backend=std_backend,
                 )
                 results.extend(in_pairs)
                 stats.in_segment_pairs += len(in_pairs)
@@ -658,8 +715,11 @@ class LazyJoiner:
         records = frame.records
         starts = frame.starts
         # Rebuilt columns keep the ``array('q')`` layout so the column
-        # kernels can take zero-copy views of trimmed frames too.
-        frame.records = [records[i] for i in kept]
+        # kernels can take zero-copy views of trimmed frames too.  The
+        # trimmed record list is pinned directly: the frame no longer
+        # mirrors any compiled artifact, so the lazy source is dropped.
+        frame._records = [records[i] for i in kept]
+        frame.source = None
         frame.starts = array("q", [starts[i] for i in kept])
         frame.ends = array("q", [ends[i] for i in kept])
         frame.maxends = _prefix_max(frame.ends)

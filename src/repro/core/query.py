@@ -128,11 +128,18 @@ class PathPlan:
     (the product of the two participating tags' totals — an upper bound on
     output pairs): running the cheapest joins first lets a zero-pair step
     abort the query before the expensive ones execute.
+
+    ``segment_counts`` are the per-tag compiled segment-list lengths, read
+    from the read-path cache's cross-query memo when it is enabled (empty
+    otherwise).  They break cost ties — the Lazy-Join merge's outer loop
+    scales with segment counts, not element counts — and probing them
+    warms the segment-list memo for the joins about to execute.
     """
 
     tags: tuple[str, ...]
     counts: tuple[int, ...]
     join_order: tuple[int, ...]
+    segment_counts: tuple[int, ...] = ()
 
     @property
     def empty(self) -> bool:
@@ -147,16 +154,48 @@ class PathPlan:
 def plan_path(db, query: PathQuery) -> PathPlan:
     """Plan ``query`` against ``db``'s tag-list selectivity totals."""
     tags = (query.entry,) + tuple(step.tag for step in query.steps)
+    tids = []
     counts = []
     for tag in tags:
         tid = db.log.tags.tid_of(tag)
+        tids.append(tid)
         counts.append(0 if tid is None else db.log.taglist.total_count(tid))
     counts = tuple(counts)
+    segment_counts: tuple[int, ...] = ()
+    readpath = getattr(db, "readpath", None)
+    if (
+        readpath is not None
+        and readpath.enabled
+        and db.log.query_ready
+        and all(counts)
+    ):
+        # Feed the planner from the compiled segment lists: the per-tag
+        # compile is memoized under the tag-list version, so these probes
+        # warm the cross-query memo for the joins about to run and cost
+        # O(1) per tag once warm.
+        lengths = {
+            tid: len(readpath.segment_list(tid)) for tid in set(tids)
+        }
+        segment_counts = tuple(lengths[tid] for tid in tids)
     n_steps = len(query.steps)
-    join_order = tuple(
-        sorted(range(n_steps), key=lambda i: counts[i] * counts[i + 1])
+    if segment_counts:
+        # Same primary cost; segment-count products break ties because
+        # the merge's outer loop scales with segments, not elements.
+        def cost(i: int) -> tuple[int, int]:
+            return (
+                counts[i] * counts[i + 1],
+                segment_counts[i] * segment_counts[i + 1],
+            )
+    else:
+        def cost(i: int) -> int:
+            return counts[i] * counts[i + 1]
+    join_order = tuple(sorted(range(n_steps), key=cost))
+    return PathPlan(
+        tags=tags,
+        counts=counts,
+        join_order=join_order,
+        segment_counts=segment_counts,
     )
-    return PathPlan(tags=tags, counts=counts, join_order=join_order)
 
 
 def evaluate_path(

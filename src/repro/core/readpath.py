@@ -51,6 +51,7 @@ import os
 from array import array
 from itertools import accumulate
 
+from repro.joins import kernels
 from repro.obs.metrics import METRICS
 
 __all__ = [
@@ -87,6 +88,12 @@ _M_JOIN_HITS = METRICS.counter(
 _M_JOIN_MISSES = METRICS.counter(
     "readpath.joins.misses", unit="lookups", site="ReadPathCache.cached_join"
 )
+_M_LAT_HITS = METRICS.counter(
+    "readpath.lattices.hits", unit="lookups", site="ReadPathCache.path_lattice"
+)
+_M_LAT_MISSES = METRICS.counter(
+    "readpath.lattices.misses", unit="lookups", site="ReadPathCache.path_lattice"
+)
 _M_INVALIDATED = METRICS.counter(
     "readpath.invalidations",
     unit="entries",
@@ -102,11 +109,19 @@ def cache_enabled_default() -> bool:
 class CompiledElements:
     """One segment's elements of one tag, compiled to flat columns.
 
-    ``records`` is the materialized :class:`ElementRecord` tuple (what join
-    results are made of); ``starts``/``ends``/``levels`` are parallel
+    ``records`` is the :class:`ElementRecord` tuple (what join results
+    are made of); ``starts``/``ends``/``levels`` are parallel
     ``array('q')`` columns sorted by start — local coordinates, which are
     immutable, so a compiled instance never goes stale from *other*
     segments' updates.
+
+    The element index stores the record objects *inside* its keys, so
+    adopting them here is reference copying, not per-element NamedTuple
+    construction — the historical dominant compile cost.  The instance
+    is also a start-ordered sequence of its records
+    (``len``/index/iterate), which is how the Stack-Tree kernels consume
+    it; kernels that defer record access until emission (the column
+    kernels) resolve ``.records`` once and index the plain tuple.
     """
 
     __slots__ = ("records", "starts", "ends", "levels")
@@ -119,11 +134,12 @@ class CompiledElements:
 
     @classmethod
     def from_columns(cls, records, starts, ends, levels) -> "CompiledElements":
-        """Adopt pre-extracted columns (``ElementIndex.segment_columns``).
+        """Adopt pre-extracted records and columns in one step.
 
-        The bulk-extraction path: the index hands over the records tuple
-        and parallel columns in one pass, so compilation never touches the
-        elements one at a time — the cold read path's dominant cost.
+        The bulk-extraction path (``ElementIndex.segment_columns`` /
+        ``segment_key_columns`` / ``tag_columns``): the index hands over
+        the stored record tuple and parallel columns in one pass, so
+        compilation never touches the elements one at a time.
         """
         self = cls.__new__(cls)
         self.records = records
@@ -132,8 +148,19 @@ class CompiledElements:
         self.levels = levels
         return self
 
+    # Historical name from when the extractors returned raw index keys
+    # and records materialized lazily; the index now stores the records
+    # themselves, so both constructors adopt the same quadruple.
+    from_keys = from_columns
+
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self.starts)
+
+    def __getitem__(self, index):
+        return self.records[index]
+
+    def __iter__(self):
+        return iter(self.records)
 
 
 class CompiledPushList:
@@ -145,18 +172,63 @@ class CompiledPushList:
     ``max(ends[:i+1])`` — a frame whose prefix max does not exceed the
     branch position cannot join the descendant segment at all, which lets
     the cross-join scan skip whole frames with one comparison.
+
+    Like :class:`CompiledElements`, ``records`` are lazy on the
+    selection-based constructor: the columns are filtered eagerly (the
+    merge scans them), the record subset materializes only when a frame
+    built from this push list actually emits pairs.
     """
 
-    __slots__ = ("records", "starts", "ends", "maxends")
+    __slots__ = ("_source", "_kept", "_records", "starts", "ends", "maxends")
 
     def __init__(self, records, starts, ends):
-        self.records = records
+        self._source = None
+        self._kept = None
+        self._records = records
         self.starts = starts
         self.ends = ends
         self.maxends = list(accumulate(ends, max))
 
+    @classmethod
+    def from_selection(cls, source: CompiledElements, kept) -> "CompiledPushList":
+        """Filtered view of compiled element columns.
+
+        ``kept`` is the surviving index list from a push kernel, or
+        ``None`` for "every element survives" — in which case the
+        source's (immutable) columns are shared outright and the record
+        tuple is shared on materialization too.
+        """
+        self = cls.__new__(cls)
+        self._source = source
+        self._kept = kept
+        self._records = None
+        if kept is None:
+            self.starts = source.starts
+            self.ends = source.ends
+        else:
+            self.starts = array("q", map(source.starts.__getitem__, kept))
+            self.ends = array("q", map(source.ends.__getitem__, kept))
+        self.maxends = list(accumulate(self.ends, max))
+        return self
+
+    @property
+    def records(self):
+        records = self._records
+        if records is None:
+            source_records = self._source.records
+            kept = self._kept
+            records = (
+                source_records
+                if kept is None
+                else tuple(map(source_records.__getitem__, kept))
+            )
+            self._records = records
+            self._source = None
+            self._kept = None
+        return records
+
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self.starts)
 
 
 class CompiledSegmentList:
@@ -203,6 +275,8 @@ class ReadPathCache:
         self._segments: dict[int, tuple[int, CompiledSegmentList]] = {}
         # sid -> lp (immutable; no version key)
         self._lps: dict[int, int] = {}
+        # (tid_a, tid_d) -> (version_a, version_d, per-D-segment rows)
+        self._lattices: dict[tuple[int, int], tuple[int, int, tuple]] = {}
         # (tid_a, tid_d, axis) -> (version_a, version_d, results tuple)
         self._joins: dict[tuple[int, int, str], tuple[int, int, tuple]] = {}
         self.hits = 0
@@ -226,6 +300,7 @@ class ReadPathCache:
         self._push.clear()
         self._segments.clear()
         self._lps.clear()
+        self._lattices.clear()
         self._joins.clear()
 
     # ------------------------------------------------------------------
@@ -234,8 +309,8 @@ class ReadPathCache:
     def elements(self, tid: int, sid: int) -> CompiledElements:
         """The compiled element arrays for ``(tid, sid)``."""
         if not self.enabled:
-            return CompiledElements.from_columns(
-                *self._index.segment_columns(tid, sid)
+            return CompiledElements.from_keys(
+                *self._index.segment_key_columns(tid, sid)
             )
         key = (tid, sid)
         version = self._index.version(sid)
@@ -252,11 +327,102 @@ class ReadPathCache:
         self.misses += 1
         if METRICS.enabled:
             _M_EL_MISSES.inc()
-        compiled = CompiledElements.from_columns(
-            *self._index.segment_columns(tid, sid)
+        compiled = CompiledElements.from_keys(
+            *self._index.segment_key_columns(tid, sid)
         )
         self._elements[key] = (version, compiled)
         return compiled
+
+    def bulk_elements(self, tid: int) -> dict[int, CompiledElements]:
+        """Whole-tag bulk compile: every segment's element columns at once.
+
+        One ``ElementIndex.tag_columns`` range pass slices all of ``tid``'s
+        index leaves and emits per-segment columns; this wraps each as a
+        :class:`CompiledElements` and (enabled mode) installs the stale
+        ones under their current versions, so every later
+        :meth:`elements` call for the tag is a hit.  Entries already fresh
+        in the cache keep their identity (the compiled artifacts are
+        shared with live join frames).  Returns ``{sid: compiled}`` for
+        the segments that hold at least one ``tid`` element.
+        """
+        columns = self._index.tag_columns(tid)
+        out: dict[int, CompiledElements] = {}
+        if not self.enabled:
+            for sid, cols in columns.items():
+                out[sid] = CompiledElements.from_keys(*cols)
+            return out
+        version_of = self._index.version
+        elements = self._elements
+        stale = 0
+        invalidated = 0
+        for sid, cols in columns.items():
+            version = version_of(sid)
+            cached = elements.get((tid, sid))
+            if cached is not None:
+                if cached[0] == version:
+                    out[sid] = cached[1]
+                    continue
+                invalidated += 1
+            compiled = CompiledElements.from_keys(*cols)
+            elements[(tid, sid)] = (version, compiled)
+            out[sid] = compiled
+            stale += 1
+        if invalidated:
+            self.invalidations += invalidated
+            if METRICS.enabled:
+                _M_INVALIDATED.inc(invalidated)
+        if stale:
+            self.misses += stale
+            if METRICS.enabled:
+                _M_EL_MISSES.inc(stale)
+        return out
+
+    def warm_tag(self, tid: int, nodes=(), *, push: bool = False) -> None:
+        """Bulk-warm a tag's compiled element (and push) state.
+
+        The cold-compile fast path: one :meth:`bulk_elements` pass warms
+        every segment's element columns, and with ``push=True`` the
+        optimization-(i) push lists of ``nodes`` (the tag's segment-list
+        ER-nodes) are compiled in the same sweep — one backend-kernel
+        resolution for the whole batch instead of one per segment.
+        Enabled mode only (disabled mode memoizes nothing to warm).
+        """
+        if not self.enabled:
+            return
+        compiled_by_sid = self.bulk_elements(tid)
+        if not push:
+            return
+        kept_fn = kernels.push_selector()
+        version_of = self._index.version
+        push_cache = self._push
+        stale = 0
+        invalidated = 0
+        for node in nodes:
+            sid = node.sid
+            key = (tid, sid)
+            iv = version_of(sid)
+            nv = node._version
+            cached = push_cache.get(key)
+            if cached is not None:
+                if cached[0] == iv and cached[1] == nv:
+                    continue
+                invalidated += 1
+            full = compiled_by_sid.get(sid)
+            if full is None:
+                # Tag-list entry without index records (possible only
+                # transiently); compile the empty columns through the
+                # ordinary per-segment path so it is cached consistently.
+                full = self.elements(tid, sid)
+            push_cache[key] = (iv, nv, self.compile_push_from(full, node, kept_fn))
+            stale += 1
+        if invalidated:
+            self.invalidations += invalidated
+            if METRICS.enabled:
+                _M_INVALIDATED.inc(invalidated)
+        if stale:
+            self.misses += stale
+            if METRICS.enabled:
+                _M_PUSH_MISSES.inc(stale)
 
     def push_elements(self, tid: int, node) -> CompiledPushList:
         """The optimization-(i) push list for tag ``tid`` in segment ``node``."""
@@ -287,42 +453,29 @@ class ReadPathCache:
         return self.compile_push_from(self.elements(tid, node.sid), node)
 
     @staticmethod
-    def compile_push_from(full: CompiledElements, node) -> CompiledPushList:
+    def compile_push_from(
+        full: CompiledElements, node, kept_fn=None
+    ) -> CompiledPushList:
         """Optimization-(i) filter over already compiled element columns.
 
         An element survives iff the first child insertion point past its
-        start lies inside its span.  Starts ascend, so that insertion
-        point is found by advancing a single cursor over the (sorted)
-        child lps — one O(n + m) merge scan instead of a bisect per
-        element.  When every element survives, the compiled columns are
-        shared outright (compiled artifacts are immutable; the join's
-        trim path already copies on write).
+        start lies inside its span.  The survivor selection is delegated
+        to a compile-backend kernel (:func:`repro.joins.kernels.
+        push_selector`): the python kernel advances a single cursor over
+        the (sorted) child lps — one O(n + m) merge scan — and the numpy
+        kernel evaluates the same predicate with one ``searchsorted``
+        over the whole column.  When every element survives, the compiled
+        columns are shared outright (compiled artifacts are immutable;
+        the join's trim path already copies on write).  Batch callers
+        resolve ``kept_fn`` once per pass and thread it through.
         """
         lps = [child.lp for child in node.children]
         if not lps:
             return CompiledPushList((), array("q"), array("q"))
-        f_records = full.records
-        f_starts = full.starts
-        f_ends = full.ends
-        n_lps = len(lps)
-        li = 0
-        kept = []
-        for i, start in enumerate(f_starts):
-            while li < n_lps and lps[li] <= start:
-                li += 1
-            if li == n_lps:
-                # Later elements start even further right: no child lp
-                # can fall inside any of their spans either.
-                break
-            if lps[li] < f_ends[i]:
-                kept.append(i)
-        if len(kept) == len(f_records):
-            return CompiledPushList(f_records, f_starts, f_ends)
-        return CompiledPushList(
-            tuple(map(f_records.__getitem__, kept)),
-            array("q", map(f_starts.__getitem__, kept)),
-            array("q", map(f_ends.__getitem__, kept)),
-        )
+        if kept_fn is None:
+            kept_fn = kernels.push_selector()
+        kept = kept_fn(full.starts, full.ends, lps)
+        return CompiledPushList.from_selection(full, kept)
 
     def segment_list(self, tid: int) -> CompiledSegmentList:
         """The compiled segment list (``SL`` of Lazy-Join) for ``tid``."""
@@ -346,6 +499,56 @@ class ReadPathCache:
         compiled = CompiledSegmentList(taglist.segments_for(tid))
         self._segments[tid] = (version, compiled)
         return compiled
+
+    def path_lattice(self, tid_a: int, tid_d: int, csl_a, csl_d) -> tuple:
+        """Per-D-segment rows of ``csl_a`` positions of its proper ancestors.
+
+        Row ``j`` lists, ascending, the positions in ``csl_a`` of the sids
+        on ``csl_d.nodes[j]``'s stored tag-list path *excluding its own
+        sid* — exactly the A-segments that can strictly contain it
+        (segments form a laminar family, so a container must be an ER-tree
+        ancestor).  The merge's Step 2 then finds the candidates between
+        two merge positions with two bisects into the row instead of
+        probing the path sid-by-sid per descendant segment.  Rows ascend
+        because path order and segment-list order are both ascending in
+        global position.
+
+        Memoized under *both* tags' tag-list versions: any element change
+        to either tag bumps its version, and the rows depend only on the
+        two segment lists and the D-nodes' stored paths, which the
+        tag-list versions cover (path changes imply occurrence changes).
+        ``csl_a`` / ``csl_d`` are the caller's already-fetched compiled
+        segment lists, so a hit costs two version reads and a dict probe.
+        """
+        key = (tid_a, tid_d)
+        taglist = self._log.taglist
+        va = taglist.version(tid_a)
+        vd = taglist.version(tid_d)
+        cached = self._lattices.get(key)
+        if cached is not None:
+            if cached[0] == va and cached[1] == vd:
+                self.hits += 1
+                if METRICS.enabled:
+                    _M_LAT_HITS.inc()
+                return cached[2]
+            self.invalidations += 1
+            if METRICS.enabled:
+                _M_INVALIDATED.inc()
+        self.misses += 1
+        if METRICS.enabled:
+            _M_LAT_MISSES.inc()
+        get = csl_a.sid_index.get
+        rows = tuple(
+            tuple(
+                idx
+                for sid in node.path[:-1]
+                if (idx := get(sid)) is not None
+            )
+            for node in csl_d.nodes
+        )
+        if self.enabled:
+            self._lattices[key] = (va, vd, rows)
+        return rows
 
     def cached_join(self, tid_a: int, tid_d: int, axis: str) -> tuple | None:
         """A previously stored ``tid_a // tid_d`` answer, if still valid.
@@ -439,6 +642,7 @@ class ReadPathCache:
                 "push_lists": len(self._push),
                 "segment_lists": len(self._segments),
                 "lps": len(self._lps),
+                "path_lattices": len(self._lattices),
                 "join_results": len(self._joins),
             },
         }
@@ -447,11 +651,13 @@ class ReadPathCache:
         """Rough size of the compiled state: 8 bytes per stored scalar."""
         total = 0
         for _, compiled in self._elements.values():
-            total += 8 * 3 * len(compiled.records) + 8 * len(compiled.records)
+            total += 8 * 3 * len(compiled) + 8 * len(compiled)
         for _, _, push in self._push.values():
-            total += 8 * 3 * len(push.records)
+            total += 8 * 3 * len(push)
         for _, compiled_list in self._segments.values():
             total += 8 * 2 * len(compiled_list.entries)
+        for _, _, rows in self._lattices.values():
+            total += 8 * sum(map(len, rows))
         for _, _, results in self._joins.values():
             total += 8 * 8 * len(results)  # two 4-field records per pair
         total += 8 * len(self._lps)

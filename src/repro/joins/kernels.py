@@ -56,16 +56,25 @@ from repro.errors import QueryError
 __all__ = [
     "KERNEL_ENV",
     "BACKENDS",
+    "COMPILE_ENV",
+    "COMPILE_BACKENDS",
     "current_backend",
+    "current_compile_backend",
     "numpy_available",
     "normalize_backend",
+    "normalize_compile_backend",
     "set_backend",
     "use_backend",
+    "set_compile_backend",
+    "use_compile_backend",
     "std_pairs_python",
     "std_pairs_numpy",
     "select_open_python",
     "select_open_numpy",
     "open_selector",
+    "push_kept_python",
+    "push_kept_numpy",
+    "push_selector",
 ]
 
 #: Environment variable naming the default kernel backend.
@@ -73,6 +82,16 @@ KERNEL_ENV = "REPRO_JOIN_KERNEL"
 
 #: Recognized backend names, in "most conservative first" order.
 BACKENDS = ("legacy", "python", "numpy")
+
+#: Environment variable naming the default *compile* backend — the
+#: column-builder side of the read path (whole-tag bulk extraction and
+#: the push-list cursor merge), as opposed to the merge kernels above.
+COMPILE_ENV = "REPRO_COMPILE_BACKEND"
+
+#: Recognized compile backends.  There is no ``legacy`` here: the
+#: record-at-a-time reference is ``ElementIndex.segment_columns`` itself,
+#: which the parity suite compares both backends against.
+COMPILE_BACKENDS = ("python", "numpy")
 
 _np = None
 _np_checked = False
@@ -144,6 +163,59 @@ def use_backend(name: str | None):
 
 
 # ----------------------------------------------------------------------
+# compile-backend selection (mirrors the join-kernel switch above)
+
+
+def normalize_compile_backend(name: str) -> str:
+    """Validate an explicitly requested compile backend name (typed error)."""
+    if name not in COMPILE_BACKENDS:
+        raise QueryError(
+            f"compile backend must be one of {COMPILE_BACKENDS}, got {name!r}"
+        )
+    return name
+
+
+_forced_compile: str | None = None
+
+
+def current_compile_backend() -> str:
+    """The active compile backend: override, else ``REPRO_COMPILE_BACKEND``.
+
+    Exactly the join-kernel contract: ``numpy`` without numpy installed
+    and unrecognized environment values both degrade silently to
+    ``python`` — column contents never depend on the selection.
+    """
+    name = _forced_compile
+    if name is None:
+        name = os.environ.get(COMPILE_ENV, "python")
+    if name not in COMPILE_BACKENDS:
+        name = "python"
+    if name == "numpy" and not numpy_available():
+        return "python"
+    return name
+
+
+def set_compile_backend(name: str | None) -> None:
+    """Force a compile backend process-wide (``None`` restores env)."""
+    global _forced_compile
+    _forced_compile = (
+        None if name is None else normalize_compile_backend(name)
+    )
+
+
+@contextmanager
+def use_compile_backend(name: str | None):
+    """Scoped :func:`set_compile_backend` — the parity tests' switch."""
+    global _forced_compile
+    previous = _forced_compile
+    set_compile_backend(name)
+    try:
+        yield
+    finally:
+        _forced_compile = previous
+
+
+# ----------------------------------------------------------------------
 # Stack-Tree-Desc kernels
 
 
@@ -181,6 +253,14 @@ def std_pairs_python(
     a_starts = _column(a_starts, ancestors, "start")
     a_ends = _column(a_ends, ancestors, "end")
     d_starts = _column(d_starts, descendants, "start")
+    # Record materialization is deferred until the merge proves it will
+    # emit: a push (descendant axis) or a survived stack (child axis)
+    # implies at least one record access, so lazy compiled columns (the
+    # read-path cache's ``CompiledElements``) stay column-only through
+    # pure counting scans.  ``getattr`` falls through to the argument
+    # itself for plain record sequences.
+    a_recs = None
+    d_recs = None
     results: list[tuple] = []
     stack_recs: list = []
     stack_ends: list[int] = []
@@ -213,7 +293,9 @@ def std_pairs_python(
             while stack_ends and stack_ends[-1] <= a_start:
                 stack_ends.pop()
                 stack_recs.pop()
-            stack_recs.append(ancestors[ai])
+            if a_recs is None:
+                a_recs = getattr(ancestors, "records", ancestors)
+            stack_recs.append(a_recs[ai])
             stack_ends.append(a_end)
             ai += 1
         if context is not None:
@@ -224,6 +306,8 @@ def std_pairs_python(
             stack_recs.pop()
         if not stack_recs:
             continue
+        if d_recs is None:
+            d_recs = getattr(descendants, "records", descendants)
         # The run: descendants before the top frame expires (nested stack
         # means the top holds the minimal end) and not past the next
         # ancestor's start (a push happens only for d.start > a.start).
@@ -235,7 +319,7 @@ def std_pairs_python(
         if ndi >= n_d or d_starts[ndi] >= stack_ends[-1] or (
             ai < n_a and d_starts[ndi] > a_starts[ai]
         ):
-            d = descendants[di]
+            d = d_recs[di]
             if child_only:
                 top = stack_recs[-1]
                 if top.level + 1 == d.level:
@@ -257,7 +341,7 @@ def std_pairs_python(
             cap = bisect_right(d_starts, a_starts[ai], ndi, n_d)
             if cap < hi:
                 hi = cap
-        run = descendants[di:hi]
+        run = d_recs[di:hi]
         if child_only:
             top = stack_recs[-1]
             want = top.level + 1
@@ -342,8 +426,10 @@ def std_pairs_numpy(
         context.charge_depth(int(np.bincount(d_idx, minlength=1).max()))
         context.charge_rows(total)
     order = np.lexsort((a_idx, d_idx))  # descendant-major, ancestor minor
-    a_get = ancestors.__getitem__
-    d_get = descendants.__getitem__
+    # Emission is certain here (total > 0): resolve lazy compiled
+    # columns to their plain record sequences once, then index tuples.
+    a_get = getattr(ancestors, "records", ancestors).__getitem__
+    d_get = getattr(descendants, "records", descendants).__getitem__
     return list(
         zip(map(a_get, a_idx[order].tolist()), map(d_get, d_idx[order].tolist()))
     )
@@ -415,3 +501,77 @@ def open_selector(backend: str | None = None):
     if backend == "numpy" and numpy_available():
         return select_open_numpy
     return select_open_python
+
+
+# ----------------------------------------------------------------------
+# push-list compile kernels (the Section 4.2 optimization-(i) filter)
+
+
+def push_kept_python(starts, ends, lps) -> list | None:
+    """Indices of elements containing at least one child insertion point.
+
+    ``starts``/``ends`` are a segment's start-sorted element columns;
+    ``lps`` the (sorted) child lps.  An element survives iff the first lp
+    strictly past its start lies inside its span — one O(n + m) cursor
+    merge, since starts ascend.  Returns ``None`` when *every* element
+    survives (the caller shares its columns outright) — the common case
+    for densely chopped documents, decided without building a list copy.
+    """
+    n_lps = len(lps)
+    li = 0
+    kept: list[int] = []
+    n = len(starts)
+    for i, start in enumerate(starts):
+        while li < n_lps and lps[li] <= start:
+            li += 1
+        if li == n_lps:
+            # Later elements start even further right: no child lp can
+            # fall inside any of their spans either.
+            break
+        if lps[li] < ends[i]:
+            kept.append(i)
+    if len(kept) == n:
+        return None
+    return kept
+
+
+def push_kept_numpy(starts, ends, lps) -> list | None:
+    """Vectorized :func:`push_kept_python` (same contract, same output).
+
+    The cursor merge becomes one ``searchsorted`` over the child lps plus
+    one bounds-checked compare.  Below ``_NUMPY_PUSH_MIN`` elements the
+    array round-trip costs more than the merge, so short columns take the
+    python path — the kept index list is identical either way.
+    """
+    np = _numpy()
+    n = len(starts)
+    if np is None or n < _NUMPY_PUSH_MIN:
+        return push_kept_python(starts, ends, lps)
+    try:
+        s = np.frombuffer(starts, dtype=np.int64)
+        e = np.frombuffer(ends, dtype=np.int64)
+    except (TypeError, ValueError, BufferError):
+        s = np.asarray(starts, dtype=np.int64)
+        e = np.asarray(ends, dtype=np.int64)
+    l_arr = np.asarray(lps, dtype=np.int64)
+    idx = np.searchsorted(l_arr, s, side="right")
+    in_range = idx < l_arr.size
+    sel = np.zeros(n, dtype=bool)
+    sel[in_range] = l_arr[idx[in_range]] < e[in_range]
+    kept = np.nonzero(sel)[0]
+    if kept.size == n:
+        return None
+    return kept.tolist()
+
+
+#: Element-column length below which numpy setup dominates the merge.
+_NUMPY_PUSH_MIN = 64
+
+
+def push_selector(backend: str | None = None):
+    """The push-filter kernel for ``backend`` (default: current compile)."""
+    if backend is None:
+        backend = current_compile_backend()
+    if backend == "numpy" and numpy_available():
+        return push_kept_numpy
+    return push_kept_python

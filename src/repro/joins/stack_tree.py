@@ -58,6 +58,7 @@ def stack_tree_desc(
     a_ends=None,
     d_starts=None,
     kernel: str | None = None,
+    backend: str | None = None,
 ) -> list[tuple]:
     """Join two start-sorted element lists on containment.
 
@@ -88,14 +89,18 @@ def stack_tree_desc(
     columns parallel to the record sequences (the read-path cache's
     ``array('q')`` layouts); omitted, the kernels derive them.  ``kernel``
     pins a :mod:`repro.joins.kernels` backend for this call (the parity
-    suite's switch); by default ``REPRO_JOIN_KERNEL`` decides.  Every
-    backend returns the identical pair list.
+    suite's switch); by default ``REPRO_JOIN_KERNEL`` decides.  ``backend``
+    is a pre-resolved ``current_backend()`` value callers in a tight loop
+    pass to hoist the per-call environment lookup — the size floor still
+    applies, so results stay identical.  Every backend returns the
+    identical pair list.
     """
     if axis not in _AXES:
         raise QueryError(f"axis must be one of {_AXES}, got {axis!r}")
     child_only = axis == AXIS_CHILD
     if kernel is None:
-        backend = kernels.current_backend()
+        if backend is None:
+            backend = kernels.current_backend()
         # Auto mode: full vectorization only pays off past a size floor;
         # the run kernel wins on small inputs (identical results).
         if (

@@ -27,6 +27,7 @@ from collections import Counter
 from pathlib import Path
 
 from repro.core.database import LazyXMLDatabase
+from repro.core.element_index import ElementRecord
 from repro.core.ertree import ERNode
 from repro.core.segment import DUMMY_ROOT_SID
 from repro.errors import ReproError
@@ -246,7 +247,9 @@ def loads(data: str) -> LazyXMLDatabase:
         db._segment_elements[sid] = records
         counts: Counter = Counter()
         for tid, start, end, level in records:
-            db.index._tree.insert((tid, sid, start, end, level), None)
+            db.index._tree.insert(
+                (tid, ElementRecord(sid, start, end, level)), None
+            )
             counts[tid] += 1
         for tid, count in counts.items():
             db.log.taglist.add_segment(tid, node, count)

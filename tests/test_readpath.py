@@ -91,6 +91,7 @@ def test_kill_switch_env(monkeypatch):
         "push_lists": 0,
         "segment_lists": 0,
         "lps": 0,
+        "path_lattices": 0,
         "join_results": 0,
     }
     monkeypatch.delenv("REPRO_READPATH_CACHE")
