@@ -1,0 +1,222 @@
+"""Twig engine: holistic vs pairwise on branching patterns + prune drill.
+
+Two workload families, both branching-pattern heavy:
+
+- **spine** — the fig13 spine document (a ``depth``-long ``t0`` chain,
+  ``t1``/``t2`` leaf children per spine node) chopped into segments.
+  ``t0[t2]//t1`` concentrates a quadratic ``t0//t1`` pair set on the
+  spine: the pairwise decomposition must materialize it, the holistic
+  executor reduces it with linear semi-joins.
+- **xmark** — the XMark-like site document, branching patterns over the
+  Fig. 14 tag set (``person[profile/interest]/phone`` etc.).
+
+Each pattern runs under both forced strategies over the same warm
+compiled columns (best-of-``repeat``); answers are compared record by
+record (``matches_equal`` must hold everywhere — this is the parity
+contract measured rather than assumed).  The planner's unforced choice
+is recorded per pattern.
+
+The **prune drill** pins the other tentpole acceptance criterion: on a
+freshly-chopped (never-queried) database, a twig naming an absent tag
+must answer ``[]`` from the path summary alone — the read-path cache's
+miss and entry counters must not move, proving no column was compiled —
+while a feasible pattern on the same cold database pays the full
+compile, for contrast.
+
+Run:  python benchmarks/bench_twig.py [--smoke]
+
+``--smoke`` shrinks workloads for the CI perf-smoke job and writes
+``BENCH_twig.smoke.json`` instead of ``BENCH_twig.json``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+from pathlib import Path
+
+from repro.bench.experiments import _xmark_chop_ops, spine_document
+from repro.bench.harness import Table, measure, write_envelope
+from repro.core.database import LazyXMLDatabase
+from repro.twig import PathSummary, parse_twig
+from repro.twig.evaluate import evaluate_twig
+from repro.twig.plan import plan_twig
+from repro.workloads.chopper import apply_chop, chop_text
+from repro.workloads.xmark import XMarkConfig, generate_site
+
+_MS = 1e3
+
+SPINE_PATTERNS = ["t0[t2]//t1", "t0[t1]/t2", "t0[t1//t2]"]
+XMARK_PATTERNS = [
+    "person[profile/interest]/phone",
+    "person[address]//watch",
+    "person[profile/interest][watches]//phone",
+    "people/person[watches/watch]",
+    "person[address/city]//interest",
+]
+
+
+def _record_keys(records):
+    return [(r.sid, r.start, r.end, r.level) for r in records]
+
+
+def _time_patterns(db, patterns, repeat: int) -> dict:
+    """Warm holistic vs pairwise per pattern, with parity checked."""
+    summary = PathSummary(db.log)
+    out = {}
+    for expr in patterns:
+        plan = plan_twig(parse_twig(expr), summary)
+        twig_records = evaluate_twig(db, expr, strategy="twig")
+        pair_records = evaluate_twig(db, expr, strategy="pairwise")
+        t_twig = measure(
+            lambda: evaluate_twig(db, expr, strategy="twig"), repeat=repeat
+        )
+        t_pair = measure(
+            lambda: evaluate_twig(db, expr, strategy="pairwise"), repeat=repeat
+        )
+        out[expr] = {
+            "matches": len(twig_records),
+            "matches_equal": _record_keys(twig_records)
+            == _record_keys(pair_records),
+            "twig_ms": t_twig * _MS,
+            "pairwise_ms": t_pair * _MS,
+            "speedup": t_pair / t_twig if t_twig > 0 else float("inf"),
+            "planner_choice": plan.strategy,
+            "cost_twig": plan.cost_twig,
+            "cost_pairwise": plan.cost_pairwise,
+        }
+    return out
+
+
+def bench_spine(smoke: bool) -> tuple[Table, dict]:
+    depth = 60 if smoke else 150
+    segments = [20] if smoke else [20, 40]
+    repeat = 2 if smoke else 5
+    text = spine_document(depth, 3)
+    table = Table(
+        "twig vs pairwise — fig13 spine",
+        ["segments", "pattern", "matches", "twig_ms", "pairwise_ms",
+         "speedup", "planner"],
+    )
+    results: dict = {"depth": depth}
+    for count in segments:
+        db, _ = chop_text(text, count, "nested")
+        db.prepare_for_query()
+        timed = _time_patterns(db, SPINE_PATTERNS, repeat)
+        results[str(count)] = timed
+        for expr, r in timed.items():
+            table.add_row(
+                [count, expr, r["matches"], r["twig_ms"], r["pairwise_ms"],
+                 r["speedup"], r["planner_choice"]]
+            )
+    return table, results
+
+
+def bench_xmark(smoke: bool) -> tuple[Table, dict]:
+    scale = 0.01 if smoke else 0.02
+    n_segments = 30 if smoke else 60
+    repeat = 2 if smoke else 5
+    text = generate_site(XMarkConfig(scale=scale, seed=7)).to_xml()
+    db = LazyXMLDatabase(keep_text=False)
+    apply_chop(db, _xmark_chop_ops(text, n_segments))
+    db.prepare_for_query()
+    timed = _time_patterns(db, XMARK_PATTERNS, repeat)
+    table = Table(
+        "twig vs pairwise — XMark branching",
+        ["pattern", "matches", "twig_ms", "pairwise_ms", "speedup",
+         "planner"],
+    )
+    for expr, r in timed.items():
+        table.add_row(
+            [expr, r["matches"], r["twig_ms"], r["pairwise_ms"],
+             r["speedup"], r["planner_choice"]]
+        )
+    timed["scale"] = scale
+    timed["segments"] = n_segments
+    return table, timed
+
+
+def bench_prune(smoke: bool) -> dict:
+    """Impossible-path twig on a cold database: zero columns compiled."""
+    depth = 60 if smoke else 150
+    text = spine_document(depth, 3)
+    db, _ = chop_text(text, 20 if smoke else 40, "nested")
+    db.prepare_for_query()
+    before = db.readpath.stats()
+    t_prune = measure(lambda: evaluate_twig(db, "t0//absent[t1]"), repeat=3)
+    pruned_result = evaluate_twig(db, "t0//absent[t1]")
+    after = db.readpath.stats()
+    zero_columns = (
+        after["misses"] == before["misses"]
+        and after["entries"] == before["entries"]
+    )
+    # Contrast: the first feasible twig on the same cold db pays the
+    # compile (misses move), bounding what the prune skipped.
+    t_cold = measure(
+        lambda: evaluate_twig(db, "t0[t2]//t1", strategy="twig"), repeat=1
+    )
+    compiled = db.readpath.stats()
+    return {
+        "pattern": "t0//absent[t1]",
+        "result_empty": pruned_result == [],
+        "compiled_zero_columns": zero_columns,
+        "prune_ms": t_prune * _MS,
+        "cold_feasible_ms": t_cold * _MS,
+        "misses_before": before["misses"],
+        "misses_after_prune": after["misses"],
+        "misses_after_feasible": compiled["misses"],
+    }
+
+
+def main() -> None:
+    smoke = "--smoke" in sys.argv
+    t_spine, r_spine = bench_spine(smoke)
+    t_xmark, r_xmark = bench_xmark(smoke)
+    r_prune = bench_prune(smoke)
+    for table in (t_spine, t_xmark):
+        table.print()
+
+    per_pattern = [
+        rec
+        for group in list(r_spine.values()) + [r_xmark]
+        if isinstance(group, dict)
+        for rec in group.values()
+        if isinstance(rec, dict) and "speedup" in rec
+    ]
+    speedups = [rec["speedup"] for rec in per_pattern]
+    summary = {
+        "patterns": len(per_pattern),
+        "holistic_speedup_max": max(speedups),
+        "holistic_speedup_median": statistics.median(speedups),
+        "holistic_wins": sum(1 for s in speedups if s > 1.0),
+        "all_matches_equal": all(rec["matches_equal"] for rec in per_pattern),
+        "prune_zero_columns": r_prune["compiled_zero_columns"],
+    }
+    print(
+        f"[bench_twig] holistic speedup: median "
+        f"{summary['holistic_speedup_median']:.2f}x, max "
+        f"{summary['holistic_speedup_max']:.2f}x over "
+        f"{summary['patterns']} patterns "
+        f"({summary['holistic_wins']} holistic wins); prune drill "
+        f"{'compiled nothing' if summary['prune_zero_columns'] else 'COMPILED COLUMNS'}"
+        f" in {r_prune['prune_ms']:.3f} ms"
+    )
+
+    root = Path(__file__).resolve().parent.parent
+    name = "BENCH_twig.smoke.json" if smoke else "BENCH_twig.json"
+    write_envelope(
+        root / name,
+        "twig",
+        params={"smoke": smoke, "repeat": 2 if smoke else 5},
+        tables=[t_spine, t_xmark],
+        results={
+            "spine": r_spine,
+            "xmark": r_xmark,
+            "prune": r_prune,
+            "summary": summary,
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -46,6 +46,19 @@ dispatching on the envelope's ``benchmark`` name:
   refusals, never hangs or raw socket errors — and the server answered a
   fresh connection afterwards.
 
+``twig`` (``BENCH_twig.smoke.json``):
+
+- every measured pattern answered **identically** under the holistic and
+  pairwise executors (``matches_equal`` — a mismatch means the holistic
+  evaluator changed the answers, making its timing meaningless) with
+  positive timings on both sides and a recorded planner choice;
+- the prune drill answered an impossible-path twig with ``[]`` without
+  compiling a single read-path column (the cache's miss/entry counters
+  did not move);
+- the summary's holistic speedups exist and are positive.  Smoke runs on
+  shared CI runners, so holistic-beats-pairwise (speedup > 1 on at least
+  one branching workload) is asserted on the full ``BENCH_twig.json``.
+
 ``shard_scatter`` (``BENCH_shard.smoke.json``):
 
 - results exist for every advertised shard count with sane latency
@@ -93,6 +106,9 @@ def check(path: Path) -> None:
         return
     if benchmark == "net_service":
         check_net(doc)
+        return
+    if benchmark == "twig":
+        check_twig(doc)
         return
     assert benchmark == "joins_readpath", f"unknown benchmark {benchmark!r}"
 
@@ -165,6 +181,57 @@ def check(path: Path) -> None:
         f"{n_workloads} workloads x {len(backends)} backends, "
         f"cold-compile parity over {n_cold} tags x "
         f"{len(compile_backends)} compile backends"
+    )
+
+
+def check_twig(doc: dict) -> None:
+    results = doc["results"]
+    n_patterns = 0
+    for family in ("spine", "xmark"):
+        groups = results[family]
+        flat = (
+            [groups] if family == "xmark" else [
+                g for g in groups.values() if isinstance(g, dict)
+            ]
+        )
+        for group in flat:
+            for expr, rec in group.items():
+                if not isinstance(rec, dict) or "speedup" not in rec:
+                    continue
+                n_patterns += 1
+                assert rec["matches_equal"], (
+                    f"twig/{expr}: holistic and pairwise answers differ — "
+                    f"the holistic executor changed the answers"
+                )
+                assert rec["twig_ms"] > 0 and rec["pairwise_ms"] > 0, (
+                    f"twig/{expr}: non-positive timing"
+                )
+                assert rec["planner_choice"] in ("twig", "pairwise"), (
+                    f"twig/{expr}: no planner decision recorded"
+                )
+    assert n_patterns > 0, "twig envelope recorded no patterns"
+
+    prune = results["prune"]
+    assert prune["result_empty"], "prune drill returned matches"
+    assert prune["compiled_zero_columns"], (
+        "prune drill compiled read-path columns: the impossible-path twig "
+        "was not answered from the path summary alone"
+    )
+
+    summary = results["summary"]
+    assert summary["holistic_speedup_max"] > 0
+    assert summary["holistic_speedup_median"] > 0
+    assert summary["all_matches_equal"], "summary contradicts parity"
+    if not doc["params"].get("smoke"):
+        assert summary["holistic_speedup_max"] > 1.0, (
+            "full run: holistic beat pairwise on no branching workload"
+        )
+    print(
+        f"[check_smoke_envelope] OK: twig, {n_patterns} patterns with "
+        f"identical answers, holistic speedup median "
+        f"{summary['holistic_speedup_median']:.2f}x / max "
+        f"{summary['holistic_speedup_max']:.2f}x, prune compiled nothing "
+        f"({prune['prune_ms']:.3f} ms)"
     )
 
 

@@ -60,6 +60,7 @@ def headline(root: Path) -> dict:
     net = _load(root, "BENCH_net.json")
     shard = _load(root, "BENCH_shard.json")
     repl = _load(root, "BENCH_replication.json")
+    twig = _load(root, "BENCH_twig.json")
     return {
         "joins": {
             "ad_speedup_median": _get(
@@ -84,6 +85,14 @@ def headline(root: Path) -> dict:
         },
         "replication": {
             "catch_up_rps": _get(repl, "results", "summary", "catch_up_rps"),
+        },
+        "twig": {
+            "holistic_speedup_median": _get(
+                twig, "results", "summary", "holistic_speedup_median"
+            ),
+            "holistic_speedup_max": _get(
+                twig, "results", "summary", "holistic_speedup_max"
+            ),
         },
     }
 

@@ -139,6 +139,17 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("db", nargs="?", default=None)
     cmd.add_argument("expression", nargs="?", default=None)
     cmd.add_argument("--count", action="store_true", help="print only the count")
+    cmd.add_argument(
+        "--twig",
+        action="store_true",
+        help="evaluate as a twig pattern (branches, wildcards, predicates)",
+    )
+    cmd.add_argument(
+        "--strategy",
+        choices=["auto", "twig", "pairwise"],
+        default="auto",
+        help="twig execution strategy (with --twig; default: planner choice)",
+    )
 
     cmd = commands.add_parser("join", help="run one structural join")
     cmd.add_argument("db", nargs="?", default=None)
@@ -368,7 +379,10 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "query":
         _require(args, "expression")
-        records = db.path_query(args.expression)
+        if args.twig:
+            records = db.twig_query(args.expression, strategy=args.strategy)
+        else:
+            records = db.path_query(args.expression)
         if args.count:
             print(len(records))
         else:

@@ -87,6 +87,13 @@ class LazyXMLDatabase:
         # REPRO_READPATH_CACHE=0 is the kill switch.
         self.readpath = ReadPathCache(self.log, self.index)
         self._joiner = LazyJoiner(self.log, self.index, self.readpath)
+        # The twig subsystem's structural synopsis: per-edge feasibility
+        # and selectivity off the tag catalog alone, memoized under the
+        # same version counters as the read path (lazy import keeps the
+        # package graph acyclic — repro.twig never loads unless used).
+        from repro.twig.summary import PathSummary
+
+        self.path_summary = PathSummary(self.log)
         self._keep_text = keep_text
         self._text: str = ""
         # Per-segment parsed element records (tid, start, end, abs level),
@@ -519,6 +526,32 @@ class LazyXMLDatabase:
         from repro.core.query import evaluate_path
 
         return evaluate_path(self, expression, bindings=bindings, context=context)
+
+    def twig_query(
+        self,
+        expression: str,
+        *,
+        bindings: bool = False,
+        strategy: str = "auto",
+        context=None,
+    ):
+        """Evaluate a branching twig pattern (``"person[profile]//phone"``).
+
+        See :func:`repro.twig.evaluate.evaluate_twig`: the holistic
+        stack executor over the compiled read path, the pairwise
+        decomposition, or — ``strategy="auto"`` — whichever the
+        :class:`~repro.twig.summary.PathSummary` planner estimates
+        cheaper.  ``context`` threads the shared deadline/row budget.
+        """
+        from repro.twig.evaluate import evaluate_twig
+
+        return evaluate_twig(
+            self,
+            expression,
+            bindings=bindings,
+            strategy=strategy,
+            context=context,
+        )
 
     # ------------------------------------------------------------------
     # maintenance

@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from time import perf_counter
 
 from repro.core.element_index import ElementRecord
-from repro.errors import QueryError
+from repro.errors import PathSyntaxError, QueryError
 from repro.joins.stack_tree import AXIS_CHILD, AXIS_DESCENDANT
 from repro.obs.metrics import LATENCY_BUCKETS, METRICS
 
@@ -87,30 +87,88 @@ class PathQuery:
         return "".join(out)
 
 
+#: Tokens the linear surface rejects but the twig surface accepts.
+_TWIG_ONLY = {
+    "*": "wildcard steps",
+    "[": "predicates and branching steps",
+    "]": "predicates and branching steps",
+    "=": "value predicates",
+    '"': "value predicates",
+    "'": "value predicates",
+}
+
+#: ``axis::`` step syntax — unsupported by *both* surfaces.
+_AXIS_RE = re.compile(r"[A-Za-z-]+::")
+
+
+def _reject_unsupported(text: str, expression: str) -> None:
+    """Point at the first token this surface cannot parse.
+
+    Twig-surface tokens get a redirecting diagnostic (use
+    :func:`repro.twig.parse_twig` / ``--twig``); ``axis::`` steps are
+    named explicitly since no surface implements them yet.
+    """
+    axis = _AXIS_RE.search(text)
+    for position, char in enumerate(text):
+        if axis is not None and position == axis.start():
+            raise PathSyntaxError(
+                "axis steps are not supported by any query surface",
+                token=axis.group(0),
+                position=position,
+            )
+        if char in _TWIG_ONLY:
+            raise PathSyntaxError(
+                f"token unsupported in linear path expressions "
+                f"({_TWIG_ONLY[char]} need the twig surface: "
+                f"repro.twig.parse_twig or `query --twig`)",
+                token=char,
+                position=position,
+            )
+
+
 def parse_path(expression: str) -> PathQuery:
     """Parse ``a//b/c`` into a :class:`PathQuery`.
 
     The expression is relative (no leading separator): the first tag matches
     anywhere in the database, mirroring how the paper's experiments phrase
     queries (``person//phone``).  Raises
-    :class:`~repro.errors.QueryError` on syntax problems.
+    :class:`~repro.errors.PathSyntaxError` (a :class:`~repro.errors
+    .QueryError`) naming the offending token and position on syntax
+    problems; tokens that belong to the richer twig surface (``*``,
+    ``[...]``, value predicates) are named as such so the caller is
+    pointed at :func:`repro.twig.parse_twig` instead of a generic
+    failure.
     """
     text = expression.strip()
     if not text:
-        raise QueryError("empty path expression")
+        raise PathSyntaxError("empty path expression")
     if text.startswith("/"):
-        raise QueryError(
-            f"path must be relative (no leading '/'): {expression!r}"
+        raise PathSyntaxError(
+            f"path must be relative (no leading '/'): {expression!r}",
+            token="/",
+            position=expression.find("/"),
         )
+    _reject_unsupported(text, expression)
     tokens = re.split(r"(//|/)", text)
     # tokens: tag, sep, tag, sep, tag ...
     names = tokens[0::2]
     separators = tokens[1::2]
     if len(names) != len(separators) + 1 or "" in names:
-        raise QueryError(f"malformed path expression: {expression!r}")
-    for name in names:
+        sep = separators[-1] if separators else "/"
+        raise PathSyntaxError(
+            f"malformed path expression (empty step): {expression!r}",
+            token=sep,
+            position=text.rfind(sep),
+        )
+    offset = 0
+    for i, name in enumerate(names):
         if not _NAME_RE.match(name):
-            raise QueryError(f"invalid tag name {name!r} in {expression!r}")
+            raise PathSyntaxError(
+                f"invalid tag name in {expression!r}",
+                token=name,
+                position=text.index(name, offset),
+            )
+        offset += len(name) + (len(separators[i]) if i < len(separators) else 0)
     steps = tuple(
         PathStep(AXIS_DESCENDANT if sep == "//" else AXIS_CHILD, name)
         for sep, name in zip(separators, names[1:])
@@ -233,23 +291,54 @@ def evaluate_path(
         )
     enabled = METRICS.enabled
     start = perf_counter() if enabled else 0.0
+    plan = plan_path(db, query)
+    _record_plan(query, plan)
     trace = context.trace if context is not None else None
     if trace is None:
-        result = _evaluate(db, query, bindings, algorithm, context)
+        result = _evaluate(db, query, plan, bindings, algorithm, context)
     else:
         with trace.span(
             "path_query", expr=str(query), algorithm=algorithm
         ) as span:
-            result = _evaluate(db, query, bindings, algorithm, context)
-            span.annotate(matches=len(result))
+            result = _evaluate(db, query, plan, bindings, algorithm, context)
+            span.annotate(
+                matches=len(result),
+                strategy="pairwise",
+                step_costs=[
+                    plan.estimated_cost(i) for i in range(len(query.steps))
+                ],
+                join_order=list(plan.join_order),
+            )
     if enabled:
         _M_PATH_CALLS.inc()
         _H_PATH_SECONDS.observe(perf_counter() - start)
     return result
 
 
-def _evaluate(db, query: PathQuery, bindings: bool, algorithm: str, context):
-    plan = plan_path(db, query)
+def _record_plan(query: PathQuery, plan: PathPlan) -> None:
+    """Feed the shared planner decision log (see :mod:`repro.twig.plan`).
+
+    Linear path queries always execute pairwise; recording them next to
+    the twig planner's twig/pairwise choices makes plan regressions
+    observable from one place (``stats()["planner"]``).
+    """
+    from repro.twig.plan import PLAN_RECORDER
+
+    PLAN_RECORDER.record(
+        expression=str(query),
+        strategy="pairwise",
+        surface="path",
+        cost_twig=None,
+        cost_pairwise=sum(
+            plan.estimated_cost(i) for i in range(len(plan.tags) - 1)
+        ),
+        pruned=plan.empty,
+    )
+
+
+def _evaluate(
+    db, query: PathQuery, plan: PathPlan, bindings: bool, algorithm: str, context
+):
     if plan.empty:
         # A tag with zero recorded elements anywhere on the path empties
         # the whole result: answer without touching the element index.

@@ -18,6 +18,7 @@ __all__ = [
     "IndexError_",
     "KeyNotFoundError",
     "QueryError",
+    "PathSyntaxError",
     "LabelingError",
     "DurabilityError",
     "JournalError",
@@ -104,6 +105,33 @@ class KeyNotFoundError(IndexError_):
 
 class QueryError(ReproError):
     """Raised when a structural-join query is malformed or unsupported."""
+
+
+class PathSyntaxError(QueryError):
+    """Raised when a path/twig expression cannot be parsed.
+
+    Unlike the bare :class:`QueryError` it always names the offending
+    ``token`` and its character ``position`` in the original expression,
+    so callers (CLI, shell, TCP protocol) can point at the exact spot —
+    and so "unsupported in this surface, supported in that one" reads as
+    a precise diagnostic instead of a generic failure.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        token: str | None = None,
+        position: int | None = None,
+    ):
+        detail = message
+        if token is not None:
+            detail = f"{detail}: {token!r}"
+        if position is not None:
+            detail = f"{detail} at position {position}"
+        super().__init__(detail)
+        self.token = token
+        self.position = position
 
 
 class LabelingError(ReproError):

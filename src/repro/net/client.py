@@ -307,6 +307,9 @@ class NetClient:
     async def query(self, expr: str, **args) -> dict:
         return await self.request("query", expr=expr, **args)
 
+    async def twig(self, expr: str, **args) -> dict:
+        return await self.request("twig", expr=expr, **args)
+
     async def join(self, ancestor: str, descendant: str, **args) -> dict:
         return await self.request(
             "join", ancestor=ancestor, descendant=descendant, **args

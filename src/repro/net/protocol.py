@@ -214,6 +214,26 @@ def _cmd_query(service, session, request, ctx):
     return {"count": count, "spans": rows, "truncated": count > limit}
 
 
+def _cmd_twig(service, session, request, ctx):
+    expr = _str_field(request, "expr", "twig")
+    limit = _int_field(request, "limit", MAX_RESPONSE_SPANS)
+    strategy = request.get("strategy", "auto")
+    if not isinstance(strategy, str):
+        raise ProtocolError("twig 'strategy' must be a string")
+
+    # Same pin discipline as _cmd_query: span rows are computed while
+    # the epoch pin is held, nothing from the snapshot escapes.
+    def run(db, context):
+        records = db.twig_query(expr, strategy=strategy, context=context)
+        return len(records), _spans(db, records, limit)
+
+    if session.pinned is not None:
+        count, rows = run(session.pinned.db, ctx)
+    else:
+        count, rows = service.read(run, context=ctx)
+    return {"count": count, "spans": rows, "truncated": count > limit}
+
+
 def _cmd_join(service, session, request, ctx):
     tag_a = _str_field(request, "ancestor", "join")
     tag_d = _str_field(request, "descendant", "join")
@@ -340,6 +360,7 @@ def _cmd_unpin(service, session, request, ctx):
 COMMANDS = {
     "ping": _cmd_ping,
     "query": _cmd_query,
+    "twig": _cmd_twig,
     "join": _cmd_join,
     "insert": _cmd_insert,
     "batch": _cmd_batch,

@@ -385,6 +385,17 @@ class DatabaseService:
             wait_timeout=wait_timeout,
         )
 
+    def twig(self, expression: str, *, bindings: bool = False,
+             strategy: str = "auto", context=None, wait_timeout=None):
+        """Snapshot-isolated :meth:`LazyXMLDatabase.twig_query`."""
+        return self.read(
+            lambda db, ctx: db.twig_query(
+                expression, bindings=bindings, strategy=strategy, context=ctx
+            ),
+            context=context,
+            wait_timeout=wait_timeout,
+        )
+
     def join(
         self,
         tag_a: str,
@@ -438,6 +449,21 @@ class DatabaseService:
         result = self.query(
             expression, bindings=bindings, context=context,
             wait_timeout=wait_timeout,
+        )
+        return result, trace.as_dicts()
+
+    def trace_twig(self, expression: str, *, bindings: bool = False,
+                   strategy: str = "auto", wait_timeout=None):
+        """Run :meth:`twig` with span tracing; returns ``(result, spans)``.
+
+        The ``twig_query`` span carries the planner's verdict (chosen
+        strategy, twig vs pairwise cost estimates, per-edge costs).
+        """
+        trace = Trace()
+        context = self.make_context(trace=trace)
+        result = self.twig(
+            expression, bindings=bindings, strategy=strategy,
+            context=context, wait_timeout=wait_timeout,
         )
         return result, trace.as_dicts()
 
@@ -817,6 +843,12 @@ class DatabaseService:
         health.pop("status", None)
         health["metrics"] = METRICS.snapshot()
         health["metric_catalogue"] = METRICS.catalogue()
+        # Planner decisions (path + twig surfaces): strategy counts and
+        # the most recent choices with their cost estimates, so a plan
+        # regression shows up here instead of only in latency.
+        from repro.twig.plan import PLAN_RECORDER
+
+        health["planner"] = PLAN_RECORDER.snapshot()
         return health
 
     def _ensure_open(self) -> None:

@@ -12,10 +12,12 @@ keeps serving.
 Commands::
 
     query <path-expression>          count + spans of matches
+    twig <twig-expression>           branching-pattern query (holistic)
     join <anc> <desc> [algorithm]    structural join (default: auto)
     insert <position|end> <xml...>   insert the rest of the line
     remove <position> <length>       remove a character span
     trace query <path-expression>    run a query, print per-span timings
+    trace twig <twig-expression>     run a twig query, print spans
     trace join <anc> <desc> [algo]   run a join, print per-span timings
     repack <sid> | compact           breaker-guarded maintenance
     maintain                         sample pressure, run the plan
@@ -36,9 +38,10 @@ from repro.service.server import DatabaseService
 __all__ = ["ServiceShell"]
 
 _HELP = (
-    "commands: query <expr> | join <anc> <desc> [algo] | "
+    "commands: query <expr> | twig <expr> | join <anc> <desc> [algo] | "
     "insert <pos|end> <xml> | remove <pos> <len> | "
-    "trace query <expr> | trace join <anc> <desc> [algo] | "
+    "trace query <expr> | trace twig <expr> | "
+    "trace join <anc> <desc> [algo] | "
     "repack <sid> | compact | "
     "maintain | pressure | health | stats | "
     "repl-status | promote <node> | shutdown | help | quit"
@@ -130,6 +133,15 @@ class ServiceShell:
             self._print(f"  sid={record.sid} start={record.start} "
                         f"end={record.end} level={record.level}")
 
+    def _cmd_twig(self, rest: str) -> None:
+        if not rest:
+            raise ValueError("twig needs a twig expression")
+        records = self.service.twig(rest)
+        self._print(f"ok {len(records)} match(es)")
+        for record in records:
+            self._print(f"  sid={record.sid} start={record.start} "
+                        f"end={record.end} level={record.level}")
+
     def _cmd_join(self, rest: str) -> None:
         parts = rest.split()
         if len(parts) not in (2, 3):
@@ -162,6 +174,11 @@ class ServiceShell:
                 raise ValueError("trace query needs a path expression")
             result, spans = self.service.trace_query(spec)
             self._print(f"ok {len(result)} match(es), {len(spans)} span(s)")
+        elif kind == "twig":
+            if not spec:
+                raise ValueError("trace twig needs a twig expression")
+            result, spans = self.service.trace_twig(spec)
+            self._print(f"ok {len(result)} match(es), {len(spans)} span(s)")
         elif kind == "join":
             parts = spec.split()
             if len(parts) not in (2, 3):
@@ -174,7 +191,9 @@ class ServiceShell:
             )
             self._print(f"ok {len(result)} pair(s), {len(spans)} span(s)")
         else:
-            raise ValueError("trace needs: query <expr> | join <anc> <desc>")
+            raise ValueError(
+                "trace needs: query <expr> | twig <expr> | join <anc> <desc>"
+            )
         for span in spans:
             self._print("  " + json.dumps(span, sort_keys=True))
 

@@ -967,6 +967,66 @@ class ShardedDatabase:
                 sort_key,
             )
 
+    def twig_query(
+        self,
+        expression: str,
+        *,
+        bindings: bool = False,
+        strategy: str = "auto",
+        context=None,
+    ):
+        """Scatter-gather twig evaluation (``person[profile]//phone``).
+
+        Like :meth:`path_query`, a twig match is rooted inside one
+        document, so per-shard holistic evaluation unions to the global
+        answer; shards missing any *concrete* tag of the pattern are
+        pruned (wildcard steps prune nothing).  Rows merge by global
+        position on the coordinator's heap.
+        """
+        from repro.twig.pattern import parse_twig
+
+        query = parse_twig(expression)
+        tags = sorted(query.tags())
+        if bindings:
+            def build(views, shard, reply):
+                return [
+                    tuple(
+                        self._make_element(views, shard, *row) for row in match
+                    )
+                    for match in reply
+                ]
+
+            sort_key = _BINDINGS_SORT_KEY
+        else:
+            def build(views, shard, reply):
+                return [self._make_element(views, shard, *row) for row in reply]
+
+            sort_key = _ELEMENT_SORT_KEY
+        with self._lock:
+            # An all-wildcard pattern names no concrete tag: every shard
+            # is a candidate.
+            targets = (
+                self.catalog.shards_for(*tags)
+                if tags
+                else list(range(self._n))
+            )
+            if not targets:
+                return []
+            return self._scatter_merge(
+                ("twig", expression, bindings, strategy),
+                targets,
+                "twig",
+                lambda s: (
+                    expression,
+                    bindings,
+                    strategy,
+                    context.remaining() if context is not None else None,
+                ),
+                context,
+                build,
+                sort_key,
+            )
+
     # ------------------------------------------------------------------
     # verification
 

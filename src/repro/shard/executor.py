@@ -135,6 +135,15 @@ def handle_request(db, verb: str, args: tuple):
         if bindings:
             return [_span_rows(db, match) for match in result]
         return _span_rows(db, result)
+    if verb == "twig":
+        expression, bindings, strategy, timeout = args
+        context = QueryContext(timeout=timeout) if timeout is not None else None
+        result = db.twig_query(
+            expression, bindings=bindings, strategy=strategy, context=context
+        )
+        if bindings:
+            return [_span_rows(db, match) for match in result]
+        return _span_rows(db, result)
     if verb == "stats":
         return {
             "readpath": db.readpath.stats(),

@@ -1,0 +1,555 @@
+"""Twig subsystem: parser, path summary, planner, evaluators, surfaces.
+
+Covers the whole vertical: the pattern grammar and its typed
+:class:`PathSyntaxError` reporting (shared with the upgraded
+``parse_path``), the :class:`PathSummary` synopsis (feasibility,
+selectivity memo, version-counter invalidation), the twig/pairwise
+planner and its process-wide decision log, the holistic and pairwise
+executors on handcrafted documents (branches, wildcards, positional and
+value predicates, bindings), and the end-to-end surfaces — database
+method, service + tracing + stats, TCP protocol verb, shell command,
+and ``query --twig`` on the CLI.
+
+The structural-prune acceptance criterion is pinned here too: a twig
+whose edge the summary proves impossible must answer ``[]`` without
+compiling a single read-path column (readpath misses delta == 0).
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.__main__ import main
+from repro.core.database import LazyXMLDatabase
+from repro.core.query import evaluate_path, parse_path
+from repro.errors import (
+    PathSyntaxError,
+    ProtocolError,
+    QueryError,
+    ResourceExhausted,
+)
+from repro.net.protocol import SessionState, execute_request
+from repro.service.context import QueryContext
+from repro.service.server import DatabaseService
+from repro.service.shell import ServiceShell
+from repro.twig import PathSummary, TwigQuery, parse_twig
+from repro.twig.evaluate import evaluate_twig
+from repro.twig.plan import PLAN_RECORDER, plan_twig
+
+DOC = (
+    "<r>"
+    "<a><b>x</b><c/></a>"
+    "<a><c/><b>y</b></a>"
+    "<d><a><b>z</b></a></d>"
+    "<a><c/></a>"
+    "</r>"
+)
+
+
+def make_db(text=DOC, *, keep_text=True, mode="dynamic"):
+    db = LazyXMLDatabase(mode=mode, keep_text=keep_text)
+    db.insert(text)
+    db.prepare_for_query()
+    return db
+
+
+def spans(db, records):
+    return sorted(db.global_span(r) for r in records)
+
+
+# ----------------------------------------------------------------------
+# pattern grammar
+
+
+class TestParser:
+    def test_linear_chain(self):
+        q = parse_twig("r//a/b")
+        assert [n.tag for n in q.trunk] == ["r", "a", "b"]
+        assert [n.axis for n in q.trunk] == ["descendant", "descendant", "child"]
+        assert q.is_linear and q.is_plain
+        assert q.output is q.trunk[-1]
+        assert str(q) == "r//a/b"
+
+    def test_branch_structure(self):
+        q = parse_twig("r/a[b//c]/d")
+        assert [n.tag for n in q.trunk] == ["r", "a", "d"]
+        a = q.trunk[1]
+        assert len(a.branches) == 1
+        b = a.branches[0]
+        assert b.tag == "b" and b.axis == "child"
+        assert b.branches[0].tag == "c" and b.branches[0].axis == "descendant"
+        assert not q.is_linear
+        assert str(q) == "r/a[b//c]/d"
+
+    def test_branch_chain_folds_nested(self):
+        # A chain inside a branch is existential: it folds into nested
+        # single-branch nodes, all off the trunk.
+        q = parse_twig("a[b/c/d]")
+        b = q.trunk[0].branches[0]
+        assert b.tag == "b"
+        assert b.branches[0].tag == "c"
+        assert b.branches[0].branches[0].tag == "d"
+        assert q.trunk == (q.root,)
+
+    def test_predicates(self):
+        q = parse_twig('r/a/b[2][.="x"]')
+        leaf = q.trunk[-1]
+        assert leaf.position == 2
+        assert leaf.value == "x"
+        assert str(q) == 'r/a/b[2][.="x"]'
+
+    def test_wildcard(self):
+        q = parse_twig("r/*/b")
+        assert q.trunk[1].is_wildcard
+        assert q.tags() == {"r", "b"}
+        assert q.is_linear and not q.is_plain
+
+    def test_to_path_query_on_plain_chain(self):
+        twig = parse_twig("r//a/b")
+        path = twig.to_path_query()
+        assert path == parse_path("r//a/b")
+        assert str(path) == "r//a/b"
+
+    def test_to_path_query_rejects_non_plain(self):
+        with pytest.raises(PathSyntaxError):
+            parse_twig("r/a[b]").to_path_query()
+
+    def test_multiple_branches(self):
+        q = parse_twig("a[b][c]/d")
+        assert [n.tag for n in q.trunk[0].branches] == ["b", "c"]
+
+    def test_parse_twig_passthrough(self):
+        q = parse_twig("r//a")
+        assert parse_twig(q) is q
+
+    @pytest.mark.parametrize(
+        "expr, token",
+        [
+            ("a[", "["),
+            ("a[b", None),  # unexpected end, no single offending token
+            ("a//", None),
+            ("/a", "/"),
+            ("", None),
+            ("a[0]", "0"),
+            ("a//b[2]", "[2]"),  # positional needs the child axis
+            ("a[2][2]", "[2]"),  # positional on the descendant entry step
+            ("following-sibling::b", "following-sibling::"),
+        ],
+    )
+    def test_syntax_errors_are_typed(self, expr, token):
+        with pytest.raises(PathSyntaxError) as exc_info:
+            parse_twig(expr)
+        err = exc_info.value
+        assert isinstance(err, QueryError)
+        if token is not None:
+            assert err.token == token
+            assert err.token in str(err)
+
+    def test_error_position_points_at_offender(self):
+        with pytest.raises(PathSyntaxError) as exc_info:
+            parse_twig("ab[cd[")
+        assert exc_info.value.position == 5
+
+
+class TestParsePathErrors:
+    """The satellite: parse_path reports typed, positioned errors."""
+
+    @pytest.mark.parametrize(
+        "expr, token, position",
+        [
+            ("a/*", "*", 2),
+            ("a[b]", "[", 1),
+            ('a/b[.="x"]', "[", 3),
+            ("following-sibling::b", "following-sibling::", 0),
+            ("a/ancestor::b", "ancestor::", 2),
+            ("/a", "/", 0),
+            ("a//", "//", 1),
+        ],
+    )
+    def test_typed_with_token_and_position(self, expr, token, position):
+        with pytest.raises(PathSyntaxError) as exc_info:
+            parse_path(expr)
+        err = exc_info.value
+        assert err.token == token
+        assert err.position == position
+
+    def test_twig_tokens_redirect_to_twig_surface(self):
+        with pytest.raises(PathSyntaxError) as exc_info:
+            parse_path("r/a[b]")
+        assert "--twig" in str(exc_info.value) or "twig" in str(exc_info.value)
+
+    def test_empty_expression(self):
+        with pytest.raises(PathSyntaxError):
+            parse_path("")
+
+    def test_still_a_query_error(self):
+        with pytest.raises(QueryError):
+            parse_path("*")
+
+
+# ----------------------------------------------------------------------
+# path summary
+
+
+class TestPathSummary:
+    def test_totals(self):
+        db = make_db()
+        summary = PathSummary(db.log)
+        assert summary.total("a") == 4
+        assert summary.total("nosuch") == 0
+        assert summary.total("*") == db.element_count
+
+    def test_edge_feasibility(self):
+        db = make_db()
+        summary = PathSummary(db.log)
+        assert summary.edge("r", "a", "descendant").feasible
+        assert summary.edge("a", "b", "child").feasible
+        # Same-segment tags are conservatively feasible (the synopsis is
+        # segment-granular); absent tags never are.
+        assert summary.edge("b", "c", "descendant").feasible
+        assert not summary.edge("r", "nosuch", "descendant").feasible
+
+    def test_cross_segment_edge_infeasible(self):
+        # Two top-level documents live in segments with disjoint ER
+        # paths: an edge between their tags is provably empty.
+        db = LazyXMLDatabase()
+        db.insert("<x><y/></x>")
+        db.insert("<p><q/></p>")
+        db.prepare_for_query()
+        summary = PathSummary(db.log)
+        syn = summary.edge("x", "q", "descendant")
+        assert not syn.feasible and syn.est_pairs == 0
+        assert syn.a_total == 1 and syn.d_total == 1
+        assert not summary.edge("p", "y", "child").feasible
+
+    def test_feasible_rejects_impossible_query(self):
+        db = LazyXMLDatabase()
+        db.insert("<x><y/></x>")
+        db.insert("<p><q/></p>")
+        db.prepare_for_query()
+        summary = PathSummary(db.log)
+        assert summary.feasible(parse_twig("x//y"))
+        assert not summary.feasible(parse_twig("x//q"))
+        assert not summary.feasible(parse_twig("x//nosuch"))
+
+    def test_memo_hits_and_invalidation(self):
+        db = make_db()
+        summary = PathSummary(db.log)
+        summary.edge("r", "a", "descendant")
+        before = summary.stats()
+        summary.edge("r", "a", "descendant")
+        after = summary.stats()
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+        # An update bumps the taglist versions: the memo entry is stale
+        # and recomputed exactly once (O(touched tags) invalidation).
+        db.insert("<a><b>new</b></a>", db.document_length)
+        summary.edge("r", "a", "descendant")
+        bumped = summary.stats()
+        assert bumped["invalidations"] == after["invalidations"] + 1
+
+    def test_segment_sids(self):
+        db = make_db()
+        summary = PathSummary(db.log)
+        sids = summary.segment_sids("a")
+        assert sids  # at least the seed segment
+        assert summary.segment_sids("nosuch") == frozenset()
+        assert summary.segment_sids("*") == frozenset()
+
+
+# ----------------------------------------------------------------------
+# planner
+
+
+class TestPlanner:
+    def test_impossible_edge_marks_plan_empty(self):
+        db = LazyXMLDatabase()
+        db.insert("<x><y/></x>")
+        db.insert("<p><q/></p>")
+        db.prepare_for_query()
+        plan = plan_twig(parse_twig("x//q"), PathSummary(db.log))
+        assert plan.empty
+
+    def test_plan_carries_costs(self):
+        db = make_db()
+        plan = plan_twig(parse_twig("r//a/b"), PathSummary(db.log))
+        assert plan.cost_twig > 0
+        assert plan.cost_pairwise > 0
+        assert plan.strategy in ("twig", "pairwise")
+        d = plan.as_dict()
+        assert d["strategy"] == plan.strategy
+        assert len(d["edge_costs"]) == 2
+
+    def test_recorder_counts_decisions(self):
+        db = make_db()
+        PLAN_RECORDER.reset()
+        db.twig_query("r//a[b]")
+        db.twig_query("r//nosuch[b]")
+        snap = PLAN_RECORDER.snapshot()
+        assert snap["counts"]["pruned"] == 1
+        assert sum(snap["counts"].values()) == 2
+        assert snap["recent"][-1]["surface"] == "twig"
+
+    def test_path_surface_recorded_too(self):
+        db = make_db()
+        PLAN_RECORDER.reset()
+        db.path_query("r//a")
+        snap = PLAN_RECORDER.snapshot()
+        assert snap["counts"]["pairwise"] == 1
+        assert snap["recent"][-1]["surface"] == "path"
+
+    def test_prune_compiles_zero_columns(self):
+        """Acceptance: impossible twig answers [] off the synopsis alone."""
+        db = LazyXMLDatabase()
+        db.insert("<x><y/></x>")
+        db.insert("<p><q/></p>")
+        db.prepare_for_query()
+        before = db.readpath.stats()
+        assert db.twig_query("x//nosuch[y]") == []
+        assert db.twig_query("x//q") == []
+        after = db.readpath.stats()
+        assert after["misses"] == before["misses"]
+        assert after["entries"] == before["entries"]
+
+
+# ----------------------------------------------------------------------
+# evaluation
+
+
+class TestEvaluate:
+    def test_plain_chain_matches_path_query(self):
+        db = make_db()
+        for expr in ("r//b", "r/a/b", "r//a/c", "d//b"):
+            want = spans(db, evaluate_path(db, expr))
+            for strategy in ("auto", "twig", "pairwise"):
+                got = spans(db, db.twig_query(expr, strategy=strategy))
+                assert got == want, (expr, strategy)
+
+    def test_branch_filters_trunk(self):
+        db = make_db()
+        # a-elements that have a b child: the first three <a>s (not the
+        # last, which only holds <c/>); output their c children.
+        got = spans(db, db.twig_query("r//a[b]/c", strategy="twig"))
+        want = spans(db, db.twig_query("r//a[b]/c", strategy="pairwise"))
+        assert got == want
+        all_c = spans(db, db.path_query("r//a/c"))
+        assert set(got) < set(all_c)
+
+    def test_nested_branch(self):
+        db = make_db()
+        got = spans(db, db.twig_query("r/d[a/b]", strategy="twig"))
+        want = spans(db, db.twig_query("r/d[a/b]", strategy="pairwise"))
+        assert got == want
+        assert len(got) == 1
+
+    def test_branch_is_existential_not_output(self):
+        db = make_db()
+        result = db.twig_query("r//a[b]")
+        # Output elements are the a's themselves, one per qualifying a —
+        # the branch b is a filter, never part of the answer.
+        a_spans = spans(db, db.path_query("r//a"))
+        assert spans(db, result) == sorted(set(spans(db, result)) & set(a_spans))
+        assert len(result) == 3
+
+    def test_value_predicate(self):
+        db = make_db()
+        got = spans(db, db.twig_query('r//b[.="y"]', strategy="twig"))
+        assert len(got) == 1
+        assert spans(db, db.twig_query('r//b[.="y"]', strategy="pairwise")) == got
+        assert db.twig_query('r//b[.="missing"]') == []
+
+    def test_value_predicate_needs_text(self):
+        db = make_db(keep_text=False)
+        with pytest.raises(QueryError, match="keep_text"):
+            db.twig_query('r//b[.="x"]')
+
+    def test_positional_predicate(self):
+        db = LazyXMLDatabase()
+        db.insert("<r><a><b>1</b><b>2</b><b>3</b></a><a><b>4</b></a></r>")
+        db.prepare_for_query()
+        second = spans(db, db.twig_query("r/a/b[2]", strategy="twig"))
+        assert len(second) == 1
+        assert spans(db, db.twig_query("r/a/b[2]", strategy="pairwise")) == second
+        first = spans(db, db.twig_query("r/a/b[1]"))
+        assert len(first) == 2  # both a's have a first b
+
+    def test_wildcard_step(self):
+        db = make_db()
+        got = spans(db, db.twig_query("r/*/b", strategy="twig"))
+        want = spans(db, db.twig_query("r/*/b", strategy="pairwise"))
+        assert got == want
+        # b's under a (child of r) — not the one nested under d/a.
+        assert got == spans(db, db.path_query("r/a/b"))
+
+    def test_bindings_chains(self):
+        db = make_db()
+        chains = db.twig_query("r//a/b", bindings=True)
+        assert chains
+        for chain in chains:
+            assert len(chain) == 3
+        twig = db.twig_query("r//a/b", bindings=True, strategy="twig")
+        pairwise = db.twig_query("r//a/b", bindings=True, strategy="pairwise")
+        key = lambda ch: tuple((r.sid, r.start, r.end, r.level) for r in ch)
+        assert [key(c) for c in twig] == [key(c) for c in pairwise]
+
+    def test_requires_query_ready(self):
+        db = LazyXMLDatabase(mode="static")
+        db.insert(DOC)
+        with pytest.raises(QueryError, match="query-ready"):
+            db.twig_query("r//a")
+
+    def test_bad_strategy_rejected(self):
+        db = make_db()
+        with pytest.raises(QueryError):
+            db.twig_query("r//a", strategy="bogus")
+
+    def test_row_budget_enforced(self):
+        db = make_db()
+        ctx = QueryContext(max_result_rows=1)
+        with pytest.raises(ResourceExhausted):
+            db.twig_query("r//a[b]/c", context=ctx)
+
+    def test_explicit_summary_reused(self):
+        db = make_db()
+        summary = PathSummary(db.log)
+        result = evaluate_twig(db, "r//a[b]", summary=summary)
+        assert len(result) == len(db.twig_query("r//a[b]"))
+        assert summary.stats()["entries"] > 0
+
+    def test_results_survive_interleaved_update(self):
+        db = make_db()
+        cold = spans(db, db.twig_query("r//a[b]/c"))
+        warm = spans(db, db.twig_query("r//a[b]/c"))
+        assert warm == cold
+        db.insert("<a><b>q</b><c/></a>", db.document_length - len("</r>"))
+        updated = spans(db, db.twig_query("r//a[b]/c", strategy="twig"))
+        check = spans(db, db.twig_query("r//a[b]/c", strategy="pairwise"))
+        assert updated == check
+        assert len(updated) == len(cold) + 1
+
+
+# ----------------------------------------------------------------------
+# service / protocol / shell / CLI surfaces
+
+
+def service_db():
+    db = make_db()
+    return DatabaseService(db)
+
+
+class TestServiceSurface:
+    def test_twig_and_trace(self):
+        with service_db() as svc:
+            result = svc.twig("r//a[b]/c")
+            assert len(result) == 2
+            traced, trace_spans = svc.trace_twig("r//a[b]/c")
+            assert len(traced) == len(result)
+            twig_span = next(s for s in trace_spans if s["name"] == "twig_query")
+            assert twig_span["attrs"]["strategy"] in ("twig", "pairwise")
+            assert "cost_twig" in twig_span["attrs"]
+
+    def test_stats_exposes_planner(self):
+        with service_db() as svc:
+            PLAN_RECORDER.reset()
+            svc.twig("r//a[b]")
+            stats = svc.stats()
+            assert stats["planner"]["counts"]["twig"] + \
+                stats["planner"]["counts"]["pairwise"] == 1
+
+    def test_protocol_verb(self):
+        with service_db() as svc:
+            session = SessionState(1)
+            out = execute_request(
+                svc, session, {"cmd": "twig", "expr": "r//a[b]/c"}
+            )
+            assert out["count"] == 2
+            assert len(out["spans"]) == 2
+            assert not out["truncated"]
+
+    def test_protocol_strategy_and_limit(self):
+        with service_db() as svc:
+            session = SessionState(1)
+            out = execute_request(
+                svc,
+                session,
+                {"cmd": "twig", "expr": "r//a", "strategy": "pairwise",
+                 "limit": 1},
+            )
+            assert out["count"] == 4
+            assert len(out["spans"]) == 1
+            assert out["truncated"]
+
+    def test_protocol_rejects_bad_fields(self):
+        with service_db() as svc:
+            session = SessionState(1)
+            with pytest.raises(ProtocolError):
+                execute_request(svc, session, {"cmd": "twig"})
+            with pytest.raises(ProtocolError):
+                execute_request(
+                    svc, session,
+                    {"cmd": "twig", "expr": "r//a", "strategy": 7},
+                )
+
+    def test_shell_twig(self):
+        out = io.StringIO()
+        with service_db() as svc:
+            shell = ServiceShell(svc, io.StringIO(), out)
+            assert shell.handle("twig r//a[b]/c")
+            assert shell.handle("trace twig r//a[b]/c")
+            assert shell.handle("twig r//a[")
+        text = out.getvalue()
+        assert "ok 2 match(es)" in text
+        assert "twig_query" in text
+        assert "PathSyntaxError" in text
+
+
+class TestShardedSurface:
+    def test_sharded_matches_single(self):
+        from repro.shard import ShardedDatabase
+
+        sharded = ShardedDatabase(2)
+        single = LazyXMLDatabase()
+        docs = [DOC, "<r><a><b>w</b></a></r>"]
+        for doc in docs:
+            sharded.insert(doc)
+            single.insert(doc)
+        single.prepare_for_query()
+        got = sorted(
+            (r.gstart, r.gend) for r in sharded.twig_query("r//a[b]/c")
+        )
+        want = spans(single, single.twig_query("r//a[b]/c"))
+        assert got == want
+
+    def test_sharded_prunes_absent_tags(self):
+        from repro.shard import ShardedDatabase
+
+        sharded = ShardedDatabase(2)
+        sharded.insert(DOC)
+        assert sharded.twig_query("r//nosuch[b]") == []
+
+
+class TestCLISurface:
+    @pytest.fixture()
+    def db_path(self, tmp_path):
+        doc = tmp_path / "doc.xml"
+        doc.write_text(DOC)
+        path = tmp_path / "doc.db"
+        assert main(["load", str(doc), "--db", str(path)]) == 0
+        return path
+
+    def test_query_twig(self, db_path, capsys):
+        assert main(["query", str(db_path), "r//a[b]/c", "--twig"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 2
+
+    def test_query_twig_strategy_and_count(self, db_path, capsys):
+        assert main(
+            ["query", str(db_path), "r//a[b]/c", "--twig",
+             "--strategy", "pairwise", "--count"]
+        ) == 0
+        assert capsys.readouterr().out.strip() == "2"
+
+    def test_query_twig_syntax_error(self, db_path, capsys):
+        assert main(["query", str(db_path), "r/a[", "--twig"]) != 0

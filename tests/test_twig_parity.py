@@ -1,0 +1,129 @@
+"""Hypothesis parity: holistic twig ≡ pairwise decomposition, byte for byte.
+
+The twig engine ships two executors over the same compiled streams — the
+TwigStack-style holistic evaluator (per-node chained stacks, no
+intermediate pair lists) and the pairwise decomposition (one
+:func:`stack_tree_desc` per twig edge plus a semi-join reduce).  Their
+answers must be *identical*, not merely equal as sets: same records,
+same canonical order, cold and warm, and again after further updates.
+
+Hypothesis drives both over seeded random documents (the same laminar
+update streams the differential oracle uses) and a pool of twig shapes
+covering branches, nested branches, wildcards, and positional
+predicates.  Plain linear chains additionally check the pairwise
+fallback against the real ``plan_path`` pipeline, pinning the
+``to_path_query`` bridge.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.query import evaluate_path
+from repro.twig import parse_twig
+from repro.twig.evaluate import evaluate_twig
+from tests.oracle import replay_random_sequence, safe_insert_positions
+from repro.workloads.generator import generate_fragment, tag_pool
+
+TAGS = tag_pool(4)
+
+#: Twig shapes instantiated over the generator's tag pool.  ``{0}``..
+#: ``{3}`` are replaced by a seeded random drawing of distinct tags, so
+#: every Hypothesis example exercises different tag/selectivity mixes.
+SHAPES = [
+    "{0}//{1}",
+    "{0}/{1}",
+    "{0}[{1}]",
+    "{0}[{1}]//{2}",
+    "{0}[{1}//{2}]",
+    "{0}[{1}][{2}]",
+    "{0}[{1}]/{2}",
+    "{0}/*/{1}",
+    "{0}/{1}[1]",
+    "{0}[{1}/{2}]//{3}",
+]
+
+
+def pattern_pool(rng: random.Random) -> list[str]:
+    pool = []
+    for shape in SHAPES:
+        tags = rng.sample(TAGS, 4)
+        pool.append(shape.format(*tags))
+    return pool
+
+
+def record_key(record):
+    return (record.sid, record.start, record.end, record.level)
+
+
+def chain_key(chain):
+    return tuple(record_key(r) for r in chain)
+
+
+def assert_strategies_agree(db, expression):
+    """twig ≡ pairwise on records *and* on full binding chains."""
+    twig = evaluate_twig(db, expression, strategy="twig")
+    pairwise = evaluate_twig(db, expression, strategy="pairwise")
+    assert [record_key(r) for r in twig] == [record_key(r) for r in pairwise], (
+        expression
+    )
+    twig_b = evaluate_twig(db, expression, strategy="twig", bindings=True)
+    pair_b = evaluate_twig(db, expression, strategy="pairwise", bindings=True)
+    assert [chain_key(c) for c in twig_b] == [chain_key(c) for c in pair_b], (
+        expression
+    )
+    return [record_key(r) for r in twig]
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_holistic_matches_pairwise_cold_warm_updated(seed):
+    rng = random.Random(seed ^ 0x5EED)
+    result = replay_random_sequence(seed, n_ops=5)
+    db, ref = result.db, result.reference
+
+    patterns = pattern_pool(rng)
+    cold = {expr: assert_strategies_agree(db, expr) for expr in patterns}
+    # Warm: every compiled column and summary memo is now hot; answers
+    # must not drift.
+    for expr in patterns:
+        assert assert_strategies_agree(db, expr) == cold[expr], expr
+
+    # One more update, then the whole pool again: the §4e version
+    # counters must invalidate exactly what changed on both executors.
+    fragment = generate_fragment(1 + rng.randrange(4), TAGS, rng=rng, max_depth=3)
+    position = rng.choice(safe_insert_positions(ref.text))
+    db.insert(fragment, position)
+    ref.insert(fragment, position)
+    for expr in patterns:
+        assert_strategies_agree(db, expr)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_plain_chain_pairwise_fallback_matches_plan_path(seed):
+    """Plain chains: twig, pairwise-fallback, and evaluate_path agree."""
+    rng = random.Random(seed)
+    db = replay_random_sequence(seed, n_ops=4).db
+    for _ in range(4):
+        a, b = rng.sample(TAGS, 2)
+        for expr in (f"{a}//{b}", f"{a}/{b}", f"{a}//{b}/{a}"):
+            assert parse_twig(expr).is_plain
+            want = [record_key(r) for r in evaluate_path(db, expr)]
+            got = assert_strategies_agree(db, expr)
+            assert sorted(got) == sorted(want), expr
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_forced_strategy_agrees_with_planner_choice(seed):
+    """strategy='auto' answers exactly what both forced strategies do."""
+    rng = random.Random(seed)
+    db = replay_random_sequence(seed, n_ops=3).db
+    for expr in pattern_pool(rng)[:4]:
+        auto = [record_key(r) for r in evaluate_twig(db, expr)]
+        forced = assert_strategies_agree(db, expr)
+        assert auto == forced, expr
